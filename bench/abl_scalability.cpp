@@ -1,0 +1,69 @@
+// Ablation: multi-controller scalability (paper §IV-F).
+//
+// Multiple clients drive write streams at a Steins system with 1..6 memory
+// controllers (Cascade Lake: 2 MCs x 3 DIMMs). Disjoint streams scale with
+// the controller count; a shared hot DIMM serializes.
+#include <cstdio>
+
+#include "common/rng.hpp"
+#include "sim/multi_controller.hpp"
+
+using namespace steins;
+
+namespace {
+
+/// `clients` concurrent writers, each issuing `ops` writes. Returns the
+/// makespan (busiest controller frontier).
+constexpr std::uint64_t kRegionBlocks = 1 << 18;  // 16 MB per client region
+constexpr std::size_t kDimmBytes = kRegionBlocks * kBlockSize;
+
+Cycle run_clients(MultiControllerMemory& mem, unsigned clients, std::uint64_t ops,
+                  bool disjoint) {
+  std::vector<Xoshiro256> rngs;
+  for (unsigned c = 0; c < clients; ++c) rngs.emplace_back(100 + c);
+  Block data{};
+  // Round-robin issue: each client's requests are independent streams; a
+  // client's own requests serialize on its issue order. Regions are
+  // DIMM-sized, so with interleave = DIMM size, client c's region lives
+  // entirely on one controller.
+  std::vector<Cycle> client_now(clients, 0);
+  for (std::uint64_t i = 0; i < ops; ++i) {
+    for (unsigned c = 0; c < clients; ++c) {
+      const std::uint64_t region = disjoint ? c : 0;
+      const Addr addr =
+          (region * kRegionBlocks + rngs[c].below(kRegionBlocks)) * kBlockSize;
+      client_now[c] = mem.write_block(addr, data, client_now[c]);
+    }
+  }
+  return mem.max_frontier();
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Ablation: multi-controller scalability (paper SIV-F)\n");
+  std::printf("6 clients x 3000 writes each; Steins-GC per controller.\n\n");
+  std::printf("%-13s %16s %16s %12s\n", "controllers", "disjoint (cy)", "shared-hot (cy)",
+              "speedup");
+
+  Cycle base = 0;
+  for (const unsigned mcs : {1u, 2u, 3u, 6u}) {
+    SystemConfig cfg = default_config();
+    cfg.nvm.capacity_bytes = 6ULL << 30;
+
+    MultiControllerMemory disjoint(cfg, Scheme::kSteins, mcs, kDimmBytes);
+    const Cycle t_disjoint = run_clients(disjoint, 6, 3000, true);
+    MultiControllerMemory shared(cfg, Scheme::kSteins, mcs, kDimmBytes);
+    const Cycle t_shared = run_clients(shared, 6, 3000, false);
+
+    if (mcs == 1) base = t_disjoint;
+    std::printf("%-13u %16llu %16llu %11.2fx\n", mcs,
+                static_cast<unsigned long long>(t_disjoint),
+                static_cast<unsigned long long>(t_shared),
+                static_cast<double>(base) / static_cast<double>(t_disjoint));
+  }
+  std::printf("\nDisjoint streams scale across controllers (super-linear gains come\n");
+  std::printf("from the aggregate per-controller metadata caches); requests to one\n");
+  std::printf("hot DIMM are processed serially by its Steins instance (paper SIV-F).\n");
+  return 0;
+}

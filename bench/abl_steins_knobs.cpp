@@ -1,0 +1,48 @@
+// Ablation: Steins' resource knobs (paper §III-C/§III-E) — the number of
+// ADR-cached record lines and the NV parent-buffer size — vs write traffic
+// and execution time.
+#include "bench_common.hpp"
+
+using namespace steins;
+
+namespace {
+
+RunStats run_with(std::size_t record_lines, std::size_t nv_buffer_bytes, std::uint64_t accesses,
+                  std::uint64_t warmup) {
+  SystemConfig cfg = default_config();
+  cfg.secure.record_lines_cached = record_lines;
+  cfg.secure.nv_buffer_bytes = nv_buffer_bytes;
+  System sys(cfg, Scheme::kSteins);
+  auto trace = make_workload("mcf", accesses + warmup);
+  return sys.run(*trace, warmup);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::BenchOptions opt = bench::parse_options(argc, argv);
+  std::printf("Ablation: Steins record-line cache and NV buffer sizing (mcf)\n\n");
+
+  ResultTable records("Record lines cached in the controller",
+                      {"exec cycles", "record bytes", "write latency"});
+  for (const std::size_t lines : {4u, 8u, 16u, 32u, 64u}) {
+    const RunStats s = run_with(lines, 128, opt.accesses, opt.warmup);
+    char name[32];
+    std::snprintf(name, sizeof(name), "%zu lines", lines);
+    records.add_row(name, {static_cast<double>(s.cycles),
+                           static_cast<double>(s.mem.aux_write_bytes),
+                           s.write_latency_cycles});
+  }
+  records.print(0);
+
+  ResultTable buffer("NV parent-buffer size", {"exec cycles", "meta reads", "write latency"});
+  for (const std::size_t bytes : {16u, 64u, 128u, 512u}) {
+    const RunStats s = run_with(16, bytes, opt.accesses, opt.warmup);
+    char name[32];
+    std::snprintf(name, sizeof(name), "%zuB", bytes);
+    buffer.add_row(name, {static_cast<double>(s.cycles), static_cast<double>(s.mem.meta_reads),
+                          s.write_latency_cycles});
+  }
+  buffer.print(0);
+  return 0;
+}

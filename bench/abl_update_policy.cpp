@@ -1,0 +1,44 @@
+// Ablation: lazy vs eager SIT updates (paper §II-C) on the WB baseline.
+// Eager updates touch every ancestor on each write; lazy updates touch only
+// the leaf and defer propagation to evictions.
+#include "bench_common.hpp"
+
+using namespace steins;
+
+int main(int argc, char** argv) {
+  const bench::BenchOptions opt = bench::parse_options(argc, argv);
+  std::printf("Ablation: SIT update policy (WB-GC, lazy vs eager)\n\n");
+
+  // Eager updates touch every ancestor per write: the cost shows up as
+  // extra metadata traffic and hash work (paper §II-C: "significant memory
+  // access and computation overhead"), and as execution time once the
+  // channel is loaded.
+  ResultTable table("Eager normalized to lazy",
+                    {"exec", "meta reads", "NVM writes", "hashes"});
+  for (const auto& wl : workload_names()) {
+    double lazy_cycles = 1, lazy_reads = 1, lazy_writes = 1, lazy_hashes = 1;
+    std::vector<double> row;
+    for (const auto policy : {UpdatePolicy::kLazy, UpdatePolicy::kEager}) {
+      SystemConfig cfg = default_config();
+      cfg.update_policy = policy;
+      System sys(cfg, Scheme::kWriteBack);
+      auto trace = make_workload(wl, opt.accesses + opt.warmup);
+      const RunStats stats = sys.run(*trace, opt.warmup);
+      if (policy == UpdatePolicy::kLazy) {
+        lazy_cycles = static_cast<double>(stats.cycles);
+        lazy_reads = static_cast<double>(stats.mem.meta_reads);
+        lazy_writes = static_cast<double>(stats.mem.nvm_writes());
+        lazy_hashes = static_cast<double>(stats.mem.hash_ops);
+      } else {
+        row = {static_cast<double>(stats.cycles) / lazy_cycles,
+               static_cast<double>(stats.mem.meta_reads) / lazy_reads,
+               static_cast<double>(stats.mem.nvm_writes()) / lazy_writes,
+               static_cast<double>(stats.mem.hash_ops) / lazy_hashes};
+      }
+    }
+    table.add_row(wl, row);
+  }
+  table.add_geomean_row("gmean");
+  table.print();
+  return 0;
+}

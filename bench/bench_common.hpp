@@ -1,0 +1,63 @@
+// Shared plumbing for the figure benches: trace sizing (overridable via
+// environment or argv) and the metric extractors the paper's figures use.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "common/config.hpp"
+#include "sim/experiment.hpp"
+#include "trace/workloads.hpp"
+
+namespace steins::bench {
+
+struct BenchOptions {
+  std::uint64_t accesses = 200'000;  // measured accesses per (workload, scheme)
+  std::uint64_t warmup = 20'000;     // warmup accesses (stats reset after)
+  bool verbose = false;
+};
+
+/// Parse sizing from argv[1]/argv[2] or STEINS_ACCESSES / STEINS_WARMUP.
+inline BenchOptions parse_options(int argc, char** argv) {
+  BenchOptions opt;
+  if (const char* env = std::getenv("STEINS_ACCESSES")) {
+    opt.accesses = std::strtoull(env, nullptr, 10);
+  }
+  if (const char* env = std::getenv("STEINS_WARMUP")) {
+    opt.warmup = std::strtoull(env, nullptr, 10);
+  }
+  if (argc > 1) opt.accesses = std::strtoull(argv[1], nullptr, 10);
+  if (argc > 2) opt.warmup = std::strtoull(argv[2], nullptr, 10);
+  if (std::getenv("STEINS_VERBOSE") != nullptr) opt.verbose = true;
+  return opt;
+}
+
+inline double metric_exec_time(const RunStats& s) { return static_cast<double>(s.cycles); }
+inline double metric_write_latency(const RunStats& s) { return s.write_latency_cycles; }
+inline double metric_read_latency(const RunStats& s) { return s.read_latency_cycles; }
+inline double metric_write_traffic(const RunStats& s) {
+  return static_cast<double>(s.mem.nvm_writes());
+}
+inline double metric_energy(const RunStats& s) { return s.energy_nj; }
+
+/// Run one paper figure: a (workloads x schemes) matrix, normalized per
+/// workload to `baseline`, printed as the figure's series.
+inline int run_figure(int argc, char** argv, const std::string& title,
+                      const std::vector<SchemeSpec>& schemes, double (*metric)(const RunStats&),
+                      const std::string& baseline) {
+  const BenchOptions opt = parse_options(argc, argv);
+  std::printf("%s\n", title.c_str());
+  std::printf("(%llu accesses per cell + %llu warmup; deterministic traces)\n\n",
+              static_cast<unsigned long long>(opt.accesses),
+              static_cast<unsigned long long>(opt.warmup));
+  ExperimentRunner runner(default_config());
+  const auto results =
+      runner.run_matrix(workload_names(), schemes, opt.accesses, opt.warmup, opt.verbose);
+  const ResultTable table =
+      ExperimentRunner::make_table(title, results, schemes, metric, baseline);
+  table.print();
+  return 0;
+}
+
+}  // namespace steins::bench

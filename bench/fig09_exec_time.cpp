@@ -1,0 +1,9 @@
+// Fig. 9: execution time of ASIT / STAR / Steins-GC, normalized to WB-GC.
+// Paper shape: ASIT ~1.20x, STAR ~1.12x, Steins-GC ~1.0x.
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace steins;
+  return bench::run_figure(argc, argv, "Fig. 9: Execution time (normalized to WB-GC)",
+                           gc_comparison_schemes(), bench::metric_exec_time, "WB-GC");
+}

@@ -1,0 +1,9 @@
+// Fig. 10: data write latency, normalized to WB-GC.
+// Paper shape: ASIT ~2.14x, STAR ~1.67x, Steins-GC ~1.06x.
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace steins;
+  return bench::run_figure(argc, argv, "Fig. 10: Write latency (normalized to WB-GC)",
+                           gc_comparison_schemes(), bench::metric_write_latency, "WB-GC");
+}

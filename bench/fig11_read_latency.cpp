@@ -1,0 +1,9 @@
+// Fig. 11: data read latency, normalized to WB-GC.
+// Paper shape: all schemes close to 1.0x; Steins-GC slightly below.
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace steins;
+  return bench::run_figure(argc, argv, "Fig. 11: Read latency (normalized to WB-GC)",
+                           gc_comparison_schemes(), bench::metric_read_latency, "WB-GC");
+}

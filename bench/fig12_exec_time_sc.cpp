@@ -1,0 +1,9 @@
+// Fig. 12: execution time with split counters, normalized to WB-SC.
+// Paper shape: Steins-SC ~0.998x WB-SC; Steins-SC ~39% faster than Steins-GC.
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace steins;
+  return bench::run_figure(argc, argv, "Fig. 12: Execution time (normalized to WB-SC)",
+                           sc_comparison_schemes(), bench::metric_exec_time, "WB-SC");
+}

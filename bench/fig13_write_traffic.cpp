@@ -1,0 +1,9 @@
+// Fig. 13: NVM write traffic, normalized to WB-GC.
+// Paper shape: ASIT ~2x, STAR ~1.3x, Steins-GC ~1.05x.
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace steins;
+  return bench::run_figure(argc, argv, "Fig. 13: Write traffic (normalized to WB-GC)",
+                           gc_comparison_schemes(), bench::metric_write_traffic, "WB-GC");
+}

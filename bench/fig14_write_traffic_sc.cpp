@@ -1,0 +1,9 @@
+// Fig. 14: NVM write traffic with split counters, normalized to WB-SC.
+// Paper shape: Steins-SC ~1.01x WB-SC, well below Steins-GC.
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace steins;
+  return bench::run_figure(argc, argv, "Fig. 14: Write traffic (normalized to WB-SC)",
+                           sc_comparison_schemes(), bench::metric_write_traffic, "WB-SC");
+}

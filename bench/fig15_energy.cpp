@@ -1,0 +1,9 @@
+// Fig. 15: energy consumption, normalized to WB-GC.
+// Paper shape: Steins-GC at/below WB-GC; ASIT and STAR well above.
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace steins;
+  return bench::run_figure(argc, argv, "Fig. 15: Energy consumption (normalized to WB-GC)",
+                           gc_comparison_schemes(), bench::metric_energy, "WB-GC");
+}

@@ -1,0 +1,9 @@
+// Fig. 16: energy consumption with split counters, normalized to WB-SC.
+// Paper shape: Steins-SC ~ WB-SC and ~9.4% below Steins-GC.
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace steins;
+  return bench::run_figure(argc, argv, "Fig. 16: Energy consumption (normalized to WB-SC)",
+                           sc_comparison_schemes(), bench::metric_energy, "WB-SC");
+}

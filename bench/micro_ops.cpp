@@ -1,0 +1,113 @@
+// Micro-benchmarks (google-benchmark) for the primitive operations the
+// simulator models: crypto, counter generation, node codecs, cache access.
+#include <benchmark/benchmark.h>
+
+#include "cache/cache.hpp"
+#include "crypto/aes.hpp"
+#include "crypto/hmac.hpp"
+#include "crypto/otp.hpp"
+#include "crypto/sha256.hpp"
+#include "crypto/siphash.hpp"
+#include "sit/counter_block.hpp"
+#include "sit/node.hpp"
+
+using namespace steins;
+using namespace steins::crypto;
+
+static void BM_AesEncryptBlock(benchmark::State& state) {
+  Aes128 aes(Aes128::Key{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16});
+  Aes128::BlockBytes blk{};
+  for (auto _ : state) {
+    aes.encrypt_block(blk.data());
+    benchmark::DoNotOptimize(blk);
+  }
+}
+BENCHMARK(BM_AesEncryptBlock);
+
+static void BM_Sha256Block(benchmark::State& state) {
+  std::uint8_t data[64] = {};
+  for (auto _ : state) {
+    auto d = Sha256::hash(data);
+    benchmark::DoNotOptimize(d);
+  }
+}
+BENCHMARK(BM_Sha256Block);
+
+static void BM_HmacSha256Tag64(benchmark::State& state) {
+  const std::uint8_t key[16] = {9};
+  HmacSha256 mac({key, 16});
+  std::uint8_t data[72] = {};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mac.tag64(data));
+  }
+}
+BENCHMARK(BM_HmacSha256Tag64);
+
+static void BM_SipHashNodePayload(benchmark::State& state) {
+  SipHash24 sip(SipHash24::Key{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16});
+  std::uint8_t data[72] = {};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sip.hash(data));
+  }
+}
+BENCHMARK(BM_SipHashNodePayload);
+
+static void BM_OtpPadReal(benchmark::State& state) {
+  OtpEngine otp(CryptoProfile::kReal, 7);
+  Addr a = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(otp.pad(a += 64, 5));
+  }
+}
+BENCHMARK(BM_OtpPadReal);
+
+static void BM_OtpPadFast(benchmark::State& state) {
+  OtpEngine otp(CryptoProfile::kFast, 7);
+  Addr a = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(otp.pad(a += 64, 5));
+  }
+}
+BENCHMARK(BM_OtpPadFast);
+
+static void BM_GeneralParentValue(benchmark::State& state) {
+  GeneralCounterBlock cb;
+  for (std::size_t i = 0; i < cb.counters.size(); ++i) cb.counters[i] = i * 977;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cb.parent_value());
+    cb.counters[0]++;
+  }
+}
+BENCHMARK(BM_GeneralParentValue);
+
+static void BM_SplitSkipIncrement(benchmark::State& state) {
+  SplitCounterBlock cb;
+  std::size_t slot = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cb.increment_skip(slot));
+    slot = (slot + 1) % kSplitArity;
+  }
+}
+BENCHMARK(BM_SplitSkipIncrement);
+
+static void BM_NodeEncodeDecode(benchmark::State& state) {
+  SitNode node;
+  node.id = {1, 42};
+  for (std::size_t i = 0; i < 8; ++i) node.gc.counters[i] = i * 31;
+  for (auto _ : state) {
+    const Block b = node.to_block(0x1234);
+    benchmark::DoNotOptimize(SitNode::from_block(node.id, false, b));
+  }
+}
+BENCHMARK(BM_NodeEncodeDecode);
+
+static void BM_MetadataCacheLookup(benchmark::State& state) {
+  SetAssocCache<SitNode> cache(256 * 1024, 8, 64);
+  for (Addr a = 0; a < 256 * 1024; a += 64) cache.insert(a, false, SitNode{});
+  Addr a = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.lookup(a));
+    a = (a + 4096 + 64) % (256 * 1024);
+  }
+}
+BENCHMARK(BM_MetadataCacheLookup);

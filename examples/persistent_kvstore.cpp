@@ -1,0 +1,105 @@
+// Persistent key-value store over the secure NVM system: a realistic
+// application of the public API, in the style of the paper's persistent
+// workloads. Every committed put() is flushed through the cache hierarchy
+// (clwb+fence semantics); a crash mid-run must lose nothing committed.
+//
+//   $ ./build/examples/persistent_kvstore
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+
+#include "common/rng.hpp"
+#include "sim/system.hpp"
+
+using namespace steins;
+
+namespace {
+
+/// A tiny fixed-capacity open-addressing KV store laid out in NVM blocks:
+/// one 64 B block per slot: [8 B key | 48 B value | 8 B version].
+class SecureKvStore {
+ public:
+  SecureKvStore(System& sys, Addr base, std::size_t slots)
+      : sys_(sys), base_(base), slots_(slots) {}
+
+  void put(std::uint64_t key, const std::string& value) {
+    const std::size_t slot = find_slot(key);
+    Block b{};
+    std::memcpy(b.data(), &key, 8);
+    std::strncpy(reinterpret_cast<char*>(b.data() + 8), value.c_str(), 47);
+    const std::uint64_t version = ++versions_[key];
+    std::memcpy(b.data() + 56, &version, 8);
+    const Addr addr = base_ + slot * kBlockSize;
+    sys_.store(addr, b);
+    sys_.persist(addr);  // commit point: clwb + fence
+    committed_[key] = value;
+  }
+
+  std::string get(std::uint64_t key) {
+    const std::size_t slot = find_slot(key);
+    const Block b = sys_.load(base_ + slot * kBlockSize);
+    std::uint64_t stored_key;
+    std::memcpy(&stored_key, b.data(), 8);
+    if (stored_key != key) return {};
+    return std::string(reinterpret_cast<const char*>(b.data() + 8));
+  }
+
+  const std::map<std::uint64_t, std::string>& committed() const { return committed_; }
+
+ private:
+  std::size_t find_slot(std::uint64_t key) const {
+    return static_cast<std::size_t>((key * 0x9e3779b97f4a7c15ULL) % slots_);
+  }
+
+  System& sys_;
+  Addr base_;
+  std::size_t slots_;
+  std::map<std::uint64_t, std::string> committed_;
+  std::map<std::uint64_t, std::uint64_t> versions_;
+};
+
+}  // namespace
+
+int main() {
+  SystemConfig cfg = default_config();
+  cfg.nvm.capacity_bytes = 256ULL << 20;
+  System sys(cfg, Scheme::kSteins);
+
+  SecureKvStore kv(sys, /*base=*/1 << 20, /*slots=*/1 << 16);
+  Xoshiro256 rng(7);
+
+  std::printf("Committing 2000 key-value pairs through the secure controller...\n");
+  for (int i = 0; i < 2000; ++i) {
+    const std::uint64_t key = rng.below(500);
+    kv.put(key, "value-" + std::to_string(i) + "-for-" + std::to_string(key));
+  }
+
+  const RunStats before = sys.collect_stats();
+  std::printf("  %llu NVM writes (data+metadata), mean write latency %.0f cycles\n",
+              static_cast<unsigned long long>(before.mem.nvm_writes()),
+              before.write_latency_cycles);
+
+  std::printf("CRASH mid-run (power loss).\n");
+  const RecoveryResult r = sys.crash_and_recover();
+  if (!r.ok()) {
+    std::printf("recovery failed: %s\n", r.attack_detail.c_str());
+    return 1;
+  }
+  std::printf("Recovered %llu metadata nodes in %.4f s (modeled).\n",
+              static_cast<unsigned long long>(r.nodes_recovered), r.seconds);
+
+  std::printf("Verifying every committed pair after recovery... ");
+  std::size_t checked = 0;
+  for (const auto& [key, value] : kv.committed()) {
+    const std::string got = kv.get(key);
+    if (got != value) {
+      std::printf("\nMISMATCH for key %llu: got \"%s\", want \"%s\"\n",
+                  static_cast<unsigned long long>(key), got.c_str(), value.c_str());
+      return 1;
+    }
+    ++checked;
+  }
+  std::printf("all %zu keys intact.\n", checked);
+  return 0;
+}

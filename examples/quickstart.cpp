@@ -1,0 +1,52 @@
+// Quickstart: protect a region of NVM with Steins, write data, crash the
+// machine, recover the security metadata, and keep going.
+//
+//   $ ./build/examples/quickstart
+#include <cstdio>
+#include <cstring>
+
+#include "schemes/steins.hpp"
+
+using namespace steins;
+
+int main() {
+  // 1. Configure the system (paper Table I defaults; Steins-SC variant).
+  SystemConfig cfg = default_config();
+  cfg.counter_mode = CounterMode::kSplit;
+
+  SteinsMemory mem(cfg);
+  std::printf("Secure NVM: %llu GB, SIT height %u (incl. root), %zu KB metadata cache\n",
+              static_cast<unsigned long long>(cfg.nvm.capacity_bytes >> 30),
+              mem.geometry().height(), cfg.secure.metadata_cache.size_bytes / 1024);
+
+  // 2. Write some data through the secure controller. Every block is
+  //    encrypted (counter mode) and bound into the integrity tree.
+  Cycle now = 0;
+  for (int i = 0; i < 1000; ++i) {
+    Block data{};
+    std::snprintf(reinterpret_cast<char*>(data.data()), data.size(), "record %d", i);
+    now = mem.write_block(static_cast<Addr>(i) * 4096, data, now);
+  }
+  std::printf("Wrote 1000 encrypted blocks; leaf counters live only in the cache so far\n");
+
+  // 3. Power failure: the metadata cache is lost, the ADR domain persists.
+  mem.crash();
+  std::printf("CRASH. Volatile metadata gone; offset records + LIncs survived in ADR.\n");
+
+  // 4. Recover: Steins rebuilds every stale node from its persistent
+  //    children and verifies with the LInc trust bases, root to leaf.
+  const RecoveryResult r = mem.recover();
+  if (!r.ok()) {
+    std::printf("recovery failed: %s\n", r.attack_detail.c_str());
+    return 1;
+  }
+  std::printf("Recovered %llu nodes in %.4f s (modeled), %llu NVM reads, no attacks.\n",
+              static_cast<unsigned long long>(r.nodes_recovered), r.seconds,
+              static_cast<unsigned long long>(r.nvm_reads));
+
+  // 5. Data is decryptable and verifiable again.
+  Block out;
+  now = mem.read_block(42 * 4096, now, &out);
+  std::printf("Block 42 after recovery: \"%s\"\n", reinterpret_cast<const char*>(out.data()));
+  return 0;
+}

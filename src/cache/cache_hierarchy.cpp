@@ -1,0 +1,75 @@
+#include "cache/cache_hierarchy.hpp"
+
+namespace steins {
+
+CacheHierarchy::CacheHierarchy(const SystemConfig& cfg)
+    : l1_(cfg.l1.size_bytes, cfg.l1.ways, cfg.l1.block_bytes),
+      l2_(cfg.l2.size_bytes, cfg.l2.ways, cfg.l2.block_bytes),
+      l3_(cfg.l3.size_bytes, cfg.l3.ways, cfg.l3.block_bytes) {}
+
+MemoryOps CacheHierarchy::access(Addr addr, bool is_write) {
+  MemoryOps ops;
+
+  // L1.
+  if (l1_.lookup(addr, is_write) != nullptr) {
+    ops.hit_level = 1;
+    return ops;
+  }
+
+  // L2.
+  const bool l2_hit = l2_.lookup(addr) != nullptr;
+  // L3 (only probed on L2 miss).
+  bool l3_hit = false;
+  if (!l2_hit) {
+    l3_hit = l3_.lookup(addr) != nullptr;
+    if (!l3_hit) {
+      // Demand fill from memory.
+      ops.miss_fill = true;
+      ops.fill_addr = addr;
+      if (auto victim = l3_.insert(addr, false, Empty{}); victim && victim->dirty) {
+        ops.writebacks.push_back(victim->addr);
+      }
+    }
+    // Allocate into L2 on the fill path.
+    if (auto victim = l2_.insert(addr, false, Empty{}); victim && victim->dirty) {
+      l2_victim_to_l3(victim->addr, ops);  // L2 dirty victim falls into L3
+    }
+  }
+  ops.hit_level = l2_hit ? 2 : (l3_hit ? 3 : 4);
+
+  // Allocate into L1; dirty victim falls into L2 (then possibly L3/memory).
+  if (auto victim = l1_.insert(addr, is_write, Empty{}); victim && victim->dirty) {
+    if (l2_.lookup(victim->addr, true) == nullptr) {
+      if (auto v2 = l2_.insert(victim->addr, true, Empty{}); v2 && v2->dirty) {
+        l2_victim_to_l3(v2->addr, ops);
+      }
+    }
+  }
+  return ops;
+}
+
+bool CacheHierarchy::l2_victim_to_l3(Addr addr, MemoryOps& ops) {
+  if (l3_.lookup(addr, true) != nullptr) return true;
+  if (auto v3 = l3_.insert(addr, true, Empty{}); v3 && v3->dirty) {
+    ops.writebacks.push_back(v3->addr);
+  }
+  return true;
+}
+
+std::vector<Addr> CacheHierarchy::flush_block(Addr addr) {
+  std::vector<Addr> writebacks;
+  bool dirty = false;
+  if (auto l1v = l1_.invalidate(addr); l1v && l1v->dirty) dirty = true;
+  if (auto l2v = l2_.invalidate(addr); l2v && l2v->dirty) dirty = true;
+  if (auto l3v = l3_.invalidate(addr); l3v && l3v->dirty) dirty = true;
+  if (dirty) writebacks.push_back(addr);
+  return writebacks;
+}
+
+void CacheHierarchy::clear() {
+  l1_.clear();
+  l2_.clear();
+  l3_.clear();
+}
+
+}  // namespace steins

@@ -1,0 +1,52 @@
+// Three-level write-back, write-allocate CPU cache hierarchy (Table I).
+//
+// The hierarchy filters the trace's loads/stores down to last-level-cache
+// misses and dirty writebacks, which are what reach the secure memory
+// controller. Instruction fetches are assumed to hit (the paper's workloads
+// are memory-bound on data). The model is non-inclusive.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cache/cache.hpp"
+#include "common/config.hpp"
+#include "common/types.hpp"
+
+namespace steins {
+
+/// What one CPU access produced at the memory boundary.
+struct MemoryOps {
+  int hit_level = 0;               // 1..3 = cache level, 4 = memory
+  bool miss_fill = false;          // a demand read of `fill_addr` from memory
+  Addr fill_addr = 0;
+  std::vector<Addr> writebacks;    // dirty blocks evicted to memory (LLC)
+};
+
+class CacheHierarchy {
+ public:
+  explicit CacheHierarchy(const SystemConfig& cfg);
+
+  /// Perform a load/store of the block containing `addr`.
+  MemoryOps access(Addr addr, bool is_write);
+
+  /// Evict every dirty block below `addr`'s block to memory (models a
+  /// clwb+fence for the persistent workloads). Returns writebacks.
+  std::vector<Addr> flush_block(Addr addr);
+
+  /// Drop everything (simulated power loss: volatile caches are lost).
+  void clear();
+
+  const CacheStats& l1_stats() const { return l1_.stats(); }
+  const CacheStats& l2_stats() const { return l2_.stats(); }
+  const CacheStats& l3_stats() const { return l3_.stats(); }
+
+ private:
+  /// Install a dirty L2 victim into L3; records any L3 dirty victim as a
+  /// memory writeback in `ops`.
+  bool l2_victim_to_l3(Addr addr, MemoryOps& ops);
+
+  TagCache l1_, l2_, l3_;
+};
+
+}  // namespace steins

@@ -1,0 +1,54 @@
+#include "common/config.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace steins {
+
+Cycle SystemConfig::ns_to_cycles(double ns) const {
+  const double cycles = ns * cpu.freq_ghz;
+  return static_cast<Cycle>(std::ceil(cycles));
+}
+
+double SystemConfig::cycles_to_seconds(Cycle c) const {
+  return static_cast<double>(c) / (cpu.freq_ghz * 1e9);
+}
+
+std::string SystemConfig::describe() const {
+  std::ostringstream os;
+  char buf[160];
+  auto line = [&](const char* fmt, auto... args) {
+    std::snprintf(buf, sizeof(buf), fmt, args...);
+    os << buf << "\n";
+  };
+  os << "Processor\n";
+  line("  CPU                  %u cores, X86-64, %.1f GHz", cpu.cores, cpu.freq_ghz);
+  line("  Private L1i/d cache  %zuKB, %u-way, LRU, %zuB block", l1.size_bytes / 1024, l1.ways,
+       l1.block_bytes);
+  line("  Shared L2 cache      %zuKB, %u-way, LRU, %zuB block", l2.size_bytes / 1024, l2.ways,
+       l2.block_bytes);
+  line("  Shared L3 cache      %zuMB, %u-way, LRU, %zuB block", l3.size_bytes / (1024 * 1024),
+       l3.ways, l3.block_bytes);
+  os << "DDR-based NVM\n";
+  line("  Capacity             %lluGB",
+       static_cast<unsigned long long>(nvm.capacity_bytes / (1024ULL * 1024 * 1024)));
+  line("  PCM latency model    tRCD/tCL/tCWD/tFAW/tWTR/tWR = %.0f/%.0f/%.0f/%.0f/%.1f/%.0f ns",
+       nvm.t_rcd_ns, nvm.t_cl_ns, nvm.t_cwd_ns, nvm.t_faw_ns, nvm.t_wtr_ns, nvm.t_wr_ns);
+  line("  Write queue          %u entries", nvm.write_queue_entries);
+  os << "Secure Parameters\n";
+  line("  Metadata cache       %zuKB, %u-way, LRU, %zuB block",
+       secure.metadata_cache.size_bytes / 1024, secure.metadata_cache.ways,
+       secure.metadata_cache.block_bytes);
+  line("  SIT                  %s counter leaves, 8-way, 64B block",
+       counter_mode == CounterMode::kSplit ? "split (8 levels)" : "general (9 levels)");
+  line("  Hash latency         %u cycles", secure.hash_latency_cycles);
+  line("  Non-volatile buffer  %zuB", secure.nv_buffer_bytes);
+  line("  Offset records       %zu lines cached in memory controller",
+       secure.record_lines_cached);
+  return os.str();
+}
+
+SystemConfig default_config() { return SystemConfig{}; }
+
+}  // namespace steins

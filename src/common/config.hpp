@@ -1,0 +1,101 @@
+// System configuration: the paper's Table I, expressed as data.
+//
+// All latencies the paper gives in nanoseconds are converted to CPU cycles
+// at the configured clock (2 GHz default => 1 cycle = 0.5 ns).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.hpp"
+
+namespace steins {
+
+/// Which leaf-node counter organization a scheme instance uses.
+/// GC = general counter block (8 x 56-bit counters, covers 8 data blocks).
+/// SC = split counter block (64-bit major + 64 x 6-bit minors, covers 64).
+enum class CounterMode { kGeneral, kSplit };
+
+/// Functional crypto profile. kReal runs AES-128 CTR for OTPs and
+/// HMAC-SHA256 (truncated to 64 bits) for MACs; kFast substitutes
+/// SipHash-2-4 MACs and a SipHash-derived OTP with identical control flow
+/// and traffic, for fast figure benches. Timing is modeled identically.
+enum class CryptoProfile { kReal, kFast };
+
+/// SIT update policy (paper §II-C). The paper's schemes use lazy updates;
+/// eager is kept for the ablation bench.
+enum class UpdatePolicy { kLazy, kEager };
+
+struct CpuConfig {
+  unsigned cores = 8;              // Table I (modeled as a single trace stream)
+  double freq_ghz = 2.0;           // 2 GHz
+};
+
+struct CacheConfig {
+  std::size_t size_bytes = 0;
+  unsigned ways = 0;
+  std::size_t block_bytes = kBlockSize;
+};
+
+struct NvmConfig {
+  std::uint64_t capacity_bytes = std::uint64_t{16} * 1024 * 1024 * 1024;  // 16 GB
+  // PCM latency model (Table I), nanoseconds.
+  double t_rcd_ns = 48.0;
+  double t_cl_ns = 15.0;
+  double t_cwd_ns = 13.0;
+  double t_faw_ns = 50.0;
+  double t_wtr_ns = 7.5;
+  double t_wr_ns = 300.0;
+  unsigned write_queue_entries = 64;
+  // Energy model (typical PCM array numbers; only relative values matter
+  // for the normalized figures).
+  double read_energy_nj = 3.5;    // per 64 B array read
+  double write_energy_nj = 22.0;  // per 64 B array write
+};
+
+struct SecureConfig {
+  CacheConfig metadata_cache{256 * 1024, 8, kBlockSize};  // 256 KB, 8-way
+  unsigned hash_latency_cycles = 40;                      // Table I
+  unsigned aes_latency_cycles = 40;                       // OTP pipeline depth
+  std::size_t nv_buffer_bytes = 128;                      // parent-counter buffer
+  std::size_t record_lines_cached = 16;                   // record lines in MC
+  // Energy of on-chip crypto and SRAM ops (nJ); relative values only.
+  double hash_energy_nj = 0.9;
+  double aes_energy_nj = 0.6;
+  double cache_access_energy_nj = 0.05;
+  // Recovery read+verify cost per metadata block, ns (paper §IV-D).
+  double recovery_read_ns = 100.0;
+};
+
+struct SystemConfig {
+  CpuConfig cpu;
+  CacheConfig l1{32 * 1024, 2, kBlockSize};    // 32 KB, 2-way
+  CacheConfig l2{512 * 1024, 8, kBlockSize};   // 512 KB, 8-way
+  CacheConfig l3{2 * 1024 * 1024, 8, kBlockSize};  // 2 MB, 8-way
+  NvmConfig nvm;
+  SecureConfig secure;
+  CounterMode counter_mode = CounterMode::kGeneral;
+  CryptoProfile crypto = CryptoProfile::kFast;
+  UpdatePolicy update_policy = UpdatePolicy::kLazy;
+
+  /// Convert nanoseconds to CPU cycles (rounded up; latencies never round
+  /// down to zero).
+  Cycle ns_to_cycles(double ns) const;
+
+  /// Convert cycles back to seconds.
+  double cycles_to_seconds(Cycle c) const;
+
+  /// NVM array read latency (row activate + CAS), cycles.
+  Cycle nvm_read_cycles() const { return ns_to_cycles(nvm.t_rcd_ns + nvm.t_cl_ns); }
+
+  /// NVM array write occupancy (write recovery dominates for PCM), cycles.
+  Cycle nvm_write_cycles() const { return ns_to_cycles(nvm.t_cwd_ns + nvm.t_wr_ns); }
+
+  /// Human-readable dump (used by bench/tab1_config to reproduce Table I).
+  std::string describe() const;
+};
+
+/// The paper's Table I configuration.
+SystemConfig default_config();
+
+}  // namespace steins

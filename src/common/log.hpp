@@ -1,0 +1,33 @@
+// Minimal leveled logging. Off by default so simulation hot paths stay clean;
+// tests and examples can raise the level to trace scheme behaviour.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+namespace steins {
+
+enum class LogLevel : int { kError = 0, kWarn = 1, kInfo = 2, kDebug = 3 };
+
+/// Global log level; defaults to kWarn.
+LogLevel log_level();
+void set_log_level(LogLevel level);
+
+namespace detail {
+void log_line(LogLevel level, const std::string& msg);
+}
+
+template <typename... Args>
+void logf(LogLevel level, const char* fmt, Args... args) {
+  if (static_cast<int>(level) > static_cast<int>(log_level())) return;
+  char buf[512];
+  std::snprintf(buf, sizeof(buf), fmt, args...);
+  detail::log_line(level, buf);
+}
+
+#define STEINS_LOG_ERROR(...) ::steins::logf(::steins::LogLevel::kError, __VA_ARGS__)
+#define STEINS_LOG_WARN(...) ::steins::logf(::steins::LogLevel::kWarn, __VA_ARGS__)
+#define STEINS_LOG_INFO(...) ::steins::logf(::steins::LogLevel::kInfo, __VA_ARGS__)
+#define STEINS_LOG_DEBUG(...) ::steins::logf(::steins::LogLevel::kDebug, __VA_ARGS__)
+
+}  // namespace steins

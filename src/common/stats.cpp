@@ -1,0 +1,66 @@
+#include "common/stats.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+#include <utility>
+
+namespace steins {
+
+ResultTable::ResultTable(std::string title, std::vector<std::string> columns)
+    : title_(std::move(title)), columns_(std::move(columns)) {}
+
+void ResultTable::add_row(const std::string& label, const std::vector<double>& values) {
+  assert(values.size() == columns_.size());
+  rows_.emplace_back(label, values);
+}
+
+void ResultTable::add_geomean_row(const std::string& label) {
+  if (rows_.empty()) return;
+  std::vector<double> gm(columns_.size(), 0.0);
+  for (const auto& [name, vals] : rows_) {
+    (void)name;
+    for (std::size_t c = 0; c < vals.size(); ++c) gm[c] += std::log(vals[c]);
+  }
+  for (auto& v : gm) v = std::exp(v / static_cast<double>(rows_.size()));
+  rows_.emplace_back(label, gm);
+}
+
+void ResultTable::print(int precision) const {
+  std::printf("== %s ==\n", title_.c_str());
+  // Compute label column width.
+  std::size_t lw = 10;
+  for (const auto& [name, vals] : rows_) {
+    (void)vals;
+    if (name.size() > lw) lw = name.size();
+  }
+  std::printf("%-*s", static_cast<int>(lw + 2), "workload");
+  for (const auto& c : columns_) std::printf("%14s", c.c_str());
+  std::printf("\n");
+  for (const auto& [name, vals] : rows_) {
+    std::printf("%-*s", static_cast<int>(lw + 2), name.c_str());
+    for (double v : vals) std::printf("%14.*f", precision, v);
+    std::printf("\n");
+  }
+  std::printf("\n");
+}
+
+std::string ResultTable::to_csv(int precision) const {
+  std::ostringstream os;
+  os << "workload";
+  for (const auto& c : columns_) os << "," << c;
+  os << "\n";
+  char buf[64];
+  for (const auto& [name, vals] : rows_) {
+    os << name;
+    for (double v : vals) {
+      std::snprintf(buf, sizeof(buf), ",%.*f", precision, v);
+      os << buf;
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace steins

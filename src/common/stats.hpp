@@ -1,0 +1,68 @@
+// Simulation statistics: named counters, latency accumulators, and a small
+// fixed-format table printer used by the figure benches.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace steins {
+
+/// Accumulates a stream of sample values (e.g. per-request latencies).
+struct LatencyAccumulator {
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;
+  std::uint64_t max = 0;
+
+  void add(std::uint64_t v) {
+    ++count;
+    sum += v;
+    if (v > max) max = v;
+  }
+  double mean() const { return count ? static_cast<double>(sum) / static_cast<double>(count) : 0.0; }
+  void reset() { *this = LatencyAccumulator{}; }
+};
+
+/// Registry of named integer counters; cheap to update, easy to diff.
+class StatSet {
+ public:
+  void add(const std::string& name, std::uint64_t delta = 1) { counters_[name] += delta; }
+  std::uint64_t get(const std::string& name) const {
+    auto it = counters_.find(name);
+    return it == counters_.end() ? 0 : it->second;
+  }
+  const std::map<std::string, std::uint64_t>& all() const { return counters_; }
+  void reset() { counters_.clear(); }
+
+ private:
+  std::map<std::string, std::uint64_t> counters_;
+};
+
+/// A printable results table: row labels x column labels of doubles.
+/// Used by every figure bench to emit the same rows/series the paper plots.
+class ResultTable {
+ public:
+  ResultTable(std::string title, std::vector<std::string> columns);
+
+  void add_row(const std::string& label, const std::vector<double>& values);
+
+  /// Pretty-print (fixed width) to stdout; `precision` decimal places.
+  void print(int precision = 3) const;
+
+  /// Emit as CSV (e.g. for external plotting).
+  std::string to_csv(int precision = 6) const;
+
+  /// Append a geometric-mean row across all current rows (per column).
+  void add_geomean_row(const std::string& label = "geomean");
+
+  const std::vector<std::string>& columns() const { return columns_; }
+  const std::vector<std::pair<std::string, std::vector<double>>>& rows() const { return rows_; }
+
+ private:
+  std::string title_;
+  std::vector<std::string> columns_;
+  std::vector<std::pair<std::string, std::vector<double>>> rows_;
+};
+
+}  // namespace steins

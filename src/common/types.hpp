@@ -1,0 +1,47 @@
+// Basic type aliases and constants shared across the Steins library.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace steins {
+
+/// Physical byte address in the simulated NVM address space.
+using Addr = std::uint64_t;
+
+/// Simulated time in CPU cycles (2 GHz by default, see SystemConfig).
+using Cycle = std::uint64_t;
+
+/// Simulated time in picoseconds (used by the NVM device model).
+using Picos = std::uint64_t;
+
+/// Cache-line / metadata-block granularity used throughout the paper.
+inline constexpr std::size_t kBlockSize = 64;
+
+/// A 64-byte memory block (data block, counter block, or tree node image).
+using Block = std::array<std::uint8_t, kBlockSize>;
+
+/// Number of data blocks covered by a general counter block (8 x 56-bit).
+inline constexpr std::size_t kGeneralArity = 8;
+
+/// Number of data blocks covered by a split counter block (64 x minor).
+inline constexpr std::size_t kSplitArity = 64;
+
+/// Fan-out of internal SIT levels (8 x 56-bit counters per 64 B node).
+inline constexpr std::size_t kTreeArity = 8;
+
+/// Maximum children the on-chip root register covers (a 64-entry register
+/// file; this is what yields the paper's 9-level GC / 8-level SC trees).
+inline constexpr std::size_t kRootArity = 64;
+
+/// 56-bit counter mask used by SIT node counters.
+inline constexpr std::uint64_t kCounter56Mask = (std::uint64_t{1} << 56) - 1;
+
+/// Split-counter parameters: 64-bit major + 64 x 6-bit minors in SIT leaves.
+inline constexpr std::uint64_t kMinorBits = 6;
+inline constexpr std::uint64_t kMinorMax = (std::uint64_t{1} << kMinorBits);  // 64
+
+inline constexpr Block zero_block() { return Block{}; }
+
+}  // namespace steins

@@ -1,0 +1,51 @@
+// AES-128 block cipher (FIPS-197), implemented from scratch.
+//
+// Used by the counter-mode encryption engine (CME) to derive one-time pads
+// from (address, counter) tuples. Software S-box implementation: this is a
+// functional-correctness reference; the simulator models AES latency
+// separately (SecureConfig::aes_latency_cycles).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+namespace steins::crypto {
+
+class Aes128 {
+ public:
+  static constexpr std::size_t kBlockBytes = 16;
+  static constexpr std::size_t kKeyBytes = 16;
+  static constexpr unsigned kRounds = 10;
+
+  using Key = std::array<std::uint8_t, kKeyBytes>;
+  using BlockBytes = std::array<std::uint8_t, kBlockBytes>;
+
+  explicit Aes128(const Key& key) { expand_key(key); }
+
+  /// Encrypt one 16-byte block in place.
+  void encrypt_block(std::uint8_t* block) const;
+
+  /// Decrypt one 16-byte block in place.
+  void decrypt_block(std::uint8_t* block) const;
+
+  BlockBytes encrypt(const BlockBytes& in) const {
+    BlockBytes out = in;
+    encrypt_block(out.data());
+    return out;
+  }
+
+  BlockBytes decrypt(const BlockBytes& in) const {
+    BlockBytes out = in;
+    decrypt_block(out.data());
+    return out;
+  }
+
+ private:
+  void expand_key(const Key& key);
+
+  // Round keys: (kRounds + 1) x 16 bytes.
+  std::array<std::uint8_t, (kRounds + 1) * kBlockBytes> round_keys_{};
+};
+
+}  // namespace steins::crypto

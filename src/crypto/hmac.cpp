@@ -1,0 +1,40 @@
+#include "crypto/hmac.hpp"
+
+#include <cstring>
+
+namespace steins::crypto {
+
+HmacSha256::HmacSha256(std::span<const std::uint8_t> key) {
+  std::array<std::uint8_t, 64> k{};
+  if (key.size() > 64) {
+    const auto digest = Sha256::hash(key);
+    std::memcpy(k.data(), digest.data(), digest.size());
+  } else {
+    std::memcpy(k.data(), key.data(), key.size());
+  }
+  for (std::size_t i = 0; i < 64; ++i) {
+    ipad_key_[i] = static_cast<std::uint8_t>(k[i] ^ 0x36);
+    opad_key_[i] = static_cast<std::uint8_t>(k[i] ^ 0x5c);
+  }
+}
+
+HmacSha256::Tag HmacSha256::tag(std::span<const std::uint8_t> data) const {
+  Sha256 inner;
+  inner.update(ipad_key_);
+  inner.update(data);
+  const auto inner_digest = inner.finalize();
+
+  Sha256 outer;
+  outer.update(opad_key_);
+  outer.update(inner_digest);
+  return outer.finalize();
+}
+
+std::uint64_t HmacSha256::tag64(std::span<const std::uint8_t> data) const {
+  const Tag t = tag(data);
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v = (v << 8) | t[i];
+  return v;
+}
+
+}  // namespace steins::crypto

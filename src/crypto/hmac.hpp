@@ -1,0 +1,35 @@
+// HMAC-SHA256 (RFC 2104 / FIPS 198-1), with a 64-bit truncation helper.
+//
+// The paper's SIT nodes and data blocks carry 64-bit HMACs; we truncate the
+// full HMAC-SHA256 tag to its first 8 bytes (big-endian), the standard
+// construction for shortened MACs.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+#include "crypto/sha256.hpp"
+
+namespace steins::crypto {
+
+class HmacSha256 {
+ public:
+  static constexpr std::size_t kTagBytes = Sha256::kDigestBytes;
+  using Tag = Sha256::Digest;
+
+  explicit HmacSha256(std::span<const std::uint8_t> key);
+
+  /// Full 32-byte tag over `data`.
+  Tag tag(std::span<const std::uint8_t> data) const;
+
+  /// First 8 bytes of the tag as a big-endian uint64 (the paper's 64-bit
+  /// HMAC field).
+  std::uint64_t tag64(std::span<const std::uint8_t> data) const;
+
+ private:
+  std::array<std::uint8_t, 64> ipad_key_{};
+  std::array<std::uint8_t, 64> opad_key_{};
+};
+
+}  // namespace steins::crypto

@@ -1,0 +1,47 @@
+#include "crypto/mac.hpp"
+
+#include <cstring>
+#include <vector>
+
+namespace steins::crypto {
+
+MacEngine::MacEngine(CryptoProfile profile, std::uint64_t key_seed) : profile_(profile) {
+  constexpr std::uint64_t kMacDomain = 0x4d41435f4b455931ULL;  // "MAC_KEY1"
+  std::uint8_t key[16];
+  std::memcpy(key, &key_seed, 8);
+  std::memcpy(key + 8, &kMacDomain, 8);
+  if (profile_ == CryptoProfile::kReal) {
+    hmac_ = std::make_unique<HmacSha256>(std::span<const std::uint8_t>{key, 16});
+  } else {
+    SipHash24::Key k{};
+    std::memcpy(k.data(), key, 16);
+    sip_ = std::make_unique<SipHash24>(k);
+  }
+}
+
+std::uint64_t MacEngine::mac64(std::span<const std::uint8_t> data) const {
+  if (profile_ == CryptoProfile::kReal) return hmac_->tag64(data);
+  return sip_->hash(data);
+}
+
+std::uint64_t MacEngine::node_mac(std::span<const std::uint8_t> payload, Addr node_addr,
+                                  std::uint64_t parent_counter) const {
+  std::uint8_t buf[72];  // up to 56 B payload + addr + parent counter
+  const std::size_t n = payload.size();
+  std::memcpy(buf, payload.data(), n);
+  std::memcpy(buf + n, &node_addr, 8);
+  std::memcpy(buf + n + 8, &parent_counter, 8);
+  return mac64({buf, n + 16});
+}
+
+std::uint64_t MacEngine::data_mac(const Block& ciphertext, Addr addr, std::uint64_t counter,
+                                  std::uint64_t aux) const {
+  std::uint8_t buf[kBlockSize + 24];
+  std::memcpy(buf, ciphertext.data(), kBlockSize);
+  std::memcpy(buf + kBlockSize, &addr, 8);
+  std::memcpy(buf + kBlockSize + 8, &counter, 8);
+  std::memcpy(buf + kBlockSize + 16, &aux, 8);
+  return mac64({buf, sizeof(buf)});
+}
+
+}  // namespace steins::crypto

@@ -1,0 +1,46 @@
+// MacEngine: the keyed-MAC facade used for SIT node HMACs and data HMACs.
+//
+// Real profile: HMAC-SHA256 truncated to 64 bits. Fast profile: SipHash-2-4.
+// Both are keyed 64-bit MACs; the simulator charges the same modeled hash
+// latency (SecureConfig::hash_latency_cycles) for either.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+
+#include "common/config.hpp"
+#include "common/types.hpp"
+#include "crypto/hmac.hpp"
+#include "crypto/siphash.hpp"
+
+namespace steins::crypto {
+
+class MacEngine {
+ public:
+  MacEngine(CryptoProfile profile, std::uint64_t key_seed);
+
+  /// Generic keyed 64-bit MAC over raw bytes.
+  std::uint64_t mac64(std::span<const std::uint8_t> data) const;
+
+  /// SIT node HMAC (paper §II-C): MAC over (counter payload, node address,
+  /// parent counter). `payload` is the node's 56-byte counter area.
+  std::uint64_t node_mac(std::span<const std::uint8_t> payload, Addr node_addr,
+                         std::uint64_t parent_counter) const;
+
+  /// Data-block HMAC (paper §II-C): MAC over (ciphertext, address, counter).
+  /// `aux` lets Steins-SC fold the leaf major counter into the data HMAC
+  /// (paper §II-D: "we store the major counter in the HMAC of the data
+  /// block for recovery"); pass 0 when unused.
+  std::uint64_t data_mac(const Block& ciphertext, Addr addr, std::uint64_t counter,
+                         std::uint64_t aux = 0) const;
+
+  CryptoProfile profile() const { return profile_; }
+
+ private:
+  CryptoProfile profile_;
+  std::unique_ptr<HmacSha256> hmac_;
+  std::unique_ptr<SipHash24> sip_;
+};
+
+}  // namespace steins::crypto

@@ -1,0 +1,52 @@
+#include "crypto/otp.hpp"
+
+#include <cstring>
+
+namespace steins::crypto {
+
+namespace {
+
+Aes128::Key key_from_seed(std::uint64_t seed, std::uint64_t domain) {
+  Aes128::Key k{};
+  std::memcpy(k.data(), &seed, 8);
+  std::memcpy(k.data() + 8, &domain, 8);
+  return k;
+}
+
+}  // namespace
+
+OtpEngine::OtpEngine(CryptoProfile profile, std::uint64_t key_seed) : profile_(profile) {
+  // Domain-separate the OTP key from MAC keys derived from the same seed.
+  constexpr std::uint64_t kOtpDomain = 0x4f54505f4b455931ULL;  // "OTP_KEY1"
+  if (profile_ == CryptoProfile::kReal) {
+    aes_ = std::make_unique<Aes128>(key_from_seed(key_seed, kOtpDomain));
+  } else {
+    SipHash24::Key k{};
+    std::memcpy(k.data(), &key_seed, 8);
+    std::memcpy(k.data() + 8, &kOtpDomain, 8);
+    sip_ = std::make_unique<SipHash24>(k);
+  }
+}
+
+Block OtpEngine::pad(Addr addr, std::uint64_t counter) const {
+  Block out{};
+  if (profile_ == CryptoProfile::kReal) {
+    // CTR mode: E_K(addr || counter || i) for i in 0..3, 16 B each.
+    for (std::uint64_t i = 0; i < 4; ++i) {
+      Aes128::BlockBytes in{};
+      std::memcpy(in.data(), &addr, 8);
+      const std::uint64_t ctr_i = counter ^ (i << 60);
+      std::memcpy(in.data() + 8, &ctr_i, 8);
+      const auto enc = aes_->encrypt(in);
+      std::memcpy(out.data() + i * 16, enc.data(), 16);
+    }
+  } else {
+    for (std::uint64_t i = 0; i < 8; ++i) {
+      const std::uint64_t w = sip_->hash_words(addr + (i << 56), counter);
+      std::memcpy(out.data() + i * 8, &w, 8);
+    }
+  }
+  return out;
+}
+
+}  // namespace steins::crypto

@@ -1,0 +1,36 @@
+// One-time-pad generation for counter-mode encryption (CME, paper §II-B).
+//
+// The OTP for a 64 B data block is derived from (secret key, block address,
+// counter): four AES-128 blocks in CTR fashion in the real profile, or eight
+// SipHash words in the fast profile. XORing data with the OTP encrypts;
+// XORing again decrypts.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "common/config.hpp"
+#include "common/types.hpp"
+#include "crypto/aes.hpp"
+#include "crypto/siphash.hpp"
+
+namespace steins::crypto {
+
+class OtpEngine {
+ public:
+  OtpEngine(CryptoProfile profile, std::uint64_t key_seed);
+
+  /// Generate the 64-byte pad for (address, counter). The counter here is
+  /// the full encryption counter: for split-counter blocks callers pass
+  /// major << 7 | minor composed by the CME layer.
+  Block pad(Addr addr, std::uint64_t counter) const;
+
+  CryptoProfile profile() const { return profile_; }
+
+ private:
+  CryptoProfile profile_;
+  std::unique_ptr<Aes128> aes_;
+  std::unique_ptr<SipHash24> sip_;
+};
+
+}  // namespace steins::crypto

@@ -1,0 +1,38 @@
+// SHA-256 (FIPS 180-4), implemented from scratch. Streaming interface plus a
+// one-shot helper. Used by HMAC-SHA256 in the real crypto profile.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+namespace steins::crypto {
+
+class Sha256 {
+ public:
+  static constexpr std::size_t kDigestBytes = 32;
+  using Digest = std::array<std::uint8_t, kDigestBytes>;
+
+  Sha256() { reset(); }
+
+  void reset();
+  void update(std::span<const std::uint8_t> data);
+  Digest finalize();
+
+  /// One-shot convenience.
+  static Digest hash(std::span<const std::uint8_t> data) {
+    Sha256 h;
+    h.update(data);
+    return h.finalize();
+  }
+
+ private:
+  void process_block(const std::uint8_t* block);
+
+  std::array<std::uint32_t, 8> state_{};
+  std::array<std::uint8_t, 64> buffer_{};
+  std::size_t buffer_len_ = 0;
+  std::uint64_t total_len_ = 0;
+};
+
+}  // namespace steins::crypto

@@ -1,0 +1,30 @@
+// SipHash-2-4 (Aumasson & Bernstein): a fast keyed 64-bit PRF.
+//
+// Used by the kFast crypto profile as the MAC and OTP primitive so that the
+// figure benches run quickly on one core; the control flow, traffic, and
+// modeled latency are identical to the real AES/HMAC profile.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+namespace steins::crypto {
+
+class SipHash24 {
+ public:
+  using Key = std::array<std::uint8_t, 16>;
+
+  explicit SipHash24(const Key& key);
+
+  /// 64-bit keyed hash of `data`.
+  std::uint64_t hash(std::span<const std::uint8_t> data) const;
+
+  /// 64-bit keyed hash of two machine words (hot path: address + counter).
+  std::uint64_t hash_words(std::uint64_t a, std::uint64_t b) const;
+
+ private:
+  std::uint64_t k0_, k1_;
+};
+
+}  // namespace steins::crypto

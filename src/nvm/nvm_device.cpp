@@ -1,0 +1,38 @@
+#include "nvm/nvm_device.hpp"
+
+namespace steins {
+
+Block NvmDevice::read_block(Addr addr) {
+  ++stats_.reads;
+  stats_.energy_nj += cfg_.read_energy_nj;
+  return peek_block(addr);
+}
+
+void NvmDevice::write_block(Addr addr, const Block& data) {
+  ++stats_.writes;
+  stats_.energy_nj += cfg_.write_energy_nj;
+  blocks_[align(addr)] = data;
+}
+
+std::uint64_t NvmDevice::read_tag(Addr addr) const {
+  auto it = tags_.find(align(addr));
+  return it == tags_.end() ? 0 : it->second;
+}
+
+void NvmDevice::write_tag(Addr addr, std::uint64_t tag) { tags_[align(addr)] = tag; }
+
+std::uint64_t NvmDevice::read_tag2(Addr addr) const {
+  auto it = tags2_.find(align(addr));
+  return it == tags2_.end() ? 0 : it->second;
+}
+
+void NvmDevice::write_tag2(Addr addr, std::uint64_t tag) { tags2_[align(addr)] = tag; }
+
+Block NvmDevice::peek_block(Addr addr) const {
+  auto it = blocks_.find(align(addr));
+  return it == blocks_.end() ? zero_block() : it->second;
+}
+
+void NvmDevice::poke_block(Addr addr, const Block& data) { blocks_[align(addr)] = data; }
+
+}  // namespace steins

@@ -1,0 +1,71 @@
+// Functional + timing model of the DDR-based NVM device (paper Table I).
+//
+// Functional: a sparse 64 B-block store over the simulated physical address
+// space (data region, metadata region, and per-scheme auxiliary regions).
+// Untouched blocks read as zero. Each block additionally carries an 8-byte
+// "tag" sidecar modeling ECC-colocated MACs (Synergy-style): the tag moves
+// with the block in a single memory transaction, so it adds no traffic.
+//
+// Timing/energy: per-access latencies from the PCM latency model and a
+// simple energy counter. Queueing/scheduling lives in NvmChannel.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "common/config.hpp"
+#include "common/types.hpp"
+
+namespace steins {
+
+struct NvmStats {
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+  double energy_nj = 0.0;
+
+  void reset() { *this = NvmStats{}; }
+};
+
+class NvmDevice {
+ public:
+  explicit NvmDevice(const NvmConfig& cfg) : cfg_(cfg) {}
+
+  /// Functional block read; counts a device read + energy.
+  Block read_block(Addr addr);
+
+  /// Functional block write; counts a device write + energy.
+  void write_block(Addr addr, const Block& data);
+
+  /// ECC-colocated 8-byte tag (data HMAC, node sidecar). Reads/writes of the
+  /// tag ride along with the block transaction: no extra traffic or energy.
+  std::uint64_t read_tag(Addr addr) const;
+  void write_tag(Addr addr, std::uint64_t tag);
+
+  /// Second sidecar: spare ECC bits used by STAR to stash parent-counter
+  /// LSBs alongside each block (paper §IV: "STAR stores the LSBs of the
+  /// parent counter in the child node").
+  std::uint64_t read_tag2(Addr addr) const;
+  void write_tag2(Addr addr, std::uint64_t tag);
+
+  /// Peek without charging traffic (attacker / test / snapshot use).
+  Block peek_block(Addr addr) const;
+  void poke_block(Addr addr, const Block& data);  // attacker mutation
+
+  bool contains(Addr addr) const { return blocks_.contains(align(addr)); }
+
+  const NvmStats& stats() const { return stats_; }
+  void reset_stats() { stats_.reset(); }
+
+  const NvmConfig& config() const { return cfg_; }
+
+ private:
+  static Addr align(Addr a) { return a & ~static_cast<Addr>(kBlockSize - 1); }
+
+  NvmConfig cfg_;
+  NvmStats stats_;
+  std::unordered_map<Addr, Block> blocks_;
+  std::unordered_map<Addr, std::uint64_t> tags_;
+  std::unordered_map<Addr, std::uint64_t> tags2_;
+};
+
+}  // namespace steins

@@ -1,0 +1,83 @@
+#include "nvm/write_queue.hpp"
+
+#include <algorithm>
+
+namespace steins {
+
+NvmChannel::NvmChannel(const SystemConfig& cfg, NvmDevice& dev) : cfg_(cfg), dev_(dev) {}
+
+void NvmChannel::issue_front(Cycle start) {
+  Pending& w = queue_.front();
+  const std::size_t bank = bank_of(w.addr);
+  const Cycle begin = std::max(start, free_at_[bank]);
+  const Cycle done = begin + cfg_.nvm_write_cycles();
+  dev_.write_block(w.addr, w.data);
+  stats_.write_latency.add(done - w.enqueued);
+  if (w.acc != nullptr) w.acc->add(done - w.birth);
+  free_at_[bank] = done;
+  last_was_write_[bank] = true;
+  queue_.pop_front();
+}
+
+bool NvmChannel::queued(Addr addr) const {
+  for (const auto& w : queue_) {
+    if (w.addr == addr) return true;
+  }
+  return false;
+}
+
+void NvmChannel::drain_until(Cycle t) {
+  while (queue_.size() > kDrainWatermark) {
+    const std::size_t bank = bank_of(queue_.front().addr);
+    const Cycle begin = std::max(queue_.front().enqueued, free_at_[bank]);
+    if (begin >= t) break;  // this bank cannot start the write before t
+    issue_front(begin);
+  }
+}
+
+Cycle NvmChannel::drain_all(Cycle now) {
+  while (!queue_.empty()) {
+    issue_front(std::max(now, free_at_[bank_of(queue_.front().addr)]));
+  }
+  return std::max(now, device_free_at());
+}
+
+Cycle NvmChannel::read(Addr addr, Cycle now, Block* out) {
+  drain_until(now);
+  // Store-forwarding: a read that hits a queued write is served from the
+  // write queue (newest entry wins) without touching the array.
+  for (auto it = queue_.rbegin(); it != queue_.rend(); ++it) {
+    if (it->addr == addr) {
+      if (out != nullptr) *out = it->data;
+      const Cycle done = now + kForwardCycles;
+      stats_.read_latency.add(done - now);
+      return done;
+    }
+  }
+  const std::size_t bank = bank_of(addr);
+  Cycle begin = std::max(now, free_at_[bank]);
+  if (last_was_write_[bank]) begin += cfg_.ns_to_cycles(cfg_.nvm.t_wtr_ns);
+  const Cycle done = begin + cfg_.nvm_read_cycles();
+  const Block b = dev_.read_block(addr);
+  if (out != nullptr) *out = b;
+  free_at_[bank] = done;
+  last_was_write_[bank] = false;
+  stats_.read_latency.add(done - now);
+  return done;
+}
+
+Cycle NvmChannel::write(Addr addr, const Block& data, Cycle now, LatencyAccumulator* acc,
+                        Cycle birth) {
+  drain_until(now);
+  if (queue_.size() >= cfg_.nvm.write_queue_entries) {
+    // Queue full: the producer stalls until one entry drains.
+    ++stats_.write_queue_stalls;
+    const std::size_t bank = bank_of(queue_.front().addr);
+    issue_front(std::max(now, free_at_[bank]));
+    now = std::max(now, free_at_[bank]);
+  }
+  queue_.push_back(Pending{addr, data, now, birth == 0 ? now : birth, acc});
+  return now;
+}
+
+}  // namespace steins

@@ -1,0 +1,106 @@
+// NvmChannel: banked-device timing model with a read-priority write queue.
+//
+// Discipline (standard memory-controller policy, matching the paper's
+// 64-entry write queue): writes are posted into a FIFO and drain to their
+// banks once the queue exceeds a watermark; an arriving read waits only for
+// its own bank (no mid-write preemption). A posted write stalls the
+// producer only when the queue is full. A write->read turnaround (tWTR)
+// penalty is charged when a read follows a write on the same bank.
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <cstdint>
+#include <deque>
+
+#include "common/config.hpp"
+#include "common/stats.hpp"
+#include "common/types.hpp"
+#include "nvm/nvm_device.hpp"
+
+namespace steins {
+
+struct ChannelStats {
+  LatencyAccumulator read_latency;    // arrival -> data returned (device only)
+  LatencyAccumulator write_latency;   // enqueue -> NVM write completed
+  std::uint64_t write_queue_stalls = 0;
+  void reset() {
+    read_latency.reset();
+    write_latency.reset();
+    write_queue_stalls = 0;
+  }
+};
+
+class NvmChannel {
+ public:
+  NvmChannel(const SystemConfig& cfg, NvmDevice& dev);
+
+  /// Blocking read arriving at `now`. Returns the cycle when the 64 B block
+  /// is available (and fills `*out` if non-null).
+  Cycle read(Addr addr, Cycle now, Block* out);
+
+  /// Post a write at `now`. Returns the cycle when the producer may
+  /// continue (== now unless the queue was full and it had to stall).
+  /// If `acc` is given, (completion - birth) is accumulated into it when
+  /// the write drains (per-class latency attribution); `birth` defaults to
+  /// `now`.
+  Cycle write(Addr addr, const Block& data, Cycle now, LatencyAccumulator* acc = nullptr,
+              Cycle birth = 0);
+
+  /// True if a write to `addr` is still queued (store-forwarding window).
+  bool queued(Addr addr) const;
+
+  /// Drain queued writes that the device can start strictly before `t`.
+  /// Writes are held back until the queue exceeds the drain watermark
+  /// (standard controller policy): reads then rarely collide with the
+  /// write stream, and store-forwarding covers the queued window.
+  void drain_until(Cycle t);
+
+  /// Queue depth above which the device starts draining writes.
+  static constexpr std::size_t kDrainWatermark = 0;
+
+  /// Banks per DIMM. The paper's single-DIMM results are reproduced best
+  /// with a serialized device (1); raise for bank-parallel studies.
+  static constexpr std::size_t kBanks = 1;
+
+  /// Synchronously drain everything (crash persist / ADR flush); returns
+  /// the cycle at which the last write completes.
+  Cycle drain_all(Cycle now);
+
+  std::size_t queue_depth() const { return queue_.size(); }
+  Cycle device_free_at() const {
+    Cycle m = 0;
+    for (const Cycle f : free_at_) m = std::max(m, f);
+    return m;
+  }
+  const ChannelStats& stats() const { return stats_; }
+  void reset_stats() { stats_.reset(); }
+
+  /// Latency of a read served by write-queue store-forwarding.
+  static constexpr Cycle kForwardCycles = 4;
+
+ private:
+  struct Pending {
+    Addr addr;
+    Block data;
+    Cycle enqueued;
+    Cycle birth;
+    LatencyAccumulator* acc;
+  };
+
+  /// Issue the front queued write with earliest start time `start`.
+  void issue_front(Cycle start);
+
+  std::size_t bank_of(Addr addr) const {
+    return static_cast<std::size_t>((addr / kBlockSize) % kBanks);
+  }
+
+  const SystemConfig& cfg_;
+  NvmDevice& dev_;
+  std::deque<Pending> queue_;
+  std::array<Cycle, kBanks> free_at_{};
+  std::array<bool, kBanks> last_was_write_{};
+  ChannelStats stats_;
+};
+
+}  // namespace steins

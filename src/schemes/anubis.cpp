@@ -1,0 +1,163 @@
+#include "schemes/anubis.hpp"
+
+#include <cassert>
+#include <cstring>
+#include <unordered_map>
+
+namespace steins {
+
+AnubisMemory::AnubisMemory(const SystemConfig& cfg) : SecureMemoryBase(cfg) {
+  assert(cfg.counter_mode == CounterMode::kGeneral &&
+         "ASIT is evaluated with general counter blocks only (paper §IV)");
+  shadow_base_ = geo_.aux_base();
+  std::size_t n = mcache_.num_lines();
+  tree_.emplace_back(n, 0);
+  while (n > 1) {
+    n = (n + kTreeArity - 1) / kTreeArity;
+    tree_.emplace_back(n, 0);
+  }
+  recompute_internals();
+  root_reg_ = tree_.back()[0];
+}
+
+void AnubisMemory::recompute_internals() {
+  for (std::size_t level = 0; level + 1 < tree_.size(); ++level) {
+    for (std::size_t p = 0; p < tree_[level + 1].size(); ++p) {
+      const std::size_t first = p * kTreeArity;
+      const std::size_t n = std::min(kTreeArity, tree_[level].size() - first);
+      tree_[level + 1][p] = internal_mac(&tree_[level][first], n);
+    }
+  }
+}
+
+std::uint64_t AnubisMemory::leaf_mac(const Block& image, std::size_t line_idx) const {
+  std::uint8_t buf[kBlockSize + 8];
+  std::memcpy(buf, image.data(), kBlockSize);
+  const std::uint64_t idx = line_idx;
+  std::memcpy(buf + kBlockSize, &idx, 8);
+  return cme_.mac().mac64({buf, sizeof(buf)});
+}
+
+std::uint64_t AnubisMemory::internal_mac(const std::uint64_t* children, std::size_t n) const {
+  return cme_.mac().mac64({reinterpret_cast<const std::uint8_t*>(children), n * 8});
+}
+
+void AnubisMemory::update_tree_path(std::size_t line_idx, Cycle&) {
+  std::size_t idx = line_idx;
+  for (std::size_t level = 0; level + 1 < tree_.size(); ++level) {
+    const std::size_t parent = idx / kTreeArity;
+    const std::size_t first = parent * kTreeArity;
+    const std::size_t n = std::min(kTreeArity, tree_[level].size() - first);
+    tree_[level + 1][parent] = internal_mac(&tree_[level][first], n);
+    // Sequential HMACs up the cache-tree (paper §II-D): modification-path
+    // cost, charged to the write-latency side channel.
+    charge_tracking(cfg_.secure.hash_latency_cycles, /*is_hash=*/true);
+    idx = parent;
+  }
+  root_reg_ = tree_.back()[0];
+}
+
+void AnubisMemory::on_node_modified(NodeId id, Cycle& now) {
+  const Addr addr = geo_.node_addr(id);
+  const std::int64_t line_idx = mcache_.line_index(addr);
+  assert(line_idx >= 0 && "modified node must be cached");
+  const MetadataLine* line = mcache_.peek(addr);
+  const Block image = line->payload.to_block(0);
+
+  // Persist the updated node to the shadow table: the 2x write overhead.
+  // Anubis persists the ST entry atomically with the update, so the cell
+  // programming time sits on the critical path of every modification.
+  const Addr saddr = shadow_addr(static_cast<std::size_t>(line_idx));
+  now = timed_write(saddr, image, now);
+  if (!recovering_) charge_tracking(cfg_.nvm_write_cycles());
+  dev_.write_tag(saddr, encode_id(id));
+  ++stats_.aux_writes;
+
+  tree_[0][static_cast<std::size_t>(line_idx)] =
+      leaf_mac(image, static_cast<std::size_t>(line_idx));
+  charge_tracking(cfg_.secure.hash_latency_cycles, /*is_hash=*/true);
+  update_tree_path(static_cast<std::size_t>(line_idx), now);
+}
+
+void AnubisMemory::crash() {
+  SecureMemoryBase::crash();
+  // The cache-tree body is volatile; only the root register survives.
+  for (auto& level : tree_) {
+    for (auto& m : level) m = 0;
+  }
+}
+
+RecoveryResult AnubisMemory::recover() {
+  RecoveryResult result;
+  recovering_ = true;
+  recovery_reads_ = 0;
+  recovery_writes_ = 0;
+
+  const std::size_t lines = mcache_.num_lines();
+
+  // Pass 1: read every shadow entry, rebuild the cache-tree, compare roots.
+  std::vector<Block> images(lines);
+  std::vector<bool> present(lines, false);
+  for (std::size_t i = 0; i < lines; ++i) {
+    const Addr saddr = shadow_addr(i);
+    ++recovery_reads_;
+    if (!dev_.contains(saddr)) continue;
+    images[i] = dev_.peek_block(saddr);
+    present[i] = true;
+    tree_[0][i] = leaf_mac(images[i], i);
+  }
+  recompute_internals();
+  if (tree_.back()[0] != root_reg_) {
+    result.attack_detected = true;
+    result.attack_detail = "ASIT cache-tree root mismatch: shadow table corrupted";
+    recovering_ = false;
+    return result;
+  }
+
+  // Pass 2: replay shadow entries into the metadata cache. A node can
+  // appear in more than one (stale) entry; counters are monotone, so the
+  // entry with the largest parent value is the latest.
+  std::unordered_map<std::uint64_t, SitNode> latest;
+  for (std::size_t i = 0; i < lines; ++i) {
+    if (!present[i]) continue;
+    NodeId id;
+    if (!decode_id(dev_.read_tag(shadow_addr(i)), &id)) continue;
+    SitNode node = SitNode::from_block(id, false, images[i]);
+    const std::uint64_t key = encode_id(id);
+    auto [it, inserted] = latest.try_emplace(key, node);
+    if (!inserted && node.parent_value() > it->second.parent_value()) it->second = node;
+  }
+  for (auto& [key, node] : latest) {
+    (void)key;
+    MetadataLine* line = nullptr;
+    const Addr addr = geo_.node_addr(node.id);
+    if (mcache_.peek(addr) != nullptr) continue;
+    // A shadow entry can be stale: the node was evicted (persisted) later
+    // and its fresher entry overwritten by the line's next occupant.
+    // Counters are monotone, so skip entries at or below the NVM image —
+    // the node is clean and current in NVM.
+    if (dev_.contains(addr)) {
+      ++recovery_reads_;
+      const SitNode nvm_node = SitNode::from_block(node.id, false, dev_.peek_block(addr));
+      if (nvm_node.parent_value() >= node.parent_value()) continue;
+    }
+    auto victim = mcache_.insert(addr, true, node, &line);
+    if (victim && victim->dirty) {
+      persist_detached(victim->payload, 0);
+    }
+    // Refresh the shadow entry at the node's (possibly new) cache line so
+    // the next crash still finds its latest state.
+    Cycle t = 0;
+    on_node_modified(node.id, t);
+    ++result.nodes_recovered;
+  }
+
+  recovering_ = false;
+  result.nvm_reads = recovery_reads_;
+  result.nvm_writes = recovery_writes_;
+  result.seconds = static_cast<double>(recovery_reads_) * cfg_.secure.recovery_read_ns * 1e-9 +
+                   static_cast<double>(recovery_writes_) * cfg_.nvm.t_wr_ns * 1e-9;
+  return result;
+}
+
+}  // namespace steins

@@ -1,0 +1,64 @@
+// ASIT — Anubis for SGX Integrity Trees (Zubair & Awad, ISCA'19), as
+// evaluated by the paper (§II-D, §IV).
+//
+// Every modification of a cached metadata node is persisted to a Shadow
+// Table (ST) in NVM — one 64 B entry per metadata-cache line — doubling the
+// write traffic. A cache-tree (Merkle tree over the ST entries) is
+// maintained on-chip: each modification updates the leaf MAC and the tree
+// path (sequential HMACs), and the tree root lives in a non-volatile
+// register. Recovery replays the ST into the metadata cache, verifies the
+// rebuilt cache-tree root against the register, and flushes the tree clean.
+#pragma once
+
+#include <vector>
+
+#include "secure/secure_memory.hpp"
+
+namespace steins {
+
+class AnubisMemory : public SecureMemoryBase {
+ public:
+  explicit AnubisMemory(const SystemConfig& cfg);
+
+  void crash() override;
+  RecoveryResult recover() override;
+
+  /// Depth (number of MAC recomputations per modification).
+  unsigned cache_tree_depth() const { return static_cast<unsigned>(tree_.size()); }
+
+ protected:
+  Cycle persist_node(SitNode& node, Cycle now) override {
+    return persist_with_self_increment(node, now);
+  }
+  void on_node_modified(NodeId id, Cycle& now) override;
+
+ private:
+  Addr shadow_addr(std::size_t line_idx) const {
+    return shadow_base_ + line_idx * kBlockSize;
+  }
+  static std::uint64_t encode_id(NodeId id) {
+    return (std::uint64_t{1} << 63) | (static_cast<std::uint64_t>(id.level) << 48) | id.index;
+  }
+  static bool decode_id(std::uint64_t tag, NodeId* id) {
+    if ((tag >> 63) == 0) return false;
+    id->level = static_cast<unsigned>((tag >> 48) & 0x7fff);
+    id->index = tag & ((std::uint64_t{1} << 48) - 1);
+    return true;
+  }
+
+  std::uint64_t leaf_mac(const Block& image, std::size_t line_idx) const;
+  std::uint64_t internal_mac(const std::uint64_t* children, std::size_t n) const;
+
+  /// Update the cache-tree path above leaf `line_idx` (charges hashes).
+  void update_tree_path(std::size_t line_idx, Cycle& now);
+
+  /// Recompute every internal cache-tree level from the current leaf MACs.
+  void recompute_internals();
+
+  Addr shadow_base_;
+  // tree_[0] = leaf MACs (one per cache line), tree_.back() = root (size 1).
+  std::vector<std::vector<std::uint64_t>> tree_;
+  std::uint64_t root_reg_ = 0;  // on-chip NV register holding the tree root
+};
+
+}  // namespace steins

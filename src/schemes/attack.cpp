@@ -1,0 +1,32 @@
+#include "schemes/attack.hpp"
+
+namespace steins {
+
+void AttackInjector::record_block(Addr addr) {
+  NvmDevice& dev = mem_.device();
+  snapshots_[align(addr)] =
+      Snapshot{dev.peek_block(addr), dev.read_tag(addr), dev.read_tag2(addr)};
+}
+
+bool AttackInjector::replay_block(Addr addr) {
+  const auto it = snapshots_.find(align(addr));
+  if (it == snapshots_.end()) return false;
+  NvmDevice& dev = mem_.device();
+  dev.poke_block(addr, it->second.data);
+  dev.write_tag(addr, it->second.tag);
+  dev.write_tag2(addr, it->second.tag2);
+  return true;
+}
+
+void AttackInjector::tamper_block(Addr addr, std::size_t byte_index, std::uint8_t xor_mask) {
+  NvmDevice& dev = mem_.device();
+  Block b = dev.peek_block(addr);
+  b[byte_index % kBlockSize] ^= xor_mask;
+  dev.poke_block(addr, b);
+}
+
+void AttackInjector::overwrite_block(Addr addr, const Block& data) {
+  mem_.device().poke_block(addr, data);
+}
+
+}  // namespace steins

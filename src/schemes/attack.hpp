@@ -1,0 +1,57 @@
+// Attack injection (threat model, paper §II-A / §III-H).
+//
+// Models an attacker with full read/record/modify access to the NVM and the
+// memory bus, but no access to the on-chip domain (keys, registers, ADR).
+// Used by the security tests and the crash_recovery_demo example:
+//   * tampering: flip bits in a stored block,
+//   * replay: record a block (+ its ECC-colocated tags) and restore the old
+//     version later,
+//   * record forgery: rewrite Steins' offset records / STAR's bitmap to
+//     flip nodes between "clean" and "dirty".
+#pragma once
+
+#include <unordered_map>
+
+#include "secure/secure_memory.hpp"
+
+namespace steins {
+
+class AttackInjector {
+ public:
+  explicit AttackInjector(SecureMemory& mem) : mem_(mem) {}
+
+  /// Snapshot a block and its tag sidecars (bus snooping / NVM scanning).
+  void record_block(Addr addr);
+  void record_node(NodeId id) { record_block(mem_.geometry().node_addr(id)); }
+
+  /// Restore the recorded old version (replay attack). Returns false if the
+  /// block was never recorded.
+  bool replay_block(Addr addr);
+  bool replay_node(NodeId id) { return replay_block(mem_.geometry().node_addr(id)); }
+
+  /// Flip one bit of a stored block (tampering attack).
+  void tamper_block(Addr addr, std::size_t byte_index = 0, std::uint8_t xor_mask = 0x01);
+  void tamper_node(NodeId id, std::size_t byte_index = 0) {
+    tamper_block(mem_.geometry().node_addr(id), byte_index);
+  }
+
+  /// Overwrite an arbitrary NVM block (e.g. forging offset records or
+  /// bitmap lines in a scheme's auxiliary region).
+  void overwrite_block(Addr addr, const Block& data);
+
+  /// Erase a block entirely (model of a destructive scan).
+  bool recorded(Addr addr) const { return snapshots_.contains(align(addr)); }
+
+ private:
+  struct Snapshot {
+    Block data;
+    std::uint64_t tag;
+    std::uint64_t tag2;
+  };
+  static Addr align(Addr a) { return a & ~static_cast<Addr>(kBlockSize - 1); }
+
+  SecureMemory& mem_;
+  std::unordered_map<Addr, Snapshot> snapshots_;
+};
+
+}  // namespace steins

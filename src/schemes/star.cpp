@@ -1,0 +1,259 @@
+#include "schemes/star.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+
+namespace steins {
+
+namespace {
+
+Block encode_bitmap(const std::array<std::uint64_t, 8>& bits) {
+  Block b{};
+  std::memcpy(b.data(), bits.data(), kBlockSize);
+  return b;
+}
+
+std::array<std::uint64_t, 8> decode_bitmap(const Block& b) {
+  std::array<std::uint64_t, 8> bits{};
+  std::memcpy(bits.data(), b.data(), kBlockSize);
+  return bits;
+}
+
+}  // namespace
+
+StarMemory::StarMemory(const SystemConfig& cfg)
+    : SecureMemoryBase(cfg),
+      bitmap_cache_(cfg.secure.record_lines_cached * kBlockSize,
+                    static_cast<unsigned>(cfg.secure.record_lines_cached)) {
+  assert(cfg.counter_mode == CounterMode::kGeneral &&
+         "STAR is evaluated with general counter blocks only (paper §IV)");
+  bitmap_base_ = geo_.aux_base();
+  bitmap_lines_ = (geo_.total_nodes() + kNodesPerBitmapLine - 1) / kNodesPerBitmapLine;
+
+  // Cache-tree over set-MACs.
+  std::size_t n = mcache_.num_sets();
+  tree_.emplace_back(n, 0);
+  while (n > 1) {
+    n = (n + kTreeArity - 1) / kTreeArity;
+    tree_.emplace_back(n, 0);
+  }
+  rebuild_tree();
+  root_reg_ = tree_.back()[0];
+}
+
+void StarMemory::rebuild_tree() {
+  for (std::size_t set = 0; set < tree_[0].size(); ++set) {
+    tree_[0][set] = compute_set_mac(set);
+  }
+  for (std::size_t level = 0; level + 1 < tree_.size(); ++level) {
+    for (std::size_t p = 0; p < tree_[level + 1].size(); ++p) {
+      const std::size_t first = p * kTreeArity;
+      const std::size_t n = std::min(kTreeArity, tree_[level].size() - first);
+      tree_[level + 1][p] =
+          cme_.mac().mac64({reinterpret_cast<const std::uint8_t*>(&tree_[level][first]), n * 8});
+    }
+  }
+}
+
+std::uint64_t StarMemory::reconstruct_counter(std::uint64_t stale, std::uint64_t lsbs) {
+  constexpr std::uint64_t kMask = (std::uint64_t{1} << kLsbBits) - 1;
+  std::uint64_t rec = (stale & ~kMask) | (lsbs & kMask);
+  if (rec < stale) rec += (kMask + 1);
+  return rec & kCounter56Mask;
+}
+
+void StarMemory::update_bitmap(NodeId id, bool dirty, Cycle& now) {
+  const std::uint64_t flat = geo_.offset_of(id);
+  const std::uint64_t line = flat / kNodesPerBitmapLine;
+  const std::uint64_t bit = flat % kNodesPerBitmapLine;
+  const Addr laddr = bitmap_line_addr(line);
+
+  auto* cached = bitmap_cache_.lookup(laddr, true);
+  if (cached == nullptr) {
+    Block img{};
+    now = timed_read(laddr, now, &img);
+    ++stats_.aux_reads;
+    auto victim = bitmap_cache_.insert(laddr, true, BitmapLine{decode_bitmap(img)}, &cached);
+    if (victim && victim->dirty) {
+      now = timed_write(victim->addr, encode_bitmap(victim->payload.bits), now);
+      ++stats_.aux_writes;
+    }
+  }
+  auto& word = cached->payload.bits[bit / 64];
+  const std::uint64_t mask = std::uint64_t{1} << (bit % 64);
+  if (dirty) {
+    word |= mask;
+    nonzero_lines_.insert(line);
+  } else {
+    word &= ~mask;
+  }
+}
+
+std::uint64_t StarMemory::compute_set_mac(std::size_t set) const {
+  // MAC over the set's dirty nodes, sorted by address (paper §II-D: "STAR
+  // needs to sort the dirty nodes in the same set by the addresses").
+  struct Entry {
+    Addr addr;
+    NodePayload payload;
+  };
+  std::vector<Entry> entries;
+  mcache_.for_each_in_set(set, [&](const MetadataLine& line) {
+    if (line.dirty) entries.push_back({line.tag, line.payload.payload()});
+  });
+  std::sort(entries.begin(), entries.end(),
+            [](const Entry& a, const Entry& b) { return a.addr < b.addr; });
+  std::vector<std::uint8_t> buf;
+  buf.reserve(entries.size() * 64);
+  for (const auto& e : entries) {
+    const auto* p = reinterpret_cast<const std::uint8_t*>(&e.addr);
+    buf.insert(buf.end(), p, p + 8);
+    buf.insert(buf.end(), e.payload.begin(), e.payload.end());
+  }
+  return cme_.mac().mac64(buf);
+}
+
+void StarMemory::update_set_mac(std::size_t set, Cycle&) {
+  // Sorting the set's dirty nodes plus the sequential cache-tree HMACs:
+  // modification-path costs, charged to the write-latency side channel.
+  charge_tracking(mcache_.ways());
+  tree_[0][set] = compute_set_mac(set);
+  charge_tracking(cfg_.secure.hash_latency_cycles, /*is_hash=*/true);
+  std::size_t idx = set;
+  for (std::size_t level = 0; level + 1 < tree_.size(); ++level) {
+    const std::size_t parent = idx / kTreeArity;
+    const std::size_t first = parent * kTreeArity;
+    const std::size_t n = std::min(kTreeArity, tree_[level].size() - first);
+    tree_[level + 1][parent] =
+        cme_.mac().mac64({reinterpret_cast<const std::uint8_t*>(&tree_[level][first]), n * 8});
+    charge_tracking(cfg_.secure.hash_latency_cycles, /*is_hash=*/true);
+    idx = parent;
+  }
+  root_reg_ = tree_.back()[0];
+}
+
+Cycle StarMemory::persist_node(SitNode& node, Cycle now) {
+  std::uint64_t parent_ctr = 0;
+  now = persist_with_self_increment(node, now, &parent_ctr);
+  // Stash the parent counter's LSBs in the child's spare ECC bits; they
+  // ride along with the node write (no extra traffic).
+  dev_.write_tag2(geo_.node_addr(node.id), parent_ctr & ((std::uint64_t{1} << kLsbBits) - 1));
+  // When the parent counter wraps its stored LSB window, write the parent
+  // through so LSB splicing stays unambiguous (at most one carry).
+  if (!geo_.is_top_level(node.id) && parent_ctr % (std::uint64_t{1} << kLsbBits) == 0) {
+    const Addr paddr = geo_.node_addr(geo_.parent_of(node.id));
+    if (MetadataLine* pl = mcache_.peek_mut(paddr); pl != nullptr && pl->dirty) {
+      now = write_through_node(*pl, now);
+    }
+  }
+  return now;
+}
+
+void StarMemory::on_node_modified(NodeId id, Cycle& now) {
+  const std::size_t set = mcache_.set_index(geo_.node_addr(id));
+  update_set_mac(set, now);
+}
+
+void StarMemory::on_node_dirtied(NodeId id, Cycle& now) {
+  update_bitmap(id, true, now);
+  update_set_mac(mcache_.set_index(geo_.node_addr(id)), now);
+}
+
+void StarMemory::on_node_cleaned(NodeId id, Cycle& now) {
+  update_bitmap(id, false, now);
+  update_set_mac(mcache_.set_index(geo_.node_addr(id)), now);
+}
+
+void StarMemory::on_data_written(Addr addr, std::uint64_t counter, Cycle&) {
+  dev_.write_tag2(addr, counter & ((std::uint64_t{1} << kLsbBits) - 1));
+}
+
+void StarMemory::crash() {
+  // Drain the write queue first: a queued (older) bitmap-line write must
+  // not overwrite the newer ADR-resident copy flushed below.
+  SecureMemoryBase::crash();
+  // ADR flushes the cached bitmap lines.
+  bitmap_cache_.for_each([&](SetAssocCache<BitmapLine>::Line& line) {
+    if (line.dirty) dev_.poke_block(line.tag, encode_bitmap(line.payload.bits));
+  });
+  bitmap_cache_.clear();
+  for (auto& level : tree_) {
+    for (auto& m : level) m = 0;
+  }
+}
+
+RecoveryResult StarMemory::recover() {
+  RecoveryResult result;
+  recovering_ = true;
+  recovery_reads_ = 0;
+  recovery_writes_ = 0;
+
+  // Scan the multi-layer bitmap: the upper layer tells us which bitmap
+  // lines are nonzero; read only those.
+  recovery_reads_ += (bitmap_lines_ + kNodesPerBitmapLine - 1) / kNodesPerBitmapLine;
+  std::vector<NodeId> dirty_nodes;
+  for (const std::uint64_t line : nonzero_lines_) {
+    ++recovery_reads_;
+    const auto bits = decode_bitmap(dev_.peek_block(bitmap_line_addr(line)));
+    for (std::size_t w = 0; w < bits.size(); ++w) {
+      std::uint64_t word = bits[w];
+      while (word != 0) {
+        const unsigned b = static_cast<unsigned>(__builtin_ctzll(word));
+        word &= word - 1;
+        const std::uint64_t flat = line * kNodesPerBitmapLine + w * 64 + b;
+        if (flat < geo_.total_nodes()) {
+          dirty_nodes.push_back(geo_.node_at_offset(static_cast<std::uint32_t>(flat)));
+        }
+      }
+    }
+  }
+
+  // Reconstruct each dirty node: splice the parent-counter LSBs stored in
+  // each persistent child onto the stale counters.
+  for (const NodeId id : dirty_nodes) {
+    const Addr addr = geo_.node_addr(id);
+    ++recovery_reads_;
+    SitNode node = SitNode::from_block(id, false, dev_.peek_block(addr));
+
+    for (std::size_t j = 0; j < kTreeArity; ++j) {
+      Addr child_addr;
+      if (id.level == 0) {
+        const std::uint64_t block = id.index * geo_.leaf_coverage() + j;
+        if (block >= geo_.data_blocks()) break;
+        child_addr = block * kBlockSize;
+      } else {
+        if (j >= geo_.num_children(id)) break;
+        child_addr = geo_.node_addr(geo_.child_of(id, j));
+      }
+      ++recovery_reads_;
+      if (!dev_.contains(child_addr)) continue;  // never written: counter 0
+      node.gc.counters[j] = reconstruct_counter(node.gc.counters[j], dev_.read_tag2(child_addr));
+    }
+
+    const Addr naddr = geo_.node_addr(id);
+    if (mcache_.peek(naddr) == nullptr) {
+      mcache_.insert(naddr, true, node);
+      ++result.nodes_recovered;
+    }
+  }
+
+  // Verify: rebuild every set-MAC and the cache-tree root, compare with the
+  // non-volatile root register.
+  rebuild_tree();
+  if (tree_.back()[0] != root_reg_) {
+    result.attack_detected = true;
+    result.attack_detail = "STAR cache-tree root mismatch: recovered dirty set corrupted";
+    recovering_ = false;
+    return result;
+  }
+  root_reg_ = tree_.back()[0];
+
+  recovering_ = false;
+  result.nvm_reads = recovery_reads_;
+  result.nvm_writes = recovery_writes_;
+  result.seconds = static_cast<double>(recovery_reads_) * cfg_.secure.recovery_read_ns * 1e-9 +
+                   static_cast<double>(recovery_writes_) * cfg_.nvm.t_wr_ns * 1e-9;
+  return result;
+}
+
+}  // namespace steins

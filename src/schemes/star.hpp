@@ -1,0 +1,79 @@
+// STAR — the SIT trace-and-recovery scheme (Huang & Hua, HPCA'21), as
+// evaluated by the paper (§II-D, §IV).
+//
+// Mechanisms modeled:
+//  * Each flushed child stashes the LSBs of its (self-incremented) parent
+//    counter in its spare ECC bits; recovery reconstructs a dirty node's
+//    counters by splicing those LSBs onto the stale counters (with carry).
+//  * A multi-layer bitmap over the metadata region tracks dirty nodes; it
+//    is updated on BOTH clean->dirty and dirty->clean transitions through a
+//    small ADR-resident line cache (worse locality and twice the update
+//    rate of Steins' offset records).
+//  * A cache-tree over the dirty nodes of each metadata-cache set: on every
+//    modification the set's dirty nodes are sorted by address and MAC'd
+//    (the set-MAC), and the tree above the set-MACs is updated; the root
+//    lives in a non-volatile register.
+#pragma once
+
+#include <set>
+#include <vector>
+
+#include "cache/cache.hpp"
+#include "secure/secure_memory.hpp"
+
+namespace steins {
+
+class StarMemory : public SecureMemoryBase {
+ public:
+  explicit StarMemory(const SystemConfig& cfg);
+
+  void crash() override;
+  RecoveryResult recover() override;
+
+  /// How many parent-counter LSBs each child carries.
+  static constexpr unsigned kLsbBits = 16;
+
+ protected:
+  Cycle persist_node(SitNode& node, Cycle now) override;
+  void on_node_modified(NodeId id, Cycle& now) override;
+  void on_node_dirtied(NodeId id, Cycle& now) override;
+  void on_node_cleaned(NodeId id, Cycle& now) override;
+  void on_data_written(Addr addr, std::uint64_t counter, Cycle& now) override;
+
+ private:
+  struct BitmapLine {
+    std::array<std::uint64_t, 8> bits{};
+  };
+
+  static constexpr std::size_t kNodesPerBitmapLine = kBlockSize * 8;  // 512
+
+  Addr bitmap_line_addr(std::uint64_t line) const {
+    return bitmap_base_ + line * kBlockSize;
+  }
+
+  /// Set/clear the dirty bit of a node, going through the ADR-resident
+  /// bitmap line cache (may read/write NVM on a miss).
+  void update_bitmap(NodeId id, bool dirty, Cycle& now);
+
+  /// Recompute the set-MAC of metadata-cache set `set` and the cache-tree
+  /// path above it.
+  void update_set_mac(std::size_t set, Cycle& now);
+  std::uint64_t compute_set_mac(std::size_t set) const;
+
+  /// Recompute every set-MAC and internal level from the current cache.
+  void rebuild_tree();
+
+  /// Splice stored LSBs onto a stale counter, adding carry if needed.
+  static std::uint64_t reconstruct_counter(std::uint64_t stale, std::uint64_t lsbs);
+
+  Addr bitmap_base_;
+  std::uint64_t bitmap_lines_;
+  SetAssocCache<BitmapLine> bitmap_cache_;
+  std::set<std::uint64_t> nonzero_lines_;  // upper bitmap layer (functional)
+
+  // Cache-tree: set_macs_ then internal levels up to the root register.
+  std::vector<std::vector<std::uint64_t>> tree_;
+  std::uint64_t root_reg_ = 0;
+};
+
+}  // namespace steins

@@ -1,0 +1,537 @@
+#include "schemes/steins.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+
+namespace steins {
+
+namespace {
+
+std::array<std::uint32_t, 16> decode_record(const Block& b) {
+  std::array<std::uint32_t, 16> offsets{};
+  std::memcpy(offsets.data(), b.data(), kBlockSize);
+  return offsets;
+}
+
+}  // namespace
+
+SteinsMemory::SteinsMemory(const SystemConfig& cfg)
+    : SecureMemoryBase(cfg),
+      record_cache_(cfg.secure.record_lines_cached * kBlockSize,
+                    static_cast<unsigned>(cfg.secure.record_lines_cached)),
+      lincs_(geo_.num_levels(), 0),
+      nv_buffer_capacity_(cfg.secure.nv_buffer_bytes / 16) {
+  assert(geo_.num_levels() <= 8 && "all LIncs must fit one 64 B NV register (paper §III-D)");
+  assert(cfg.update_policy == UpdatePolicy::kLazy &&
+         "Steins' counter generation is defined for the lazy update scheme");
+  record_base_ = geo_.aux_base();
+  record_lines_ =
+      (mcache_.num_lines() + kOffsetsPerRecordLine - 1) / kOffsetsPerRecordLine;
+  assert(nv_buffer_capacity_ > 0);
+}
+
+// ---------------------------------------------------------------------------
+// Runtime: offset records
+// ---------------------------------------------------------------------------
+
+void SteinsMemory::flush_record_line(Addr laddr, const RecordLine& line, Cycle& now) {
+  if (line.modified == 0) return;
+  // Merge only the modified 4-byte slots into the region: partial writes on
+  // byte-addressable PCM; the unmodified slots are never read.
+  Block cur = dev_.peek_block(laddr);
+  int slots = 0;
+  for (std::size_t s = 0; s < kOffsetsPerRecordLine; ++s) {
+    if ((line.modified >> s) & 1) {
+      std::memcpy(cur.data() + s * 4, &line.offsets[s], 4);
+      ++slots;
+    }
+  }
+  dev_.poke_block(laddr, cur);
+  stats_.aux_write_bytes += static_cast<std::uint64_t>(slots) * 4;
+  now += kPartialWriteCycles;
+}
+
+void SteinsMemory::write_record(NodeId id, Cycle& now) {
+  const Addr addr = geo_.node_addr(id);
+  const std::int64_t line_idx = mcache_.line_index(addr);
+  assert(line_idx >= 0 && "dirtied node must be cached");
+  const std::size_t rec_line = static_cast<std::size_t>(line_idx) / kOffsetsPerRecordLine;
+  const std::size_t slot = static_cast<std::size_t>(line_idx) % kOffsetsPerRecordLine;
+  const Addr laddr = record_line_addr(rec_line);
+
+  auto* cached = record_cache_.lookup(laddr, true);
+  if (cached == nullptr) {
+    // Slots are overwritten unconditionally: no read-for-ownership needed.
+    auto victim = record_cache_.insert(laddr, true, RecordLine{}, &cached);
+    if (victim && victim->dirty) {
+      flush_record_line(victim->addr, victim->payload, now);
+    }
+  }
+  cached->payload.offsets[slot] = geo_.offset_of(id) + 1;  // 0 = empty
+  cached->payload.modified = static_cast<std::uint16_t>(cached->payload.modified | (1u << slot));
+}
+
+void SteinsMemory::on_node_dirtied(NodeId id, Cycle& now) { write_record(id, now); }
+
+// ---------------------------------------------------------------------------
+// Runtime: counter generation, LIncs, NV parent buffer
+// ---------------------------------------------------------------------------
+
+std::optional<std::uint64_t> SteinsMemory::pending_parent_counter(NodeId id) const {
+  const NodeId parent = geo_.parent_of(id);
+  const std::size_t slot = geo_.slot_in_parent(id);
+  // Newest entry wins (counters are monotone, so it is also the largest).
+  std::optional<std::uint64_t> found;
+  for (const auto& e : nv_buffer_) {
+    if (e.parent == parent && e.slot == slot) found = e.counter;
+  }
+  return found;
+}
+
+void SteinsMemory::apply_buffered_entries_to(SitNode& node) {
+  if (node.id.level == 0) return;  // buffer entries always target internal nodes
+  for (auto it = nv_buffer_.begin(); it != nv_buffer_.end();) {
+    if (it->parent == node.id) {
+      if (it->counter <= node.gc.counters[it->slot]) {  // already absorbed
+        it = nv_buffer_.erase(it);
+        continue;
+      }
+      const std::uint64_t delta = it->counter - node.gc.counters[it->slot];
+      node.gc.counters[it->slot] = it->counter;
+      // Mirror into the cached copy if the caller handed us a detached one.
+      if (MetadataLine* pl = mcache_.peek_mut(geo_.node_addr(node.id));
+          pl != nullptr && &pl->payload != &node) {
+        pl->payload.gc.counters[it->slot] = it->counter;
+      }
+      lincs_[node.id.level - 1] -= delta;
+      lincs_[node.id.level] += delta;
+      it = nv_buffer_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void SteinsMemory::apply_buffer_entry(const BufferEntry& e, Cycle& now) {
+  const FetchResult parent = fetch_node(e.parent, now);
+  now = parent.ready;
+  SitNode& pnode = parent.line->payload;
+  // Counters are monotone: an entry at or below the current slot value was
+  // already absorbed by a later inline update and must not regress it.
+  if (e.counter <= pnode.gc.counters[e.slot]) return;
+  const std::uint64_t delta = e.counter - pnode.gc.counters[e.slot];
+  pnode.gc.counters[e.slot] = e.counter;
+  const bool was_clean = !parent.line->dirty;
+  parent.line->dirty = true;
+  if (was_clean) on_node_dirtied(e.parent, now);
+  const unsigned child_level = e.parent.level - 1;
+  lincs_[child_level] -= delta;
+  lincs_[child_level + 1] += delta;
+}
+
+void SteinsMemory::drain_nv_buffer(Cycle& now) {
+  // An entry must stay visible in the buffer while it is being applied:
+  // the parent fetch below can recursively verify this entry's child, and
+  // that verification reads the pending counter from the buffer. Entries
+  // are therefore applied in place and only erased afterwards.
+  if (draining_) return;  // a drain can trigger persists that re-enter here
+  draining_ = true;
+  while (!nv_buffer_.empty()) {
+    const BufferEntry e = nv_buffer_.front();
+    apply_buffer_entry(e, now);
+    // The apply chain may already have absorbed and erased it.
+    const auto it = std::find_if(nv_buffer_.begin(), nv_buffer_.end(), [&](const BufferEntry& x) {
+      return x.parent == e.parent && x.slot == e.slot && x.counter == e.counter;
+    });
+    if (it != nv_buffer_.end()) nv_buffer_.erase(it);
+  }
+  draining_ = false;
+}
+
+void SteinsMemory::before_read(Cycle& now) { drain_nv_buffer(now); }
+
+Cycle SteinsMemory::persist_node(SitNode& node, Cycle now) {
+  // Fold in any parent counters parked for this node before persisting it.
+  apply_buffered_entries_to(node);
+
+  // Counter generation (paper §III-B / Fig. 7): the parent counter is
+  // generated from the node itself, so the HMAC needs no parent fetch.
+  const std::uint64_t generated = node.parent_value();
+  const Addr addr = geo_.node_addr(node.id);
+  const NodePayload payload = node.payload();
+  const std::uint64_t mac = cme_.mac().node_mac(payload, addr, generated);
+  charge_hash(now);
+  now = timed_write(addr, node.to_block(mac), now);
+  ++stats_.meta_writes;
+
+  const unsigned k = node.id.level;
+  if (geo_.is_top_level(node.id)) {
+    const std::uint64_t delta = generated - root_[node.id.index];
+    root_[node.id.index] = generated;
+    lincs_[k] -= delta;  // the root is persistent; no LInc above it
+    return now;
+  }
+
+  const NodeId parent_id = geo_.parent_of(node.id);
+  const std::size_t slot = geo_.slot_in_parent(node.id);
+  ++stats_.mcache_accesses;
+  if (MetadataLine* pl = mcache_.peek_mut(geo_.node_addr(parent_id))) {
+    // Parent cached: apply immediately (Fig. 7, node A). Any pending buffer
+    // entry for this slot is absorbed by this larger update — drop it so it
+    // can neither regress the slot nor double-count at recovery.
+    std::erase_if(nv_buffer_, [&](const BufferEntry& e) {
+      return e.parent == parent_id && e.slot == slot;
+    });
+    const std::uint64_t delta = generated - pl->payload.gc.counters[slot];
+    pl->payload.gc.counters[slot] = generated;
+    const bool was_clean = !pl->dirty;
+    pl->dirty = true;
+    on_node_modified(parent_id, now);
+    if (was_clean) on_node_dirtied(parent_id, now);
+    lincs_[k] -= delta;
+    lincs_[k + 1] += delta;
+  } else {
+    // Parent not cached: park the generated counter in the NV buffer and
+    // finish the write (Fig. 7, node B) — no parent read on this path.
+    // (During a drain the buffer may transiently exceed its capacity while
+    // the in-place application walks it; it is empty again when the drain
+    // returns.)
+    if (nv_buffer_.size() >= nv_buffer_capacity_) drain_nv_buffer(now);
+    nv_buffer_.push_back(BufferEntry{parent_id, slot, generated});
+  }
+  return now;
+}
+
+SecureMemoryBase::CounterBump SteinsMemory::bump_leaf_counter(MetadataLine& leaf,
+                                                              std::size_t slot, Cycle& now) {
+  CounterBump bump;
+  SitNode& node = leaf.payload;
+  bump.pv_before = node.parent_value();
+  if (node.split) {
+    const SitNode before = node;
+    const auto r = node.sc.increment_skip(slot);  // skip-increment (§III-B1)
+    bump.overflowed = r.overflowed;
+    if (r.overflowed) {
+      reencrypt_covered_blocks(before, node, slot, now);
+      // Write-through on overflow keeps the major current in NVM, so
+      // recovery never has to search major values (paper §II-D).
+      now = write_through_node(leaf, now);
+    }
+    bump.enc_counter = node.sc.encryption_counter(slot);
+    bump.aux = node.sc.major;
+  } else {
+    node.gc.increment(slot);
+    bump.enc_counter = node.gc.counters[slot];
+    // Osiris-style stop-loss: bounded trial range for leaf recovery.
+    if (node.gc.counters[slot] % kStopLoss == 0) now = write_through_node(leaf, now);
+  }
+  bump.pv_after = node.parent_value();
+  lincs_[0] += bump.pv_after - bump.pv_before;
+  return bump;
+}
+
+// ---------------------------------------------------------------------------
+// Crash & recovery
+// ---------------------------------------------------------------------------
+
+void SteinsMemory::crash() {
+  // Drain the write queue first: a queued (older) record-line write must
+  // not overwrite the newer ADR-resident copy flushed below.
+  SecureMemoryBase::crash();
+  // ADR flushes the cached record lines (merging modified slots); the LIncs
+  // register, the NV parent buffer, and the root register survive as-is.
+  record_cache_.for_each([&](SetAssocCache<RecordLine>::Line& line) {
+    if (line.dirty) {
+      Cycle t = 0;
+      flush_record_line(line.tag, line.payload, t);
+    }
+  });
+  record_cache_.clear();
+}
+
+bool SteinsMemory::recovery_counters(NodeId id, RecoveryCtx& ctx, SitNode* out) {
+  const std::uint64_t key = flat_key(geo_, id);
+  if (auto it = ctx.recovered.find(key); it != ctx.recovered.end()) {
+    *out = it->second;
+    return true;
+  }
+  if (auto it = ctx.clean_verified.find(key); it != ctx.clean_verified.end()) {
+    *out = it->second;
+    return true;
+  }
+  const Addr addr = geo_.node_addr(id);
+  const bool exists = dev_.contains(addr);
+  ++recovery_reads_;
+  std::uint64_t stored = 0;
+  SitNode node = SitNode::from_block(id, leaf_is_split() && id.level == 0,
+                                     dev_.peek_block(addr), &stored);
+
+  std::uint64_t pc = 0;
+  if (geo_.is_top_level(id)) {
+    pc = root_[id.index];
+  } else {
+    SitNode parent;
+    if (!recovery_counters(geo_.parent_of(id), ctx, &parent)) return false;
+    pc = parent.gc.counters[geo_.slot_in_parent(id)];
+  }
+  if (exists) {
+    const std::uint64_t mac = cme_.mac().node_mac(node.payload(), addr, pc);
+    if (mac != stored) {
+      ctx.result->attack_detected = true;
+      ctx.result->attacked_level = static_cast<int>(id.level);
+      ctx.result->attack_detail =
+          "tampered SIT node detected by HMAC at level " + std::to_string(id.level);
+      return false;
+    }
+  } else if (pc != 0) {
+    ctx.result->attack_detected = true;
+    ctx.result->attacked_level = static_cast<int>(id.level);
+    ctx.result->attack_detail = "SIT node erased (missing with nonzero parent counter)";
+    return false;
+  }
+  ctx.clean_verified.emplace(key, node);
+  *out = node;
+  return true;
+}
+
+bool SteinsMemory::rebuild_from_children(NodeId id, const SitNode& stale, RecoveryCtx& ctx,
+                                         SitNode* out) {
+  SitNode node = stale;
+  node.id = id;
+  const std::size_t n = geo_.num_children(id);
+  for (std::size_t j = 0; j < n; ++j) {
+    const NodeId child = geo_.child_of(id, j);
+    const Addr caddr = geo_.node_addr(child);
+    ++recovery_reads_;
+    if (!dev_.contains(caddr)) {
+      if (stale.gc.counters[j] != 0) {
+        ctx.result->attack_detected = true;
+        ctx.result->attacked_level = static_cast<int>(child.level);
+        ctx.result->attack_detail = "child node erased during recovery";
+        return false;
+      }
+      node.gc.counters[j] = 0;
+      continue;
+    }
+    std::uint64_t stored = 0;
+    const SitNode cnode = SitNode::from_block(child, leaf_is_split() && child.level == 0,
+                                              dev_.peek_block(caddr), &stored);
+    // Regenerate the parent counter from the child and verify the child's
+    // HMAC with it (paper Fig. 6): detects tampering; replay is caught by
+    // the LInc comparison afterwards.
+    const std::uint64_t regenerated = cnode.parent_value();
+    const std::uint64_t mac = cme_.mac().node_mac(cnode.payload(), caddr, regenerated);
+    if (mac != stored) {
+      ctx.result->attack_detected = true;
+      ctx.result->attacked_level = static_cast<int>(child.level);
+      ctx.result->attack_detail =
+          "tampered child detected by HMAC at level " + std::to_string(child.level);
+      return false;
+    }
+    node.gc.counters[j] = regenerated;
+  }
+  *out = node;
+  return true;
+}
+
+bool SteinsMemory::rebuild_leaf_from_data(NodeId id, const SitNode& stale, RecoveryCtx& ctx,
+                                          SitNode* out) {
+  SitNode node = stale;
+  node.id = id;
+  const std::uint64_t cover = geo_.leaf_coverage();
+  for (std::uint64_t j = 0; j < cover; ++j) {
+    const std::uint64_t block = id.index * cover + j;
+    if (block >= geo_.data_blocks()) break;
+    const Addr daddr = block * kBlockSize;
+    ++recovery_reads_;
+    const std::uint64_t stale_ctr = node.split
+                                        ? static_cast<std::uint64_t>(stale.sc.minors[j])
+                                        : stale.gc.counters[j];
+    if (!dev_.contains(daddr)) {
+      if (stale_ctr != 0) {
+        ctx.result->attack_detected = true;
+        ctx.result->attacked_level = 0;
+        ctx.result->attack_detail = "data block erased during recovery";
+        return false;
+      }
+      continue;  // never-written block: counter stays zero
+    }
+    const Block ct = dev_.peek_block(daddr);
+    const std::uint64_t tag = dev_.read_tag(daddr);
+    bool found = false;
+    if (node.split) {
+      // Write-through-on-overflow keeps the major current in NVM, so only
+      // the minor needs searching, and minors only grow within a major.
+      const std::uint64_t major = stale.sc.major;
+      for (std::uint64_t m = stale_ctr; m < kMinorMax; ++m) {
+        const std::uint64_t ctr = (major << kMinorBits) | m;
+        if (cme_.data_mac(ct, daddr, ctr, major) == tag) {
+          node.sc.minors[j] = static_cast<std::uint8_t>(m);
+          found = true;
+          break;
+        }
+      }
+    } else {
+      // Stop-loss bounds the search window to kStopLoss increments.
+      for (std::uint64_t c = stale_ctr; c <= stale_ctr + kStopLoss; ++c) {
+        if (cme_.data_mac(ct, daddr, c, 0) == tag) {
+          node.gc.counters[j] = c;
+          found = true;
+          break;
+        }
+      }
+    }
+    if (!found) {
+      ctx.result->attack_detected = true;
+      ctx.result->attacked_level = 0;
+      ctx.result->attack_detail =
+          "data block HMAC matched no counter in the recovery window (tamper/replay)";
+      return false;
+    }
+  }
+  *out = node;
+  return true;
+}
+
+RecoveryResult SteinsMemory::recover() {
+  RecoveryResult result;
+  recovering_ = true;
+  recovery_reads_ = 0;
+  recovery_writes_ = 0;
+  RecoveryCtx ctx;
+  ctx.result = &result;
+
+  auto finish = [&](RecoveryResult r) {
+    recovering_ = false;
+    r.nvm_reads = recovery_reads_;
+    r.nvm_writes = recovery_writes_;
+    r.seconds = static_cast<double>(recovery_reads_) * cfg_.secure.recovery_read_ns * 1e-9 +
+                static_cast<double>(recovery_writes_) * cfg_.nvm.t_wr_ns * 1e-9;
+    return r;
+  };
+
+  // Step 1: read the offset records to locate candidate dirty nodes
+  // (a superset of the truly dirty set; clean entries are harmless, §III-H).
+  std::vector<std::vector<NodeId>> by_level(geo_.num_levels());
+  std::unordered_set<std::uint64_t> seen;
+  for (std::size_t line = 0; line < record_lines_; ++line) {
+    ++recovery_reads_;
+    const auto offsets = decode_record(dev_.peek_block(record_line_addr(line)));
+    for (const std::uint32_t o : offsets) {
+      if (o == 0) continue;
+      const NodeId id = geo_.node_at_offset(o - 1);
+      if (seen.insert(flat_key(geo_, id)).second) by_level[id.level].push_back(id);
+    }
+  }
+  // Nodes targeted by parked parent counters are dirty too.
+  for (const auto& e : nv_buffer_) {
+    if (seen.insert(flat_key(geo_, e.parent)).second) by_level[e.parent.level].push_back(e.parent);
+  }
+
+  // Steps 2-4 (Fig. 8): recover level by level, from the root downward.
+  for (int k = static_cast<int>(geo_.top_level()); k >= 0; --k) {
+    // Apply NV-buffer adjustments for parents at this level (Fig. 8 step 5):
+    // the buffered counter is already reflected in the persistent child, so
+    // only the LIncs need re-balancing. Entries are applied in FIFO order
+    // against a running per-slot value so multiple entries for one slot
+    // contribute exactly their net increase, and entries already absorbed
+    // by an inline update (counter <= stale) contribute nothing.
+    std::unordered_map<std::uint64_t, std::uint64_t> applied;  // (node,slot) -> value
+    for (const auto& e : nv_buffer_) {
+      if (static_cast<int>(e.parent.level) != k) continue;
+      const std::uint64_t slot_key = flat_key(geo_, e.parent) * kTreeArity + e.slot;
+      auto it = applied.find(slot_key);
+      if (it == applied.end()) {
+        const Addr paddr = geo_.node_addr(e.parent);
+        ++recovery_reads_;
+        const SitNode stale = SitNode::from_block(e.parent, false, dev_.peek_block(paddr));
+        it = applied.emplace(slot_key, stale.gc.counters[e.slot]).first;
+      }
+      if (e.counter <= it->second) continue;  // absorbed by a later inline update
+      const std::uint64_t delta = e.counter - it->second;
+      it->second = e.counter;
+      lincs_[k] += delta;
+      lincs_[k - 1] -= delta;
+    }
+
+    std::uint64_t level_sum = 0;
+    for (const NodeId id : by_level[static_cast<std::size_t>(k)]) {
+      // Read the stale version and verify it against its (already
+      // recovered) parent or the root register.
+      const Addr addr = geo_.node_addr(id);
+      const bool exists = dev_.contains(addr);
+      ++recovery_reads_;
+      std::uint64_t stored = 0;
+      const SitNode stale = SitNode::from_block(id, leaf_is_split() && id.level == 0,
+                                                dev_.peek_block(addr), &stored);
+      std::uint64_t pc = 0;
+      if (geo_.is_top_level(id)) {
+        pc = root_[id.index];
+      } else {
+        SitNode parent;
+        if (!recovery_counters(geo_.parent_of(id), ctx, &parent)) return finish(result);
+        pc = parent.gc.counters[geo_.slot_in_parent(id)];
+      }
+      if (exists) {
+        if (cme_.mac().node_mac(stale.payload(), addr, pc) != stored) {
+          result.attack_detected = true;
+          result.attacked_level = k;
+          result.attack_detail =
+              "stale node failed parent verification at level " + std::to_string(k);
+          return finish(result);
+        }
+      } else if (pc != 0) {
+        result.attack_detected = true;
+        result.attacked_level = k;
+        result.attack_detail = "stale node erased at level " + std::to_string(k);
+        return finish(result);
+      }
+
+      // Rebuild the latest counters from the persistent children.
+      SitNode rebuilt;
+      const bool ok = (k == 0) ? rebuild_leaf_from_data(id, stale, ctx, &rebuilt)
+                               : rebuild_from_children(id, stale, ctx, &rebuilt);
+      if (!ok) return finish(result);
+
+      level_sum += rebuilt.parent_value() - stale.parent_value();
+      ctx.recovered[flat_key(geo_, id)] = rebuilt;
+      ++result.nodes_recovered;
+    }
+
+    // Replay check (Fig. 8 steps 3-4 / 9-10): the summed counter increase
+    // of this level must equal the stored LInc — replayed children yield a
+    // smaller sum.
+    if (level_sum != lincs_[static_cast<std::size_t>(k)]) {
+      result.attack_detected = true;
+      result.attacked_level = k;
+      result.attack_detail = "LInc mismatch at level " + std::to_string(k) +
+                             " (replay attack or forged records)";
+      return finish(result);
+    }
+  }
+
+  // Step 5: install the recovered nodes into the metadata cache, marked
+  // dirty (paper: "all the retrieved nodes will be marked as dirty"), and
+  // rebuild the offset records for them.
+  nv_buffer_.clear();
+  Cycle t = 0;
+  for (int k = static_cast<int>(geo_.top_level()); k >= 0; --k) {
+    for (const NodeId id : by_level[static_cast<std::size_t>(k)]) {
+      const auto it = ctx.recovered.find(flat_key(geo_, id));
+      if (it == ctx.recovered.end()) continue;
+      const Addr addr = geo_.node_addr(id);
+      if (mcache_.peek(addr) != nullptr) continue;
+      auto victim = mcache_.insert(addr, true, it->second);
+      if (victim && victim->dirty) {
+        t = persist_detached(victim->payload, t);
+        finish_clean(victim->payload.id, t);
+      }
+      on_node_dirtied(id, t);
+    }
+  }
+
+  return finish(result);
+}
+
+}  // namespace steins

@@ -1,0 +1,134 @@
+// Steins (paper §III): fast recovery for SIT-protected NVM with
+// write-back-level runtime performance.
+//
+// Mechanisms:
+//  * Counter generation (§III-B): when a dirty node is flushed, its parent
+//    counter is GENERATED from the node (Eq. 1 sum, or Eq. 2 weighted sum
+//    with skip-increment majors for split leaves) instead of
+//    self-incremented, so stale parents can be recomputed from persistent
+//    children after a crash.
+//  * Offset-based tracking (§III-C): one 4-byte metadata-region offset per
+//    metadata-cache line, grouped into 64 B record lines; a few record
+//    lines are cached in the controller's ADR domain. Records are written
+//    only on clean->dirty transitions.
+//  * LInc trust bases (§III-D): per-level 8-byte registers holding the
+//    total increase of cached counters over their stale NVM versions; all
+//    LIncs fit one 64 B non-volatile register.
+//  * Non-volatile parent buffer (§III-E): when a flushed node's parent is
+//    not cached, the generated counter is parked in a small NV buffer and
+//    applied lazily (before the next read or when full), removing iterative
+//    parent fetches from the write critical path.
+//  * Leaf recovery (§III-G): leaf counters are recovered from the covered
+//    data blocks' HMACs by bounded trial (Osiris-style stop-loss bound for
+//    GC; minor range + write-through-on-overflow majors for SC).
+//  * Recovery (§III-G): root-to-leaf; children rebuilt counters are checked
+//    by each child's HMAC (tampering), per-level counter-increase sums are
+//    checked against the LIncs (replay).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "cache/cache.hpp"
+#include "secure/secure_memory.hpp"
+
+namespace steins {
+
+class SteinsMemory : public SecureMemoryBase {
+ public:
+  explicit SteinsMemory(const SystemConfig& cfg);
+
+  void crash() override;
+  RecoveryResult recover() override;
+
+  /// Stop-loss period for GC leaf counters: the leaf is written through
+  /// every kStopLoss increments of one counter, bounding the recovery
+  /// trial search (paper §V: Osiris-style leaf recovery).
+  static constexpr std::uint64_t kStopLoss = 64;
+
+  /// Per-level trust bases (testing/introspection).
+  const std::vector<std::uint64_t>& lincs() const { return lincs_; }
+  std::size_t nv_buffer_entries() const { return nv_buffer_.size(); }
+
+  /// Drain the NV parent buffer now (normally triggered before reads).
+  void drain_nv_buffer(Cycle& now);
+
+  std::optional<std::uint64_t> pending_parent_counter(NodeId id) const override;
+
+ protected:
+  Cycle persist_node(SitNode& node, Cycle now) override;
+  void on_node_dirtied(NodeId id, Cycle& now) override;
+  void before_read(Cycle& now) override;
+  CounterBump bump_leaf_counter(MetadataLine& leaf, std::size_t slot, Cycle& now) override;
+
+ private:
+  struct RecordLine {
+    std::array<std::uint32_t, 16> offsets{};  // 0 = empty, else offset + 1
+    std::uint16_t modified = 0;               // slots written since caching
+  };
+
+  struct BufferEntry {
+    NodeId parent;
+    std::size_t slot;
+    std::uint64_t counter;  // generated parent counter
+  };
+
+  static constexpr std::size_t kOffsetsPerRecordLine = 16;
+
+  Addr record_line_addr(std::size_t line) const { return record_base_ + line * kBlockSize; }
+
+  /// Record the offset of a newly-dirtied node, keyed by its cache line.
+  /// Slots are overwritten unconditionally, so a record-cache miss needs no
+  /// NVM read; evictions merge the modified slots into the region with
+  /// 4-byte partial writes (PCM is byte-addressable).
+  void write_record(NodeId id, Cycle& now);
+
+  /// Merge a record line's modified slots into NVM (partial writes).
+  void flush_record_line(Addr laddr, const RecordLine& line, Cycle& now);
+
+  /// Device occupancy charged per partial record write burst.
+  static constexpr Cycle kPartialWriteCycles = 16;
+
+  /// Apply (and remove) buffered parent counters targeting `node`; also
+  /// mirrors the update into the cached copy if one exists.
+  void apply_buffered_entries_to(SitNode& node);
+
+  /// Apply one buffer entry whose parent is cached (or fetch it).
+  void apply_buffer_entry(const BufferEntry& e, Cycle& now);
+
+  // ---- recovery helpers ----
+
+  struct RecoveryCtx {
+    std::unordered_map<std::uint64_t, SitNode> recovered;  // key = flat offset
+    std::unordered_map<std::uint64_t, SitNode> clean_verified;
+    RecoveryResult* result = nullptr;
+  };
+
+  static std::uint64_t flat_key(const SitGeometry& geo, NodeId id) {
+    return geo.offset_of(id);
+  }
+
+  /// Counters of `id` during recovery: recovered map, else NVM (verified
+  /// against its parent, recursing upward). Returns false on verification
+  /// failure (attack recorded in ctx).
+  bool recovery_counters(NodeId id, RecoveryCtx& ctx, SitNode* out);
+
+  /// Rebuild a node's counters from its persistent children; verifies each
+  /// child's HMAC with the regenerated counter (tamper check).
+  bool rebuild_from_children(NodeId id, const SitNode& stale, RecoveryCtx& ctx, SitNode* out);
+
+  /// Recover one leaf's counters by bounded trial against data HMACs.
+  bool rebuild_leaf_from_data(NodeId id, const SitNode& stale, RecoveryCtx& ctx, SitNode* out);
+
+  Addr record_base_;
+  std::size_t record_lines_;                 // record region size in lines
+  SetAssocCache<RecordLine> record_cache_;   // ADR-resident record lines
+  std::vector<std::uint64_t> lincs_;         // NV register: one per level
+  std::vector<BufferEntry> nv_buffer_;       // NV parent-counter buffer
+  std::size_t nv_buffer_capacity_;
+  bool draining_ = false;                    // re-entrancy guard for drains
+};
+
+}  // namespace steins

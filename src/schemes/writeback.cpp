@@ -1,0 +1,9 @@
+#include "schemes/writeback.hpp"
+
+// WriteBackMemory is fully defined in the header; this TU anchors it in the
+// library so its vtable has a home.
+namespace steins {
+namespace {
+[[maybe_unused]] void anchor() { (void)sizeof(WriteBackMemory); }
+}  // namespace
+}  // namespace steins

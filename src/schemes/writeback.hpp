@@ -1,0 +1,26 @@
+// WB baseline (paper §IV): classic counter-mode encryption + SIT with lazy
+// write-back of metadata. Highest runtime performance, no crash recovery —
+// dirty metadata lost at power failure stays lost.
+#pragma once
+
+#include "secure/secure_memory.hpp"
+
+namespace steins {
+
+class WriteBackMemory : public SecureMemoryBase {
+ public:
+  explicit WriteBackMemory(const SystemConfig& cfg) : SecureMemoryBase(cfg) {}
+
+  RecoveryResult recover() override {
+    RecoveryResult r;
+    r.supported = false;
+    return r;
+  }
+
+ protected:
+  Cycle persist_node(SitNode& node, Cycle now) override {
+    return persist_with_self_increment(node, now);
+  }
+};
+
+}  // namespace steins

@@ -1,0 +1,14 @@
+// The memory controller's metadata cache (paper Table I: 256 KB, 8-way,
+// LRU, 64 B lines). Caches decoded SIT nodes; cached nodes are trusted
+// (verified on fill) and carry a dirty bit.
+#pragma once
+
+#include "cache/cache.hpp"
+#include "sit/node.hpp"
+
+namespace steins {
+
+using MetadataCache = SetAssocCache<SitNode>;
+using MetadataLine = MetadataCache::Line;
+
+}  // namespace steins

@@ -1,0 +1,427 @@
+#include "secure/secure_memory.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "schemes/anubis.hpp"
+#include "schemes/star.hpp"
+#include "schemes/steins.hpp"
+#include "schemes/writeback.hpp"
+
+namespace steins {
+
+double ExecStats::energy_nj(const SystemConfig& cfg) const {
+  const double partial_blocks = static_cast<double>(aux_write_bytes) / kBlockSize;
+  return static_cast<double>(nvm_reads()) * cfg.nvm.read_energy_nj +
+         (static_cast<double>(data_writes + meta_writes + aux_writes) + partial_blocks) *
+             cfg.nvm.write_energy_nj +
+         static_cast<double>(hash_ops) * cfg.secure.hash_energy_nj +
+         static_cast<double>(aes_ops) * cfg.secure.aes_energy_nj +
+         static_cast<double>(mcache_accesses) * cfg.secure.cache_access_energy_nj;
+}
+
+std::string scheme_name(Scheme s, CounterMode mode) {
+  const char* suffix = (mode == CounterMode::kSplit) ? "-SC" : "-GC";
+  switch (s) {
+    case Scheme::kWriteBack:
+      return std::string("WB") + suffix;
+    case Scheme::kAnubis:
+      return "ASIT";
+    case Scheme::kStar:
+      return "STAR";
+    case Scheme::kSteins:
+      return std::string("Steins") + suffix;
+  }
+  return "?";
+}
+
+SecureMemoryBase::SecureMemoryBase(const SystemConfig& cfg, std::uint64_t key_seed)
+    : cfg_(cfg),
+      geo_(cfg.nvm, cfg.counter_mode),
+      dev_(cfg.nvm),
+      channel_(cfg_, dev_),
+      cme_(cfg.crypto, key_seed),
+      mcache_(cfg.secure.metadata_cache.size_bytes, cfg.secure.metadata_cache.ways,
+              cfg.secure.metadata_cache.block_bytes),
+      root_(geo_.root_children(), 0) {}
+
+Cycle SecureMemoryBase::timed_read(Addr addr, Cycle now, Block* out) {
+  if (recovering_) {
+    ++recovery_reads_;
+    if (out != nullptr) *out = dev_.peek_block(addr);
+    return now;
+  }
+  return channel_.read(addr, now, out);
+}
+
+Cycle SecureMemoryBase::timed_write(Addr addr, const Block& data, Cycle now,
+                                    LatencyAccumulator* acc, Cycle birth) {
+  if (recovering_) {
+    ++recovery_writes_;
+    dev_.poke_block(addr, data);
+    return now;
+  }
+  return channel_.write(addr, data, now, acc, birth);
+}
+
+void SecureMemoryBase::on_node_modified(NodeId, Cycle&) {}
+void SecureMemoryBase::on_node_dirtied(NodeId, Cycle&) {}
+void SecureMemoryBase::on_node_cleaned(NodeId, Cycle&) {}
+void SecureMemoryBase::before_read(Cycle&) {}
+void SecureMemoryBase::on_data_written(Addr, std::uint64_t, Cycle&) {}
+
+std::optional<std::uint64_t> SecureMemoryBase::pending_parent_counter(NodeId) const {
+  return std::nullopt;
+}
+
+std::uint64_t SecureMemoryBase::verify_parent_counter(NodeId id, Cycle& now) {
+  if (const auto pending = pending_parent_counter(id)) return *pending;
+  if (geo_.is_top_level(id)) return root_[id.index];
+  const FetchResult parent = fetch_node(geo_.parent_of(id), now);
+  now = parent.ready;
+  return parent.line->payload.gc.counters[geo_.slot_in_parent(id)];
+}
+
+SecureMemoryBase::FetchResult SecureMemoryBase::fetch_node(NodeId id, Cycle now) {
+  const Addr addr = geo_.node_addr(id);
+  ++stats_.mcache_accesses;
+  if (MetadataLine* line = mcache_.lookup(addr)) {
+    return {line, now + 1};
+  }
+
+  // If this node is mid-flush (evicted, HMAC being computed, write not yet
+  // issued), its NVM image is stale: reinstate the live in-flight copy as a
+  // dirty cached node instead of reloading the old image.
+  for (auto it = inflight_persists_.rbegin(); it != inflight_persists_.rend(); ++it) {
+    if ((*it)->id == id) {
+      MetadataLine* line = nullptr;
+      auto victim = mcache_.insert(addr, true, **it, &line);
+      if (victim && victim->dirty) {
+        now = persist_detached(victim->payload, now);
+        finish_clean(victim->payload.id, now);
+        line = mcache_.lookup(addr);
+        if (line == nullptr) return fetch_node(id, now);
+      }
+      Cycle hook_now = now;
+      on_node_modified(id, hook_now);  // tracking structures see it anew
+      on_node_dirtied(id, hook_now);
+      return {line, hook_now + 1};
+    }
+  }
+
+  // Miss: the parent counter is the HMAC verification input, so resolve it
+  // first (recursing toward the on-chip root on further misses).
+  const std::uint64_t parent_ctr = verify_parent_counter(id, now);
+
+  // Resolving the parent can evict dirty nodes, and flushing a victim whose
+  // parent is `id` pulls `id` into the cache as a side effect — re-check
+  // before inserting a duplicate line.
+  if (MetadataLine* line = mcache_.lookup(addr)) {
+    return {line, now + 1};
+  }
+
+  const bool exists = block_exists(addr);
+  Block img{};
+  Cycle t = timed_read(addr, now, &img);
+  ++stats_.meta_reads;
+
+  std::uint64_t stored = 0;
+  const bool split = leaf_is_split() && id.level == 0;
+  SitNode node = SitNode::from_block(id, split, img, &stored);
+  if (exists) {
+    const NodePayload payload = node.payload();
+    const std::uint64_t mac = cme_.mac().node_mac(payload, addr, parent_ctr);
+    charge_hash(t);
+    if (mac != stored) {
+      throw IntegrityViolation("SIT node HMAC mismatch at level " + std::to_string(id.level) +
+                               " index " + std::to_string(id.index));
+    }
+  } else if (parent_ctr != 0) {
+    // A never-written node is the all-zero initial state; its parent
+    // counter must still be zero, otherwise the node image was erased.
+    throw IntegrityViolation("missing SIT node with nonzero parent counter");
+  }
+
+  MetadataLine* inserted = nullptr;
+  auto victim = mcache_.insert(addr, false, node, &inserted);
+  if (victim && victim->dirty) {
+    t = persist_detached(victim->payload, t);
+    finish_clean(victim->payload.id, t);
+    // The victim flush can recursively insert ancestors; in the (rare) case
+    // that aged this node out of its set, re-fetch it.
+    inserted = mcache_.lookup(addr);
+    if (inserted == nullptr) return fetch_node(id, t);
+  }
+  return {inserted, t};
+}
+
+Cycle SecureMemoryBase::persist_with_self_increment(SitNode& node, Cycle now,
+                                                    std::uint64_t* parent_ctr_out) {
+  // Classic SIT lazy update (paper §II-C): bump the parent counter by one,
+  // recompute this node's HMAC with the new parent counter, write it out.
+  // Under the eager policy (ablation) the parent counter was already
+  // advanced on the write path, so it is only read here.
+  const bool eager = cfg_.update_policy == UpdatePolicy::kEager;
+  std::uint64_t parent_ctr;
+  if (geo_.is_top_level(node.id)) {
+    if (!eager) root_[node.id.index] = (root_[node.id.index] + 1) & kCounter56Mask;
+    parent_ctr = root_[node.id.index];
+  } else if (eager) {
+    const FetchResult parent = fetch_node(geo_.parent_of(node.id), now);
+    now = parent.ready;
+    parent_ctr = parent.line->payload.gc.counters[geo_.slot_in_parent(node.id)];
+  } else {
+    // Parent fetch is on the critical path here (unavoidable for the
+    // baselines; Steins overrides persist_node to avoid it).
+    const FetchResult parent = fetch_node(geo_.parent_of(node.id), now);
+    now = parent.ready;
+    const bool parent_was_clean = !parent.line->dirty;
+    parent.line->payload.gc.increment(geo_.slot_in_parent(node.id));
+    parent.line->dirty = true;
+    on_node_modified(parent.line->payload.id, now);
+    if (parent_was_clean) on_node_dirtied(parent.line->payload.id, now);
+    parent_ctr = parent.line->payload.gc.counters[geo_.slot_in_parent(node.id)];
+  }
+
+  const Addr addr = geo_.node_addr(node.id);
+  const NodePayload payload = node.payload();
+  const std::uint64_t mac = cme_.mac().node_mac(payload, addr, parent_ctr);
+  charge_hash(now);
+  now = timed_write(addr, node.to_block(mac), now);
+  ++stats_.meta_writes;
+  if (parent_ctr_out != nullptr) *parent_ctr_out = parent_ctr;
+  return now;
+}
+
+Cycle SecureMemoryBase::persist_detached(SitNode& node, Cycle now) {
+  inflight_persists_.push_back(&node);
+  now = persist_node(node, now);
+  inflight_persists_.pop_back();
+  return now;
+}
+
+void SecureMemoryBase::finish_clean(NodeId id, Cycle& now) {
+  const MetadataLine* cur = mcache_.peek(geo_.node_addr(id));
+  if (cur == nullptr || !cur->dirty) on_node_cleaned(id, now);
+}
+
+Cycle SecureMemoryBase::write_through_node(MetadataLine& line, Cycle now) {
+  line.dirty = false;
+  SitNode copy = line.payload;
+  now = persist_detached(copy, now);
+  finish_clean(copy.id, now);
+  return now;
+}
+
+SecureMemoryBase::CounterBump SecureMemoryBase::bump_leaf_counter(MetadataLine& leaf,
+                                                                  std::size_t slot, Cycle& now) {
+  CounterBump bump;
+  SitNode& node = leaf.payload;
+  bump.pv_before = node.parent_value();
+  if (node.split) {
+    const SitNode before = node;
+    const auto r = node.sc.increment_plain(slot);
+    bump.overflowed = r.overflowed;
+    if (r.overflowed) reencrypt_covered_blocks(before, node, slot, now);
+    bump.enc_counter = node.sc.encryption_counter(slot);
+    bump.aux = node.sc.major;
+  } else {
+    node.gc.increment(slot);
+    bump.enc_counter = node.gc.counters[slot];
+  }
+  bump.pv_after = node.parent_value();
+  return bump;
+}
+
+std::uint64_t SecureMemoryBase::leaf_enc_counter(const SitNode& leaf, std::size_t slot,
+                                                 std::uint64_t* aux) const {
+  if (leaf.split) {
+    if (aux != nullptr) *aux = leaf.sc.major;
+    return leaf.sc.encryption_counter(slot);
+  }
+  if (aux != nullptr) *aux = 0;
+  return leaf.gc.counters[slot];
+}
+
+void SecureMemoryBase::reencrypt_covered_blocks(const SitNode& before, const SitNode& after,
+                                                std::size_t skip_slot, Cycle& now) {
+  // A split-counter minor overflow reset every minor: all covered data
+  // blocks must be re-encrypted under their new counters (paper §II-B).
+  assert(before.split && after.split);
+  const std::uint64_t first_block = before.id.index * geo_.leaf_coverage();
+  for (std::size_t j = 0; j < geo_.leaf_coverage(); ++j) {
+    if (j == skip_slot) continue;  // about to be rewritten by the caller
+    const Addr addr = (first_block + j) * kBlockSize;
+    if (!block_exists(addr)) continue;
+    Block ct;
+    now = timed_read(addr, now, &ct);
+    ++stats_.data_reads;
+    const std::uint64_t old_ctr = before.sc.encryption_counter(j);
+    const std::uint64_t new_ctr = after.sc.encryption_counter(j);
+    const Block pt = cme_.decrypt(ct, addr, old_ctr);
+    const Block nct = cme_.encrypt(pt, addr, new_ctr);
+    charge_aes();
+    charge_aes();
+    const std::uint64_t tag = cme_.data_mac(nct, addr, new_ctr, after.sc.major);
+    charge_hash(now);
+    now = timed_write(addr, nct, now);
+    dev_.write_tag(addr, tag);
+    ++stats_.data_writes;
+    ++stats_.reencryptions;
+  }
+}
+
+Cycle SecureMemoryBase::write_block(Addr addr, const Block& data, Cycle now) {
+  Cycle t = std::max(now, mc_free_at_);
+  tracking_penalty_ = 0;
+  const std::uint64_t block = addr / kBlockSize;
+  const NodeId leaf_id = geo_.leaf_of_data(block);
+  const std::size_t slot = geo_.slot_of_data(block);
+
+  const FetchResult leaf = fetch_node(leaf_id, t);
+  t = leaf.ready;
+
+  const bool was_clean = !leaf.line->dirty;
+  const CounterBump bump = bump_leaf_counter(*leaf.line, slot, t);
+  leaf.line->dirty = true;
+  on_node_modified(leaf_id, t);
+  if (was_clean) on_node_dirtied(leaf_id, t);
+
+  if (cfg_.update_policy == UpdatePolicy::kEager) {
+    // Eager SIT update (paper §II-C, ablation): propagate the increment up
+    // the whole branch, caching and dirtying every ancestor.
+    NodeId cur = leaf_id;
+    while (!geo_.is_top_level(cur)) {
+      const NodeId parent_id = geo_.parent_of(cur);
+      const FetchResult parent = fetch_node(parent_id, t);
+      t = parent.ready;
+      parent.line->payload.gc.increment(geo_.slot_in_parent(cur));
+      const bool parent_was_clean = !parent.line->dirty;
+      parent.line->dirty = true;
+      on_node_modified(parent_id, t);
+      if (parent_was_clean) on_node_dirtied(parent_id, t);
+      cur = parent_id;
+    }
+    root_[cur.index] = (root_[cur.index] + 1) & kCounter56Mask;
+  }
+
+  charge_aes();
+  const Block ct = cme_.encrypt(data, addr, bump.enc_counter);
+  const std::uint64_t tag = cme_.data_mac(ct, addr, bump.enc_counter, bump.aux);
+  charge_hash(t);
+  t = timed_write(addr, ct, t);
+  dev_.write_tag(addr, tag);
+  ++stats_.data_writes;
+  // Write latency: metadata front-end work + tracking-structure work +
+  // queue acceptance + the cell programming time of this block (posted
+  // writes complete at the device).
+  if (!recovering_) {
+    stats_.write_latency.add((t - now) + tracking_penalty_ + cfg_.nvm_write_cycles());
+  }
+  tracking_penalty_ = 0;
+  on_data_written(addr, bump.enc_counter, t);
+
+  mc_free_at_ = t;
+  return t;
+}
+
+Cycle SecureMemoryBase::read_block(Addr addr, Cycle now, Block* out) {
+  Cycle t = std::max(now, mc_free_at_);
+  tracking_penalty_ = 0;  // tracking work on the read path is pipelined away
+  before_read(t);
+  const std::uint64_t block = addr / kBlockSize;
+  const NodeId leaf_id = geo_.leaf_of_data(block);
+  const std::size_t slot = geo_.slot_of_data(block);
+
+  const FetchResult leaf = fetch_node(leaf_id, t);
+  const Cycle t_meta = leaf.ready;
+
+  std::uint64_t aux = 0;
+  const std::uint64_t ctr = leaf_enc_counter(leaf.line->payload, slot, &aux);
+
+  // The data fetch and the OTP generation proceed in parallel (paper
+  // §II-B): the decrypt latency is hidden behind the array read.
+  const bool exists = block_exists(addr);
+  Block ct{};
+  const Cycle t_data = timed_read(addr, t, &ct);
+  ++stats_.data_reads;
+  charge_aes();
+  Cycle ready = std::max(t_data, t_meta + cfg_.secure.aes_latency_cycles);
+
+  if (exists) {
+    const std::uint64_t tag = dev_.read_tag(addr);
+    const std::uint64_t mac = cme_.data_mac(ct, addr, ctr, aux);
+    charge_hash(ready);
+    if (mac != tag) {
+      throw IntegrityViolation("data HMAC mismatch at block " + std::to_string(block));
+    }
+    if (out != nullptr) *out = cme_.decrypt(ct, addr, ctr);
+  } else {
+    if (ctr != 0) {
+      throw IntegrityViolation("missing data block with nonzero counter");
+    }
+    if (out != nullptr) *out = zero_block();
+  }
+
+  stats_.read_latency.add(ready - now);
+  mc_free_at_ = ready;
+  return ready;
+}
+
+void SecureMemoryBase::crash() {
+  // Power loss: the write queue and ADR domain drain to NVM (paper §III-A);
+  // everything volatile is lost. Scheme subclasses flush their ADR-resident
+  // structures (record lines, bitmap lines, NV buffer) before calling this.
+  channel_.drain_all(mc_free_at_);
+  mcache_.clear();
+  mc_free_at_ = 0;
+}
+
+void SecureMemoryBase::flush_all_metadata() {
+  Cycle t = mc_free_at_;
+  // Persisting a node dirties its parent, so iterate until no dirty line
+  // remains (bounded by the tree height). Deferred parent updates are
+  // settled first each round (Steins drains its NV buffer in before_read),
+  // so a full flush leaves no pending state anywhere.
+  bool any = true;
+  while (any) {
+    any = false;
+    before_read(t);
+    mcache_.for_each([&](MetadataLine& line) {
+      if (line.dirty) {
+        // Clear the dirty bit first and persist a copy: the parent fetch
+        // inside persist_node may evict this very line.
+        line.dirty = false;
+        SitNode copy = line.payload;
+        t = persist_detached(copy, t);
+        finish_clean(copy.id, t);
+        any = true;
+      }
+    });
+  }
+  mc_free_at_ = channel_.drain_all(t);
+}
+
+std::optional<SitNode> SecureMemoryBase::current_node_state(NodeId id) const {
+  const Addr addr = geo_.node_addr(id);
+  if (const MetadataLine* line = mcache_.peek(addr)) return line->payload;
+  if (!dev_.contains(addr)) return std::nullopt;
+  const Block img = dev_.peek_block(addr);
+  return SitNode::from_block(id, leaf_is_split() && id.level == 0, img);
+}
+
+std::unique_ptr<SecureMemory> make_scheme(Scheme scheme, const SystemConfig& cfg) {
+  switch (scheme) {
+    case Scheme::kWriteBack:
+      return std::make_unique<WriteBackMemory>(cfg);
+    case Scheme::kAnubis:
+      return std::make_unique<AnubisMemory>(cfg);
+    case Scheme::kStar:
+      return std::make_unique<StarMemory>(cfg);
+    case Scheme::kSteins:
+      return std::make_unique<SteinsMemory>(cfg);
+  }
+  return nullptr;
+}
+
+}  // namespace steins

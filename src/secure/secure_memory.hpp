@@ -1,0 +1,282 @@
+// SecureMemory: the secure NVM memory-controller model.
+//
+// SecureMemoryBase implements everything the four schemes share — the CME
+// data path, the SIT with lazy updates, the metadata cache, recursive
+// fetch-and-verify, timing/energy accounting, and crash machinery — and
+// exposes virtual hooks where the schemes differ:
+//
+//   * flush_dirty_node(): how a dirty node is persisted (self-increment
+//     parents for WB/ASIT/STAR; generated counters + NV buffer for Steins)
+//   * on_node_modified/dirtied/cleaned(): tracking structures (ASIT shadow
+//     table + cache-tree; STAR bitmap + cache-tree; Steins offset records)
+//   * crash()/recover(): per-scheme recovery procedure.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "common/config.hpp"
+#include "common/stats.hpp"
+#include "common/types.hpp"
+#include "nvm/nvm_device.hpp"
+#include "nvm/write_queue.hpp"
+#include "secure/cme.hpp"
+#include "secure/metadata_cache.hpp"
+#include "sit/geometry.hpp"
+#include "sit/node.hpp"
+
+namespace steins {
+
+/// Thrown when runtime integrity verification fails (tampering detected).
+class IntegrityViolation : public std::runtime_error {
+ public:
+  explicit IntegrityViolation(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Outcome of SecureMemory::recover().
+struct RecoveryResult {
+  bool supported = true;          // WB reports false
+  bool attack_detected = false;
+  std::string attack_detail;      // which check fired, at which level
+  int attacked_level = -1;
+  std::uint64_t nodes_recovered = 0;
+  std::uint64_t nvm_reads = 0;    // metadata/data blocks fetched
+  std::uint64_t nvm_writes = 0;   // blocks written back during recovery
+  double seconds = 0.0;           // modeled recovery time
+
+  bool ok() const { return supported && !attack_detected; }
+};
+
+/// Aggregated runtime statistics for one simulation run.
+struct ExecStats {
+  LatencyAccumulator read_latency;   // data read: arrival -> verified data
+  LatencyAccumulator write_latency;  // data write: arrival -> NVM completion
+  std::uint64_t data_reads = 0;      // NVM data-block reads
+  std::uint64_t data_writes = 0;
+  std::uint64_t meta_reads = 0;      // SIT node reads
+  std::uint64_t meta_writes = 0;
+  std::uint64_t aux_reads = 0;       // shadow/bitmap region reads
+  std::uint64_t aux_writes = 0;      // full-line shadow/bitmap writes
+  std::uint64_t aux_write_bytes = 0; // partial (byte-addressable) writes
+  std::uint64_t hash_ops = 0;
+  std::uint64_t aes_ops = 0;
+  std::uint64_t mcache_accesses = 0;
+  std::uint64_t reencryptions = 0;   // split-counter overflow re-encryptions
+
+  std::uint64_t nvm_reads() const { return data_reads + meta_reads + aux_reads; }
+  std::uint64_t nvm_writes() const {
+    return data_writes + meta_writes + aux_writes + aux_write_bytes / kBlockSize;
+  }
+
+  /// Total modeled energy (nJ) given the configured per-op costs.
+  double energy_nj(const SystemConfig& cfg) const;
+
+  void reset() { *this = ExecStats{}; }
+};
+
+/// Scheme identifiers (paper §IV).
+enum class Scheme { kWriteBack, kAnubis, kStar, kSteins };
+
+std::string scheme_name(Scheme s, CounterMode mode);
+
+class SecureMemory {
+ public:
+  virtual ~SecureMemory() = default;
+
+  /// Data-block read arriving at the controller at cycle `now`.
+  /// Returns the cycle at which verified plaintext is available.
+  virtual Cycle read_block(Addr addr, Cycle now, Block* out) = 0;
+
+  /// Data-block write (dirty LLC eviction) arriving at `now`. Returns the
+  /// cycle at which the controller has accepted the write (posted).
+  virtual Cycle write_block(Addr addr, const Block& data, Cycle now) = 0;
+
+  /// Simulated power loss: volatile state is dropped, the ADR domain and
+  /// write queue drain to NVM.
+  virtual void crash() = 0;
+
+  /// Rebuild security metadata after crash() per the scheme's procedure.
+  virtual RecoveryResult recover() = 0;
+
+  virtual ExecStats& stats() = 0;
+  virtual const SystemConfig& config() const = 0;
+  virtual NvmDevice& device() = 0;
+  virtual const SitGeometry& geometry() const = 0;
+  virtual const CacheStats& metadata_cache_stats() const = 0;
+};
+
+class SecureMemoryBase : public SecureMemory {
+ public:
+  SecureMemoryBase(const SystemConfig& cfg, std::uint64_t key_seed = 0x57e145c0de5eedULL);
+
+  // The channel holds references into this object; it must stay put.
+  SecureMemoryBase(const SecureMemoryBase&) = delete;
+  SecureMemoryBase& operator=(const SecureMemoryBase&) = delete;
+
+  Cycle read_block(Addr addr, Cycle now, Block* out) override;
+  Cycle write_block(Addr addr, const Block& data, Cycle now) override;
+
+  void crash() override;
+
+  ExecStats& stats() override { return stats_; }
+  const SystemConfig& config() const override { return cfg_; }
+  NvmDevice& device() override { return dev_; }
+  const SitGeometry& geometry() const override { return geo_; }
+
+  const CacheStats& metadata_cache_stats() const override { return mcache_.stats(); }
+
+  NvmChannel& channel() { return channel_; }
+  MetadataCache& metadata_cache() { return mcache_; }
+  const std::vector<std::uint64_t>& root_counters() const { return root_; }
+  const CmeEngine& cme() const { return cme_; }
+
+  /// Scheme hook (public for introspection/auditing): a pending, not yet
+  /// applied parent counter for `id`, if any. Steins answers from its NV
+  /// parent buffer so verification never sees a stale parent slot; the
+  /// buffer lives on-chip, so this costs no memory access.
+  virtual std::optional<std::uint64_t> pending_parent_counter(NodeId id) const;
+
+  /// Force every queued write to NVM and every dirty metadata node out of
+  /// the cache (used by tests to reach a fully-persistent state).
+  void flush_all_metadata();
+
+  /// Snapshot of a node's current (possibly cached-dirty) counters; used by
+  /// tests to compare pre-crash and post-recovery states.
+  std::optional<SitNode> current_node_state(NodeId id) const;
+
+ protected:
+  struct FetchResult {
+    MetadataLine* line;
+    Cycle ready;
+  };
+
+  /// Fetch-and-verify a node into the metadata cache (paper §II-C):
+  /// recursive parent fetches on miss, HMAC check against the parent
+  /// counter, LRU insertion with dirty-victim flush.
+  FetchResult fetch_node(NodeId id, Cycle now);
+
+  /// Persist one dirty node's payload to NVM, updating its parent counter
+  /// per the scheme (self-increment vs. generated). Returns the cycle after
+  /// the metadata operations on the current path.
+  virtual Cycle persist_node(SitNode& node, Cycle now) = 0;
+
+  /// A cached node's counters changed.
+  virtual void on_node_modified(NodeId id, Cycle& now);
+  /// A cached node transitioned clean -> dirty.
+  virtual void on_node_dirtied(NodeId id, Cycle& now);
+  /// A cached node transitioned dirty -> clean (flushed or evicted).
+  virtual void on_node_cleaned(NodeId id, Cycle& now);
+
+  /// Hook before serving a data read (Steins drains the NV buffer here).
+  virtual void before_read(Cycle& now);
+
+  /// Hook after a data block write (STAR stashes leaf-counter LSBs in the
+  /// block's spare ECC bits here).
+  virtual void on_data_written(Addr addr, std::uint64_t counter, Cycle& now);
+
+  /// Increment the leaf counter covering a data write; returns the
+  /// encryption counter to use and handles split-counter overflow
+  /// (re-encryption of covered blocks). `pv_before/pv_after` report the
+  /// node's Eq-1/Eq-2 parent value around the increment (for LIncs).
+  struct CounterBump {
+    std::uint64_t enc_counter = 0;
+    std::uint64_t aux = 0;  // MAC aux input (leaf major for Steins-SC)
+    std::uint64_t pv_before = 0;
+    std::uint64_t pv_after = 0;
+    bool overflowed = false;
+  };
+  virtual CounterBump bump_leaf_counter(MetadataLine& leaf, std::size_t slot, Cycle& now);
+
+  /// Encryption counter currently stored for a data block (for reads).
+  std::uint64_t leaf_enc_counter(const SitNode& leaf, std::size_t slot,
+                                 std::uint64_t* aux) const;
+
+  /// Parent counter used to verify `id`'s persistent image: the counter in
+  /// the cached parent node (fetching it if needed) or the root register.
+  std::uint64_t verify_parent_counter(NodeId id, Cycle& now);
+
+  /// Self-increment parent-update flush shared by WB/ASIT/STAR
+  /// (paper §II-C classic SIT semantics). `parent_ctr_out`, if given,
+  /// receives the post-increment parent counter (STAR stores its LSBs).
+  Cycle persist_with_self_increment(SitNode& node, Cycle now,
+                                    std::uint64_t* parent_ctr_out = nullptr);
+
+  /// Persist a cached node without evicting it (write-through): the node
+  /// stays cached but becomes clean.
+  Cycle write_through_node(MetadataLine& line, Cycle now);
+
+  /// Persist a node that is no longer (or no longer reliably) in the cache.
+  /// While the flush is in flight, the node is registered so that recursive
+  /// parent fetches triggered by the flush serve the live copy instead of
+  /// re-reading a stale image from NVM (see fetch_node).
+  Cycle persist_detached(SitNode& node, Cycle now);
+
+  /// Fire on_node_cleaned for a just-persisted node — unless the flush
+  /// chain re-materialized it as a dirty cached node (the inflight path),
+  /// in which case it is still dirty and must stay tracked.
+  void finish_clean(NodeId id, Cycle& now);
+
+  /// Re-encrypt the data blocks covered by a split leaf after a minor
+  /// overflow (their encryption counters changed wholesale). Charges
+  /// reads+writes; `skip_slot` is the block the caller is about to write.
+  void reencrypt_covered_blocks(const SitNode& before, const SitNode& after,
+                                std::size_t skip_slot, Cycle& now);
+
+  /// True if a block has ever been written (device or write queue).
+  bool block_exists(Addr addr) const {
+    return dev_.contains(addr) || channel_.queued(addr);
+  }
+
+  /// Charge one hash (MAC) computation on the current path.
+  void charge_hash(Cycle& now) {
+    now += cfg_.secure.hash_latency_cycles;
+    ++stats_.hash_ops;
+  }
+  void charge_aes() { ++stats_.aes_ops; }
+
+  /// Charge tracking-structure work (cache-tree hashes, synchronous shadow
+  /// persists) to the WRITE-latency side channel: it burdens metadata
+  /// modifications (paper Figs. 10) without sitting on the read path.
+  void charge_tracking(Cycle cycles, bool is_hash = false) {
+    tracking_penalty_ += cycles;
+    if (is_hash) ++stats_.hash_ops;
+  }
+
+  bool leaf_is_split() const { return cfg_.counter_mode == CounterMode::kSplit; }
+
+  /// Reads during recovery are charged to the recovery budget instead of
+  /// the runtime channel.
+  bool recovering_ = false;
+  std::uint64_t recovery_reads_ = 0;
+  std::uint64_t recovery_writes_ = 0;
+
+  /// Channel read that respects recovery accounting.
+  Cycle timed_read(Addr addr, Cycle now, Block* out);
+  /// Channel (posted) write that respects recovery accounting.
+  Cycle timed_write(Addr addr, const Block& data, Cycle now, LatencyAccumulator* acc = nullptr,
+                    Cycle birth = 0);
+
+  /// Nodes currently being flushed but not yet written (see
+  /// persist_detached); newest last.
+  std::vector<const SitNode*> inflight_persists_;
+
+  SystemConfig cfg_;
+  SitGeometry geo_;
+  NvmDevice dev_;
+  NvmChannel channel_;
+  CmeEngine cme_;
+  MetadataCache mcache_;
+  std::vector<std::uint64_t> root_;  // on-chip NV root register (per top node)
+  ExecStats stats_;
+  Cycle mc_free_at_ = 0;       // controller front-end serialization
+  Cycle tracking_penalty_ = 0; // per-op tracking work (write-latency side)
+};
+
+/// Factory covering the paper's evaluated schemes.
+std::unique_ptr<SecureMemory> make_scheme(Scheme scheme, const SystemConfig& cfg);
+
+}  // namespace steins

@@ -1,0 +1,8 @@
+#include "sim/cpu_model.hpp"
+
+// CpuModel is header-only; this TU anchors the header in the build.
+namespace steins {
+namespace {
+[[maybe_unused]] void anchor() { (void)sizeof(CpuModel); }
+}  // namespace
+}  // namespace steins

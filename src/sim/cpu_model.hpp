@@ -1,0 +1,52 @@
+// In-order CPU timing model.
+//
+// Substitutes for gem5's core (DESIGN.md §2): retires one instruction per
+// cycle, stalls loads for the full memory round trip, posts stores into the
+// write-back hierarchy. Everything the paper evaluates happens at/below the
+// LLC-memory boundary, so an in-order core preserves the schemes' relative
+// costs in the normalized figures.
+#pragma once
+
+#include "common/config.hpp"
+#include "common/types.hpp"
+
+namespace steins {
+
+struct CpuLatencies {
+  Cycle l1_hit = 1;
+  Cycle l2_hit = 12;
+  Cycle l3_hit = 30;
+  Cycle store_miss_overlap = 20;  // store-buffer hides most of a store miss
+};
+
+class CpuModel {
+ public:
+  explicit CpuModel(const CpuLatencies& lat = {}) : lat_(lat) {}
+
+  Cycle now() const { return now_; }
+  std::uint64_t instructions() const { return instructions_; }
+
+  /// Retire `gap` non-memory instructions plus the memory instruction.
+  void advance(std::uint32_t gap) {
+    now_ += gap + 1;
+    instructions_ += gap + 1;
+  }
+
+  /// Stall the core until `t` (load completion or structural hazard).
+  void stall_until(Cycle t) {
+    if (t > now_) now_ = t;
+  }
+
+  void add_latency(Cycle c) { now_ += c; }
+
+  const CpuLatencies& latencies() const { return lat_; }
+
+  void reset_instruction_count() { instructions_ = 0; }
+
+ private:
+  CpuLatencies lat_;
+  Cycle now_ = 0;
+  std::uint64_t instructions_ = 0;
+};
+
+}  // namespace steins

@@ -1,0 +1,90 @@
+#include "sim/experiment.hpp"
+
+#include <cassert>
+#include <cstdio>
+#include <map>
+
+#include "trace/workloads.hpp"
+
+namespace steins {
+
+std::vector<SchemeSpec> gc_comparison_schemes() {
+  return {
+      {Scheme::kWriteBack, CounterMode::kGeneral, "WB-GC"},
+      {Scheme::kAnubis, CounterMode::kGeneral, "ASIT"},
+      {Scheme::kStar, CounterMode::kGeneral, "STAR"},
+      {Scheme::kSteins, CounterMode::kGeneral, "Steins-GC"},
+  };
+}
+
+std::vector<SchemeSpec> sc_comparison_schemes() {
+  return {
+      {Scheme::kWriteBack, CounterMode::kSplit, "WB-SC"},
+      {Scheme::kSteins, CounterMode::kSplit, "Steins-SC"},
+      {Scheme::kSteins, CounterMode::kGeneral, "Steins-GC"},
+  };
+}
+
+std::vector<MatrixResult> ExperimentRunner::run_matrix(const std::vector<std::string>& workloads,
+                                                       const std::vector<SchemeSpec>& schemes,
+                                                       std::uint64_t accesses,
+                                                       std::uint64_t warmup,
+                                                       bool verbose) const {
+  std::vector<MatrixResult> results;
+  results.reserve(workloads.size() * schemes.size());
+  for (const auto& wl : workloads) {
+    for (const auto& spec : schemes) {
+      SystemConfig cfg = base_cfg_;
+      cfg.counter_mode = spec.mode;
+      System sys(cfg, spec.scheme);
+      auto trace = make_workload(wl, accesses + warmup);
+      const RunStats stats = sys.run(*trace, warmup);
+      if (verbose) {
+        std::fprintf(stderr, "  %-12s %-10s cycles=%llu rd=%.0fcy wr=%.0fcy traffic=%llu\n",
+                     wl.c_str(), spec.label.c_str(),
+                     static_cast<unsigned long long>(stats.cycles), stats.read_latency_cycles,
+                     stats.write_latency_cycles,
+                     static_cast<unsigned long long>(stats.mem.nvm_writes()));
+      }
+      results.push_back(MatrixResult{wl, spec.label, stats});
+    }
+  }
+  return results;
+}
+
+ResultTable ExperimentRunner::make_table(const std::string& title,
+                                         const std::vector<MatrixResult>& results,
+                                         const std::vector<SchemeSpec>& schemes,
+                                         const std::function<double(const RunStats&)>& metric,
+                                         const std::string& baseline) {
+  std::vector<std::string> columns;
+  for (const auto& s : schemes) columns.push_back(s.label);
+  ResultTable table(title, columns);
+
+  // Group by workload, preserving first-seen order.
+  std::vector<std::string> order;
+  std::map<std::string, std::map<std::string, double>> cells;
+  for (const auto& r : results) {
+    if (!cells.contains(r.workload)) order.push_back(r.workload);
+    cells[r.workload][r.scheme_label] = metric(r.stats);
+  }
+
+  for (const auto& wl : order) {
+    const auto& row = cells.at(wl);
+    double base = 1.0;
+    if (!baseline.empty()) {
+      const auto it = row.find(baseline);
+      assert(it != row.end() && "baseline scheme missing from results");
+      base = it->second;
+      if (base == 0.0) base = 1.0;
+    }
+    std::vector<double> values;
+    values.reserve(columns.size());
+    for (const auto& col : columns) values.push_back(row.at(col) / base);
+    table.add_row(wl, values);
+  }
+  table.add_geomean_row("gmean");
+  return table;
+}
+
+}  // namespace steins

@@ -1,0 +1,65 @@
+// Experiment harness: runs (scheme x workload) matrices and formats them
+// the way the paper's figures report them (per-workload bars normalized to
+// a baseline, plus a mean row). Every figure bench in bench/ is a thin
+// wrapper over this.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/config.hpp"
+#include "common/stats.hpp"
+#include "secure/secure_memory.hpp"
+#include "sim/system.hpp"
+
+namespace steins {
+
+/// One scheme variant under test.
+struct SchemeSpec {
+  Scheme scheme;
+  CounterMode mode;
+  std::string label;
+};
+
+/// The GC-mode comparison set of Figs. 9/10/11/13/15:
+/// WB-GC (baseline), ASIT, STAR, Steins-GC.
+std::vector<SchemeSpec> gc_comparison_schemes();
+
+/// The SC-mode comparison set of Figs. 12/14/16:
+/// WB-SC (baseline), Steins-SC, Steins-GC.
+std::vector<SchemeSpec> sc_comparison_schemes();
+
+struct MatrixResult {
+  std::string workload;
+  std::string scheme_label;
+  RunStats stats;
+};
+
+class ExperimentRunner {
+ public:
+  explicit ExperimentRunner(SystemConfig base_cfg) : base_cfg_(std::move(base_cfg)) {}
+
+  /// Run every (workload, scheme) pair. `accesses` is the measured trace
+  /// length; `warmup` accesses run first without counting statistics.
+  std::vector<MatrixResult> run_matrix(const std::vector<std::string>& workloads,
+                                       const std::vector<SchemeSpec>& schemes,
+                                       std::uint64_t accesses, std::uint64_t warmup = 0,
+                                       bool verbose = false) const;
+
+  /// Build a figure table: metric(stats) per cell, normalized per workload
+  /// to the scheme labeled `baseline` (empty = absolute values), with a
+  /// geometric-mean row appended.
+  static ResultTable make_table(const std::string& title,
+                                const std::vector<MatrixResult>& results,
+                                const std::vector<SchemeSpec>& schemes,
+                                const std::function<double(const RunStats&)>& metric,
+                                const std::string& baseline);
+
+  const SystemConfig& base_config() const { return base_cfg_; }
+
+ private:
+  SystemConfig base_cfg_;
+};
+
+}  // namespace steins

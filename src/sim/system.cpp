@@ -1,0 +1,144 @@
+#include "sim/system.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace steins {
+
+System::System(const SystemConfig& cfg, Scheme scheme)
+    : cfg_(cfg), mem_(make_scheme(scheme, cfg)), hierarchy_(cfg) {}
+
+void System::mutate_truth(Addr addr) {
+  Block& b = truth_[addr];  // zero-initialized on first touch
+  ++store_seq_;
+  std::memcpy(b.data(), &store_seq_, 8);
+  std::memcpy(b.data() + 8, &addr, 8);
+  // Cheap per-store variation across the rest of the block.
+  const std::uint64_t mix = store_seq_ * 0x9e3779b97f4a7c15ULL ^ addr;
+  std::memcpy(b.data() + 16, &mix, 8);
+}
+
+void System::apply_memory_ops(const MemoryOps& ops, bool is_write) {
+  // Dirty LLC writebacks reach the controller first (they were evicted to
+  // make room for the fill).
+  for (const Addr wb : ops.writebacks) {
+    const auto it = truth_.find(wb);
+    const Block& data = (it != truth_.end()) ? it->second : zero_block();
+    mem_->write_block(wb, data, cpu_.now());
+  }
+  if (ops.miss_fill) {
+    Block loaded;
+    const Cycle done = mem_->read_block(ops.fill_addr, cpu_.now(), &loaded);
+    if (!is_write) {
+      // End-to-end check: what a LOAD gets back through decrypt+verify must
+      // be what the program last stored (or zero if never stored). Store
+      // misses fill for ownership only — truth is already ahead of memory.
+      const auto it = truth_.find(ops.fill_addr);
+      const Block& expect = (it != truth_.end()) ? it->second : zero_block();
+      if (loaded != expect) {
+        throw std::logic_error("secure memory returned wrong plaintext for block " +
+                               std::to_string(ops.fill_addr / kBlockSize));
+      }
+    }
+    if (is_write) {
+      // Store miss: the store buffer hides most of the fill latency.
+      cpu_.add_latency(cpu_.latencies().store_miss_overlap);
+      (void)done;
+    } else {
+      cpu_.stall_until(done);
+    }
+  }
+}
+
+void System::step(const MemAccess& access) {
+  cpu_.advance(access.gap);
+  ++accesses_;
+  const Addr addr = access.addr & ~static_cast<Addr>(kBlockSize - 1);
+
+  if (access.is_write) mutate_truth(addr);
+
+  const MemoryOps ops = hierarchy_.access(addr, access.is_write);
+  switch (ops.hit_level) {
+    case 1:
+      cpu_.add_latency(access.is_write ? 1 : cpu_.latencies().l1_hit);
+      break;
+    case 2:
+      cpu_.add_latency(access.is_write ? 1 : cpu_.latencies().l2_hit);
+      break;
+    case 3:
+      cpu_.add_latency(access.is_write ? 1 : cpu_.latencies().l3_hit);
+      break;
+    default:
+      break;  // memory; charged in apply_memory_ops
+  }
+  apply_memory_ops(ops, access.is_write);
+
+  if (access.flush) persist(addr);
+}
+
+Block System::load(Addr addr) {
+  addr &= ~static_cast<Addr>(kBlockSize - 1);
+  MemAccess a{addr, false, false, 0};
+  step(a);
+  const auto it = truth_.find(addr);
+  return it != truth_.end() ? it->second : zero_block();
+}
+
+void System::store(Addr addr, const Block& data) {
+  addr &= ~static_cast<Addr>(kBlockSize - 1);
+  cpu_.advance(0);
+  ++accesses_;
+  truth_[addr] = data;
+  ++store_seq_;
+  const MemoryOps ops = hierarchy_.access(addr, true);
+  apply_memory_ops(ops, true);
+}
+
+void System::persist(Addr addr) {
+  addr &= ~static_cast<Addr>(kBlockSize - 1);
+  for (const Addr wb : hierarchy_.flush_block(addr)) {
+    const auto it = truth_.find(wb);
+    const Block& data = (it != truth_.end()) ? it->second : zero_block();
+    const Cycle done = mem_->write_block(wb, data, cpu_.now());
+    cpu_.stall_until(done);  // fence: wait for controller acceptance
+  }
+}
+
+RunStats System::run(TraceSource& trace, std::uint64_t warmup_accesses) {
+  MemAccess a;
+  std::uint64_t count = 0;
+  while (trace.next(&a)) {
+    step(a);
+    ++count;
+    if (warmup_accesses != 0 && count == warmup_accesses) reset_stats();
+  }
+  return collect_stats();
+}
+
+RecoveryResult System::crash_and_recover() {
+  hierarchy_.clear();
+  mem_->crash();
+  return mem_->recover();
+}
+
+void System::reset_stats() {
+  mem_->stats().reset();
+  stats_epoch_cycles_ = cpu_.now();
+  stats_epoch_insts_ = cpu_.instructions();
+  accesses_ = 0;
+}
+
+RunStats System::collect_stats() {
+  RunStats s;
+  s.cycles = cpu_.now() - stats_epoch_cycles_;
+  s.instructions = cpu_.instructions() - stats_epoch_insts_;
+  s.accesses = accesses_;
+  s.mem = mem_->stats();
+  s.energy_nj = s.mem.energy_nj(cfg_);
+  s.read_latency_cycles = s.mem.read_latency.mean();
+  s.write_latency_cycles = s.mem.write_latency.mean();
+  s.mcache_hit_rate = mem_->metadata_cache_stats().hit_rate();
+  return s;
+}
+
+}  // namespace steins

@@ -1,0 +1,82 @@
+// Full-system wiring: CPU model + L1/L2/L3 hierarchy + secure memory
+// controller + NVM. Runs a trace and produces the statistics the paper's
+// figures are built from. Also maintains a plaintext "ground truth" image
+// of program memory and verifies every demand fill against it, so a run is
+// simultaneously a correctness check of the whole encrypt/verify path.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "cache/cache_hierarchy.hpp"
+#include "common/config.hpp"
+#include "secure/secure_memory.hpp"
+#include "sim/cpu_model.hpp"
+#include "trace/trace.hpp"
+
+namespace steins {
+
+struct RunStats {
+  Cycle cycles = 0;
+  std::uint64_t instructions = 0;
+  std::uint64_t accesses = 0;
+  ExecStats mem;
+  double energy_nj = 0.0;
+  double read_latency_cycles = 0.0;   // mean per data read
+  double write_latency_cycles = 0.0;  // mean per data write
+  double mcache_hit_rate = 0.0;
+
+  double seconds(const SystemConfig& cfg) const { return cfg.cycles_to_seconds(cycles); }
+};
+
+class System {
+ public:
+  System(const SystemConfig& cfg, Scheme scheme);
+
+  /// Run the whole trace; if warmup_accesses > 0, statistics are reset
+  /// after that many accesses (the paper warms up before measuring).
+  RunStats run(TraceSource& trace, std::uint64_t warmup_accesses = 0);
+
+  /// Execute one access (examples drive the system directly with this).
+  void step(const MemAccess& access);
+
+  /// Read a block's plaintext through the secure path (stalls the core).
+  Block load(Addr addr);
+  /// Store a block's plaintext through the hierarchy.
+  void store(Addr addr, const Block& data);
+  /// clwb+fence: force the block out to the controller.
+  void persist(Addr addr);
+
+  SecureMemory& memory() { return *mem_; }
+  CacheHierarchy& caches() { return hierarchy_; }
+  CpuModel& cpu() { return cpu_; }
+  const SystemConfig& config() const { return cfg_; }
+
+  /// Crash-and-recover convenience used by examples/tests: drops CPU
+  /// caches, crashes the controller, runs recovery.
+  RecoveryResult crash_and_recover();
+
+  /// Collect statistics accumulated since the last reset.
+  RunStats collect_stats();
+  void reset_stats();
+
+ private:
+  /// Apply one access's memory-boundary effects (fills + writebacks).
+  void apply_memory_ops(const MemoryOps& ops, bool is_write);
+
+  /// Deterministic content for a store (ground truth + verification).
+  void mutate_truth(Addr addr);
+
+  SystemConfig cfg_;
+  std::unique_ptr<SecureMemory> mem_;
+  CacheHierarchy hierarchy_;
+  CpuModel cpu_;
+  std::unordered_map<Addr, Block> truth_;  // plaintext ground truth
+  std::uint64_t store_seq_ = 0;
+  std::uint64_t accesses_ = 0;
+  Cycle stats_epoch_cycles_ = 0;
+  std::uint64_t stats_epoch_insts_ = 0;
+};
+
+}  // namespace steins

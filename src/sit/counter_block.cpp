@@ -1,0 +1,110 @@
+#include "sit/counter_block.hpp"
+
+#include <cassert>
+#include <cstring>
+
+namespace steins {
+
+std::uint64_t GeneralCounterBlock::parent_value() const {
+  std::uint64_t sum = 0;
+  for (const auto c : counters) sum += c;
+  return sum & kCounter56Mask;
+}
+
+void GeneralCounterBlock::increment(std::size_t slot) {
+  assert(slot < counters.size());
+  counters[slot] = (counters[slot] + 1) & kCounter56Mask;
+}
+
+NodePayload GeneralCounterBlock::encode() const {
+  NodePayload p{};
+  for (std::size_t i = 0; i < counters.size(); ++i) {
+    // 7 bytes per 56-bit counter, little-endian.
+    for (int b = 0; b < 7; ++b) {
+      p[i * 7 + b] = static_cast<std::uint8_t>(counters[i] >> (8 * b));
+    }
+  }
+  return p;
+}
+
+GeneralCounterBlock GeneralCounterBlock::decode(std::span<const std::uint8_t> payload) {
+  assert(payload.size() >= 56);
+  GeneralCounterBlock cb;
+  for (std::size_t i = 0; i < cb.counters.size(); ++i) {
+    std::uint64_t v = 0;
+    for (int b = 6; b >= 0; --b) v = (v << 8) | payload[i * 7 + b];
+    cb.counters[i] = v;
+  }
+  return cb;
+}
+
+std::uint64_t SplitCounterBlock::parent_value() const {
+  std::uint64_t sum = major * kMinorMax;
+  for (const auto m : minors) sum += m;
+  return sum;
+}
+
+SplitCounterBlock::IncrementResult SplitCounterBlock::increment_skip(std::size_t slot) {
+  assert(slot < minors.size());
+  IncrementResult r;
+  if (minors[slot] + 1U < kMinorMax) {
+    ++minors[slot];
+    return r;
+  }
+  // Overflow (paper §III-B1): increment = ceil((sum(minors) + 1) / 64),
+  // where +1 accounts for the write that triggered the overflow. The parent
+  // value is aligned up in multiples of 64, so it stays monotone.
+  std::uint64_t sum = 1;
+  for (const auto m : minors) sum += m;
+  r.overflowed = true;
+  r.major_delta = (sum + kMinorMax - 1) / kMinorMax;
+  major += r.major_delta;
+  minors.fill(0);
+  return r;
+}
+
+SplitCounterBlock::IncrementResult SplitCounterBlock::increment_plain(std::size_t slot) {
+  assert(slot < minors.size());
+  IncrementResult r;
+  if (minors[slot] + 1U < kMinorMax) {
+    ++minors[slot];
+    return r;
+  }
+  r.overflowed = true;
+  r.major_delta = 1;
+  major += 1;
+  minors.fill(0);
+  return r;
+}
+
+NodePayload SplitCounterBlock::encode() const {
+  NodePayload p{};
+  std::memcpy(p.data(), &major, 8);
+  // 64 x 6-bit minors packed into 48 bytes.
+  for (std::size_t i = 0; i < minors.size(); ++i) {
+    const std::size_t bit = i * kMinorBits;
+    const std::size_t byte = 8 + bit / 8;
+    const unsigned shift = bit % 8;
+    const std::uint16_t v = static_cast<std::uint16_t>(minors[i] & (kMinorMax - 1)) << shift;
+    p[byte] = static_cast<std::uint8_t>(p[byte] | (v & 0xff));
+    if (shift > 2) p[byte + 1] = static_cast<std::uint8_t>(p[byte + 1] | (v >> 8));
+  }
+  return p;
+}
+
+SplitCounterBlock SplitCounterBlock::decode(std::span<const std::uint8_t> payload) {
+  assert(payload.size() >= 56);
+  SplitCounterBlock cb;
+  std::memcpy(&cb.major, payload.data(), 8);
+  for (std::size_t i = 0; i < cb.minors.size(); ++i) {
+    const std::size_t bit = i * kMinorBits;
+    const std::size_t byte = 8 + bit / 8;
+    const unsigned shift = bit % 8;
+    std::uint16_t v = payload[byte];
+    if (shift > 2) v |= static_cast<std::uint16_t>(payload[byte + 1]) << 8;
+    cb.minors[i] = static_cast<std::uint8_t>((v >> shift) & (kMinorMax - 1));
+  }
+  return cb;
+}
+
+}  // namespace steins

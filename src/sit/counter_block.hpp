@@ -1,0 +1,75 @@
+// SIT counter blocks (paper §II-B/§II-C/§III-B).
+//
+// GeneralCounterBlock: 8 x 56-bit counters (internal nodes and GC leaves).
+// SplitCounterBlock:   one 64-bit major + 64 x 6-bit minor counters
+//                      (Steins-SC / WB-SC leaf nodes).
+//
+// Both encode into the 56-byte counter payload of a 64 B node (the
+// remaining 8 bytes hold the node HMAC) and expose the Steins parent-value
+// functions: Eq. (1) sum for general blocks, Eq. (2) weighted sum with
+// skip-increment major updates for split blocks. Parent values are
+// monotonically non-decreasing under every legal mutation (property-tested).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+#include "common/types.hpp"
+
+namespace steins {
+
+/// 56-byte counter payload of a 64 B SIT node.
+using NodePayload = std::array<std::uint8_t, 56>;
+
+struct GeneralCounterBlock {
+  std::array<std::uint64_t, kTreeArity> counters{};  // each 56-bit
+
+  /// Eq. (1): parent counter = sum of the 8 child counters (mod 2^56).
+  std::uint64_t parent_value() const;
+
+  /// Self-increment of one counter (classic SIT semantics; also used by
+  /// the WB/ASIT/STAR baselines). Wraps at 2^56.
+  void increment(std::size_t slot);
+
+  NodePayload encode() const;
+  static GeneralCounterBlock decode(std::span<const std::uint8_t> payload);
+
+  bool operator==(const GeneralCounterBlock&) const = default;
+};
+
+struct SplitCounterBlock {
+  std::uint64_t major = 0;
+  std::array<std::uint8_t, kSplitArity> minors{};  // each 6-bit
+
+  /// Eq. (2): parent counter = major * 64 + sum of minors.
+  std::uint64_t parent_value() const;
+
+  /// Result of incrementing one minor counter.
+  struct IncrementResult {
+    bool overflowed = false;       // minors were reset, major advanced
+    std::uint64_t major_delta = 0;  // how much the major advanced
+  };
+
+  /// Steins skip-increment (paper §III-B1): on minor overflow, advance the
+  /// major by ceil(sum(minors) / 64) and reset the minors, keeping the
+  /// parent value monotone.
+  IncrementResult increment_skip(std::size_t slot);
+
+  /// Baseline split-counter increment (WB-SC): major advances by exactly 1
+  /// on overflow.
+  IncrementResult increment_plain(std::size_t slot);
+
+  /// Full encryption counter for the covered data block `slot`
+  /// (major << 6 | minor), fed to the OTP engine.
+  std::uint64_t encryption_counter(std::size_t slot) const {
+    return (major << kMinorBits) | minors[slot];
+  }
+
+  NodePayload encode() const;
+  static SplitCounterBlock decode(std::span<const std::uint8_t> payload);
+
+  bool operator==(const SplitCounterBlock&) const = default;
+};
+
+}  // namespace steins

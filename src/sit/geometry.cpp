@@ -1,0 +1,59 @@
+#include "sit/geometry.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace steins {
+
+SitGeometry::SitGeometry(const NvmConfig& nvm, CounterMode mode)
+    : mode_(mode),
+      data_blocks_(nvm.capacity_bytes / kBlockSize),
+      leaf_coverage_(mode == CounterMode::kSplit ? kSplitArity : kGeneralArity),
+      meta_base_(nvm.capacity_bytes) {
+  assert(data_blocks_ >= leaf_coverage_);
+  std::uint64_t count = (data_blocks_ + leaf_coverage_ - 1) / leaf_coverage_;
+  level_counts_.push_back(count);
+  // Build internal levels until the level fits under the root register.
+  while (count > kRootArity) {
+    count = (count + kTreeArity - 1) / kTreeArity;
+    level_counts_.push_back(count);
+  }
+  level_base_.resize(level_counts_.size());
+  for (std::size_t k = 0; k < level_counts_.size(); ++k) {
+    level_base_[k] = total_nodes_;
+    total_nodes_ += level_counts_[k];
+  }
+}
+
+Addr SitGeometry::node_addr(NodeId id) const {
+  assert(id.level < num_levels() && id.index < level_counts_[id.level]);
+  return meta_base_ + (level_base_[id.level] + id.index) * kBlockSize;
+}
+
+NodeId SitGeometry::node_at(Addr addr) const {
+  assert(is_metadata_addr(addr));
+  const std::uint64_t flat = (addr - meta_base_) / kBlockSize;
+  unsigned level = 0;
+  while (level + 1 < num_levels() && flat >= level_base_[level + 1]) ++level;
+  return NodeId{level, flat - level_base_[level]};
+}
+
+std::uint32_t SitGeometry::offset_of(NodeId id) const {
+  const std::uint64_t flat = level_base_[id.level] + id.index;
+  assert(flat <= 0xffffffffULL && "metadata region exceeds 4-byte offsets (256 GB)");
+  return static_cast<std::uint32_t>(flat);
+}
+
+NodeId SitGeometry::node_at_offset(std::uint32_t offset) const {
+  return node_at(meta_base_ + static_cast<std::uint64_t>(offset) * kBlockSize);
+}
+
+std::size_t SitGeometry::num_children(NodeId id) const {
+  assert(id.level >= 1);
+  const std::uint64_t child_count = level_counts_[id.level - 1];
+  const std::uint64_t first = id.index * kTreeArity;
+  if (first >= child_count) return 0;
+  return static_cast<std::size_t>(std::min<std::uint64_t>(kTreeArity, child_count - first));
+}
+
+}  // namespace steins

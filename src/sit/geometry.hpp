@@ -1,0 +1,114 @@
+// SIT geometry and NVM region layout (paper §II-C, Table I).
+//
+// Address space layout (the device store is sparse, so auxiliary regions
+// are simply placed above the data region):
+//
+//   [0, capacity)                 user data blocks
+//   [meta_base, ...)              SIT nodes, level 0 (leaves) upward
+//   [aux_base, ...)               per-scheme regions (shadow table, bitmap,
+//                                 offset records)
+//
+// Internal levels have arity 8 (8 x 56-bit counters per node). The on-chip
+// root register covers up to 64 top-level nodes, which yields the paper's
+// tree heights: 9 levels including the root for general-counter leaves on
+// 16 GB, 8 for split-counter leaves.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/config.hpp"
+#include "common/types.hpp"
+
+namespace steins {
+
+struct NodeId {
+  unsigned level = 0;      // 0 = leaf level
+  std::uint64_t index = 0;
+
+  bool operator==(const NodeId&) const = default;
+};
+
+class SitGeometry {
+ public:
+  SitGeometry(const NvmConfig& nvm, CounterMode mode);
+
+  CounterMode mode() const { return mode_; }
+
+  std::uint64_t data_blocks() const { return data_blocks_; }
+
+  /// Data blocks covered by one leaf node (8 for GC, 64 for SC).
+  std::uint64_t leaf_coverage() const { return leaf_coverage_; }
+
+  /// Number of node levels, excluding the on-chip root register.
+  unsigned num_levels() const { return static_cast<unsigned>(level_counts_.size()); }
+
+  /// Tree height including the root (what Table I reports: 9 GC / 8 SC).
+  unsigned height() const { return num_levels() + 1; }
+
+  std::uint64_t level_count(unsigned level) const { return level_counts_[level]; }
+
+  /// Children of the on-chip root = nodes of the top level.
+  std::uint64_t root_children() const { return level_counts_.back(); }
+  unsigned top_level() const { return num_levels() - 1; }
+
+  /// Total SIT nodes across all levels.
+  std::uint64_t total_nodes() const { return total_nodes_; }
+
+  /// NVM byte address of a node.
+  Addr node_addr(NodeId id) const;
+
+  /// Inverse of node_addr: which node lives at a metadata-region address.
+  NodeId node_at(Addr addr) const;
+
+  /// 4-byte offset of a node within the metadata region (paper §III-C).
+  std::uint32_t offset_of(NodeId id) const;
+  NodeId node_at_offset(std::uint32_t offset) const;
+
+  bool is_metadata_addr(Addr addr) const {
+    return addr >= meta_base_ && addr < meta_base_ + total_nodes_ * kBlockSize;
+  }
+
+  Addr meta_base() const { return meta_base_; }
+
+  /// First free address above the metadata region; schemes place their
+  /// auxiliary regions (shadow table / bitmap / records) from here.
+  Addr aux_base() const { return meta_base_ + total_nodes_ * kBlockSize; }
+
+  /// Leaf that covers a data block, and the covered block's slot in it.
+  NodeId leaf_of_data(std::uint64_t data_block) const {
+    return NodeId{0, data_block / leaf_coverage_};
+  }
+  std::size_t slot_of_data(std::uint64_t data_block) const {
+    return static_cast<std::size_t>(data_block % leaf_coverage_);
+  }
+
+  NodeId parent_of(NodeId id) const { return NodeId{id.level + 1, id.index / kTreeArity}; }
+  std::size_t slot_in_parent(NodeId id) const {
+    return static_cast<std::size_t>(id.index % kTreeArity);
+  }
+  bool is_top_level(NodeId id) const { return id.level == top_level(); }
+
+  /// Children of an internal node (level >= 1): level-1 nodes.
+  NodeId child_of(NodeId id, std::size_t slot) const {
+    return NodeId{id.level - 1, id.index * kTreeArity + slot};
+  }
+  /// Number of existing children of an internal node (the last node of a
+  /// level may be partially populated).
+  std::size_t num_children(NodeId id) const;
+
+  /// Metadata storage in bytes, per level and total (paper §IV-E).
+  std::uint64_t storage_bytes() const { return total_nodes_ * kBlockSize; }
+  std::uint64_t leaf_storage_bytes() const { return level_counts_[0] * kBlockSize; }
+
+ private:
+  CounterMode mode_;
+  std::uint64_t data_blocks_;
+  std::uint64_t leaf_coverage_;
+  std::vector<std::uint64_t> level_counts_;  // [0] = leaves
+  std::vector<std::uint64_t> level_base_;    // node index base per level
+  std::uint64_t total_nodes_ = 0;
+  Addr meta_base_;
+};
+
+}  // namespace steins

@@ -1,0 +1,36 @@
+#include "sit/node.hpp"
+
+#include <cstring>
+
+namespace steins {
+
+Block SitNode::to_block(std::uint64_t hmac) const {
+  Block b{};
+  const NodePayload p = payload();
+  std::memcpy(b.data(), p.data(), p.size());
+  std::memcpy(b.data() + p.size(), &hmac, 8);
+  return b;
+}
+
+SitNode SitNode::from_block(NodeId id, bool split, const Block& image, std::uint64_t* hmac_out) {
+  SitNode n;
+  n.id = id;
+  n.split = split;
+  if (split) {
+    n.sc = SplitCounterBlock::decode({image.data(), 56});
+  } else {
+    n.gc = GeneralCounterBlock::decode({image.data(), 56});
+  }
+  if (hmac_out != nullptr) {
+    std::memcpy(hmac_out, image.data() + 56, 8);
+  }
+  return n;
+}
+
+std::uint64_t node_image_hmac(const Block& image) {
+  std::uint64_t h;
+  std::memcpy(&h, image.data() + 56, 8);
+  return h;
+}
+
+}  // namespace steins

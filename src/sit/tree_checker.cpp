@@ -1,0 +1,68 @@
+#include "sit/tree_checker.hpp"
+
+namespace steins {
+
+TreeCheckReport check_tree(SecureMemoryBase& mem, std::size_t max_issues) {
+  TreeCheckReport report;
+  const SitGeometry& geo = mem.geometry();
+  NvmDevice& dev = mem.device();
+  MetadataCache& cache = mem.metadata_cache();
+  const bool split_leaves = mem.config().counter_mode == CounterMode::kSplit;
+
+  auto add_issue = [&](NodeId id, std::string what) {
+    if (report.issues.size() < max_issues) {
+      report.issues.push_back(TreeCheckIssue{id, std::move(what)});
+    }
+  };
+
+  // The verification counter for a persisted child is the parent's CURRENT
+  // slot value: the cached copy if the parent is cached, else its NVM image.
+  auto parent_counter = [&](NodeId id) -> std::uint64_t {
+    if (const auto pending = mem.pending_parent_counter(id)) return *pending;
+    if (geo.is_top_level(id)) return mem.root_counters()[id.index];
+    const NodeId pid = geo.parent_of(id);
+    const Addr paddr = geo.node_addr(pid);
+    if (const MetadataLine* line = cache.peek(paddr)) {
+      return line->payload.gc.counters[geo.slot_in_parent(id)];
+    }
+    if (!dev.contains(paddr)) return 0;
+    const SitNode pnode = SitNode::from_block(pid, false, dev.peek_block(paddr));
+    return pnode.gc.counters[geo.slot_in_parent(id)];
+  };
+
+  for (unsigned level = 0; level < geo.num_levels(); ++level) {
+    const bool split = split_leaves && level == 0;
+    for (std::uint64_t index = 0; index < geo.level_count(level); ++index) {
+      const NodeId id{level, index};
+      const Addr addr = geo.node_addr(id);
+      const bool persisted = dev.contains(addr);
+      std::uint64_t stored = 0;
+      SitNode nvm_node;
+      if (persisted) {
+        ++report.nodes_persisted;
+        nvm_node = SitNode::from_block(id, split, dev.peek_block(addr), &stored);
+        const std::uint64_t pc = parent_counter(id);
+        const std::uint64_t mac = mem.cme().mac().node_mac(nvm_node.payload(), addr, pc);
+        if (mac != stored) {
+          add_issue(id, "stored HMAC does not verify against the parent counter");
+        }
+      } else if (parent_counter(id) != 0) {
+        add_issue(id, "parent counter nonzero but node never persisted");
+      }
+
+      if (const MetadataLine* line = cache.peek(addr); line != nullptr && !line->dirty) {
+        if (!persisted) {
+          if (line->payload.parent_value() != 0) {
+            add_issue(id, "clean cached node has counters but no NVM image");
+          }
+        } else if (!line->payload.counters_equal(nvm_node)) {
+          add_issue(id, "clean cached node diverges from its NVM image");
+        }
+      }
+      ++report.nodes_checked;
+    }
+  }
+  return report;
+}
+
+}  // namespace steins

@@ -1,0 +1,71 @@
+#include "trace/persistent.hpp"
+
+namespace steins {
+
+PersistentQueueTrace::PersistentQueueTrace(std::uint64_t region_bytes, std::uint64_t operations,
+                                           std::uint64_t seed)
+    : blocks_(region_bytes / kBlockSize), operations_(operations), seed_(seed), rng_(seed) {}
+
+void PersistentQueueTrace::reset() {
+  rng_ = Xoshiro256(seed_);
+  produced_ = 0;
+  tail_ = 0;
+  phase_ = 0;
+}
+
+bool PersistentQueueTrace::next(MemAccess* out) {
+  if (produced_ >= operations_) return false;
+  ++produced_;
+  if (phase_ == 0) {
+    // Append the record at the tail and flush it.
+    out->addr = (1 + tail_ % (blocks_ - 1)) * kBlockSize;
+    out->is_write = true;
+    out->flush = true;
+    out->gap = 700;  // record construction work between appends
+    phase_ = 1;
+  } else {
+    // Persist the head/tail pointer block (block 0), then advance.
+    out->addr = 0;
+    out->is_write = true;
+    out->flush = true;
+    out->gap = 260;
+    tail_ = (tail_ + 1);
+    phase_ = 0;
+  }
+  return true;
+}
+
+PersistentHashTrace::PersistentHashTrace(std::uint64_t region_bytes, std::uint64_t operations,
+                                         std::uint64_t seed)
+    : blocks_(region_bytes / kBlockSize), operations_(operations), seed_(seed), rng_(seed) {}
+
+void PersistentHashTrace::reset() {
+  rng_ = Xoshiro256(seed_);
+  produced_ = 0;
+  pending_ = 0;
+  write_phase_ = false;
+}
+
+bool PersistentHashTrace::next(MemAccess* out) {
+  if (produced_ >= operations_) return false;
+  ++produced_;
+  if (!write_phase_) {
+    // Read the bucket...
+    pending_ = rng_.below(blocks_) * kBlockSize;
+    out->addr = pending_;
+    out->is_write = false;
+    out->flush = false;
+    out->gap = 440;  // hash + probe work per operation
+    write_phase_ = true;
+  } else {
+    // ...then update and persist it.
+    out->addr = pending_;
+    out->is_write = true;
+    out->flush = true;
+    out->gap = 210;
+    write_phase_ = false;
+  }
+  return true;
+}
+
+}  // namespace steins

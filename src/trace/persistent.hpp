@@ -1,0 +1,54 @@
+// Persistent workloads (paper §IV, from STAR's evaluation style): data
+// structures that persist every update with clwb+fence semantics, so every
+// store reaches the memory controller. These stress the metadata write path
+// far harder than the SPEC-like workloads.
+#pragma once
+
+#include <memory>
+
+#include "common/rng.hpp"
+#include "trace/trace.hpp"
+
+namespace steins {
+
+/// Persistent queue: append records sequentially, flushing each record and
+/// its head pointer (2 flushed writes per operation, log-structured).
+class PersistentQueueTrace : public TraceSource {
+ public:
+  PersistentQueueTrace(std::uint64_t region_bytes, std::uint64_t operations,
+                       std::uint64_t seed = 1);
+
+  bool next(MemAccess* out) override;
+  void reset() override;
+
+ private:
+  std::uint64_t blocks_;
+  std::uint64_t operations_;
+  std::uint64_t seed_;
+  Xoshiro256 rng_;
+  std::uint64_t produced_ = 0;
+  std::uint64_t tail_ = 0;
+  int phase_ = 0;  // 0 = record write, 1 = head-pointer write
+};
+
+/// Persistent hash table: read-modify-write of uniformly random buckets,
+/// each update flushed (1 read + 1 flushed write per operation).
+class PersistentHashTrace : public TraceSource {
+ public:
+  PersistentHashTrace(std::uint64_t region_bytes, std::uint64_t operations,
+                      std::uint64_t seed = 1);
+
+  bool next(MemAccess* out) override;
+  void reset() override;
+
+ private:
+  std::uint64_t blocks_;
+  std::uint64_t operations_;
+  std::uint64_t seed_;
+  Xoshiro256 rng_;
+  std::uint64_t produced_ = 0;
+  Addr pending_ = 0;
+  bool write_phase_ = false;
+};
+
+}  // namespace steins

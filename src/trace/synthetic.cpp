@@ -1,0 +1,62 @@
+#include "trace/synthetic.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace steins {
+
+SyntheticTrace::SyntheticTrace(const SyntheticConfig& cfg)
+    : cfg_(cfg), blocks_(cfg.footprint_bytes / kBlockSize), rng_(cfg.seed) {
+  assert(blocks_ > 0);
+  if (cfg_.zipf_frac > 0.0) {
+    const std::size_t universe =
+        std::min<std::size_t>(cfg_.zipf_universe, static_cast<std::size_t>(blocks_));
+    zipf_ = std::make_unique<ZipfSampler>(universe, cfg_.zipf_s);
+  }
+}
+
+void SyntheticTrace::reset() {
+  rng_ = Xoshiro256(cfg_.seed);
+  produced_ = 0;
+  seq_cursor_ = 0;
+  stride_cursor_ = 0;
+  chase_cursor_ = 0;
+}
+
+bool SyntheticTrace::next(MemAccess* out) {
+  if (produced_ >= cfg_.accesses) return false;
+  ++produced_;
+
+  const double p = rng_.uniform();
+  std::uint64_t block;
+  double acc = cfg_.seq_frac;
+  if (p < acc) {
+    block = seq_cursor_;
+    seq_cursor_ = (seq_cursor_ + 1) % blocks_;
+  } else if (p < (acc += cfg_.stride_frac)) {
+    block = stride_cursor_;
+    stride_cursor_ = (stride_cursor_ + cfg_.stride_blocks) % blocks_;
+  } else if (p < (acc += cfg_.zipf_frac)) {
+    // Hot set scattered over the footprint by a fixed multiplicative hash.
+    const std::uint64_t hot = zipf_->sample(rng_);
+    block = (hot * 0x9e3779b97f4a7c15ULL) % blocks_;
+  } else if (p < (acc += cfg_.pchase_frac)) {
+    // Dependent chain: the next address is a hash of the current one.
+    chase_cursor_ = (chase_cursor_ * 6364136223846793005ULL + 1442695040888963407ULL);
+    block = chase_cursor_ % blocks_;
+  } else {
+    block = rng_.below(blocks_);
+  }
+
+  out->addr = block_to_addr(block);
+  out->is_write = rng_.chance(cfg_.write_ratio);
+  out->flush = false;
+  // Geometric-ish gap around the mean keeps the stream memory-bound but
+  // not lockstep.
+  out->gap = cfg_.gap_mean > 0
+                 ? static_cast<std::uint32_t>(rng_.below(2 * cfg_.gap_mean + 1))
+                 : 0;
+  return true;
+}
+
+}  // namespace steins

@@ -1,0 +1,54 @@
+// Synthetic trace generator: a parameterized mixture of access patterns
+// (sequential, strided, uniform-random, Zipf hot-set, pointer-chase) over a
+// configurable footprint. The named SPEC-like workload profiles in
+// workloads.hpp are instances of this generator.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "trace/trace.hpp"
+
+namespace steins {
+
+struct SyntheticConfig {
+  std::uint64_t footprint_bytes = 64 * 1024 * 1024;
+  std::uint64_t accesses = 1'000'000;
+  double write_ratio = 0.3;
+  // Pattern mixture; fractions should sum to <= 1, the remainder is
+  // uniform-random.
+  double seq_frac = 0.0;       // streaming through the footprint
+  double stride_frac = 0.0;    // fixed-stride walk
+  std::uint64_t stride_blocks = 8;
+  double zipf_frac = 0.0;      // Zipf-distributed hot set
+  double zipf_s = 0.8;
+  std::size_t zipf_universe = 1 << 16;  // hot blocks drawn from this many
+  double pchase_frac = 0.0;    // dependent pointer chasing
+  std::uint32_t gap_mean = 6;  // mean non-memory instructions between accesses
+  std::uint64_t seed = 1;
+};
+
+class SyntheticTrace : public TraceSource {
+ public:
+  explicit SyntheticTrace(const SyntheticConfig& cfg);
+
+  bool next(MemAccess* out) override;
+  void reset() override;
+
+  const SyntheticConfig& config() const { return cfg_; }
+
+ private:
+  Addr block_to_addr(std::uint64_t block) const { return block * kBlockSize; }
+
+  SyntheticConfig cfg_;
+  std::uint64_t blocks_;
+  Xoshiro256 rng_;
+  std::unique_ptr<ZipfSampler> zipf_;
+  std::uint64_t produced_ = 0;
+  std::uint64_t seq_cursor_ = 0;
+  std::uint64_t stride_cursor_ = 0;
+  std::uint64_t chase_cursor_ = 0;
+};
+
+}  // namespace steins

@@ -1,0 +1,34 @@
+// Memory-access traces: the unit the CPU model consumes.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.hpp"
+
+namespace steins {
+
+/// One CPU memory access (to a 64 B block).
+struct MemAccess {
+  Addr addr = 0;
+  bool is_write = false;
+  /// Persist barrier (clwb + fence): the block is flushed from the cache
+  /// hierarchy to the memory controller before the program continues.
+  bool flush = false;
+  /// Non-memory instructions executed since the previous access.
+  std::uint32_t gap = 0;
+};
+
+/// Pull-based trace source. Implementations are deterministic given their
+/// seed so every figure bench is reproducible.
+class TraceSource {
+ public:
+  virtual ~TraceSource() = default;
+
+  /// Produce the next access; false when the trace is exhausted.
+  virtual bool next(MemAccess* out) = 0;
+
+  /// Restart from the beginning (same deterministic stream).
+  virtual void reset() = 0;
+};
+
+}  // namespace steins

@@ -1,0 +1,63 @@
+#include "trace/trace_file.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace steins {
+
+std::vector<MemAccess> collect_trace(TraceSource& source, std::size_t limit) {
+  std::vector<MemAccess> out;
+  MemAccess a;
+  while (out.size() < limit && source.next(&a)) out.push_back(a);
+  return out;
+}
+
+void write_trace(std::ostream& os, const std::vector<MemAccess>& accesses) {
+  os << "# steins trace v1: <R|W|F> <block-index> <gap>\n";
+  for (const auto& a : accesses) {
+    const char kind = a.is_write ? (a.flush ? 'F' : 'W') : 'R';
+    os << kind << ' ' << (a.addr / kBlockSize) << ' ' << a.gap << '\n';
+  }
+}
+
+bool write_trace_file(const std::string& path, const std::vector<MemAccess>& accesses) {
+  std::ofstream os(path);
+  if (!os) return false;
+  write_trace(os, accesses);
+  return static_cast<bool>(os);
+}
+
+std::vector<MemAccess> read_trace(std::istream& is) {
+  std::vector<MemAccess> out;
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(is, line)) {
+    ++lineno;
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    char kind = 0;
+    std::uint64_t block = 0;
+    std::uint32_t gap = 0;
+    if (!(ls >> kind >> block) || (kind != 'R' && kind != 'W' && kind != 'F')) {
+      throw std::invalid_argument("malformed trace line " + std::to_string(lineno) + ": " +
+                                  line);
+    }
+    ls >> gap;  // optional; defaults to 0
+    MemAccess a;
+    a.addr = block * kBlockSize;
+    a.is_write = kind != 'R';
+    a.flush = kind == 'F';
+    a.gap = gap;
+    out.push_back(a);
+  }
+  return out;
+}
+
+std::vector<MemAccess> read_trace_file(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) throw std::invalid_argument("cannot open trace file: " + path);
+  return read_trace(is);
+}
+
+}  // namespace steins

@@ -1,0 +1,48 @@
+// Trace file I/O: save any trace to a compact text format and replay it.
+//
+// Format: one access per line, `R|W|F <block-index> <gap>` (`F` = flushed
+// write), with `#` comments. Lets users capture a generator's stream, edit
+// or inspect it, and feed recorded traces from other tools into the
+// simulator.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "trace/trace.hpp"
+
+namespace steins {
+
+/// In-memory trace that replays a fixed vector of accesses.
+class VectorTrace : public TraceSource {
+ public:
+  explicit VectorTrace(std::vector<MemAccess> accesses) : accesses_(std::move(accesses)) {}
+
+  bool next(MemAccess* out) override {
+    if (pos_ >= accesses_.size()) return false;
+    *out = accesses_[pos_++];
+    return true;
+  }
+  void reset() override { pos_ = 0; }
+
+  std::size_t size() const { return accesses_.size(); }
+
+ private:
+  std::vector<MemAccess> accesses_;
+  std::size_t pos_ = 0;
+};
+
+/// Drain `source` into a vector (up to `limit` accesses).
+std::vector<MemAccess> collect_trace(TraceSource& source,
+                                     std::size_t limit = SIZE_MAX);
+
+/// Serialize accesses to the text format.
+void write_trace(std::ostream& os, const std::vector<MemAccess>& accesses);
+bool write_trace_file(const std::string& path, const std::vector<MemAccess>& accesses);
+
+/// Parse the text format; throws std::invalid_argument on malformed lines.
+std::vector<MemAccess> read_trace(std::istream& is);
+std::vector<MemAccess> read_trace_file(const std::string& path);
+
+}  // namespace steins

@@ -1,0 +1,140 @@
+#include "trace/workloads.hpp"
+
+#include <map>
+#include <stdexcept>
+
+#include "trace/persistent.hpp"
+
+namespace steins {
+
+namespace {
+
+constexpr std::uint64_t kMB = 1024 * 1024;
+
+// Profiles calibrated to each benchmark's published memory character:
+//   lbm        streaming stencil, write-heavy, large footprint
+//   mcf        pointer-chasing over a large sparse graph, read-mostly
+//   libquantum strided sequential sweeps over a big vector, read-mostly
+//   cactusADM  3D stencil with poor reuse: random-ish, mixed writes
+//   gcc        irregular but hot-set-friendly, mixed
+//   milc       random lattice updates, write-leaning
+//   bwaves     large sequential solver sweeps
+//   xalancbmk  small hot footprint, cache-friendly
+const std::map<std::string, SyntheticConfig>& profiles() {
+  static const std::map<std::string, SyntheticConfig> kProfiles = [] {
+    std::map<std::string, SyntheticConfig> m;
+
+    SyntheticConfig lbm;
+    lbm.footprint_bytes = 96 * kMB;
+    lbm.write_ratio = 0.45;
+    lbm.seq_frac = 0.85;
+    lbm.stride_frac = 0.10;
+    lbm.gap_mean = 560;
+    m["lbm"] = lbm;
+
+    SyntheticConfig mcf;
+    mcf.footprint_bytes = 96 * kMB;
+    mcf.write_ratio = 0.22;
+    mcf.pchase_frac = 0.70;
+    mcf.zipf_frac = 0.15;
+    mcf.gap_mean = 980;
+    m["mcf"] = mcf;
+
+    SyntheticConfig libquantum;
+    libquantum.footprint_bytes = 48 * kMB;
+    libquantum.write_ratio = 0.15;
+    libquantum.seq_frac = 0.55;
+    libquantum.stride_frac = 0.40;
+    libquantum.stride_blocks = 16;
+    libquantum.gap_mean = 700;
+    m["libquantum"] = libquantum;
+
+    SyntheticConfig cactus;
+    cactus.footprint_bytes = 96 * kMB;
+    cactus.write_ratio = 0.40;
+    cactus.stride_frac = 0.30;
+    cactus.stride_blocks = 1024 + 7;  // large-plane stencil jumps
+    cactus.gap_mean = 910;
+    m["cactusADM"] = cactus;
+
+    SyntheticConfig gcc;
+    gcc.footprint_bytes = 24 * kMB;
+    gcc.write_ratio = 0.35;
+    gcc.zipf_frac = 0.60;
+    gcc.zipf_s = 0.9;
+    gcc.seq_frac = 0.15;
+    gcc.gap_mean = 1120;
+    m["gcc"] = gcc;
+
+    SyntheticConfig milc;
+    milc.footprint_bytes = 64 * kMB;
+    milc.write_ratio = 0.42;
+    milc.stride_frac = 0.20;
+    milc.stride_blocks = 64;
+    milc.gap_mean = 875;
+    m["milc"] = milc;
+
+    SyntheticConfig bwaves;
+    bwaves.footprint_bytes = 128 * kMB;
+    bwaves.write_ratio = 0.28;
+    bwaves.seq_frac = 0.90;
+    bwaves.gap_mean = 560;
+    m["bwaves"] = bwaves;
+
+    SyntheticConfig xalancbmk;
+    xalancbmk.footprint_bytes = 12 * kMB;
+    xalancbmk.write_ratio = 0.30;
+    xalancbmk.zipf_frac = 0.75;
+    xalancbmk.zipf_s = 1.0;
+    xalancbmk.gap_mean = 1260;
+    m["xalancbmk"] = xalancbmk;
+
+    return m;
+  }();
+  return kProfiles;
+}
+
+}  // namespace
+
+const std::vector<std::string>& spec_workload_names() {
+  static const std::vector<std::string> kNames = {"lbm",  "mcf",  "libquantum", "cactusADM",
+                                                  "gcc",  "milc", "bwaves",     "xalancbmk"};
+  return kNames;
+}
+
+const std::vector<std::string>& workload_names() {
+  static const std::vector<std::string> kNames = [] {
+    std::vector<std::string> names = spec_workload_names();
+    names.push_back("pqueue");
+    names.push_back("phash");
+    return names;
+  }();
+  return kNames;
+}
+
+SyntheticConfig workload_profile(const std::string& name) {
+  const auto it = profiles().find(name);
+  if (it == profiles().end()) {
+    throw std::invalid_argument("unknown SPEC-like workload: " + name);
+  }
+  return it->second;
+}
+
+std::unique_ptr<TraceSource> make_workload(const std::string& name, std::uint64_t accesses,
+                                           std::uint64_t seed) {
+  if (name == "pqueue") {
+    // Small hot log ring, as in STAR's persistent-array/queue workloads.
+    return std::make_unique<PersistentQueueTrace>(8 * kMB, accesses, seed);
+  }
+  if (name == "phash") {
+    // Small hot table: updates hammer a working set the metadata cache can
+    // mostly hold, as in STAR's persistent workloads.
+    return std::make_unique<PersistentHashTrace>(3 * kMB, accesses, seed);
+  }
+  SyntheticConfig cfg = workload_profile(name);
+  cfg.accesses = accesses;
+  cfg.seed = seed;
+  return std::make_unique<SyntheticTrace>(cfg);
+}
+
+}  // namespace steins

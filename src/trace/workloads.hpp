@@ -1,0 +1,33 @@
+// Named workload profiles (paper §IV): eight SPEC2006/2017-like memory
+// behaviours plus the two persistent workloads in persistent.hpp.
+//
+// SPEC binaries and gem5 checkpoints are not redistributable, so each
+// profile is a SyntheticConfig calibrated to the benchmark's published
+// memory character (footprint, write intensity, locality class); the
+// paper's figures are normalized per workload, which is what these
+// preserve (DESIGN.md §2).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "trace/synthetic.hpp"
+
+namespace steins {
+
+/// The workload names in the order the figure benches print them.
+const std::vector<std::string>& workload_names();
+
+/// Only the eight SPEC-like workloads (no persistent ones).
+const std::vector<std::string>& spec_workload_names();
+
+/// Construct a trace for `name` producing `accesses` accesses.
+/// Throws std::invalid_argument for unknown names.
+std::unique_ptr<TraceSource> make_workload(const std::string& name, std::uint64_t accesses,
+                                           std::uint64_t seed = 1);
+
+/// The SyntheticConfig behind a SPEC-like profile (for tests/inspection).
+SyntheticConfig workload_profile(const std::string& name);
+
+}  // namespace steins

@@ -1,0 +1,87 @@
+// AES-128 known-answer tests (FIPS-197 / NIST vectors) and properties.
+#include <gtest/gtest.h>
+
+#include "crypto/aes.hpp"
+
+namespace steins::crypto {
+namespace {
+
+Aes128::Key key_from(const std::uint8_t (&k)[16]) {
+  Aes128::Key key;
+  std::copy(std::begin(k), std::end(k), key.begin());
+  return key;
+}
+
+Aes128::BlockBytes block_from(const std::uint8_t (&b)[16]) {
+  Aes128::BlockBytes blk;
+  std::copy(std::begin(b), std::end(b), blk.begin());
+  return blk;
+}
+
+TEST(Aes128, Fips197AppendixBVector) {
+  // FIPS-197 Appendix B: key 2b7e..., plaintext 3243f6a8885a308d313198a2e0370734.
+  const std::uint8_t key[16] = {0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6,
+                                0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf, 0x4f, 0x3c};
+  const std::uint8_t pt[16] = {0x32, 0x43, 0xf6, 0xa8, 0x88, 0x5a, 0x30, 0x8d,
+                               0x31, 0x31, 0x98, 0xa2, 0xe0, 0x37, 0x07, 0x34};
+  const std::uint8_t expect[16] = {0x39, 0x25, 0x84, 0x1d, 0x02, 0xdc, 0x09, 0xfb,
+                                   0xdc, 0x11, 0x85, 0x97, 0x19, 0x6a, 0x0b, 0x32};
+  Aes128 aes(key_from(key));
+  EXPECT_EQ(aes.encrypt(block_from(pt)), block_from(expect));
+}
+
+TEST(Aes128, Fips197AppendixCVector) {
+  // FIPS-197 Appendix C.1: key 000102...0f, plaintext 00112233445566778899aabbccddeeff.
+  const std::uint8_t key[16] = {0x00, 0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07,
+                                0x08, 0x09, 0x0a, 0x0b, 0x0c, 0x0d, 0x0e, 0x0f};
+  const std::uint8_t pt[16] = {0x00, 0x11, 0x22, 0x33, 0x44, 0x55, 0x66, 0x77,
+                               0x88, 0x99, 0xaa, 0xbb, 0xcc, 0xdd, 0xee, 0xff};
+  const std::uint8_t expect[16] = {0x69, 0xc4, 0xe0, 0xd8, 0x6a, 0x7b, 0x04, 0x30,
+                                   0xd8, 0xcd, 0xb7, 0x80, 0x70, 0xb4, 0xc5, 0x5a};
+  Aes128 aes(key_from(key));
+  EXPECT_EQ(aes.encrypt(block_from(pt)), block_from(expect));
+  EXPECT_EQ(aes.decrypt(block_from(expect)), block_from(pt));
+}
+
+TEST(Aes128, EncryptDecryptRoundTrip) {
+  const std::uint8_t key[16] = {0xde, 0xad, 0xbe, 0xef, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12};
+  Aes128 aes(key_from(key));
+  Aes128::BlockBytes blk;
+  for (int trial = 0; trial < 64; ++trial) {
+    for (std::size_t i = 0; i < blk.size(); ++i) {
+      blk[i] = static_cast<std::uint8_t>(trial * 17 + i * 31);
+    }
+    EXPECT_EQ(aes.decrypt(aes.encrypt(blk)), blk) << "trial " << trial;
+  }
+}
+
+TEST(Aes128, DifferentKeysDiffer) {
+  const std::uint8_t k1[16] = {0};
+  std::uint8_t k2raw[16] = {0};
+  k2raw[15] = 1;
+  Aes128 a(key_from(k1));
+  Aes128 b(Aes128::Key{k2raw[0], k2raw[1], k2raw[2], k2raw[3], k2raw[4], k2raw[5], k2raw[6],
+                       k2raw[7], k2raw[8], k2raw[9], k2raw[10], k2raw[11], k2raw[12], k2raw[13],
+                       k2raw[14], k2raw[15]});
+  Aes128::BlockBytes zero{};
+  EXPECT_NE(a.encrypt(zero), b.encrypt(zero));
+}
+
+TEST(Aes128, AvalancheOnPlaintextBit) {
+  const std::uint8_t key[16] = {7, 7, 7, 7, 7, 7, 7, 7, 7, 7, 7, 7, 7, 7, 7, 7};
+  Aes128 aes(key_from(key));
+  Aes128::BlockBytes a{}, b{};
+  b[0] = 0x01;
+  const auto ca = aes.encrypt(a);
+  const auto cb = aes.encrypt(b);
+  int diff_bits = 0;
+  for (std::size_t i = 0; i < ca.size(); ++i) {
+    diff_bits += __builtin_popcount(static_cast<unsigned>(ca[i] ^ cb[i]));
+  }
+  // A single flipped input bit should flip roughly half the output bits.
+  EXPECT_GT(diff_bits, 32);
+  EXPECT_LT(diff_bits, 96);
+}
+
+}  // namespace
+}  // namespace steins::crypto

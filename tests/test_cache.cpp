@@ -1,0 +1,108 @@
+// Set-associative cache: LRU, eviction, dirty bits, line indexing.
+#include <gtest/gtest.h>
+
+#include "cache/cache.hpp"
+
+namespace steins {
+namespace {
+
+TEST(Cache, GeometryComputation) {
+  EXPECT_EQ(cache_num_sets(32 * 1024, 2, 64), 256u);   // L1
+  EXPECT_EQ(cache_num_sets(512 * 1024, 8, 64), 1024u);  // L2
+  EXPECT_EQ(cache_num_sets(256 * 1024, 8, 64), 512u);   // metadata cache
+}
+
+TEST(Cache, HitAfterInsert) {
+  TagCache c(1024, 2, 64);
+  EXPECT_EQ(c.lookup(0x1000), nullptr);
+  c.insert(0x1000, false, Empty{});
+  EXPECT_NE(c.lookup(0x1000), nullptr);
+  EXPECT_EQ(c.stats().hits, 1u);
+  EXPECT_EQ(c.stats().misses, 1u);
+}
+
+TEST(Cache, LruEvictsLeastRecentlyUsed) {
+  // 2 ways, 64 B blocks, 2 sets -> set selected by bit 6.
+  TagCache c(256, 2, 64);
+  const Addr a = 0x000, b = 0x100, d = 0x200;  // all map to set 0
+  c.insert(a, false, Empty{});
+  c.insert(b, false, Empty{});
+  EXPECT_NE(c.lookup(a), nullptr);  // a becomes MRU
+  const auto victim = c.insert(d, false, Empty{});
+  ASSERT_TRUE(victim.has_value());
+  EXPECT_EQ(victim->addr, b);  // b was LRU
+  EXPECT_NE(c.peek(a), nullptr);
+  EXPECT_EQ(c.peek(b), nullptr);
+}
+
+TEST(Cache, DirtyEvictionReported) {
+  TagCache c(128, 1, 64);  // direct-mapped, 2 sets
+  c.insert(0x000, true, Empty{});
+  const auto victim = c.insert(0x100, false, Empty{});
+  ASSERT_TRUE(victim.has_value());
+  EXPECT_TRUE(victim->dirty);
+  EXPECT_EQ(c.stats().dirty_evictions, 1u);
+}
+
+TEST(Cache, LookupMarkDirty) {
+  TagCache c(256, 2, 64);
+  c.insert(0x40, false, Empty{});
+  c.lookup(0x40, true);
+  const auto victim = c.invalidate(0x40);
+  ASSERT_TRUE(victim.has_value());
+  EXPECT_TRUE(victim->dirty);
+}
+
+TEST(Cache, LineIndexStableWhileCached) {
+  TagCache c(1024, 4, 64);
+  c.insert(0x1500, false, Empty{});
+  const auto idx = c.line_index(0x1500);
+  ASSERT_GE(idx, 0);
+  c.insert(0x2540, false, Empty{});  // different block
+  EXPECT_EQ(c.line_index(0x1500), idx);
+  EXPECT_EQ(c.line_index(0x9999000), -1);
+}
+
+TEST(Cache, PayloadRoundTrip) {
+  SetAssocCache<int> c(256, 2, 64);
+  c.insert(0x80, false, 42);
+  auto* line = c.lookup(0x80);
+  ASSERT_NE(line, nullptr);
+  EXPECT_EQ(line->payload, 42);
+  line->payload = 43;
+  EXPECT_EQ(c.peek(0x80)->payload, 43);
+}
+
+TEST(Cache, ForEachVisitsValidOnly) {
+  TagCache c(512, 2, 64);
+  c.insert(0x000, false, Empty{});
+  c.insert(0x040, true, Empty{});
+  int count = 0, dirty = 0;
+  c.for_each([&](const TagCache::Line& line) {
+    ++count;
+    if (line.dirty) ++dirty;
+  });
+  EXPECT_EQ(count, 2);
+  EXPECT_EQ(dirty, 1);
+  c.clear();
+  count = 0;
+  c.for_each([&](const TagCache::Line&) { ++count; });
+  EXPECT_EQ(count, 0);
+}
+
+TEST(Cache, FullyAssociativeSingleSet) {
+  // 16 lines, 16 ways -> one set (the ADR record-line cache shape).
+  TagCache c(16 * 64, 16, 64);
+  EXPECT_EQ(c.num_sets(), 1u);
+  for (Addr a = 0; a < 16 * 64; a += 64) c.insert(a, false, Empty{});
+  EXPECT_FALSE(c.insert(0x4000, false, Empty{}) == std::nullopt);
+}
+
+TEST(Cache, SubBlockAddressesAlias) {
+  TagCache c(256, 2, 64);
+  c.insert(0x100, false, Empty{});
+  EXPECT_NE(c.lookup(0x13f), nullptr);  // same 64 B block
+}
+
+}  // namespace
+}  // namespace steins

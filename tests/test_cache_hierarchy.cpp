@@ -1,0 +1,92 @@
+// L1/L2/L3 hierarchy: hit levels, writebacks, flush (clwb) semantics.
+#include <gtest/gtest.h>
+
+#include "cache/cache_hierarchy.hpp"
+#include "common/config.hpp"
+
+namespace steins {
+namespace {
+
+SystemConfig tiny_config() {
+  SystemConfig cfg = default_config();
+  cfg.l1 = {1024, 2, 64};    // 8 sets
+  cfg.l2 = {4096, 2, 64};    // 32 sets
+  cfg.l3 = {16384, 2, 64};   // 128 sets
+  return cfg;
+}
+
+TEST(CacheHierarchy, FirstAccessMissesToMemory) {
+  CacheHierarchy h(tiny_config());
+  const MemoryOps ops = h.access(0x10000, false);
+  EXPECT_EQ(ops.hit_level, 4);
+  EXPECT_TRUE(ops.miss_fill);
+  EXPECT_EQ(ops.fill_addr, 0x10000u);
+}
+
+TEST(CacheHierarchy, SecondAccessHitsL1) {
+  CacheHierarchy h(tiny_config());
+  h.access(0x10000, false);
+  const MemoryOps ops = h.access(0x10000, false);
+  EXPECT_EQ(ops.hit_level, 1);
+  EXPECT_FALSE(ops.miss_fill);
+}
+
+TEST(CacheHierarchy, DirtyEvictionsReachMemoryEventually) {
+  CacheHierarchy h(tiny_config());
+  // Write far more distinct blocks than the whole hierarchy holds.
+  std::uint64_t writebacks = 0;
+  for (Addr a = 0; a < 4096 * 64; a += 64) {
+    const MemoryOps ops = h.access(a, true);
+    writebacks += ops.writebacks.size();
+  }
+  EXPECT_GT(writebacks, 0u);
+}
+
+TEST(CacheHierarchy, CleanEvictionsProduceNoWritebacks) {
+  CacheHierarchy h(tiny_config());
+  std::uint64_t writebacks = 0;
+  for (Addr a = 0; a < 4096 * 64; a += 64) {
+    writebacks += h.access(a, false).writebacks.size();
+  }
+  EXPECT_EQ(writebacks, 0u);
+}
+
+TEST(CacheHierarchy, FlushBlockWritesBackDirtyLine) {
+  CacheHierarchy h(tiny_config());
+  h.access(0x400, true);
+  const auto wbs = h.flush_block(0x400);
+  ASSERT_EQ(wbs.size(), 1u);
+  EXPECT_EQ(wbs[0], 0x400u);
+  // A second flush is a no-op (line gone).
+  EXPECT_TRUE(h.flush_block(0x400).empty());
+  // And the next access misses all the way to memory.
+  EXPECT_EQ(h.access(0x400, false).hit_level, 4);
+}
+
+TEST(CacheHierarchy, FlushCleanBlockIsNoWriteback) {
+  CacheHierarchy h(tiny_config());
+  h.access(0x800, false);
+  EXPECT_TRUE(h.flush_block(0x800).empty());
+}
+
+TEST(CacheHierarchy, L1VictimFallsIntoL2) {
+  CacheHierarchy h(tiny_config());
+  // Two blocks in the same L1 set (8 sets * 64 B = bit 9 aliases).
+  h.access(0x0000, true);
+  h.access(0x0200, true);
+  h.access(0x0400, true);  // evicts one of the first two into L2
+  // All three still hit within the hierarchy (no memory fill).
+  EXPECT_LE(h.access(0x0000, false).hit_level, 3);
+  EXPECT_LE(h.access(0x0200, false).hit_level, 3);
+  EXPECT_LE(h.access(0x0400, false).hit_level, 3);
+}
+
+TEST(CacheHierarchy, ClearDropsEverything) {
+  CacheHierarchy h(tiny_config());
+  h.access(0x1000, true);
+  h.clear();
+  EXPECT_EQ(h.access(0x1000, false).hit_level, 4);
+}
+
+}  // namespace
+}  // namespace steins

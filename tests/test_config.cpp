@@ -1,0 +1,52 @@
+// Table I defaults and unit conversions.
+#include <gtest/gtest.h>
+
+#include "common/config.hpp"
+
+namespace steins {
+namespace {
+
+TEST(SystemConfig, TableIDefaults) {
+  const SystemConfig cfg = default_config();
+  EXPECT_EQ(cfg.cpu.cores, 8u);
+  EXPECT_DOUBLE_EQ(cfg.cpu.freq_ghz, 2.0);
+  EXPECT_EQ(cfg.l1.size_bytes, 32u * 1024);
+  EXPECT_EQ(cfg.l1.ways, 2u);
+  EXPECT_EQ(cfg.l2.size_bytes, 512u * 1024);
+  EXPECT_EQ(cfg.l2.ways, 8u);
+  EXPECT_EQ(cfg.l3.size_bytes, 2u * 1024 * 1024);
+  EXPECT_EQ(cfg.nvm.capacity_bytes, 16ULL << 30);
+  EXPECT_DOUBLE_EQ(cfg.nvm.t_wr_ns, 300.0);
+  EXPECT_EQ(cfg.nvm.write_queue_entries, 64u);
+  EXPECT_EQ(cfg.secure.metadata_cache.size_bytes, 256u * 1024);
+  EXPECT_EQ(cfg.secure.metadata_cache.ways, 8u);
+  EXPECT_EQ(cfg.secure.hash_latency_cycles, 40u);
+  EXPECT_EQ(cfg.secure.nv_buffer_bytes, 128u);
+  EXPECT_EQ(cfg.secure.record_lines_cached, 16u);
+}
+
+TEST(SystemConfig, NsToCyclesAt2GHz) {
+  const SystemConfig cfg = default_config();
+  EXPECT_EQ(cfg.ns_to_cycles(1.0), 2u);
+  EXPECT_EQ(cfg.ns_to_cycles(300.0), 600u);
+  EXPECT_EQ(cfg.ns_to_cycles(0.4), 1u);  // rounds up, never zero
+  EXPECT_EQ(cfg.nvm_read_cycles(), cfg.ns_to_cycles(48.0 + 15.0));
+  EXPECT_EQ(cfg.nvm_write_cycles(), cfg.ns_to_cycles(13.0 + 300.0));
+}
+
+TEST(SystemConfig, CyclesToSecondsRoundTrip) {
+  const SystemConfig cfg = default_config();
+  EXPECT_DOUBLE_EQ(cfg.cycles_to_seconds(2'000'000'000), 1.0);
+}
+
+TEST(SystemConfig, DescribeMentionsKeyParameters) {
+  const SystemConfig cfg = default_config();
+  const std::string d = cfg.describe();
+  EXPECT_NE(d.find("16GB"), std::string::npos);
+  EXPECT_NE(d.find("256KB"), std::string::npos);
+  EXPECT_NE(d.find("40 cycles"), std::string::npos);
+  EXPECT_NE(d.find("300 ns"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace steins

@@ -1,0 +1,70 @@
+// Experiment harness: scheme sets, matrix runs, normalization tables.
+#include <gtest/gtest.h>
+
+#include "sim/experiment.hpp"
+
+namespace steins {
+namespace {
+
+TEST(ExperimentRunner, SchemeSetsMatchPaper) {
+  const auto gc = gc_comparison_schemes();
+  ASSERT_EQ(gc.size(), 4u);
+  EXPECT_EQ(gc[0].label, "WB-GC");
+  EXPECT_EQ(gc[1].label, "ASIT");
+  EXPECT_EQ(gc[2].label, "STAR");
+  EXPECT_EQ(gc[3].label, "Steins-GC");
+
+  const auto sc = sc_comparison_schemes();
+  ASSERT_EQ(sc.size(), 3u);
+  EXPECT_EQ(sc[0].label, "WB-SC");
+  EXPECT_EQ(sc[1].label, "Steins-SC");
+  EXPECT_EQ(sc[2].label, "Steins-GC");
+}
+
+TEST(ExperimentRunner, MatrixRunsEveryCell) {
+  SystemConfig cfg = default_config();
+  cfg.nvm.capacity_bytes = 256ULL << 20;
+  ExperimentRunner runner(cfg);
+  const std::vector<std::string> wls = {"gcc", "phash"};
+  const auto schemes = sc_comparison_schemes();
+  const auto results = runner.run_matrix(wls, schemes, 3000);
+  ASSERT_EQ(results.size(), wls.size() * schemes.size());
+  for (const auto& r : results) {
+    EXPECT_GT(r.stats.cycles, 0u) << r.workload << "/" << r.scheme_label;
+  }
+}
+
+TEST(ExperimentRunner, TableNormalizesToBaseline) {
+  std::vector<SchemeSpec> schemes = {
+      {Scheme::kWriteBack, CounterMode::kGeneral, "base"},
+      {Scheme::kSteins, CounterMode::kGeneral, "other"},
+  };
+  std::vector<MatrixResult> results(2);
+  results[0].workload = "w";
+  results[0].scheme_label = "base";
+  results[0].stats.cycles = 100;
+  results[1].workload = "w";
+  results[1].scheme_label = "other";
+  results[1].stats.cycles = 150;
+
+  const ResultTable t = ExperimentRunner::make_table(
+      "t", results, schemes, [](const RunStats& s) { return static_cast<double>(s.cycles); },
+      "base");
+  ASSERT_EQ(t.rows().size(), 2u);  // workload row + gmean
+  EXPECT_DOUBLE_EQ(t.rows()[0].second[0], 1.0);
+  EXPECT_DOUBLE_EQ(t.rows()[0].second[1], 1.5);
+}
+
+TEST(ExperimentRunner, AbsoluteTableWithEmptyBaseline) {
+  std::vector<SchemeSpec> schemes = {{Scheme::kWriteBack, CounterMode::kGeneral, "only"}};
+  std::vector<MatrixResult> results(1);
+  results[0].workload = "w";
+  results[0].scheme_label = "only";
+  results[0].stats.cycles = 123;
+  const ResultTable t = ExperimentRunner::make_table(
+      "t", results, schemes, [](const RunStats& s) { return static_cast<double>(s.cycles); }, "");
+  EXPECT_DOUBLE_EQ(t.rows()[0].second[0], 123.0);
+}
+
+}  // namespace
+}  // namespace steins

@@ -1,0 +1,118 @@
+// SIT geometry: the paper's tree heights (9 GC / 8 SC on 16 GB), region
+// layout, parent/child maps, and offset round trips (paper Table I, §III-C).
+#include <gtest/gtest.h>
+
+#include "common/config.hpp"
+#include "sit/geometry.hpp"
+
+namespace steins {
+namespace {
+
+TEST(SitGeometry, PaperHeightsFor16GB) {
+  const NvmConfig nvm;  // 16 GB default
+  const SitGeometry gc(nvm, CounterMode::kGeneral);
+  const SitGeometry sc(nvm, CounterMode::kSplit);
+  EXPECT_EQ(gc.height(), 9u);  // Table I: 9 levels including the root
+  EXPECT_EQ(sc.height(), 8u);  // split leaves remove one level
+}
+
+TEST(SitGeometry, LevelCountsShrinkByArity) {
+  const NvmConfig nvm;
+  const SitGeometry geo(nvm, CounterMode::kGeneral);
+  EXPECT_EQ(geo.data_blocks(), (16ULL << 30) / 64);
+  EXPECT_EQ(geo.level_count(0), geo.data_blocks() / kGeneralArity);
+  for (unsigned k = 1; k < geo.num_levels(); ++k) {
+    EXPECT_EQ(geo.level_count(k), (geo.level_count(k - 1) + 7) / 8) << "level " << k;
+  }
+  EXPECT_LE(geo.root_children(), kRootArity);
+}
+
+TEST(SitGeometry, LeafStorageMatchesPaper) {
+  const NvmConfig nvm;
+  const SitGeometry gc(nvm, CounterMode::kGeneral);
+  const SitGeometry sc(nvm, CounterMode::kSplit);
+  // §IV-E: GC leaves are 1/8 of 16 GB = 2 GB; SC leaves 1/64 = 256 MB.
+  EXPECT_EQ(gc.leaf_storage_bytes(), 2ULL << 30);
+  EXPECT_EQ(sc.leaf_storage_bytes(), 256ULL << 20);
+}
+
+TEST(SitGeometry, NodeAddrRoundTrip) {
+  const NvmConfig nvm;
+  const SitGeometry geo(nvm, CounterMode::kGeneral);
+  for (unsigned level = 0; level < geo.num_levels(); ++level) {
+    for (const std::uint64_t index :
+         {std::uint64_t{0}, std::uint64_t{1}, geo.level_count(level) - 1}) {
+      const NodeId id{level, index};
+      const Addr addr = geo.node_addr(id);
+      EXPECT_TRUE(geo.is_metadata_addr(addr));
+      EXPECT_EQ(geo.node_at(addr), id);
+    }
+  }
+}
+
+TEST(SitGeometry, OffsetRoundTripAndFitsFourBytes) {
+  const NvmConfig nvm;
+  const SitGeometry geo(nvm, CounterMode::kSplit);
+  for (unsigned level = 0; level < geo.num_levels(); ++level) {
+    const NodeId id{level, geo.level_count(level) / 2};
+    const std::uint32_t off = geo.offset_of(id);
+    EXPECT_EQ(geo.node_at_offset(off), id);
+  }
+}
+
+TEST(SitGeometry, ParentChildConsistency) {
+  const NvmConfig nvm;
+  const SitGeometry geo(nvm, CounterMode::kGeneral);
+  const NodeId child{2, 1234567};
+  const NodeId parent = geo.parent_of(child);
+  EXPECT_EQ(parent.level, 3u);
+  EXPECT_EQ(parent.index, child.index / 8);
+  EXPECT_EQ(geo.child_of(parent, geo.slot_in_parent(child)), child);
+}
+
+TEST(SitGeometry, LeafOfDataCoverage) {
+  const NvmConfig nvm;
+  const SitGeometry gc(nvm, CounterMode::kGeneral);
+  const SitGeometry sc(nvm, CounterMode::kSplit);
+  EXPECT_EQ(gc.leaf_of_data(17).index, 17u / 8);
+  EXPECT_EQ(gc.slot_of_data(17), 17u % 8);
+  EXPECT_EQ(sc.leaf_of_data(130).index, 130u / 64);
+  EXPECT_EQ(sc.slot_of_data(130), 130u % 64);
+}
+
+TEST(SitGeometry, AuxRegionAboveMetadata) {
+  const NvmConfig nvm;
+  const SitGeometry geo(nvm, CounterMode::kGeneral);
+  EXPECT_EQ(geo.meta_base(), nvm.capacity_bytes);
+  EXPECT_EQ(geo.aux_base(), geo.meta_base() + geo.total_nodes() * kBlockSize);
+}
+
+// Parameterized sweep: geometry invariants hold across capacities.
+class GeometrySweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(GeometrySweep, InvariantsAcrossCapacities) {
+  NvmConfig nvm;
+  nvm.capacity_bytes = GetParam();
+  for (const auto mode : {CounterMode::kGeneral, CounterMode::kSplit}) {
+    const SitGeometry geo(nvm, mode);
+    EXPECT_GE(geo.num_levels(), 1u);
+    EXPECT_LE(geo.root_children(), kRootArity);
+    // Every node's parent exists and its children map back.
+    std::uint64_t total = 0;
+    for (unsigned k = 0; k < geo.num_levels(); ++k) total += geo.level_count(k);
+    EXPECT_EQ(total, geo.total_nodes());
+    // Partial last nodes: num_children never exceeds the child level size.
+    for (unsigned k = 1; k < geo.num_levels(); ++k) {
+      const NodeId last{k, geo.level_count(k) - 1};
+      EXPECT_GE(geo.num_children(last), 1u);
+      EXPECT_LE(geo.num_children(last), kTreeArity);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Capacities, GeometrySweep,
+                         ::testing::Values(1ULL << 20, 16ULL << 20, 256ULL << 20, 1ULL << 30,
+                                           16ULL << 30, 64ULL << 30));
+
+}  // namespace
+}  // namespace steins

@@ -1,0 +1,70 @@
+// HMAC-SHA256 known-answer tests (RFC 4231) and the 64-bit truncation.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "crypto/hmac.hpp"
+
+namespace steins::crypto {
+namespace {
+
+std::string hex(const HmacSha256::Tag& t) {
+  char buf[65];
+  for (int i = 0; i < 32; ++i) std::snprintf(buf + i * 2, 3, "%02x", t[i]);
+  return std::string(buf, 64);
+}
+
+std::span<const std::uint8_t> bytes(const std::string& s) {
+  return {reinterpret_cast<const std::uint8_t*>(s.data()), s.size()};
+}
+
+TEST(HmacSha256, Rfc4231Case1) {
+  const std::string key(20, '\x0b');
+  HmacSha256 mac(bytes(key));
+  EXPECT_EQ(hex(mac.tag(bytes("Hi There"))),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
+}
+
+TEST(HmacSha256, Rfc4231Case2) {
+  HmacSha256 mac(bytes("Jefe"));
+  EXPECT_EQ(hex(mac.tag(bytes("what do ya want for nothing?"))),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+}
+
+TEST(HmacSha256, Rfc4231Case3) {
+  const std::string key(20, '\xaa');
+  const std::string msg(50, '\xdd');
+  HmacSha256 mac(bytes(key));
+  EXPECT_EQ(hex(mac.tag(bytes(msg))),
+            "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe");
+}
+
+TEST(HmacSha256, Rfc4231Case6LongKey) {
+  const std::string key(131, '\xaa');  // key longer than the block size
+  HmacSha256 mac(bytes(key));
+  EXPECT_EQ(hex(mac.tag(bytes("Test Using Larger Than Block-Size Key - Hash Key First"))),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54");
+}
+
+TEST(HmacSha256, Tag64IsTagPrefix) {
+  HmacSha256 mac(bytes("key"));
+  const auto full = mac.tag(bytes("message"));
+  std::uint64_t prefix = 0;
+  for (int i = 0; i < 8; ++i) prefix = (prefix << 8) | full[i];
+  EXPECT_EQ(mac.tag64(bytes("message")), prefix);
+}
+
+TEST(HmacSha256, DifferentKeysDifferentTags) {
+  HmacSha256 a(bytes("key-a"));
+  HmacSha256 b(bytes("key-b"));
+  EXPECT_NE(a.tag64(bytes("payload")), b.tag64(bytes("payload")));
+}
+
+TEST(HmacSha256, DifferentMessagesDifferentTags) {
+  HmacSha256 mac(bytes("key"));
+  EXPECT_NE(mac.tag64(bytes("payload-1")), mac.tag64(bytes("payload-2")));
+}
+
+}  // namespace
+}  // namespace steins::crypto

@@ -1,0 +1,29 @@
+// Logging levels.
+#include <gtest/gtest.h>
+
+#include "common/log.hpp"
+
+namespace steins {
+namespace {
+
+TEST(Log, LevelRoundTrip) {
+  const LogLevel before = log_level();
+  set_log_level(LogLevel::kDebug);
+  EXPECT_EQ(log_level(), LogLevel::kDebug);
+  set_log_level(LogLevel::kError);
+  EXPECT_EQ(log_level(), LogLevel::kError);
+  set_log_level(before);
+}
+
+TEST(Log, SuppressedLevelsDoNotCrash) {
+  const LogLevel before = log_level();
+  set_log_level(LogLevel::kError);
+  // These are filtered out; the call must still be safe with formatting.
+  STEINS_LOG_DEBUG("debug %d %s", 42, "suppressed");
+  STEINS_LOG_INFO("info %f", 3.14);
+  STEINS_LOG_WARN("warn %u", 7u);
+  set_log_level(before);
+}
+
+}  // namespace
+}  // namespace steins

@@ -1,0 +1,129 @@
+// NVM device + channel: functional store, tags, timing discipline, write
+// queue behaviour, store-forwarding.
+#include <gtest/gtest.h>
+
+#include "common/config.hpp"
+#include "nvm/nvm_device.hpp"
+#include "nvm/write_queue.hpp"
+
+namespace steins {
+namespace {
+
+Block filled(std::uint8_t v) {
+  Block b;
+  b.fill(v);
+  return b;
+}
+
+TEST(NvmDevice, UnwrittenReadsZero) {
+  NvmDevice dev(NvmConfig{});
+  EXPECT_EQ(dev.read_block(0x1000), zero_block());
+  EXPECT_FALSE(dev.contains(0x1000));
+}
+
+TEST(NvmDevice, WriteReadRoundTripAndStats) {
+  NvmDevice dev(NvmConfig{});
+  dev.write_block(0x40, filled(0xab));
+  EXPECT_EQ(dev.read_block(0x40), filled(0xab));
+  EXPECT_EQ(dev.stats().reads, 1u);
+  EXPECT_EQ(dev.stats().writes, 1u);
+  EXPECT_GT(dev.stats().energy_nj, 0.0);
+}
+
+TEST(NvmDevice, TagsRideAlong) {
+  NvmDevice dev(NvmConfig{});
+  dev.write_tag(0x80, 0xdeadbeef);
+  dev.write_tag2(0x80, 0x1234);
+  const auto reads_before = dev.stats().reads;
+  EXPECT_EQ(dev.read_tag(0x80), 0xdeadbeefu);
+  EXPECT_EQ(dev.read_tag2(0x80), 0x1234u);
+  EXPECT_EQ(dev.stats().reads, reads_before);  // sidecars are free
+}
+
+TEST(NvmDevice, SubBlockAddressesAlias) {
+  NvmDevice dev(NvmConfig{});
+  dev.write_block(0x100, filled(1));
+  EXPECT_EQ(dev.read_block(0x13f), filled(1));
+}
+
+TEST(NvmChannel, ReadLatencyMatchesArrayTiming) {
+  const SystemConfig cfg = default_config();
+  NvmDevice dev(cfg.nvm);
+  NvmChannel ch(cfg, dev);
+  Block out;
+  const Cycle done = ch.read(0x40, 100, &out);
+  EXPECT_EQ(done, 100 + cfg.nvm_read_cycles());
+}
+
+TEST(NvmChannel, WritesDrainInGaps) {
+  const SystemConfig cfg = default_config();
+  NvmDevice dev(cfg.nvm);
+  NvmChannel ch(cfg, dev);
+  ch.write(0x40, filled(1), 0);
+  EXPECT_EQ(ch.queue_depth(), 1u);
+  // Much later, the write should have drained before the read arrives.
+  Block out;
+  ch.read(0x4000, 10'000'000, &out);
+  EXPECT_EQ(ch.queue_depth(), 0u);
+  EXPECT_TRUE(dev.contains(0x40));
+}
+
+TEST(NvmChannel, StoreForwardingReturnsQueuedData) {
+  const SystemConfig cfg = default_config();
+  NvmDevice dev(cfg.nvm);
+  NvmChannel ch(cfg, dev);
+  ch.write(0x40, filled(7), 0);
+  Block out;
+  const Cycle done = ch.read(0x40, 0, &out);  // same cycle: still queued
+  EXPECT_EQ(out, filled(7));
+  EXPECT_LE(done, NvmChannel::kForwardCycles);
+}
+
+TEST(NvmChannel, QueueFullStallsProducer) {
+  SystemConfig cfg = default_config();
+  cfg.nvm.write_queue_entries = 4;
+  NvmDevice dev(cfg.nvm);
+  NvmChannel ch(cfg, dev);
+  Cycle now = 0;
+  for (int i = 0; i < 16; ++i) {
+    now = ch.write(static_cast<Addr>(i) * 64, filled(1), now);
+  }
+  EXPECT_GT(ch.stats().write_queue_stalls, 0u);
+  EXPECT_LE(ch.queue_depth(), 4u);
+}
+
+TEST(NvmChannel, DrainAllPersistsEverything) {
+  const SystemConfig cfg = default_config();
+  NvmDevice dev(cfg.nvm);
+  NvmChannel ch(cfg, dev);
+  for (int i = 0; i < 10; ++i) ch.write(static_cast<Addr>(i) * 64, filled(2), 0);
+  ch.drain_all(0);
+  EXPECT_EQ(ch.queue_depth(), 0u);
+  for (int i = 0; i < 10; ++i) EXPECT_TRUE(dev.contains(static_cast<Addr>(i) * 64));
+}
+
+TEST(NvmChannel, WriteLatencyAttribution) {
+  const SystemConfig cfg = default_config();
+  NvmDevice dev(cfg.nvm);
+  NvmChannel ch(cfg, dev);
+  LatencyAccumulator acc;
+  ch.write(0x40, filled(3), 100, &acc, /*birth=*/50);
+  ch.drain_all(200);
+  EXPECT_EQ(acc.count, 1u);
+  EXPECT_GE(acc.sum, cfg.nvm_write_cycles());
+}
+
+TEST(NvmChannel, ReadAfterWriteTurnaroundPenalty) {
+  const SystemConfig cfg = default_config();
+  NvmDevice dev(cfg.nvm);
+  NvmChannel ch(cfg, dev);
+  ch.write(0x40, filled(1), 0);
+  ch.drain_all(0);  // device just finished a write
+  Block out;
+  const Cycle free_at = ch.device_free_at();
+  const Cycle done = ch.read(0x4000, free_at, &out);
+  EXPECT_EQ(done, free_at + cfg.ns_to_cycles(cfg.nvm.t_wtr_ns) + cfg.nvm_read_cycles());
+}
+
+}  // namespace
+}  // namespace steins

@@ -1,0 +1,84 @@
+// Paper §III-B2 overflow analysis, reproduced as executable checks.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "sit/counter_block.hpp"
+
+namespace steins {
+namespace {
+
+// "In the corner cases where the sum of minor counters reaches 2^6 + 1
+// (immediately following a minor counter overflow), the major counter is
+// increased by two. As a result, the parent counter corresponds to twice
+// the number of memory writes compared to the traditional SIT model."
+TEST(OverflowAnalysis, ParentCounterAtMostTwiceWriteCount) {
+  // Adversarial single-slot hammering maximizes the skip-increment waste.
+  SplitCounterBlock cb;
+  const std::uint64_t writes = 1 << 20;
+  for (std::uint64_t i = 0; i < writes; ++i) cb.increment_skip(0);
+  EXPECT_LE(cb.parent_value(), 2 * writes);
+  // And random traffic wastes almost nothing.
+  SplitCounterBlock uniform;
+  Xoshiro256 rng(1);
+  for (std::uint64_t i = 0; i < writes; ++i) {
+    uniform.increment_skip(static_cast<std::size_t>(rng.below(kSplitArity)));
+  }
+  EXPECT_LE(uniform.parent_value(), writes + writes / 8);
+}
+
+// "Assuming that the memory write latency is 300ns, the system requires
+// 2^56 x 300ns (about 685 years) to overflow the 56-bit counter ...
+// the 56-bit counter would require at least 342 years to overflow."
+TEST(OverflowAnalysis, YearsToOverflowMatchesPaper) {
+  const double write_latency_s = 300e-9;
+  const double full = static_cast<double>(1ULL << 56) * write_latency_s;
+  const double years = full / (365.25 * 24 * 3600);
+  EXPECT_NEAR(years, 685.0, 1.0);
+  // Worst case under skip-increment: counters advance twice per write.
+  EXPECT_GT(years / 2.0, 342.0 - 1.0);
+}
+
+// The corner case itself: a minor overflow right after a reset yields a
+// major increment of exactly ceil((sum+1)/64) and an aligned parent value.
+TEST(OverflowAnalysis, CornerCaseMajorSkipsByTwo) {
+  SplitCounterBlock cb;
+  // Fill one minor to the brink, everything else high: sum near maximum.
+  for (std::size_t i = 0; i < kSplitArity; ++i) {
+    cb.minors[i] = static_cast<std::uint8_t>(kMinorMax - 1);
+  }
+  const std::uint64_t before = cb.parent_value();
+  const auto r = cb.increment_skip(0);
+  ASSERT_TRUE(r.overflowed);
+  // sum = 64*63 + 1 = 4033 -> ceil(4033/64) = 64.
+  EXPECT_EQ(r.major_delta, 64u);
+  EXPECT_GT(cb.parent_value(), before);
+  EXPECT_EQ(cb.parent_value() % kMinorMax, 0u);
+}
+
+// 56-bit wrap-around of the general counter sum: the modular arithmetic of
+// Eq. (1) stays consistent between encode/decode round trips.
+TEST(OverflowAnalysis, GeneralSumWrapsConsistently) {
+  GeneralCounterBlock cb;
+  cb.counters = {kCounter56Mask, kCounter56Mask, 2, 0, 0, 0, 0, 0};
+  const std::uint64_t pv = cb.parent_value();
+  EXPECT_EQ(pv, (kCounter56Mask + kCounter56Mask + 2) & kCounter56Mask);
+  EXPECT_EQ(GeneralCounterBlock::decode(cb.encode()).parent_value(), pv);
+}
+
+// Property: under mixed traffic the skip-increment never loses an update —
+// the parent value advances by at least one per write (uniqueness of OTPs).
+TEST(OverflowAnalysis, ParentAdvancesAtLeastOncePerWrite) {
+  SplitCounterBlock cb;
+  Xoshiro256 rng(77);
+  std::uint64_t prev = 0;
+  for (int i = 0; i < 100000; ++i) {
+    cb.increment_skip(static_cast<std::size_t>(rng.below(kSplitArity)));
+    const std::uint64_t cur = cb.parent_value();
+    ASSERT_GE(cur, prev + 1);
+    prev = cur;
+  }
+  EXPECT_GE(prev, 100000u);
+}
+
+}  // namespace
+}  // namespace steins

@@ -1,0 +1,79 @@
+// SHA-256 known-answer tests (FIPS 180-4 / NIST vectors) and streaming.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "crypto/sha256.hpp"
+
+namespace steins::crypto {
+namespace {
+
+std::string hex(const Sha256::Digest& d) {
+  char buf[65];
+  for (int i = 0; i < 32; ++i) std::snprintf(buf + i * 2, 3, "%02x", d[i]);
+  return std::string(buf, 64);
+}
+
+Sha256::Digest hash_str(const std::string& s) {
+  return Sha256::hash({reinterpret_cast<const std::uint8_t*>(s.data()), s.size()});
+}
+
+TEST(Sha256, EmptyString) {
+  EXPECT_EQ(hex(hash_str("")),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256, Abc) {
+  EXPECT_EQ(hex(hash_str("abc")),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256, TwoBlockMessage) {
+  EXPECT_EQ(hex(hash_str("abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256, MillionA) {
+  Sha256 h;
+  const std::string chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) {
+    h.update({reinterpret_cast<const std::uint8_t*>(chunk.data()), chunk.size()});
+  }
+  EXPECT_EQ(hex(h.finalize()),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256, StreamingMatchesOneShot) {
+  const std::string msg = "the quick brown fox jumps over the lazy dog, repeatedly and often";
+  for (std::size_t split = 0; split <= msg.size(); ++split) {
+    Sha256 h;
+    h.update({reinterpret_cast<const std::uint8_t*>(msg.data()), split});
+    h.update({reinterpret_cast<const std::uint8_t*>(msg.data()) + split, msg.size() - split});
+    EXPECT_EQ(h.finalize(), hash_str(msg)) << "split at " << split;
+  }
+}
+
+TEST(Sha256, ExactBlockBoundaryLengths) {
+  // Lengths around the 55/56/64-byte padding boundaries are classic bugs.
+  for (const std::size_t len : {55u, 56u, 57u, 63u, 64u, 65u, 119u, 120u, 128u}) {
+    const std::string msg(len, 'x');
+    Sha256 h;
+    for (const char c : msg) {
+      h.update({reinterpret_cast<const std::uint8_t*>(&c), 1});
+    }
+    EXPECT_EQ(h.finalize(), hash_str(msg)) << "len " << len;
+  }
+}
+
+TEST(Sha256, ReusableAfterFinalize) {
+  Sha256 h;
+  h.update({reinterpret_cast<const std::uint8_t*>("abc"), 3});
+  const auto first = h.finalize();
+  h.update({reinterpret_cast<const std::uint8_t*>("abc"), 3});
+  EXPECT_EQ(h.finalize(), first);
+}
+
+}  // namespace
+}  // namespace steins::crypto

@@ -1,0 +1,63 @@
+// Statistics plumbing: accumulators, counters, result tables.
+#include <gtest/gtest.h>
+
+#include "common/stats.hpp"
+
+namespace steins {
+namespace {
+
+TEST(LatencyAccumulator, MeanAndMax) {
+  LatencyAccumulator acc;
+  EXPECT_EQ(acc.mean(), 0.0);
+  acc.add(10);
+  acc.add(20);
+  acc.add(60);
+  EXPECT_EQ(acc.count, 3u);
+  EXPECT_DOUBLE_EQ(acc.mean(), 30.0);
+  EXPECT_EQ(acc.max, 60u);
+  acc.reset();
+  EXPECT_EQ(acc.count, 0u);
+}
+
+TEST(StatSet, AccumulatesNamedCounters) {
+  StatSet s;
+  s.add("reads");
+  s.add("reads", 4);
+  s.add("writes", 2);
+  EXPECT_EQ(s.get("reads"), 5u);
+  EXPECT_EQ(s.get("writes"), 2u);
+  EXPECT_EQ(s.get("absent"), 0u);
+  EXPECT_EQ(s.all().size(), 2u);
+}
+
+TEST(ResultTable, RowsAndCsv) {
+  ResultTable t("test", {"a", "b"});
+  t.add_row("w1", {1.0, 2.0});
+  t.add_row("w2", {3.0, 4.0});
+  const std::string csv = t.to_csv(1);
+  EXPECT_NE(csv.find("workload,a,b"), std::string::npos);
+  EXPECT_NE(csv.find("w1,1.0,2.0"), std::string::npos);
+  EXPECT_NE(csv.find("w2,3.0,4.0"), std::string::npos);
+}
+
+TEST(ResultTable, GeomeanRow) {
+  ResultTable t("test", {"x"});
+  t.add_row("w1", {2.0});
+  t.add_row("w2", {8.0});
+  t.add_geomean_row();
+  ASSERT_EQ(t.rows().size(), 3u);
+  EXPECT_EQ(t.rows().back().first, "geomean");
+  EXPECT_NEAR(t.rows().back().second[0], 4.0, 1e-9);  // sqrt(2*8)
+}
+
+TEST(ResultTable, GeomeanOfIdenticalRowsIsIdentity) {
+  ResultTable t("test", {"x", "y"});
+  t.add_row("a", {1.5, 0.5});
+  t.add_row("b", {1.5, 0.5});
+  t.add_geomean_row("gm");
+  EXPECT_NEAR(t.rows().back().second[0], 1.5, 1e-12);
+  EXPECT_NEAR(t.rows().back().second[1], 0.5, 1e-12);
+}
+
+}  // namespace
+}  // namespace steins

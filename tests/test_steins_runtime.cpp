@@ -1,0 +1,201 @@
+// Steins-specific runtime invariants: counter generation, LInc bookkeeping,
+// the NV parent buffer, and offset records (paper §III-B..§III-F).
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <map>
+#include <set>
+
+#include "schemes/steins.hpp"
+#include "test_util.hpp"
+
+namespace steins {
+namespace {
+
+using testutil::Driver;
+using testutil::small_config;
+
+std::unique_ptr<SteinsMemory> make_steins(CounterMode mode,
+                                          std::size_t mcache_bytes = 16 * 1024) {
+  return std::make_unique<SteinsMemory>(small_config(mode, mcache_bytes));
+}
+
+/// Ground-truth LInc for level k: sum over cached dirty level-k nodes of
+/// (cached parent value - stale NVM parent value), computed directly from
+/// the cache and the device (paper §III-D definition).
+std::uint64_t expected_linc(SteinsMemory& mem, unsigned level) {
+  std::uint64_t sum = 0;
+  const SitGeometry& geo = mem.geometry();
+  mem.metadata_cache().for_each([&](const MetadataLine& line) {
+    if (!line.dirty || line.payload.id.level != level) return;
+    const Addr addr = geo.node_addr(line.payload.id);
+    std::uint64_t stale_pv = 0;
+    if (mem.device().contains(addr)) {
+      const SitNode stale =
+          SitNode::from_block(line.payload.id, line.payload.split, mem.device().peek_block(addr));
+      stale_pv = stale.parent_value();
+    }
+    sum += line.payload.parent_value() - stale_pv;
+  });
+  return sum;
+}
+
+class SteinsLIncInvariant : public ::testing::TestWithParam<CounterMode> {};
+
+TEST_P(SteinsLIncInvariant, MatchesCacheMinusNvmAtAllLevels) {
+  auto mem = make_steins(GetParam());
+  Driver d(*mem);
+  d.write_random(3000, 150'000);
+  // LIncs are exact only once deferred parent updates are applied and the
+  // write queue has landed (expected_linc peeks the device directly).
+  Cycle t = d.now();
+  mem->drain_nv_buffer(t);
+  mem->channel().drain_all(t);
+  for (unsigned k = 0; k < mem->geometry().num_levels(); ++k) {
+    EXPECT_EQ(mem->lincs()[k], expected_linc(*mem, k)) << "level " << k;
+  }
+}
+
+TEST_P(SteinsLIncInvariant, AllZeroAfterFullFlush) {
+  auto mem = make_steins(GetParam());
+  Driver d(*mem);
+  d.write_random(1500, 100'000);
+  mem->flush_all_metadata();
+  for (unsigned k = 0; k < mem->geometry().num_levels(); ++k) {
+    EXPECT_EQ(mem->lincs()[k], 0u) << "level " << k;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Modes, SteinsLIncInvariant,
+                         ::testing::Values(CounterMode::kGeneral, CounterMode::kSplit),
+                         [](const ::testing::TestParamInfo<CounterMode>& info) {
+                           return info.param == CounterMode::kSplit ? "SC" : "GC";
+                         });
+
+TEST(SteinsCounterGeneration, PersistedParentSlotEqualsChildParentValue) {
+  auto mem = make_steins(CounterMode::kGeneral);
+  Driver d(*mem);
+  d.write_random(2000, 120'000);
+  mem->flush_all_metadata();
+  const SitGeometry& geo = mem->geometry();
+  // For every persisted child, the parent's slot must equal the Eq.-1 value
+  // generated from the child's persistent image.
+  NvmDevice& dev = mem->device();
+  int checked = 0;
+  for (std::uint64_t leaf = 0; leaf < geo.level_count(0) && checked < 500; ++leaf) {
+    const NodeId id{0, leaf};
+    const Addr addr = geo.node_addr(id);
+    if (!dev.contains(addr)) continue;
+    const SitNode child = SitNode::from_block(id, false, dev.peek_block(addr));
+    const NodeId pid = geo.parent_of(id);
+    const Addr paddr = geo.node_addr(pid);
+    ASSERT_TRUE(dev.contains(paddr)) << "flushed child must have flushed parent after flush_all";
+    const SitNode parent = SitNode::from_block(pid, false, dev.peek_block(paddr));
+    EXPECT_EQ(parent.gc.counters[geo.slot_in_parent(id)], child.parent_value())
+        << "leaf " << leaf;
+    ++checked;
+  }
+  EXPECT_GT(checked, 0);
+}
+
+TEST(SteinsNvBuffer, BoundedByConfiguredCapacity) {
+  auto mem = make_steins(CounterMode::kGeneral, 8 * 1024);  // small: many evictions
+  Driver d(*mem);
+  const std::size_t capacity = mem->config().secure.nv_buffer_bytes / 16;
+  for (int i = 0; i < 3000; ++i) {
+    d.write(d.rng().below(100'000));
+    ASSERT_LE(mem->nv_buffer_entries(), capacity);
+  }
+}
+
+TEST(SteinsNvBuffer, DrainedBeforeReads) {
+  auto mem = make_steins(CounterMode::kGeneral, 8 * 1024);
+  Driver d(*mem);
+  d.write_random(2000, 100'000);
+  // A read drains the buffer (paper §III-E: parents fetched before the next
+  // read operation).
+  d.read_check(0);
+  EXPECT_EQ(mem->nv_buffer_entries(), 0u);
+}
+
+TEST(SteinsRecords, CrashPersistsOffsetsOfAllDirtyNodes) {
+  auto mem = make_steins(CounterMode::kGeneral);
+  Driver d(*mem);
+  d.write_random(2000, 120'000);
+  Cycle t = d.now();
+  mem->drain_nv_buffer(t);
+
+  const auto dirty = testutil::dirty_snapshot(*mem);
+  mem->crash();
+
+  // Gather every offset stored in the record region after the ADR flush.
+  const SitGeometry& geo = mem->geometry();
+  std::set<std::uint32_t> recorded;
+  const Addr base = geo.aux_base();
+  const std::size_t lines =
+      (mem->metadata_cache().num_lines() + 15) / 16;
+  for (std::size_t i = 0; i < lines; ++i) {
+    const Block b = mem->device().peek_block(base + i * kBlockSize);
+    for (std::size_t s = 0; s < 16; ++s) {
+      std::uint32_t off;
+      std::memcpy(&off, b.data() + s * 4, 4);
+      if (off != 0) recorded.insert(off - 1);
+    }
+  }
+  for (const auto& [offset, node] : dirty) {
+    EXPECT_TRUE(recorded.contains(static_cast<std::uint32_t>(offset)))
+        << "dirty node at level " << node.id.level << " not tracked";
+  }
+}
+
+TEST(SteinsRecords, RecordTrafficOnlyOnCleanToDirty) {
+  auto mem = make_steins(CounterMode::kGeneral);
+  Driver d(*mem);
+  // Hammer one block: the leaf transitions clean->dirty once; subsequent
+  // writes must not touch the record region at all.
+  d.write(42);
+  const std::uint64_t aux_after_first = mem->stats().aux_reads + mem->stats().aux_writes +
+                                        mem->stats().aux_write_bytes;
+  // Stay below the stop-loss period so no write-through dirties the parent.
+  for (int i = 0; i < 40; ++i) d.write(42);
+  EXPECT_EQ(mem->stats().aux_reads + mem->stats().aux_writes + mem->stats().aux_write_bytes,
+            aux_after_first);
+}
+
+TEST(SteinsSplit, OverflowWriteThroughKeepsMajorCurrent) {
+  auto mem = make_steins(CounterMode::kSplit);
+  Driver d(*mem);
+  // 70 writes to one block overflow its 6-bit minor at least once.
+  for (int i = 0; i < 70; ++i) d.write(3);
+  mem->channel().drain_all(d.now());  // settle queued write-through writes
+  const SitGeometry& geo = mem->geometry();
+  const NodeId leaf = geo.leaf_of_data(3);
+  const auto cached = mem->current_node_state(leaf);
+  ASSERT_TRUE(cached.has_value());
+  ASSERT_TRUE(cached->split);
+  EXPECT_GE(cached->sc.major, 1u);
+  // The NVM image must carry the same major (write-through on overflow).
+  ASSERT_TRUE(mem->device().contains(geo.node_addr(leaf)));
+  const SitNode stale = SitNode::from_block(leaf, true, mem->device().peek_block(geo.node_addr(leaf)));
+  EXPECT_EQ(stale.sc.major, cached->sc.major);
+  EXPECT_TRUE(d.check_all());
+}
+
+TEST(SteinsStopLoss, LeafCounterWindowBounded) {
+  auto mem = make_steins(CounterMode::kGeneral);
+  Driver d(*mem);
+  for (int i = 0; i < 500; ++i) d.write(9);
+  mem->channel().drain_all(d.now());  // settle queued write-through writes
+  const SitGeometry& geo = mem->geometry();
+  const NodeId leaf = geo.leaf_of_data(9);
+  const auto cached = mem->current_node_state(leaf);
+  ASSERT_TRUE(cached.has_value());
+  ASSERT_TRUE(mem->device().contains(geo.node_addr(leaf)));
+  const SitNode stale =
+      SitNode::from_block(leaf, false, mem->device().peek_block(geo.node_addr(leaf)));
+  const std::size_t slot = geo.slot_of_data(9);
+  EXPECT_LE(cached->gc.counters[slot] - stale.gc.counters[slot], SteinsMemory::kStopLoss);
+}
+
+}  // namespace
+}  // namespace steins

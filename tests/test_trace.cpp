@@ -1,0 +1,143 @@
+// Workload/trace generators: determinism, footprints, mixture properties.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "trace/persistent.hpp"
+#include "trace/synthetic.hpp"
+#include "trace/workloads.hpp"
+
+namespace steins {
+namespace {
+
+TEST(SyntheticTrace, DeterministicAndResettable) {
+  SyntheticConfig cfg;
+  cfg.accesses = 500;
+  cfg.seed = 77;
+  SyntheticTrace a(cfg), b(cfg);
+  MemAccess ma, mb;
+  std::vector<MemAccess> first;
+  while (a.next(&ma)) {
+    ASSERT_TRUE(b.next(&mb));
+    EXPECT_EQ(ma.addr, mb.addr);
+    EXPECT_EQ(ma.is_write, mb.is_write);
+    first.push_back(ma);
+  }
+  a.reset();
+  for (const auto& expect : first) {
+    ASSERT_TRUE(a.next(&ma));
+    EXPECT_EQ(ma.addr, expect.addr);
+  }
+}
+
+TEST(SyntheticTrace, StaysWithinFootprint) {
+  SyntheticConfig cfg;
+  cfg.footprint_bytes = 1 << 20;
+  cfg.accesses = 5000;
+  SyntheticTrace t(cfg);
+  MemAccess a;
+  while (t.next(&a)) EXPECT_LT(a.addr, cfg.footprint_bytes);
+}
+
+TEST(SyntheticTrace, WriteRatioApproximatelyHonored) {
+  SyntheticConfig cfg;
+  cfg.accesses = 20000;
+  cfg.write_ratio = 0.3;
+  SyntheticTrace t(cfg);
+  MemAccess a;
+  std::uint64_t writes = 0;
+  while (t.next(&a)) writes += a.is_write ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(writes) / 20000.0, 0.3, 0.02);
+}
+
+TEST(SyntheticTrace, SequentialModeStreams) {
+  SyntheticConfig cfg;
+  cfg.accesses = 1000;
+  cfg.seq_frac = 1.0;
+  cfg.write_ratio = 0.0;
+  SyntheticTrace t(cfg);
+  MemAccess a;
+  Addr prev = 0;
+  ASSERT_TRUE(t.next(&a));
+  prev = a.addr;
+  while (t.next(&a)) {
+    EXPECT_EQ(a.addr, prev + kBlockSize);
+    prev = a.addr;
+  }
+}
+
+TEST(Workloads, AllNamesConstructible) {
+  for (const auto& name : workload_names()) {
+    auto t = make_workload(name, 100);
+    MemAccess a;
+    int n = 0;
+    while (t->next(&a)) ++n;
+    EXPECT_EQ(n, 100) << name;
+  }
+  EXPECT_EQ(workload_names().size(), 10u);  // 8 SPEC-like + 2 persistent
+  EXPECT_EQ(spec_workload_names().size(), 8u);
+}
+
+TEST(Workloads, UnknownNameThrows) {
+  EXPECT_THROW(make_workload("perlbench", 100), std::invalid_argument);
+  EXPECT_THROW(workload_profile("pqueue"), std::invalid_argument);  // persistent, not SPEC-like
+}
+
+TEST(Workloads, ProfilesDiffer) {
+  const auto lbm = workload_profile("lbm");
+  const auto mcf = workload_profile("mcf");
+  EXPECT_GT(lbm.seq_frac, 0.5);
+  EXPECT_GT(mcf.pchase_frac, 0.5);
+  EXPECT_GT(lbm.write_ratio, mcf.write_ratio);
+}
+
+TEST(PersistentQueue, AlternatesRecordAndHead) {
+  PersistentQueueTrace t(1 << 20, 10);
+  MemAccess a;
+  ASSERT_TRUE(t.next(&a));
+  EXPECT_NE(a.addr, 0u);  // record append
+  EXPECT_TRUE(a.is_write);
+  EXPECT_TRUE(a.flush);
+  ASSERT_TRUE(t.next(&a));
+  EXPECT_EQ(a.addr, 0u);  // head pointer
+  EXPECT_TRUE(a.flush);
+}
+
+TEST(PersistentHash, ReadModifyWritePairs) {
+  PersistentHashTrace t(1 << 20, 10);
+  MemAccess r, w;
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(t.next(&r));
+    ASSERT_TRUE(t.next(&w));
+    EXPECT_FALSE(r.is_write);
+    EXPECT_TRUE(w.is_write);
+    EXPECT_TRUE(w.flush);
+    EXPECT_EQ(r.addr, w.addr);  // update writes the bucket it read
+  }
+}
+
+// Parameterized: every SPEC-like profile is deterministic per seed and
+// produces a plausible gap stream.
+class WorkloadSweep : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(WorkloadSweep, DeterministicAndBounded) {
+  auto t1 = make_workload(GetParam(), 2000, 3);
+  auto t2 = make_workload(GetParam(), 2000, 3);
+  MemAccess a, b;
+  std::set<Addr> distinct;
+  while (t1->next(&a)) {
+    ASSERT_TRUE(t2->next(&b));
+    EXPECT_EQ(a.addr, b.addr);
+    distinct.insert(a.addr);
+  }
+  EXPECT_GT(distinct.size(), 10u);  // not a single-address stream
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWorkloads, WorkloadSweep,
+                         ::testing::ValuesIn(workload_names()),
+                         [](const ::testing::TestParamInfo<std::string>& info) {
+                           return info.param;
+                         });
+
+}  // namespace
+}  // namespace steins

@@ -1,0 +1,84 @@
+// Trace capture/replay: text round trips, malformed input, System replay.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sim/system.hpp"
+#include "trace/trace_file.hpp"
+#include "trace/workloads.hpp"
+
+namespace steins {
+namespace {
+
+TEST(TraceFile, RoundTripThroughText) {
+  auto gen = make_workload("gcc", 500, 9);
+  const auto original = collect_trace(*gen);
+  std::stringstream ss;
+  write_trace(ss, original);
+  const auto parsed = read_trace(ss);
+  ASSERT_EQ(parsed.size(), original.size());
+  for (std::size_t i = 0; i < parsed.size(); ++i) {
+    EXPECT_EQ(parsed[i].addr, original[i].addr) << i;
+    EXPECT_EQ(parsed[i].is_write, original[i].is_write) << i;
+    EXPECT_EQ(parsed[i].flush, original[i].flush) << i;
+    EXPECT_EQ(parsed[i].gap, original[i].gap) << i;
+  }
+}
+
+TEST(TraceFile, FlushedWritesKeepTheirKind) {
+  auto gen = make_workload("pqueue", 100, 1);
+  const auto original = collect_trace(*gen);
+  std::stringstream ss;
+  write_trace(ss, original);
+  EXPECT_NE(ss.str().find("\nF "), std::string::npos);
+  const auto parsed = read_trace(ss);
+  EXPECT_TRUE(parsed[0].flush);
+}
+
+TEST(TraceFile, CommentsAndBlankLinesIgnored) {
+  std::stringstream ss("# header\n\nR 5 3\n# mid comment\nW 9 0\n");
+  const auto parsed = read_trace(ss);
+  ASSERT_EQ(parsed.size(), 2u);
+  EXPECT_EQ(parsed[0].addr, 5u * kBlockSize);
+  EXPECT_FALSE(parsed[0].is_write);
+  EXPECT_EQ(parsed[0].gap, 3u);
+  EXPECT_TRUE(parsed[1].is_write);
+  EXPECT_FALSE(parsed[1].flush);
+}
+
+TEST(TraceFile, MalformedLinesThrow) {
+  std::stringstream bad_kind("X 5 3\n");
+  EXPECT_THROW(read_trace(bad_kind), std::invalid_argument);
+  std::stringstream no_block("R\n");
+  EXPECT_THROW(read_trace(no_block), std::invalid_argument);
+  EXPECT_THROW(read_trace_file("/nonexistent/steins.trace"), std::invalid_argument);
+}
+
+TEST(TraceFile, VectorTraceResets) {
+  VectorTrace t({MemAccess{64, true, false, 1}, MemAccess{128, false, false, 2}});
+  MemAccess a;
+  EXPECT_TRUE(t.next(&a));
+  EXPECT_TRUE(t.next(&a));
+  EXPECT_FALSE(t.next(&a));
+  t.reset();
+  EXPECT_TRUE(t.next(&a));
+  EXPECT_EQ(a.addr, 64u);
+}
+
+TEST(TraceFile, ReplayedTraceMatchesGeneratorRun) {
+  SystemConfig cfg = default_config();
+  cfg.nvm.capacity_bytes = 256ULL << 20;
+
+  auto gen = make_workload("milc", 5000, 4);
+  VectorTrace replay(collect_trace(*gen));
+  gen->reset();
+
+  System a(cfg, Scheme::kSteins), b(cfg, Scheme::kSteins);
+  const RunStats sa = a.run(*gen);
+  const RunStats sb = b.run(replay);
+  EXPECT_EQ(sa.cycles, sb.cycles);
+  EXPECT_EQ(sa.mem.nvm_writes(), sb.mem.nvm_writes());
+}
+
+}  // namespace
+}  // namespace steins

@@ -1,0 +1,208 @@
+// steins_sim: command-line front end for the secure NVM simulator.
+//
+//   steins_sim --scheme steins --mode sc --workload mcf --accesses 200000
+//   steins_sim --scheme asit --trace my.trace --crash --audit
+//   steins_sim --list
+//
+// Runs one (scheme, workload) configuration through the full system (CPU +
+// caches + controller), optionally crashes and recovers at the end, audits
+// the persisted tree, and prints the statistics the paper's figures use.
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+
+#include "schemes/steins.hpp"
+#include "sim/system.hpp"
+#include "sit/tree_checker.hpp"
+#include "trace/trace_file.hpp"
+#include "trace/workloads.hpp"
+
+using namespace steins;
+
+namespace {
+
+struct Options {
+  std::string scheme = "steins";
+  std::string mode = "gc";
+  std::string workload = "phash";
+  std::string trace_path;
+  std::string dump_trace;
+  std::uint64_t accesses = 100'000;
+  std::uint64_t warmup = 10'000;
+  std::size_t mcache_kb = 256;
+  std::uint64_t capacity_mb = 16 * 1024;
+  std::uint64_t seed = 1;
+  bool crash = false;
+  bool audit = false;
+  bool list = false;
+  bool help = false;
+};
+
+void usage() {
+  std::printf(
+      "steins_sim - secure NVM simulator (Steins reproduction)\n\n"
+      "  --scheme <wb|asit|star|steins>   scheme to run (default steins)\n"
+      "  --mode <gc|sc>                   counter mode (default gc)\n"
+      "  --workload <name>                built-in workload (default phash)\n"
+      "  --trace <file>                   replay a trace file instead\n"
+      "  --dump-trace <file>              save the generated trace and exit\n"
+      "  --accesses <n> --warmup <n>      trace sizing (default 100000/10000)\n"
+      "  --mcache-kb <n>                  metadata cache size (default 256)\n"
+      "  --capacity-mb <n>                NVM capacity (default 16384)\n"
+      "  --seed <n>                       workload seed (default 1)\n"
+      "  --crash                          crash + recover after the run\n"
+      "  --audit                          verify the whole persisted tree\n"
+      "  --list                           list built-in workloads\n");
+}
+
+bool parse(int argc, char** argv, Options* opt) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> const char* { return (i + 1 < argc) ? argv[++i] : ""; };
+    if (arg == "--scheme") {
+      opt->scheme = value();
+    } else if (arg == "--mode") {
+      opt->mode = value();
+    } else if (arg == "--workload") {
+      opt->workload = value();
+    } else if (arg == "--trace") {
+      opt->trace_path = value();
+    } else if (arg == "--dump-trace") {
+      opt->dump_trace = value();
+    } else if (arg == "--accesses") {
+      opt->accesses = std::strtoull(value(), nullptr, 10);
+    } else if (arg == "--warmup") {
+      opt->warmup = std::strtoull(value(), nullptr, 10);
+    } else if (arg == "--mcache-kb") {
+      opt->mcache_kb = std::strtoull(value(), nullptr, 10);
+    } else if (arg == "--capacity-mb") {
+      opt->capacity_mb = std::strtoull(value(), nullptr, 10);
+    } else if (arg == "--seed") {
+      opt->seed = std::strtoull(value(), nullptr, 10);
+    } else if (arg == "--crash") {
+      opt->crash = true;
+    } else if (arg == "--audit") {
+      opt->audit = true;
+    } else if (arg == "--list") {
+      opt->list = true;
+    } else if (arg == "--help" || arg == "-h") {
+      opt->help = true;
+    } else {
+      std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+Scheme parse_scheme(const std::string& name) {
+  if (name == "wb") return Scheme::kWriteBack;
+  if (name == "asit") return Scheme::kAnubis;
+  if (name == "star") return Scheme::kStar;
+  if (name == "steins") return Scheme::kSteins;
+  throw std::invalid_argument("unknown scheme: " + name);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  if (!parse(argc, argv, &opt)) return 2;
+  if (opt.help) {
+    usage();
+    return 0;
+  }
+  if (opt.list) {
+    std::printf("built-in workloads:\n");
+    for (const auto& name : workload_names()) std::printf("  %s\n", name.c_str());
+    return 0;
+  }
+
+  try {
+    std::unique_ptr<TraceSource> trace;
+    if (!opt.trace_path.empty()) {
+      trace = std::make_unique<VectorTrace>(read_trace_file(opt.trace_path));
+      std::printf("replaying %s\n", opt.trace_path.c_str());
+    } else {
+      trace = make_workload(opt.workload, opt.accesses + opt.warmup, opt.seed);
+    }
+
+    if (!opt.dump_trace.empty()) {
+      const auto accesses = collect_trace(*trace);
+      if (!write_trace_file(opt.dump_trace, accesses)) {
+        std::fprintf(stderr, "cannot write %s\n", opt.dump_trace.c_str());
+        return 1;
+      }
+      std::printf("wrote %zu accesses to %s\n", accesses.size(), opt.dump_trace.c_str());
+      return 0;
+    }
+
+    SystemConfig cfg = default_config();
+    cfg.counter_mode = (opt.mode == "sc") ? CounterMode::kSplit : CounterMode::kGeneral;
+    cfg.secure.metadata_cache.size_bytes = opt.mcache_kb * 1024;
+    cfg.nvm.capacity_bytes = opt.capacity_mb << 20;
+    const Scheme scheme = parse_scheme(opt.scheme);
+
+    System sys(cfg, scheme);
+    std::printf("running %s (%s) on '%s'...\n", opt.scheme.c_str(), opt.mode.c_str(),
+                opt.trace_path.empty() ? opt.workload.c_str() : opt.trace_path.c_str());
+    const RunStats s = sys.run(*trace, opt.trace_path.empty() ? opt.warmup : 0);
+
+    std::printf("\nexecution\n");
+    std::printf("  cycles               %llu (%.3f ms simulated)\n",
+                static_cast<unsigned long long>(s.cycles), s.seconds(cfg) * 1e3);
+    std::printf("  instructions         %llu\n", static_cast<unsigned long long>(s.instructions));
+    std::printf("  accesses             %llu\n", static_cast<unsigned long long>(s.accesses));
+    std::printf("memory\n");
+    std::printf("  read latency         %.0f cycles mean\n", s.read_latency_cycles);
+    std::printf("  write latency        %.0f cycles mean\n", s.write_latency_cycles);
+    std::printf("  NVM reads/writes     %llu / %llu\n",
+                static_cast<unsigned long long>(s.mem.nvm_reads()),
+                static_cast<unsigned long long>(s.mem.nvm_writes()));
+    std::printf("  metadata cache hit   %.1f%%\n", s.mcache_hit_rate * 100.0);
+    std::printf("  hash / AES ops       %llu / %llu\n",
+                static_cast<unsigned long long>(s.mem.hash_ops),
+                static_cast<unsigned long long>(s.mem.aes_ops));
+    std::printf("  energy               %.1f uJ\n", s.energy_nj / 1000.0);
+
+    if (opt.crash) {
+      std::printf("\ncrash + recovery\n");
+      const RecoveryResult r = sys.crash_and_recover();
+      if (!r.supported) {
+        std::printf("  recovery unsupported by scheme '%s'\n", opt.scheme.c_str());
+      } else if (r.attack_detected) {
+        std::printf("  ATTACK DETECTED: %s\n", r.attack_detail.c_str());
+        return 1;
+      } else {
+        std::printf("  recovered %llu nodes in %.4f s (%llu reads, %llu writes)\n",
+                    static_cast<unsigned long long>(r.nodes_recovered), r.seconds,
+                    static_cast<unsigned long long>(r.nvm_reads),
+                    static_cast<unsigned long long>(r.nvm_writes));
+      }
+    }
+
+    if (opt.audit) {
+      auto* base = dynamic_cast<SecureMemoryBase*>(&sys.memory());
+      if (base == nullptr) {
+        std::printf("audit unavailable for this scheme\n");
+      } else {
+        base->flush_all_metadata();
+        const TreeCheckReport report = check_tree(*base);
+        std::printf("\ntree audit: %llu nodes checked, %llu persisted, %zu issue(s)\n",
+                    static_cast<unsigned long long>(report.nodes_checked),
+                    static_cast<unsigned long long>(report.nodes_persisted),
+                    report.issues.size());
+        for (const auto& issue : report.issues) {
+          std::printf("  L%u i%llu: %s\n", issue.node.level,
+                      static_cast<unsigned long long>(issue.node.index), issue.what.c_str());
+        }
+        if (!report.ok()) return 1;
+      }
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}
