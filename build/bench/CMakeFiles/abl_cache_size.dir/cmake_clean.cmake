@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_cache_size.dir/abl_cache_size.cpp.o"
+  "CMakeFiles/abl_cache_size.dir/abl_cache_size.cpp.o.d"
+  "abl_cache_size"
+  "abl_cache_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_cache_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

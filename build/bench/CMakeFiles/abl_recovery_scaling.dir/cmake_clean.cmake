@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_recovery_scaling.dir/abl_recovery_scaling.cpp.o"
+  "CMakeFiles/abl_recovery_scaling.dir/abl_recovery_scaling.cpp.o.d"
+  "abl_recovery_scaling"
+  "abl_recovery_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_recovery_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_scalability.dir/abl_scalability.cpp.o"
+  "CMakeFiles/abl_scalability.dir/abl_scalability.cpp.o.d"
+  "abl_scalability"
+  "abl_scalability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_scalability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_sit_vs_bmt.dir/abl_sit_vs_bmt.cpp.o"
+  "CMakeFiles/abl_sit_vs_bmt.dir/abl_sit_vs_bmt.cpp.o.d"
+  "abl_sit_vs_bmt"
+  "abl_sit_vs_bmt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_sit_vs_bmt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

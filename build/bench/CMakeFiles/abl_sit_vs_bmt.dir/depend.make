@@ -1,0 +1,2 @@
+# Empty dependencies file for abl_sit_vs_bmt.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_steins_knobs.dir/abl_steins_knobs.cpp.o"
+  "CMakeFiles/abl_steins_knobs.dir/abl_steins_knobs.cpp.o.d"
+  "abl_steins_knobs"
+  "abl_steins_knobs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_steins_knobs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_exec_time_sc.dir/fig12_exec_time_sc.cpp.o"
+  "CMakeFiles/fig12_exec_time_sc.dir/fig12_exec_time_sc.cpp.o.d"
+  "fig12_exec_time_sc"
+  "fig12_exec_time_sc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_exec_time_sc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig12_exec_time_sc.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_write_traffic_sc.dir/fig14_write_traffic_sc.cpp.o"
+  "CMakeFiles/fig14_write_traffic_sc.dir/fig14_write_traffic_sc.cpp.o.d"
+  "fig14_write_traffic_sc"
+  "fig14_write_traffic_sc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_write_traffic_sc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_energy_sc.dir/fig16_energy_sc.cpp.o"
+  "CMakeFiles/fig16_energy_sc.dir/fig16_energy_sc.cpp.o.d"
+  "fig16_energy_sc"
+  "fig16_energy_sc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_energy_sc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig17_recovery_time.dir/fig17_recovery_time.cpp.o"
+  "CMakeFiles/fig17_recovery_time.dir/fig17_recovery_time.cpp.o.d"
+  "fig17_recovery_time"
+  "fig17_recovery_time.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_recovery_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

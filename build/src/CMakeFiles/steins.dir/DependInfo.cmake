@@ -1,0 +1,51 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cache/cache.cpp" "src/CMakeFiles/steins.dir/cache/cache.cpp.o" "gcc" "src/CMakeFiles/steins.dir/cache/cache.cpp.o.d"
+  "/root/repo/src/cache/cache_hierarchy.cpp" "src/CMakeFiles/steins.dir/cache/cache_hierarchy.cpp.o" "gcc" "src/CMakeFiles/steins.dir/cache/cache_hierarchy.cpp.o.d"
+  "/root/repo/src/common/config.cpp" "src/CMakeFiles/steins.dir/common/config.cpp.o" "gcc" "src/CMakeFiles/steins.dir/common/config.cpp.o.d"
+  "/root/repo/src/common/log.cpp" "src/CMakeFiles/steins.dir/common/log.cpp.o" "gcc" "src/CMakeFiles/steins.dir/common/log.cpp.o.d"
+  "/root/repo/src/common/stats.cpp" "src/CMakeFiles/steins.dir/common/stats.cpp.o" "gcc" "src/CMakeFiles/steins.dir/common/stats.cpp.o.d"
+  "/root/repo/src/crypto/aes.cpp" "src/CMakeFiles/steins.dir/crypto/aes.cpp.o" "gcc" "src/CMakeFiles/steins.dir/crypto/aes.cpp.o.d"
+  "/root/repo/src/crypto/hmac.cpp" "src/CMakeFiles/steins.dir/crypto/hmac.cpp.o" "gcc" "src/CMakeFiles/steins.dir/crypto/hmac.cpp.o.d"
+  "/root/repo/src/crypto/mac.cpp" "src/CMakeFiles/steins.dir/crypto/mac.cpp.o" "gcc" "src/CMakeFiles/steins.dir/crypto/mac.cpp.o.d"
+  "/root/repo/src/crypto/otp.cpp" "src/CMakeFiles/steins.dir/crypto/otp.cpp.o" "gcc" "src/CMakeFiles/steins.dir/crypto/otp.cpp.o.d"
+  "/root/repo/src/crypto/sha256.cpp" "src/CMakeFiles/steins.dir/crypto/sha256.cpp.o" "gcc" "src/CMakeFiles/steins.dir/crypto/sha256.cpp.o.d"
+  "/root/repo/src/crypto/siphash.cpp" "src/CMakeFiles/steins.dir/crypto/siphash.cpp.o" "gcc" "src/CMakeFiles/steins.dir/crypto/siphash.cpp.o.d"
+  "/root/repo/src/nvm/nvm_device.cpp" "src/CMakeFiles/steins.dir/nvm/nvm_device.cpp.o" "gcc" "src/CMakeFiles/steins.dir/nvm/nvm_device.cpp.o.d"
+  "/root/repo/src/nvm/write_queue.cpp" "src/CMakeFiles/steins.dir/nvm/write_queue.cpp.o" "gcc" "src/CMakeFiles/steins.dir/nvm/write_queue.cpp.o.d"
+  "/root/repo/src/schemes/anubis.cpp" "src/CMakeFiles/steins.dir/schemes/anubis.cpp.o" "gcc" "src/CMakeFiles/steins.dir/schemes/anubis.cpp.o.d"
+  "/root/repo/src/schemes/attack.cpp" "src/CMakeFiles/steins.dir/schemes/attack.cpp.o" "gcc" "src/CMakeFiles/steins.dir/schemes/attack.cpp.o.d"
+  "/root/repo/src/schemes/bmt.cpp" "src/CMakeFiles/steins.dir/schemes/bmt.cpp.o" "gcc" "src/CMakeFiles/steins.dir/schemes/bmt.cpp.o.d"
+  "/root/repo/src/schemes/scue.cpp" "src/CMakeFiles/steins.dir/schemes/scue.cpp.o" "gcc" "src/CMakeFiles/steins.dir/schemes/scue.cpp.o.d"
+  "/root/repo/src/schemes/star.cpp" "src/CMakeFiles/steins.dir/schemes/star.cpp.o" "gcc" "src/CMakeFiles/steins.dir/schemes/star.cpp.o.d"
+  "/root/repo/src/schemes/steins.cpp" "src/CMakeFiles/steins.dir/schemes/steins.cpp.o" "gcc" "src/CMakeFiles/steins.dir/schemes/steins.cpp.o.d"
+  "/root/repo/src/schemes/writeback.cpp" "src/CMakeFiles/steins.dir/schemes/writeback.cpp.o" "gcc" "src/CMakeFiles/steins.dir/schemes/writeback.cpp.o.d"
+  "/root/repo/src/secure/secure_memory.cpp" "src/CMakeFiles/steins.dir/secure/secure_memory.cpp.o" "gcc" "src/CMakeFiles/steins.dir/secure/secure_memory.cpp.o.d"
+  "/root/repo/src/sim/cpu_model.cpp" "src/CMakeFiles/steins.dir/sim/cpu_model.cpp.o" "gcc" "src/CMakeFiles/steins.dir/sim/cpu_model.cpp.o.d"
+  "/root/repo/src/sim/experiment.cpp" "src/CMakeFiles/steins.dir/sim/experiment.cpp.o" "gcc" "src/CMakeFiles/steins.dir/sim/experiment.cpp.o.d"
+  "/root/repo/src/sim/multi_controller.cpp" "src/CMakeFiles/steins.dir/sim/multi_controller.cpp.o" "gcc" "src/CMakeFiles/steins.dir/sim/multi_controller.cpp.o.d"
+  "/root/repo/src/sim/system.cpp" "src/CMakeFiles/steins.dir/sim/system.cpp.o" "gcc" "src/CMakeFiles/steins.dir/sim/system.cpp.o.d"
+  "/root/repo/src/sit/counter_block.cpp" "src/CMakeFiles/steins.dir/sit/counter_block.cpp.o" "gcc" "src/CMakeFiles/steins.dir/sit/counter_block.cpp.o.d"
+  "/root/repo/src/sit/geometry.cpp" "src/CMakeFiles/steins.dir/sit/geometry.cpp.o" "gcc" "src/CMakeFiles/steins.dir/sit/geometry.cpp.o.d"
+  "/root/repo/src/sit/node.cpp" "src/CMakeFiles/steins.dir/sit/node.cpp.o" "gcc" "src/CMakeFiles/steins.dir/sit/node.cpp.o.d"
+  "/root/repo/src/sit/tree_checker.cpp" "src/CMakeFiles/steins.dir/sit/tree_checker.cpp.o" "gcc" "src/CMakeFiles/steins.dir/sit/tree_checker.cpp.o.d"
+  "/root/repo/src/trace/persistent.cpp" "src/CMakeFiles/steins.dir/trace/persistent.cpp.o" "gcc" "src/CMakeFiles/steins.dir/trace/persistent.cpp.o.d"
+  "/root/repo/src/trace/synthetic.cpp" "src/CMakeFiles/steins.dir/trace/synthetic.cpp.o" "gcc" "src/CMakeFiles/steins.dir/trace/synthetic.cpp.o.d"
+  "/root/repo/src/trace/trace_file.cpp" "src/CMakeFiles/steins.dir/trace/trace_file.cpp.o" "gcc" "src/CMakeFiles/steins.dir/trace/trace_file.cpp.o.d"
+  "/root/repo/src/trace/workloads.cpp" "src/CMakeFiles/steins.dir/trace/workloads.cpp.o" "gcc" "src/CMakeFiles/steins.dir/trace/workloads.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

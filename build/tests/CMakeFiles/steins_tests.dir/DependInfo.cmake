@@ -1,0 +1,51 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_aes.cpp" "tests/CMakeFiles/steins_tests.dir/test_aes.cpp.o" "gcc" "tests/CMakeFiles/steins_tests.dir/test_aes.cpp.o.d"
+  "/root/repo/tests/test_attack_localization.cpp" "tests/CMakeFiles/steins_tests.dir/test_attack_localization.cpp.o" "gcc" "tests/CMakeFiles/steins_tests.dir/test_attack_localization.cpp.o.d"
+  "/root/repo/tests/test_attacks.cpp" "tests/CMakeFiles/steins_tests.dir/test_attacks.cpp.o" "gcc" "tests/CMakeFiles/steins_tests.dir/test_attacks.cpp.o.d"
+  "/root/repo/tests/test_bmt.cpp" "tests/CMakeFiles/steins_tests.dir/test_bmt.cpp.o" "gcc" "tests/CMakeFiles/steins_tests.dir/test_bmt.cpp.o.d"
+  "/root/repo/tests/test_cache.cpp" "tests/CMakeFiles/steins_tests.dir/test_cache.cpp.o" "gcc" "tests/CMakeFiles/steins_tests.dir/test_cache.cpp.o.d"
+  "/root/repo/tests/test_cache_hierarchy.cpp" "tests/CMakeFiles/steins_tests.dir/test_cache_hierarchy.cpp.o" "gcc" "tests/CMakeFiles/steins_tests.dir/test_cache_hierarchy.cpp.o.d"
+  "/root/repo/tests/test_cme_node.cpp" "tests/CMakeFiles/steins_tests.dir/test_cme_node.cpp.o" "gcc" "tests/CMakeFiles/steins_tests.dir/test_cme_node.cpp.o.d"
+  "/root/repo/tests/test_config.cpp" "tests/CMakeFiles/steins_tests.dir/test_config.cpp.o" "gcc" "tests/CMakeFiles/steins_tests.dir/test_config.cpp.o.d"
+  "/root/repo/tests/test_counter_block.cpp" "tests/CMakeFiles/steins_tests.dir/test_counter_block.cpp.o" "gcc" "tests/CMakeFiles/steins_tests.dir/test_counter_block.cpp.o.d"
+  "/root/repo/tests/test_experiment.cpp" "tests/CMakeFiles/steins_tests.dir/test_experiment.cpp.o" "gcc" "tests/CMakeFiles/steins_tests.dir/test_experiment.cpp.o.d"
+  "/root/repo/tests/test_extreme_configs.cpp" "tests/CMakeFiles/steins_tests.dir/test_extreme_configs.cpp.o" "gcc" "tests/CMakeFiles/steins_tests.dir/test_extreme_configs.cpp.o.d"
+  "/root/repo/tests/test_geometry.cpp" "tests/CMakeFiles/steins_tests.dir/test_geometry.cpp.o" "gcc" "tests/CMakeFiles/steins_tests.dir/test_geometry.cpp.o.d"
+  "/root/repo/tests/test_hmac.cpp" "tests/CMakeFiles/steins_tests.dir/test_hmac.cpp.o" "gcc" "tests/CMakeFiles/steins_tests.dir/test_hmac.cpp.o.d"
+  "/root/repo/tests/test_log.cpp" "tests/CMakeFiles/steins_tests.dir/test_log.cpp.o" "gcc" "tests/CMakeFiles/steins_tests.dir/test_log.cpp.o.d"
+  "/root/repo/tests/test_multi_controller.cpp" "tests/CMakeFiles/steins_tests.dir/test_multi_controller.cpp.o" "gcc" "tests/CMakeFiles/steins_tests.dir/test_multi_controller.cpp.o.d"
+  "/root/repo/tests/test_nvm.cpp" "tests/CMakeFiles/steins_tests.dir/test_nvm.cpp.o" "gcc" "tests/CMakeFiles/steins_tests.dir/test_nvm.cpp.o.d"
+  "/root/repo/tests/test_overflow_analysis.cpp" "tests/CMakeFiles/steins_tests.dir/test_overflow_analysis.cpp.o" "gcc" "tests/CMakeFiles/steins_tests.dir/test_overflow_analysis.cpp.o.d"
+  "/root/repo/tests/test_recovery.cpp" "tests/CMakeFiles/steins_tests.dir/test_recovery.cpp.o" "gcc" "tests/CMakeFiles/steins_tests.dir/test_recovery.cpp.o.d"
+  "/root/repo/tests/test_recovery_fuzz.cpp" "tests/CMakeFiles/steins_tests.dir/test_recovery_fuzz.cpp.o" "gcc" "tests/CMakeFiles/steins_tests.dir/test_recovery_fuzz.cpp.o.d"
+  "/root/repo/tests/test_recovery_properties.cpp" "tests/CMakeFiles/steins_tests.dir/test_recovery_properties.cpp.o" "gcc" "tests/CMakeFiles/steins_tests.dir/test_recovery_properties.cpp.o.d"
+  "/root/repo/tests/test_rng.cpp" "tests/CMakeFiles/steins_tests.dir/test_rng.cpp.o" "gcc" "tests/CMakeFiles/steins_tests.dir/test_rng.cpp.o.d"
+  "/root/repo/tests/test_scheme_tracking.cpp" "tests/CMakeFiles/steins_tests.dir/test_scheme_tracking.cpp.o" "gcc" "tests/CMakeFiles/steins_tests.dir/test_scheme_tracking.cpp.o.d"
+  "/root/repo/tests/test_scue.cpp" "tests/CMakeFiles/steins_tests.dir/test_scue.cpp.o" "gcc" "tests/CMakeFiles/steins_tests.dir/test_scue.cpp.o.d"
+  "/root/repo/tests/test_secure_memory.cpp" "tests/CMakeFiles/steins_tests.dir/test_secure_memory.cpp.o" "gcc" "tests/CMakeFiles/steins_tests.dir/test_secure_memory.cpp.o.d"
+  "/root/repo/tests/test_sha256.cpp" "tests/CMakeFiles/steins_tests.dir/test_sha256.cpp.o" "gcc" "tests/CMakeFiles/steins_tests.dir/test_sha256.cpp.o.d"
+  "/root/repo/tests/test_siphash.cpp" "tests/CMakeFiles/steins_tests.dir/test_siphash.cpp.o" "gcc" "tests/CMakeFiles/steins_tests.dir/test_siphash.cpp.o.d"
+  "/root/repo/tests/test_stats.cpp" "tests/CMakeFiles/steins_tests.dir/test_stats.cpp.o" "gcc" "tests/CMakeFiles/steins_tests.dir/test_stats.cpp.o.d"
+  "/root/repo/tests/test_steins_runtime.cpp" "tests/CMakeFiles/steins_tests.dir/test_steins_runtime.cpp.o" "gcc" "tests/CMakeFiles/steins_tests.dir/test_steins_runtime.cpp.o.d"
+  "/root/repo/tests/test_system.cpp" "tests/CMakeFiles/steins_tests.dir/test_system.cpp.o" "gcc" "tests/CMakeFiles/steins_tests.dir/test_system.cpp.o.d"
+  "/root/repo/tests/test_trace.cpp" "tests/CMakeFiles/steins_tests.dir/test_trace.cpp.o" "gcc" "tests/CMakeFiles/steins_tests.dir/test_trace.cpp.o.d"
+  "/root/repo/tests/test_trace_file.cpp" "tests/CMakeFiles/steins_tests.dir/test_trace_file.cpp.o" "gcc" "tests/CMakeFiles/steins_tests.dir/test_trace_file.cpp.o.d"
+  "/root/repo/tests/test_tree_checker.cpp" "tests/CMakeFiles/steins_tests.dir/test_tree_checker.cpp.o" "gcc" "tests/CMakeFiles/steins_tests.dir/test_tree_checker.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/steins.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/steins_sim.dir/steins_sim.cpp.o"
+  "CMakeFiles/steins_sim.dir/steins_sim.cpp.o.d"
+  "steins_sim"
+  "steins_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/steins_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
