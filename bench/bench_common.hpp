@@ -1,12 +1,16 @@
-// Shared plumbing for the figure benches: trace sizing (overridable via
-// environment or argv) and the metric extractors the paper's figures use.
+// Shared plumbing for the figure benches: trace sizing and parallelism
+// (overridable via environment or argv), the metric extractors the paper's
+// figures use, and optional machine-readable JSON output for recording
+// bench trajectories across commits.
 #pragma once
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <string>
 
 #include "common/config.hpp"
+#include "common/thread_pool.hpp"
 #include "sim/experiment.hpp"
 #include "trace/workloads.hpp"
 
@@ -15,21 +19,44 @@ namespace steins::bench {
 struct BenchOptions {
   std::uint64_t accesses = 200'000;  // measured accesses per (workload, scheme)
   std::uint64_t warmup = 20'000;     // warmup accesses (stats reset after)
+  unsigned jobs = 1;                 // worker threads for the matrix (1 = sequential)
+  std::string json_path;             // if non-empty, dump the table as JSON here
   bool verbose = false;
 };
 
-/// Parse sizing from argv[1]/argv[2] or STEINS_ACCESSES / STEINS_WARMUP.
+/// Parse sizing from positional argv[1]/argv[2] or STEINS_ACCESSES /
+/// STEINS_WARMUP, parallelism from `--jobs N` / STEINS_JOBS (default: all
+/// hardware threads; 1 reproduces the sequential run exactly), and JSON
+/// output from `--json FILE` / STEINS_JSON.
 inline BenchOptions parse_options(int argc, char** argv) {
   BenchOptions opt;
+  opt.jobs = ThreadPool::default_jobs();  // reads STEINS_JOBS
   if (const char* env = std::getenv("STEINS_ACCESSES")) {
     opt.accesses = std::strtoull(env, nullptr, 10);
   }
   if (const char* env = std::getenv("STEINS_WARMUP")) {
     opt.warmup = std::strtoull(env, nullptr, 10);
   }
-  if (argc > 1) opt.accesses = std::strtoull(argv[1], nullptr, 10);
-  if (argc > 2) opt.warmup = std::strtoull(argv[2], nullptr, 10);
+  if (const char* env = std::getenv("STEINS_JSON")) opt.json_path = env;
   if (std::getenv("STEINS_VERBOSE") != nullptr) opt.verbose = true;
+
+  int positional = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
+      const long v = std::strtol(argv[++i], nullptr, 10);
+      opt.jobs = v < 1 ? 1u : static_cast<unsigned>(v);
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      opt.json_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--verbose") == 0) {
+      opt.verbose = true;
+    } else if (positional == 0) {
+      opt.accesses = std::strtoull(argv[i], nullptr, 10);
+      ++positional;
+    } else if (positional == 1) {
+      opt.warmup = std::strtoull(argv[i], nullptr, 10);
+      ++positional;
+    }
+  }
   return opt;
 }
 
@@ -41,22 +68,45 @@ inline double metric_write_traffic(const RunStats& s) {
 }
 inline double metric_energy(const RunStats& s) { return s.energy_nj; }
 
+/// Write `table` (plus the run's sizing, for provenance) as JSON to `path`.
+/// Returns false (with a note on stderr) if the file cannot be written.
+inline bool write_table_json(const std::string& path, const ResultTable& table,
+                             const BenchOptions& opt) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write JSON to %s\n", path.c_str());
+    return false;
+  }
+  std::fprintf(f,
+               "{\"accesses\": %llu, \"warmup\": %llu, \"jobs\": %u,\n \"table\": %s}\n",
+               static_cast<unsigned long long>(opt.accesses),
+               static_cast<unsigned long long>(opt.warmup), opt.jobs, table.to_json().c_str());
+  std::fclose(f);
+  return true;
+}
+
 /// Run one paper figure: a (workloads x schemes) matrix, normalized per
-/// workload to `baseline`, printed as the figure's series.
+/// workload to `baseline`, printed as the figure's series (and optionally
+/// recorded as JSON).
 inline int run_figure(int argc, char** argv, const std::string& title,
                       const std::vector<SchemeSpec>& schemes, double (*metric)(const RunStats&),
                       const std::string& baseline) {
   const BenchOptions opt = parse_options(argc, argv);
   std::printf("%s\n", title.c_str());
-  std::printf("(%llu accesses per cell + %llu warmup; deterministic traces)\n\n",
+  std::printf("(%llu accesses per cell + %llu warmup; deterministic traces; %u job%s)\n\n",
               static_cast<unsigned long long>(opt.accesses),
-              static_cast<unsigned long long>(opt.warmup));
+              static_cast<unsigned long long>(opt.warmup), opt.jobs, opt.jobs == 1 ? "" : "s");
   ExperimentRunner runner(default_config());
-  const auto results =
-      runner.run_matrix(workload_names(), schemes, opt.accesses, opt.warmup, opt.verbose);
+  const auto results = runner.run_matrix(workload_names(), schemes, opt.accesses, opt.warmup,
+                                         opt.verbose, opt.jobs);
   const ResultTable table =
       ExperimentRunner::make_table(title, results, schemes, metric, baseline);
   table.print();
+  if (!opt.json_path.empty()) {
+    if (write_table_json(opt.json_path, table, opt)) {
+      std::printf("wrote JSON results to %s\n", opt.json_path.c_str());
+    }
+  }
   return 0;
 }
 

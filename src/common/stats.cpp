@@ -46,6 +46,47 @@ void ResultTable::print(int precision) const {
   std::printf("\n");
 }
 
+namespace {
+
+// Minimal JSON string escaping (labels are plain ASCII in practice).
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string ResultTable::to_json() const {
+  std::ostringstream os;
+  char buf[64];
+  os << "{\"title\": \"" << json_escape(title_) << "\", \"columns\": [";
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    os << (c ? ", " : "") << '"' << json_escape(columns_[c]) << '"';
+  }
+  os << "], \"rows\": [";
+  for (std::size_t r = 0; r < rows_.size(); ++r) {
+    const auto& [name, vals] = rows_[r];
+    os << (r ? ", " : "") << "{\"label\": \"" << json_escape(name) << "\", \"values\": [";
+    for (std::size_t c = 0; c < vals.size(); ++c) {
+      std::snprintf(buf, sizeof(buf), "%.17g", vals[c]);
+      os << (c ? ", " : "") << buf;
+    }
+    os << "]}";
+  }
+  os << "]}";
+  return os.str();
+}
+
 std::string ResultTable::to_csv(int precision) const {
   std::ostringstream os;
   os << "workload";

@@ -53,6 +53,11 @@ class ResultTable {
   /// Emit as CSV (e.g. for external plotting).
   std::string to_csv(int precision = 6) const;
 
+  /// Emit as a JSON object:
+  ///   {"title": ..., "columns": [...], "rows": [{"label": ..., "values": [...]}, ...]}
+  /// Values use %.17g so a recorded table round-trips bit-exactly.
+  std::string to_json() const;
+
   /// Append a geometric-mean row across all current rows (per column).
   void add_geomean_row(const std::string& label = "geomean");
 

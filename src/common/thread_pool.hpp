@@ -1,0 +1,67 @@
+// Fixed-size thread pool for embarrassingly parallel simulation work.
+//
+// Deliberately simple — one shared FIFO queue, no work stealing: experiment
+// cells are coarse (hundreds of thousands of simulated accesses each), so
+// queue contention is negligible and FIFO keeps scheduling deterministic
+// enough to reason about. Exceptions thrown by a task are captured in the
+// task's future and rethrown at get().
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace steins {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers; 0 means hardware_concurrency (min 1).
+  explicit ThreadPool(unsigned threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size(); }
+
+  /// Enqueue a nullary callable; the returned future yields its result or
+  /// rethrows its exception.
+  template <typename F>
+  auto submit(F&& fn) -> std::future<std::invoke_result_t<F>> {
+    using R = std::invoke_result_t<F>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> fut = task->get_future();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      queue_.push([task] { (*task)(); });
+    }
+    cv_.notify_one();
+    return fut;
+  }
+
+  /// Run fn(i) for every i in [0, n) across the pool and wait for all of
+  /// them. The first exception (lowest index) is rethrown after every task
+  /// has finished, so no task is left running against destroyed state.
+  void for_each_index(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+  /// Job-count policy shared by every CLI entry point: STEINS_JOBS if set
+  /// (values < 1 clamp to 1), else hardware_concurrency (min 1).
+  static unsigned default_jobs();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+}  // namespace steins

@@ -51,11 +51,11 @@ constexpr std::uint8_t kRcon[10] = {0x01, 0x02, 0x04, 0x08, 0x10,
                                     0x20, 0x40, 0x80, 0x1b, 0x36};
 
 // GF(2^8) multiply by x (i.e. {02}).
-inline std::uint8_t xtime(std::uint8_t a) {
+inline constexpr std::uint8_t xtime(std::uint8_t a) {
   return static_cast<std::uint8_t>((a << 1) ^ ((a & 0x80) ? 0x1b : 0x00));
 }
 
-inline std::uint8_t gmul(std::uint8_t a, std::uint8_t b) {
+inline constexpr std::uint8_t gmul(std::uint8_t a, std::uint8_t b) {
   std::uint8_t p = 0;
   for (int i = 0; i < 8; ++i) {
     if (b & 1) p ^= a;
@@ -63,6 +63,75 @@ inline std::uint8_t gmul(std::uint8_t a, std::uint8_t b) {
     b >>= 1;
   }
   return p;
+}
+
+// T-tables for the 32-bit software formulation (Rijndael proposal §5.2.1).
+// Each encryption table maps one state byte to its column contribution
+// after SubBytes+ShiftRows+MixColumns; Te_r is Te0 rotated right by 8*r
+// bits, matching the byte's row. Td tables are the inverse-cipher
+// equivalents over the inverse S-box and the InvMixColumns coefficients.
+// Generated at compile time from the S-boxes — nothing to keep in sync.
+struct AesTables {
+  std::uint32_t Te[4][256];
+  std::uint32_t Td[4][256];
+};
+
+constexpr std::uint32_t rotr32(std::uint32_t v, int r) {
+  return r == 0 ? v : (v >> r) | (v << (32 - r));
+}
+
+constexpr AesTables make_tables() {
+  AesTables t{};
+  for (unsigned i = 0; i < 256; ++i) {
+    const std::uint8_t s = kSbox[i];
+    // MixColumns column for an input byte in row 0: (2s, s, s, 3s).
+    const std::uint32_t e = (static_cast<std::uint32_t>(gmul(s, 2)) << 24) |
+                            (static_cast<std::uint32_t>(s) << 16) |
+                            (static_cast<std::uint32_t>(s) << 8) |
+                            static_cast<std::uint32_t>(gmul(s, 3));
+    const std::uint8_t is = kInvSbox[i];
+    // InvMixColumns column for row 0: (0e, 09, 0d, 0b) * is.
+    const std::uint32_t d = (static_cast<std::uint32_t>(gmul(is, 0x0e)) << 24) |
+                            (static_cast<std::uint32_t>(gmul(is, 0x09)) << 16) |
+                            (static_cast<std::uint32_t>(gmul(is, 0x0d)) << 8) |
+                            static_cast<std::uint32_t>(gmul(is, 0x0b));
+    for (int r = 0; r < 4; ++r) {
+      t.Te[r][i] = rotr32(e, 8 * r);
+      t.Td[r][i] = rotr32(d, 8 * r);
+    }
+  }
+  return t;
+}
+
+constexpr AesTables kT = make_tables();
+
+// Column c of the state as a big-endian word (row 0 in the MSB).
+inline std::uint32_t load_be32(const std::uint8_t* p) {
+  return (static_cast<std::uint32_t>(p[0]) << 24) | (static_cast<std::uint32_t>(p[1]) << 16) |
+         (static_cast<std::uint32_t>(p[2]) << 8) | static_cast<std::uint32_t>(p[3]);
+}
+
+inline void store_be32(std::uint8_t* p, std::uint32_t v) {
+  p[0] = static_cast<std::uint8_t>(v >> 24);
+  p[1] = static_cast<std::uint8_t>(v >> 16);
+  p[2] = static_cast<std::uint8_t>(v >> 8);
+  p[3] = static_cast<std::uint8_t>(v);
+}
+
+// InvMixColumns on one round-key word (equivalent inverse cipher key prep).
+inline std::uint32_t inv_mix_word(std::uint32_t w) {
+  const std::uint8_t b0 = static_cast<std::uint8_t>(w >> 24);
+  const std::uint8_t b1 = static_cast<std::uint8_t>(w >> 16);
+  const std::uint8_t b2 = static_cast<std::uint8_t>(w >> 8);
+  const std::uint8_t b3 = static_cast<std::uint8_t>(w);
+  const auto mix = [](std::uint8_t a0, std::uint8_t a1, std::uint8_t a2, std::uint8_t a3) {
+    return static_cast<std::uint8_t>(gmul(a0, 0x0e) ^ gmul(a1, 0x0b) ^ gmul(a2, 0x0d) ^
+                                     gmul(a3, 0x09));
+  };
+  return (static_cast<std::uint32_t>(mix(b0, b1, b2, b3)) << 24) |
+         (static_cast<std::uint32_t>(mix(b1, b2, b3, b0)) << 16) |
+         (static_cast<std::uint32_t>(mix(b2, b3, b0, b1)) << 8) |
+         static_cast<std::uint32_t>(mix(b3, b0, b1, b2));
 }
 
 }  // namespace
@@ -84,9 +153,132 @@ void Aes128::expand_key(const Key& key) {
       round_keys_[i * 4 + j] = round_keys_[(i - 4) * 4 + j] ^ t[j];
     }
   }
+
+  // Word-form schedules for the T-table paths. Encryption words are the
+  // byte schedule read big-endian per column; the decryption schedule is
+  // the equivalent inverse cipher's: round order reversed, InvMixColumns
+  // applied to every round key except the first and last.
+  for (unsigned i = 0; i < 4 * (kRounds + 1); ++i) {
+    enc_rk_[i] = load_be32(&round_keys_[i * 4]);
+  }
+  for (unsigned round = 0; round <= kRounds; ++round) {
+    for (unsigned c = 0; c < 4; ++c) {
+      std::uint32_t w = enc_rk_[(kRounds - round) * 4 + c];
+      if (round != 0 && round != kRounds) w = inv_mix_word(w);
+      dec_rk_[round * 4 + c] = w;
+    }
+  }
 }
 
 void Aes128::encrypt_block(std::uint8_t* s) const {
+#ifdef STEINS_AES_REFERENCE
+  encrypt_block_ref(s);
+#else
+  const std::uint32_t* rk = enc_rk_.data();
+  std::uint32_t s0 = load_be32(s) ^ rk[0];
+  std::uint32_t s1 = load_be32(s + 4) ^ rk[1];
+  std::uint32_t s2 = load_be32(s + 8) ^ rk[2];
+  std::uint32_t s3 = load_be32(s + 12) ^ rk[3];
+
+  for (unsigned round = 1; round < kRounds; ++round) {
+    rk += 4;
+    // ShiftRows left-rotates row r by r columns, so output column c pulls
+    // row r from column (c + r) mod 4.
+    const std::uint32_t t0 = kT.Te[0][s0 >> 24] ^ kT.Te[1][(s1 >> 16) & 0xff] ^
+                             kT.Te[2][(s2 >> 8) & 0xff] ^ kT.Te[3][s3 & 0xff] ^ rk[0];
+    const std::uint32_t t1 = kT.Te[0][s1 >> 24] ^ kT.Te[1][(s2 >> 16) & 0xff] ^
+                             kT.Te[2][(s3 >> 8) & 0xff] ^ kT.Te[3][s0 & 0xff] ^ rk[1];
+    const std::uint32_t t2 = kT.Te[0][s2 >> 24] ^ kT.Te[1][(s3 >> 16) & 0xff] ^
+                             kT.Te[2][(s0 >> 8) & 0xff] ^ kT.Te[3][s1 & 0xff] ^ rk[2];
+    const std::uint32_t t3 = kT.Te[0][s3 >> 24] ^ kT.Te[1][(s0 >> 16) & 0xff] ^
+                             kT.Te[2][(s1 >> 8) & 0xff] ^ kT.Te[3][s2 & 0xff] ^ rk[3];
+    s0 = t0;
+    s1 = t1;
+    s2 = t2;
+    s3 = t3;
+  }
+
+  rk += 4;
+  // Final round: SubBytes + ShiftRows + AddRoundKey (no MixColumns).
+  const auto last = [](std::uint32_t a, std::uint32_t b, std::uint32_t c, std::uint32_t d) {
+    return (static_cast<std::uint32_t>(kSbox[a >> 24]) << 24) |
+           (static_cast<std::uint32_t>(kSbox[(b >> 16) & 0xff]) << 16) |
+           (static_cast<std::uint32_t>(kSbox[(c >> 8) & 0xff]) << 8) |
+           static_cast<std::uint32_t>(kSbox[d & 0xff]);
+  };
+  store_be32(s, last(s0, s1, s2, s3) ^ rk[0]);
+  store_be32(s + 4, last(s1, s2, s3, s0) ^ rk[1]);
+  store_be32(s + 8, last(s2, s3, s0, s1) ^ rk[2]);
+  store_be32(s + 12, last(s3, s0, s1, s2) ^ rk[3]);
+#endif
+}
+
+void Aes128::decrypt_block(std::uint8_t* s) const {
+#ifdef STEINS_AES_REFERENCE
+  decrypt_block_ref(s);
+#else
+  const std::uint32_t* rk = dec_rk_.data();
+  std::uint32_t s0 = load_be32(s) ^ rk[0];
+  std::uint32_t s1 = load_be32(s + 4) ^ rk[1];
+  std::uint32_t s2 = load_be32(s + 8) ^ rk[2];
+  std::uint32_t s3 = load_be32(s + 12) ^ rk[3];
+
+  for (unsigned round = 1; round < kRounds; ++round) {
+    rk += 4;
+    // InvShiftRows right-rotates row r by r, so output column c pulls row r
+    // from column (c - r) mod 4.
+    const std::uint32_t t0 = kT.Td[0][s0 >> 24] ^ kT.Td[1][(s3 >> 16) & 0xff] ^
+                             kT.Td[2][(s2 >> 8) & 0xff] ^ kT.Td[3][s1 & 0xff] ^ rk[0];
+    const std::uint32_t t1 = kT.Td[0][s1 >> 24] ^ kT.Td[1][(s0 >> 16) & 0xff] ^
+                             kT.Td[2][(s3 >> 8) & 0xff] ^ kT.Td[3][s2 & 0xff] ^ rk[1];
+    const std::uint32_t t2 = kT.Td[0][s2 >> 24] ^ kT.Td[1][(s1 >> 16) & 0xff] ^
+                             kT.Td[2][(s0 >> 8) & 0xff] ^ kT.Td[3][s3 & 0xff] ^ rk[2];
+    const std::uint32_t t3 = kT.Td[0][s3 >> 24] ^ kT.Td[1][(s2 >> 16) & 0xff] ^
+                             kT.Td[2][(s1 >> 8) & 0xff] ^ kT.Td[3][s0 & 0xff] ^ rk[3];
+    s0 = t0;
+    s1 = t1;
+    s2 = t2;
+    s3 = t3;
+  }
+
+  rk += 4;
+  const auto last = [](std::uint32_t a, std::uint32_t b, std::uint32_t c, std::uint32_t d) {
+    return (static_cast<std::uint32_t>(kInvSbox[a >> 24]) << 24) |
+           (static_cast<std::uint32_t>(kInvSbox[(b >> 16) & 0xff]) << 16) |
+           (static_cast<std::uint32_t>(kInvSbox[(c >> 8) & 0xff]) << 8) |
+           static_cast<std::uint32_t>(kInvSbox[d & 0xff]);
+  };
+  store_be32(s, last(s0, s3, s2, s1) ^ rk[0]);
+  store_be32(s + 4, last(s1, s0, s3, s2) ^ rk[1]);
+  store_be32(s + 8, last(s2, s1, s0, s3) ^ rk[2]);
+  store_be32(s + 12, last(s3, s2, s1, s0) ^ rk[3]);
+#endif
+}
+
+bool Aes128::self_check() {
+  // FIPS-197 Appendix C.1: key 000102...0f, pt 00112233445566778899aabbccddeeff.
+  Key key{};
+  BlockBytes pt{};
+  for (std::size_t i = 0; i < kKeyBytes; ++i) key[i] = static_cast<std::uint8_t>(i);
+  for (std::size_t i = 0; i < kBlockBytes; ++i) {
+    pt[i] = static_cast<std::uint8_t>(i * 0x11);
+  }
+  constexpr BlockBytes expect{0x69, 0xc4, 0xe0, 0xd8, 0x6a, 0x7b, 0x04, 0x30,
+                              0xd8, 0xcd, 0xb7, 0x80, 0x70, 0xb4, 0xc5, 0x5a};
+  const Aes128 aes(key);
+
+  BlockBytes fast = pt;
+  aes.encrypt_block(fast.data());
+  BlockBytes ref = pt;
+  aes.encrypt_block_ref(ref.data());
+  if (fast != expect || ref != expect) return false;
+
+  aes.decrypt_block(fast.data());
+  aes.decrypt_block_ref(ref.data());
+  return fast == pt && ref == pt;
+}
+
+void Aes128::encrypt_block_ref(std::uint8_t* s) const {
   auto add_round_key = [&](unsigned round) {
     for (int i = 0; i < 16; ++i) s[i] ^= round_keys_[round * 16 + i];
   };
@@ -127,7 +319,7 @@ void Aes128::encrypt_block(std::uint8_t* s) const {
   add_round_key(kRounds);
 }
 
-void Aes128::decrypt_block(std::uint8_t* s) const {
+void Aes128::decrypt_block_ref(std::uint8_t* s) const {
   auto add_round_key = [&](unsigned round) {
     for (int i = 0; i < 16; ++i) s[i] ^= round_keys_[round * 16 + i];
   };

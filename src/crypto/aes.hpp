@@ -1,9 +1,21 @@
 // AES-128 block cipher (FIPS-197), implemented from scratch.
 //
 // Used by the counter-mode encryption engine (CME) to derive one-time pads
-// from (address, counter) tuples. Software S-box implementation: this is a
-// functional-correctness reference; the simulator models AES latency
-// separately (SecureConfig::aes_latency_cycles).
+// from (address, counter) tuples. Two implementations share one key
+// schedule:
+//
+//  - the T-table path (default): 4 constexpr-generated 1 KB lookup tables
+//    fold SubBytes+ShiftRows+MixColumns into 16 table lookups + XORs per
+//    round (Rijndael's 32-bit software formulation) — ~an order of
+//    magnitude faster than the byte-wise path, which matters because the
+//    `kReal` crypto profile runs 4 AES blocks per simulated memory access;
+//  - the byte-wise FIPS-197 reference path (`encrypt_block_ref` /
+//    `decrypt_block_ref`): kept for verification; tests cross-check the two
+//    on the NIST vectors and randomized blocks. Define STEINS_AES_REFERENCE
+//    at compile time to route encrypt_block/decrypt_block through it.
+//
+// The simulator models AES latency separately
+// (SecureConfig::aes_latency_cycles); this only affects host wall-clock.
 #pragma once
 
 #include <array>
@@ -29,6 +41,10 @@ class Aes128 {
   /// Decrypt one 16-byte block in place.
   void decrypt_block(std::uint8_t* block) const;
 
+  /// Byte-wise FIPS-197 reference implementations (verification only).
+  void encrypt_block_ref(std::uint8_t* block) const;
+  void decrypt_block_ref(std::uint8_t* block) const;
+
   BlockBytes encrypt(const BlockBytes& in) const {
     BlockBytes out = in;
     encrypt_block(out.data());
@@ -41,11 +57,20 @@ class Aes128 {
     return out;
   }
 
+  /// One-shot self check: T-table and reference paths agree on the FIPS-197
+  /// known-answer vectors. Cheap enough to call from main() or tests.
+  static bool self_check();
+
  private:
   void expand_key(const Key& key);
 
-  // Round keys: (kRounds + 1) x 16 bytes.
+  // Round keys as bytes: (kRounds + 1) x 16, used by the reference path.
   std::array<std::uint8_t, (kRounds + 1) * kBlockBytes> round_keys_{};
+  // The same schedule as big-endian 32-bit column words for the T-table
+  // path, plus the equivalent-inverse-cipher schedule (InvMixColumns
+  // applied to the middle rounds) for T-table decryption.
+  std::array<std::uint32_t, (kRounds + 1) * 4> enc_rk_{};
+  std::array<std::uint32_t, (kRounds + 1) * 4> dec_rk_{};
 };
 
 }  // namespace steins::crypto

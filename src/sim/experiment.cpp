@@ -1,9 +1,11 @@
 #include "sim/experiment.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <cstdio>
 #include <map>
 
+#include "common/thread_pool.hpp"
 #include "trace/workloads.hpp"
 
 namespace steins {
@@ -29,25 +31,37 @@ std::vector<MatrixResult> ExperimentRunner::run_matrix(const std::vector<std::st
                                                        const std::vector<SchemeSpec>& schemes,
                                                        std::uint64_t accesses,
                                                        std::uint64_t warmup,
-                                                       bool verbose) const {
-  std::vector<MatrixResult> results;
-  results.reserve(workloads.size() * schemes.size());
-  for (const auto& wl : workloads) {
-    for (const auto& spec : schemes) {
-      SystemConfig cfg = base_cfg_;
-      cfg.counter_mode = spec.mode;
-      System sys(cfg, spec.scheme);
-      auto trace = make_workload(wl, accesses + warmup);
-      const RunStats stats = sys.run(*trace, warmup);
-      if (verbose) {
-        std::fprintf(stderr, "  %-12s %-10s cycles=%llu rd=%.0fcy wr=%.0fcy traffic=%llu\n",
-                     wl.c_str(), spec.label.c_str(),
-                     static_cast<unsigned long long>(stats.cycles), stats.read_latency_cycles,
-                     stats.write_latency_cycles,
-                     static_cast<unsigned long long>(stats.mem.nvm_writes()));
-      }
-      results.push_back(MatrixResult{wl, spec.label, stats});
+                                                       bool verbose, unsigned jobs) const {
+  const std::size_t n = workloads.size() * schemes.size();
+  std::vector<MatrixResult> results(n);
+
+  // Each cell is fully independent: its own System, its own trace generator
+  // (seeded identically however the matrix is scheduled), writing a
+  // pre-assigned slot. That makes the output deterministic in first-seen
+  // (workload-major) order no matter which thread finishes first.
+  auto run_cell = [&](std::size_t idx) {
+    const auto& wl = workloads[idx / schemes.size()];
+    const auto& spec = schemes[idx % schemes.size()];
+    SystemConfig cfg = base_cfg_;
+    cfg.counter_mode = spec.mode;
+    System sys(cfg, spec.scheme);
+    auto trace = make_workload(wl, accesses + warmup);
+    const RunStats stats = sys.run(*trace, warmup);
+    if (verbose) {
+      std::fprintf(stderr, "  %-12s %-10s cycles=%llu rd=%.0fcy wr=%.0fcy traffic=%llu\n",
+                   wl.c_str(), spec.label.c_str(),
+                   static_cast<unsigned long long>(stats.cycles), stats.read_latency_cycles,
+                   stats.write_latency_cycles,
+                   static_cast<unsigned long long>(stats.mem.nvm_writes()));
     }
+    results[idx] = MatrixResult{wl, spec.label, stats};
+  };
+
+  if (jobs <= 1 || n <= 1) {
+    for (std::size_t i = 0; i < n; ++i) run_cell(i);
+  } else {
+    ThreadPool pool(static_cast<unsigned>(std::min<std::size_t>(jobs, n)));
+    pool.for_each_index(n, run_cell);
   }
   return results;
 }

@@ -42,10 +42,15 @@ class ExperimentRunner {
 
   /// Run every (workload, scheme) pair. `accesses` is the measured trace
   /// length; `warmup` accesses run first without counting statistics.
+  ///
+  /// `jobs` > 1 fans the independent cells out across a thread pool; the
+  /// result order (and every RunStats in it) is bit-identical to the
+  /// sequential `jobs = 1` run regardless of completion order. The first
+  /// exception thrown by any cell is rethrown after all cells finish.
   std::vector<MatrixResult> run_matrix(const std::vector<std::string>& workloads,
                                        const std::vector<SchemeSpec>& schemes,
                                        std::uint64_t accesses, std::uint64_t warmup = 0,
-                                       bool verbose = false) const;
+                                       bool verbose = false, unsigned jobs = 1) const;
 
   /// Build a figure table: metric(stats) per cell, normalized per workload
   /// to the scheme labeled `baseline` (empty = absolute values), with a

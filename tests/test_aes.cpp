@@ -1,6 +1,8 @@
-// AES-128 known-answer tests (FIPS-197 / NIST vectors) and properties.
+// AES-128 known-answer tests (FIPS-197 / NIST vectors), properties, and
+// T-table vs. byte-wise-reference cross-checks.
 #include <gtest/gtest.h>
 
+#include "common/rng.hpp"
 #include "crypto/aes.hpp"
 
 namespace steins::crypto {
@@ -42,6 +44,60 @@ TEST(Aes128, Fips197AppendixCVector) {
   EXPECT_EQ(aes.encrypt(block_from(pt)), block_from(expect));
   EXPECT_EQ(aes.decrypt(block_from(expect)), block_from(pt));
 }
+
+TEST(Aes128, ReferencePathMatchesFips197Vectors) {
+  const std::uint8_t key_b[16] = {0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6,
+                                  0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf, 0x4f, 0x3c};
+  const std::uint8_t pt_b[16] = {0x32, 0x43, 0xf6, 0xa8, 0x88, 0x5a, 0x30, 0x8d,
+                                 0x31, 0x31, 0x98, 0xa2, 0xe0, 0x37, 0x07, 0x34};
+  const std::uint8_t expect_b[16] = {0x39, 0x25, 0x84, 0x1d, 0x02, 0xdc, 0x09, 0xfb,
+                                     0xdc, 0x11, 0x85, 0x97, 0x19, 0x6a, 0x0b, 0x32};
+  Aes128 aes_b(key_from(key_b));
+  auto blk = block_from(pt_b);
+  aes_b.encrypt_block_ref(blk.data());
+  EXPECT_EQ(blk, block_from(expect_b));
+
+  const std::uint8_t key_c[16] = {0x00, 0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07,
+                                  0x08, 0x09, 0x0a, 0x0b, 0x0c, 0x0d, 0x0e, 0x0f};
+  const std::uint8_t pt_c[16] = {0x00, 0x11, 0x22, 0x33, 0x44, 0x55, 0x66, 0x77,
+                                 0x88, 0x99, 0xaa, 0xbb, 0xcc, 0xdd, 0xee, 0xff};
+  const std::uint8_t expect_c[16] = {0x69, 0xc4, 0xe0, 0xd8, 0x6a, 0x7b, 0x04, 0x30,
+                                     0xd8, 0xcd, 0xb7, 0x80, 0x70, 0xb4, 0xc5, 0x5a};
+  Aes128 aes_c(key_from(key_c));
+  blk = block_from(pt_c);
+  aes_c.encrypt_block_ref(blk.data());
+  EXPECT_EQ(blk, block_from(expect_c));
+  aes_c.decrypt_block_ref(blk.data());
+  EXPECT_EQ(blk, block_from(pt_c));
+}
+
+TEST(Aes128, TtableMatchesReferenceOnRandomizedBlocks) {
+  // 1k random (key, plaintext) pairs: the fast path and the byte-wise
+  // FIPS-197 path must agree in both directions.
+  Xoshiro256 rng(0xae5cafe5ULL);
+  for (int trial = 0; trial < 1000; ++trial) {
+    Aes128::Key key;
+    Aes128::BlockBytes pt;
+    for (auto& b : key) b = static_cast<std::uint8_t>(rng.next());
+    for (auto& b : pt) b = static_cast<std::uint8_t>(rng.next());
+    const Aes128 aes(key);
+
+    Aes128::BlockBytes fast = pt;
+    aes.encrypt_block(fast.data());
+    Aes128::BlockBytes ref = pt;
+    aes.encrypt_block_ref(ref.data());
+    ASSERT_EQ(fast, ref) << "encrypt mismatch, trial " << trial;
+
+    Aes128::BlockBytes dec_fast = fast;
+    aes.decrypt_block(dec_fast.data());
+    Aes128::BlockBytes dec_ref = ref;
+    aes.decrypt_block_ref(dec_ref.data());
+    ASSERT_EQ(dec_fast, pt) << "fast decrypt mismatch, trial " << trial;
+    ASSERT_EQ(dec_ref, pt) << "ref decrypt mismatch, trial " << trial;
+  }
+}
+
+TEST(Aes128, SelfCheckPasses) { EXPECT_TRUE(Aes128::self_check()); }
 
 TEST(Aes128, EncryptDecryptRoundTrip) {
   const std::uint8_t key[16] = {0xde, 0xad, 0xbe, 0xef, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12};

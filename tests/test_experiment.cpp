@@ -1,10 +1,42 @@
-// Experiment harness: scheme sets, matrix runs, normalization tables.
+// Experiment harness: scheme sets, matrix runs, normalization tables, and
+// sequential/parallel equivalence of the matrix runner.
 #include <gtest/gtest.h>
+
+#include <stdexcept>
 
 #include "sim/experiment.hpp"
 
 namespace steins {
 namespace {
+
+// Field-by-field equality of everything a figure metric can read, so the
+// parallel runner is held to bit-identical output, not approximate output.
+void expect_stats_identical(const RunStats& a, const RunStats& b, const std::string& where) {
+  EXPECT_EQ(a.cycles, b.cycles) << where;
+  EXPECT_EQ(a.instructions, b.instructions) << where;
+  EXPECT_EQ(a.accesses, b.accesses) << where;
+  EXPECT_EQ(a.energy_nj, b.energy_nj) << where;
+  EXPECT_EQ(a.read_latency_cycles, b.read_latency_cycles) << where;
+  EXPECT_EQ(a.write_latency_cycles, b.write_latency_cycles) << where;
+  EXPECT_EQ(a.mcache_hit_rate, b.mcache_hit_rate) << where;
+  EXPECT_EQ(a.mem.read_latency.count, b.mem.read_latency.count) << where;
+  EXPECT_EQ(a.mem.read_latency.sum, b.mem.read_latency.sum) << where;
+  EXPECT_EQ(a.mem.read_latency.max, b.mem.read_latency.max) << where;
+  EXPECT_EQ(a.mem.write_latency.count, b.mem.write_latency.count) << where;
+  EXPECT_EQ(a.mem.write_latency.sum, b.mem.write_latency.sum) << where;
+  EXPECT_EQ(a.mem.write_latency.max, b.mem.write_latency.max) << where;
+  EXPECT_EQ(a.mem.data_reads, b.mem.data_reads) << where;
+  EXPECT_EQ(a.mem.data_writes, b.mem.data_writes) << where;
+  EXPECT_EQ(a.mem.meta_reads, b.mem.meta_reads) << where;
+  EXPECT_EQ(a.mem.meta_writes, b.mem.meta_writes) << where;
+  EXPECT_EQ(a.mem.aux_reads, b.mem.aux_reads) << where;
+  EXPECT_EQ(a.mem.aux_writes, b.mem.aux_writes) << where;
+  EXPECT_EQ(a.mem.aux_write_bytes, b.mem.aux_write_bytes) << where;
+  EXPECT_EQ(a.mem.hash_ops, b.mem.hash_ops) << where;
+  EXPECT_EQ(a.mem.aes_ops, b.mem.aes_ops) << where;
+  EXPECT_EQ(a.mem.mcache_accesses, b.mem.mcache_accesses) << where;
+  EXPECT_EQ(a.mem.reencryptions, b.mem.reencryptions) << where;
+}
 
 TEST(ExperimentRunner, SchemeSetsMatchPaper) {
   const auto gc = gc_comparison_schemes();
@@ -32,6 +64,38 @@ TEST(ExperimentRunner, MatrixRunsEveryCell) {
   for (const auto& r : results) {
     EXPECT_GT(r.stats.cycles, 0u) << r.workload << "/" << r.scheme_label;
   }
+}
+
+TEST(ExperimentRunner, ParallelMatrixMatchesSequentialBitExactly) {
+  SystemConfig cfg = default_config();
+  cfg.nvm.capacity_bytes = 256ULL << 20;
+  ExperimentRunner runner(cfg);
+  const std::vector<std::string> wls = {"gcc", "phash", "mcf"};
+  const auto schemes = gc_comparison_schemes();
+
+  const auto seq = runner.run_matrix(wls, schemes, 2000, 200, false, /*jobs=*/1);
+  const auto par = runner.run_matrix(wls, schemes, 2000, 200, false, /*jobs=*/4);
+
+  ASSERT_EQ(seq.size(), par.size());
+  for (std::size_t i = 0; i < seq.size(); ++i) {
+    // Same cell in the same slot: first-seen order survives parallelism.
+    EXPECT_EQ(seq[i].workload, par[i].workload) << i;
+    EXPECT_EQ(seq[i].scheme_label, par[i].scheme_label) << i;
+    expect_stats_identical(seq[i].stats, par[i].stats,
+                           seq[i].workload + "/" + seq[i].scheme_label);
+  }
+}
+
+TEST(ExperimentRunner, ParallelMatrixPropagatesCellExceptions) {
+  SystemConfig cfg = default_config();
+  cfg.nvm.capacity_bytes = 256ULL << 20;
+  ExperimentRunner runner(cfg);
+  const std::vector<std::string> wls = {"gcc", "no-such-workload"};
+  const auto schemes = sc_comparison_schemes();
+  EXPECT_THROW(runner.run_matrix(wls, schemes, 500, 0, false, /*jobs=*/4),
+               std::invalid_argument);
+  EXPECT_THROW(runner.run_matrix(wls, schemes, 500, 0, false, /*jobs=*/1),
+               std::invalid_argument);
 }
 
 TEST(ExperimentRunner, TableNormalizesToBaseline) {

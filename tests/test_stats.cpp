@@ -40,6 +40,17 @@ TEST(ResultTable, RowsAndCsv) {
   EXPECT_NE(csv.find("w2,3.0,4.0"), std::string::npos);
 }
 
+TEST(ResultTable, ToJsonRoundTripsStructure) {
+  ResultTable t("fig \"x\"", {"a", "b"});
+  t.add_row("w1", {1.0, 1.5});
+  t.add_row("w2", {0.25, 4.0});
+  const std::string json = t.to_json();
+  EXPECT_NE(json.find("\"title\": \"fig \\\"x\\\"\""), std::string::npos);
+  EXPECT_NE(json.find("\"columns\": [\"a\", \"b\"]"), std::string::npos);
+  EXPECT_NE(json.find("{\"label\": \"w1\", \"values\": [1, 1.5]}"), std::string::npos);
+  EXPECT_NE(json.find("{\"label\": \"w2\", \"values\": [0.25, 4]}"), std::string::npos);
+}
+
 TEST(ResultTable, GeomeanRow) {
   ResultTable t("test", {"x"});
   t.add_row("w1", {2.0});

@@ -1,0 +1,86 @@
+// ThreadPool: submission, results, exception propagation, job policy.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+
+namespace steins {
+namespace {
+
+TEST(ThreadPool, RunsEverySubmittedTask) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4u);
+  std::atomic<int> ran{0};
+  std::vector<std::future<void>> futs;
+  for (int i = 0; i < 100; ++i) {
+    futs.push_back(pool.submit([&ran] { ran.fetch_add(1, std::memory_order_relaxed); }));
+  }
+  for (auto& f : futs) f.get();
+  EXPECT_EQ(ran.load(), 100);
+}
+
+TEST(ThreadPool, SubmitReturnsValues) {
+  ThreadPool pool(2);
+  auto a = pool.submit([] { return 21; });
+  auto b = pool.submit([] { return std::string("ok"); });
+  EXPECT_EQ(a.get(), 21);
+  EXPECT_EQ(b.get(), "ok");
+}
+
+TEST(ThreadPool, FutureRethrowsTaskException) {
+  ThreadPool pool(2);
+  auto f = pool.submit([]() -> int { throw std::runtime_error("boom"); });
+  EXPECT_THROW(f.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, ForEachIndexCoversRange) {
+  ThreadPool pool(4);
+  std::vector<int> hits(257, 0);
+  pool.for_each_index(hits.size(), [&hits](std::size_t i) { hits[i] = 1; });
+  EXPECT_EQ(std::accumulate(hits.begin(), hits.end(), 0), 257);
+}
+
+TEST(ThreadPool, ForEachIndexPropagatesFirstException) {
+  ThreadPool pool(4);
+  std::atomic<int> ran{0};
+  try {
+    pool.for_each_index(64, [&ran](std::size_t i) {
+      ran.fetch_add(1, std::memory_order_relaxed);
+      if (i == 7) throw std::invalid_argument("cell 7");
+    });
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_STREQ(e.what(), "cell 7");
+  }
+  // Every task still ran to completion before the rethrow.
+  EXPECT_EQ(ran.load(), 64);
+}
+
+TEST(ThreadPool, SingleThreadPoolStillWorks) {
+  ThreadPool pool(1);
+  std::vector<int> order;
+  std::vector<std::future<void>> futs;
+  for (int i = 0; i < 8; ++i) {
+    futs.push_back(pool.submit([&order, i] { order.push_back(i); }));
+  }
+  for (auto& f : futs) f.get();
+  // One worker drains the FIFO queue in submission order.
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(ThreadPool, DefaultJobsHonoursEnv) {
+  ASSERT_EQ(setenv("STEINS_JOBS", "3", 1), 0);
+  EXPECT_EQ(ThreadPool::default_jobs(), 3u);
+  ASSERT_EQ(setenv("STEINS_JOBS", "0", 1), 0);
+  EXPECT_EQ(ThreadPool::default_jobs(), 1u);  // clamps to 1
+  ASSERT_EQ(unsetenv("STEINS_JOBS"), 0);
+  EXPECT_GE(ThreadPool::default_jobs(), 1u);
+}
+
+}  // namespace
+}  // namespace steins
