@@ -5,5 +5,6 @@
 int main(int argc, char** argv) {
   using namespace steins;
   return bench::run_figure(argc, argv, "Fig. 10: Write latency (normalized to WB-GC)",
-                           gc_comparison_schemes(), bench::metric_write_latency, "WB-GC");
+                           gc_comparison_schemes(), bench::metric_write_latency, "WB-GC",
+                           bench::metric_write_latency_p99);
 }

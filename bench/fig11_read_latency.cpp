@@ -5,5 +5,6 @@
 int main(int argc, char** argv) {
   using namespace steins;
   return bench::run_figure(argc, argv, "Fig. 11: Read latency (normalized to WB-GC)",
-                           gc_comparison_schemes(), bench::metric_read_latency, "WB-GC");
+                           gc_comparison_schemes(), bench::metric_read_latency, "WB-GC",
+                           bench::metric_read_latency_p99);
 }

@@ -1,0 +1,73 @@
+// KV service throughput/tail-latency matrix: every scheme x YCSB mix.
+//
+// Each cell is an independent closed-loop multi-client run over its own
+// MultiControllerMemory, so the matrix fans out across --jobs threads with
+// bit-identical results to the sequential run. Rows are "SCHEME/mix";
+// columns report throughput and the latency distribution in nanoseconds.
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "kv/ycsb.hpp"
+
+using namespace steins;
+using namespace steins::kv;
+
+int main(int argc, char** argv) {
+  bench::BenchOptions opt = bench::parse_options(argc, argv);
+
+  const SystemConfig cfg = [] {
+    SystemConfig c = default_config();
+    c.nvm.capacity_bytes = std::uint64_t{256} << 20;  // the KV region is small
+    return c;
+  }();
+
+  const std::vector<Scheme> schemes = {Scheme::kWriteBack, Scheme::kAnubis, Scheme::kStar,
+                                       Scheme::kScue, Scheme::kSteins};
+  const std::vector<Mix> mixes = {Mix::kA, Mix::kB, Mix::kC, Mix::kF};
+
+  std::printf("KV service throughput: schemes x YCSB mixes\n");
+  std::printf("(%llu ops per cell, 4 clients x 2 controllers, zipf 0.99; %u job%s)\n\n",
+              static_cast<unsigned long long>(opt.accesses), opt.jobs,
+              opt.jobs == 1 ? "" : "s");
+
+  struct Cell {
+    Scheme scheme;
+    Mix mix;
+    YcsbResult result;
+  };
+  std::vector<Cell> cells;
+  for (const Scheme s : schemes) {
+    for (const Mix m : mixes) cells.push_back({s, m, {}});
+  }
+
+  const auto run_cell = [&](std::size_t i) {
+    YcsbConfig ycfg;
+    ycfg.mix = cells[i].mix;
+    ycfg.ops = opt.accesses;
+    cells[i].result = run_ycsb(cfg, cells[i].scheme, ycfg);
+  };
+  if (opt.jobs > 1) {
+    ThreadPool pool(opt.jobs);
+    pool.for_each_index(cells.size(), run_cell);
+  } else {
+    for (std::size_t i = 0; i < cells.size(); ++i) run_cell(i);
+  }
+
+  const double ns = cfg.cycles_to_seconds(1) * 1e9;
+  ResultTable table("KV throughput and latency by scheme/mix",
+                    {"kops_s", "mean_ns", "p50_ns", "p95_ns", "p99_ns", "p999_ns"});
+  for (const Cell& c : cells) {
+    const LatencyHistogram& h = c.result.all_lat;
+    table.add_row(scheme_name(c.scheme, cfg.counter_mode) + "/" + mix_name(c.mix),
+                  {c.result.kops_per_sec, h.mean() * ns, h.percentile(50) * ns,
+                   h.percentile(95) * ns, h.percentile(99) * ns, h.percentile(99.9) * ns});
+  }
+  table.print();
+  if (!opt.json_path.empty()) {
+    if (bench::write_table_json(opt.json_path, table, opt)) {
+      std::printf("wrote JSON results to %s\n", opt.json_path.c_str());
+    }
+  }
+  return 0;
+}

@@ -1,5 +1,6 @@
 #include "common/stats.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <cmath>
 #include <cstdio>
@@ -7,6 +8,34 @@
 #include <utility>
 
 namespace steins {
+
+double LatencyHistogram::bucket_mid(std::size_t idx) {
+  if (idx < kSub) return static_cast<double>(idx);  // exact buckets
+  const std::size_t oct = (idx - kSub) / kSub;      // octave above kSubBits
+  const std::size_t sub = (idx - kSub) % kSub;
+  const int top = static_cast<int>(oct) + kSubBits;
+  const std::uint64_t width = std::uint64_t{1} << (top - kSubBits);
+  const std::uint64_t lower = (std::uint64_t{1} << top) + sub * width;
+  return static_cast<double>(lower) + static_cast<double>(width - 1) / 2.0;
+}
+
+double LatencyHistogram::percentile(double p) const {
+  if (count_ == 0) return 0.0;
+  if (p <= 0.0) return 0.0;
+  if (p > 100.0) p = 100.0;
+  // Rank of the requested percentile (1-based, nearest-rank definition).
+  const double exact = std::ceil(static_cast<double>(count_) * p / 100.0);
+  const std::uint64_t target = exact < 1.0 ? 1 : static_cast<std::uint64_t>(exact);
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    cum += counts_[i];
+    if (cum >= target) {
+      // Never report beyond the exact observed maximum.
+      return std::min(bucket_mid(i), static_cast<double>(max_));
+    }
+  }
+  return static_cast<double>(max_);
+}
 
 ResultTable::ResultTable(std::string title, std::vector<std::string> columns)
     : title_(std::move(title)), columns_(std::move(columns)) {}
@@ -46,9 +75,6 @@ void ResultTable::print(int precision) const {
   std::printf("\n");
 }
 
-namespace {
-
-// Minimal JSON string escaping (labels are plain ASCII in practice).
 std::string json_escape(const std::string& s) {
   std::string out;
   out.reserve(s.size());
@@ -58,13 +84,23 @@ std::string json_escape(const std::string& s) {
       case '\\': out += "\\\\"; break;
       case '\n': out += "\\n"; break;
       case '\t': out += "\\t"; break;
-      default: out += c;
+      case '\r': out += "\\r"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      default: {
+        const auto u = static_cast<unsigned char>(c);
+        if (u < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", u);
+          out += buf;
+        } else {
+          out += c;
+        }
+      }
     }
   }
   return out;
 }
-
-}  // namespace
 
 std::string ResultTable::to_json() const {
   std::ostringstream os;

@@ -2,6 +2,8 @@
 // fixed-format table printer used by the figure benches.
 #pragma once
 
+#include <array>
+#include <bit>
 #include <cstdint>
 #include <map>
 #include <string>
@@ -9,20 +11,86 @@
 
 namespace steins {
 
+/// Log-bucketed latency histogram (HDR-style): 16 sub-buckets per octave,
+/// so every bucket is within ~6% of the true value. Mergeable, which is
+/// what lets parallel KV clients keep private histograms and combine them
+/// at the end of a run. Values at or above 2^32 cycles clamp into the last
+/// bucket (max() stays exact).
+class LatencyHistogram {
+ public:
+  static constexpr int kSubBits = 4;
+  static constexpr std::size_t kSub = std::size_t{1} << kSubBits;  // 16
+  static constexpr int kTopBits = 32;                              // clamp ceiling
+  static constexpr std::size_t kBuckets = kSub + (kTopBits - kSubBits) * kSub;
+
+  void add(std::uint64_t v) {
+    ++count_;
+    sum_ += v;
+    if (v > max_) max_ = v;
+    ++counts_[bucket_of(v)];
+  }
+
+  /// Fold another histogram into this one (parallel clients merge here).
+  void merge(const LatencyHistogram& other) {
+    count_ += other.count_;
+    sum_ += other.sum_;
+    if (other.max_ > max_) max_ = other.max_;
+    for (std::size_t i = 0; i < kBuckets; ++i) counts_[i] += other.counts_[i];
+  }
+
+  std::uint64_t count() const { return count_; }
+  std::uint64_t max() const { return max_; }
+  double mean() const {
+    return count_ ? static_cast<double>(sum_) / static_cast<double>(count_) : 0.0;
+  }
+
+  /// Value at percentile `p` in [0, 100] (bucket midpoint; exact below 16).
+  double percentile(double p) const;
+
+  void reset() { *this = LatencyHistogram{}; }
+
+  static std::size_t bucket_of(std::uint64_t v) {
+    if (v < kSub) return static_cast<std::size_t>(v);
+    const int top = 63 - std::countl_zero(v);
+    if (top >= kTopBits) return kBuckets - 1;
+    const std::size_t sub =
+        static_cast<std::size_t>(v >> (top - kSubBits)) & (kSub - 1);
+    return kSub + static_cast<std::size_t>(top - kSubBits) * kSub + sub;
+  }
+
+  /// Midpoint of bucket `idx`'s value range (the percentile representative).
+  static double bucket_mid(std::size_t idx);
+
+ private:
+  std::array<std::uint64_t, kBuckets> counts_{};
+  std::uint64_t count_ = 0;
+  std::uint64_t sum_ = 0;
+  std::uint64_t max_ = 0;
+};
+
 /// Accumulates a stream of sample values (e.g. per-request latencies).
+/// Mean/max are exact; the embedded histogram adds tail percentiles.
 struct LatencyAccumulator {
   std::uint64_t count = 0;
   std::uint64_t sum = 0;
   std::uint64_t max = 0;
+  LatencyHistogram hist;
 
   void add(std::uint64_t v) {
     ++count;
     sum += v;
     if (v > max) max = v;
+    hist.add(v);
   }
   double mean() const { return count ? static_cast<double>(sum) / static_cast<double>(count) : 0.0; }
+  double percentile(double p) const { return hist.percentile(p); }
   void reset() { *this = LatencyAccumulator{}; }
 };
+
+/// Escape a string for inclusion in a JSON string literal: quotes,
+/// backslashes, and every control character (U+0000..U+001F) are escaped,
+/// so arbitrary labels/paths survive the round trip.
+std::string json_escape(const std::string& s);
 
 /// Registry of named integer counters; cheap to update, easy to diff.
 class StatSet {

@@ -1,0 +1,56 @@
+// Crash-recovery validation for the KV service: run a deterministic op
+// script against a fresh store, kill it at a chosen (or seeded-random)
+// persist boundary, run the scheme's recovery, reopen the store over the
+// surviving image, and diff it against the model of committed operations.
+//
+// The ordered persist protocol guarantees the recovered image equals the
+// committed model EXACTLY: an in-flight operation's record write is
+// invisible until its commit-word persist, and between operations the
+// store holds no unpersisted dirty state. Schemes with persistent-security
+// metadata (Steins/ASIT/STAR/SCUE) must pass the diff; write-back must be
+// *detected* as unrecoverable (RecoveryResult::supported == false).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/config.hpp"
+#include "secure/secure_memory.hpp"
+
+namespace steins::kv {
+
+struct KvCrashOptions {
+  static constexpr std::uint64_t kRandomBoundary = ~std::uint64_t{0};
+
+  std::uint64_t ops = 64;            // scripted put/erase/get operations
+  std::uint64_t keys = 16;           // key universe the script draws from
+  std::size_t slots = 64;            // store capacity (power of two)
+  std::size_t value_bytes = 24;      // payload size per value
+  std::uint64_t seed = 1;            // script + boundary-choice seed
+  std::uint64_t crash_at = kRandomBoundary;  // persist barrier index to die at
+};
+
+struct KvCrashReport {
+  bool recovery_supported = false;  // scheme claims post-crash recovery
+  bool recovery_ok = false;         // recovery ran clean (no attack flagged)
+  bool verified = false;            // recovered image == committed model
+  std::uint64_t total_persists = 0; // barriers in the full script
+  std::uint64_t crash_at = 0;       // barrier the run was killed before
+  std::uint64_t committed_keys = 0; // model size at the crash point
+  double recovery_seconds = 0.0;    // modeled recovery time
+  std::string detail;               // first mismatch / failure description
+
+  /// WB passes by being detected as unrecoverable; everything else passes
+  /// by recovering a verified image.
+  bool pass(Scheme scheme) const {
+    if (scheme == Scheme::kWriteBack) return !recovery_supported;
+    return recovery_ok && verified;
+  }
+};
+
+/// Run the validation once. `base_cfg` supplies the scheme configuration;
+/// its NVM capacity must cover the layout implied by `opt.slots`.
+KvCrashReport run_kv_crash_validation(const SystemConfig& base_cfg, Scheme scheme,
+                                      const KvCrashOptions& opt);
+
+}  // namespace steins::kv

@@ -1,0 +1,201 @@
+#include "kv/kv_store.hpp"
+
+#include <cassert>
+#include <cstring>
+#include <stdexcept>
+
+namespace steins::kv {
+
+namespace {
+
+/// FNV-1a over the record fields, finalized splitmix-style. Detects a
+/// record image that does not belong to its commit word (protocol bugs,
+/// unrecovered metadata) rather than adversarial tampering — the secure
+/// path's HMACs own that job.
+std::uint64_t record_checksum(std::uint64_t key, std::uint64_t version,
+                              const std::string& value) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  const auto mix_u64 = [&h](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h = (h ^ ((v >> (8 * i)) & 0xff)) * 0x100000001b3ULL;
+    }
+  };
+  mix_u64(key);
+  mix_u64(version);
+  mix_u64(value.size());
+  for (const char c : value) {
+    h = (h ^ static_cast<unsigned char>(c)) * 0x100000001b3ULL;
+  }
+  h ^= h >> 30;
+  h *= 0xbf58476d1ce4e5b9ULL;
+  h ^= h >> 27;
+  return h;
+}
+
+}  // namespace
+
+Block encode_record(const KvRecord& rec) {
+  assert(rec.value.size() <= kMaxValueBytes);
+  Block b{};
+  const std::uint64_t len = rec.value.size();
+  const std::uint64_t sum = record_checksum(rec.key, rec.version, rec.value);
+  std::memcpy(b.data(), &rec.key, 8);
+  std::memcpy(b.data() + 8, &rec.version, 8);
+  std::memcpy(b.data() + 16, &sum, 8);
+  std::memcpy(b.data() + 24, &len, 8);
+  std::memcpy(b.data() + 32, rec.value.data(), rec.value.size());
+  return b;
+}
+
+bool decode_record(const Block& b, KvRecord* out) {
+  KvRecord rec;
+  std::uint64_t sum = 0;
+  std::uint64_t len = 0;
+  std::memcpy(&rec.key, b.data(), 8);
+  std::memcpy(&rec.version, b.data() + 8, 8);
+  std::memcpy(&sum, b.data() + 16, 8);
+  std::memcpy(&len, b.data() + 24, 8);
+  if (len > kMaxValueBytes) return false;
+  rec.value.assign(reinterpret_cast<const char*>(b.data() + 32), len);
+  if (sum != record_checksum(rec.key, rec.version, rec.value)) return false;
+  if (out != nullptr) *out = std::move(rec);
+  return true;
+}
+
+KvStore::KvStore(System& sys, const KvLayout& layout) : sys_(sys), layout_(layout) {
+  if (layout_.slots == 0 || (layout_.slots & (layout_.slots - 1)) != 0) {
+    throw std::invalid_argument("KvLayout::slots must be a power of two");
+  }
+  if (layout_.base + layout_.region_bytes() > sys_.config().nvm.capacity_bytes) {
+    throw std::invalid_argument("KV region exceeds NVM capacity");
+  }
+}
+
+void KvStore::persist_barrier(Addr addr, const char* stage) {
+  if (hook_) hook_(stage, persists_);
+  sys_.persist(addr);
+  ++persists_;
+}
+
+CommitWord KvStore::read_commit(std::size_t slot) {
+  const Block b = sys_.load(layout_.commit_block_addr(slot));
+  std::uint64_t w = 0;
+  std::memcpy(&w, b.data() + layout_.commit_word_offset(slot), 8);
+  return CommitWord::decode(w);
+}
+
+void KvStore::write_commit(std::size_t slot, const CommitWord& word) {
+  const Addr addr = layout_.commit_block_addr(slot);
+  Block b = sys_.load(addr);
+  const std::uint64_t w = word.encode();
+  std::memcpy(b.data() + layout_.commit_word_offset(slot), &w, 8);
+  sys_.store(addr, b);
+}
+
+KvStore::Probe KvStore::probe(std::uint64_t key) {
+  Probe p;
+  const std::size_t home = layout_.home_slot(key);
+  for (std::size_t i = 0; i < layout_.slots; ++i) {
+    const std::size_t s = (home + i) & (layout_.slots - 1);
+    const CommitWord w = read_commit(s);
+    if (w.empty()) {
+      // Never-used slot: the key cannot be further down the chain.
+      if (!p.has_free) {
+        p.has_free = true;
+        p.free_slot = s;
+      }
+      return p;
+    }
+    if (!w.live) {
+      // Tombstone: reusable, but the chain continues past it.
+      if (!p.has_free) {
+        p.has_free = true;
+        p.free_slot = s;
+      }
+      continue;
+    }
+    KvRecord rec;
+    const Block b = sys_.load(layout_.record_addr(s, w.replica));
+    if (!decode_record(b, &rec) || rec.version != w.version) {
+      throw KvCorruption("live slot " + std::to_string(s) +
+                         " has a record inconsistent with its commit word");
+    }
+    if (rec.key == key) {
+      p.found = true;
+      p.slot = s;
+      p.word = w;
+      return p;
+    }
+  }
+  return p;
+}
+
+void KvStore::put(std::uint64_t key, const std::string& value) {
+  if (value.size() > kMaxValueBytes) {
+    throw std::invalid_argument("KV value exceeds " + std::to_string(kMaxValueBytes) +
+                                " bytes");
+  }
+  const Probe p = probe(key);
+  std::size_t slot;
+  CommitWord old;
+  if (p.found) {
+    slot = p.slot;
+    old = p.word;
+  } else if (p.has_free) {
+    slot = p.free_slot;
+    old = read_commit(slot);
+  } else {
+    throw std::runtime_error("KV store full (" + std::to_string(layout_.slots) +
+                             " slots)");
+  }
+
+  // Step 1: the new record goes to the replica the commit word does NOT
+  // reference, and must be durable before the commit word can name it.
+  const int replica = old.empty() ? 0 : 1 - old.replica;
+  const Addr rec_addr = layout_.record_addr(slot, replica);
+  sys_.store(rec_addr, encode_record(KvRecord{key, old.version + 1, value}));
+  persist_barrier(rec_addr, "record");
+
+  // Step 2: flip the commit word — the operation's linearization point.
+  write_commit(slot, CommitWord{old.version + 1, replica, true});
+  persist_barrier(layout_.commit_block_addr(slot), "commit");
+}
+
+std::optional<std::string> KvStore::get(std::uint64_t key) {
+  const Probe p = probe(key);
+  if (!p.found) return std::nullopt;
+  KvRecord rec;
+  const Block b = sys_.load(layout_.record_addr(p.slot, p.word.replica));
+  if (!decode_record(b, &rec) || rec.key != key || rec.version != p.word.version) {
+    throw KvCorruption("record for key " + std::to_string(key) +
+                       " inconsistent with its commit word");
+  }
+  return rec.value;
+}
+
+bool KvStore::erase(std::uint64_t key) {
+  const Probe p = probe(key);
+  if (!p.found) return false;
+  // A tombstone is a single commit-word flip: nothing to persist first.
+  write_commit(p.slot, CommitWord{p.word.version + 1, p.word.replica, false});
+  persist_barrier(layout_.commit_block_addr(p.slot), "commit");
+  return true;
+}
+
+std::map<std::uint64_t, std::string> KvStore::dump() {
+  std::map<std::uint64_t, std::string> out;
+  for (std::size_t s = 0; s < layout_.slots; ++s) {
+    const CommitWord w = read_commit(s);
+    if (w.empty() || !w.live) continue;
+    KvRecord rec;
+    const Block b = sys_.load(layout_.record_addr(s, w.replica));
+    if (!decode_record(b, &rec) || rec.version != w.version) {
+      throw KvCorruption("slot " + std::to_string(s) +
+                         " holds a committed record that fails validation");
+    }
+    out[rec.key] = rec.value;
+  }
+  return out;
+}
+
+}  // namespace steins::kv

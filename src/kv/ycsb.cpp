@@ -1,0 +1,202 @@
+#include "kv/ycsb.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <map>
+#include <stdexcept>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "sim/multi_controller.hpp"
+
+namespace steins::kv {
+
+const char* mix_name(Mix m) {
+  switch (m) {
+    case Mix::kA: return "a";
+    case Mix::kB: return "b";
+    case Mix::kC: return "c";
+    case Mix::kF: return "f";
+  }
+  return "?";
+}
+
+std::optional<Mix> parse_mix(const std::string& name) {
+  if (name == "a" || name == "A") return Mix::kA;
+  if (name == "b" || name == "B") return Mix::kB;
+  if (name == "c" || name == "C") return Mix::kC;
+  if (name == "f" || name == "F") return Mix::kF;
+  return std::nullopt;
+}
+
+namespace {
+
+double update_fraction(Mix m) {
+  switch (m) {
+    case Mix::kA: return 0.50;
+    case Mix::kB: return 0.05;
+    case Mix::kC: return 0.00;
+    case Mix::kF: return 0.50;  // the update half is a read-modify-write
+  }
+  return 0.0;
+}
+
+struct Client {
+  Cycle now = 0;
+  Xoshiro256 rng{1};
+  LatencyHistogram read_lat;
+  LatencyHistogram update_lat;
+  std::uint64_t reads = 0;
+  std::uint64_t updates = 0;
+};
+
+std::uint64_t word_at(const Block& b, std::size_t offset) {
+  std::uint64_t w = 0;
+  std::memcpy(&w, b.data() + offset, 8);
+  return w;
+}
+
+void put_word(Block& b, std::size_t offset, std::uint64_t w) {
+  std::memcpy(b.data() + offset, &w, 8);
+}
+
+std::string client_value(std::uint64_t key, std::uint64_t version,
+                         std::size_t value_bytes) {
+  std::string v = "c" + std::to_string(key) + "." + std::to_string(version);
+  if (v.size() < value_bytes) v.resize(value_bytes, '~');
+  v.resize(std::min(value_bytes, kMaxValueBytes));
+  return v;
+}
+
+}  // namespace
+
+YcsbResult run_ycsb(const SystemConfig& cfg, Scheme scheme, const YcsbConfig& ycfg) {
+  if (ycfg.clients == 0) throw std::invalid_argument("YCSB driver needs >= 1 client");
+  if (ycfg.slots == 0 || (ycfg.slots & (ycfg.slots - 1)) != 0) {
+    throw std::invalid_argument("YCSB slots must be a power of two");
+  }
+  if (ycfg.keys == 0 || ycfg.keys > ycfg.slots / 2) {
+    throw std::invalid_argument("YCSB keys must keep the table at most half full");
+  }
+  KvLayout layout;
+  layout.base = ycfg.base;
+  layout.slots = ycfg.slots;
+  if (layout.base + layout.region_bytes() > cfg.nvm.capacity_bytes) {
+    throw std::invalid_argument("KV region exceeds NVM capacity");
+  }
+
+  MultiControllerMemory mem(cfg, scheme, ycfg.controllers, ycfg.interleave_bytes);
+
+  // Resolve every key's slot up front (linear probing over an in-memory
+  // occupancy map): the measured phase then needs no probe reads, like a
+  // server whose index is warm.
+  std::vector<std::size_t> slot_of(ycfg.keys);
+  {
+    std::vector<bool> used(layout.slots, false);
+    for (std::uint64_t key = 0; key < ycfg.keys; ++key) {
+      std::size_t s = layout.home_slot(key);
+      while (used[s]) s = (s + 1) & (layout.slots - 1);
+      used[s] = true;
+      slot_of[key] = s;
+    }
+  }
+
+  // Preload: write every record (replica 0, version 1) and its commit
+  // word, sequentially on one timeline.
+  Cycle t = 0;
+  for (std::uint64_t key = 0; key < ycfg.keys; ++key) {
+    const KvRecord rec{key, 1, client_value(key, 1, ycfg.value_bytes)};
+    t = mem.write_block(layout.record_addr(slot_of[key], 0), encode_record(rec), t);
+  }
+  {
+    // Commit blocks are shared by 8 slots; build each block image once.
+    std::map<Addr, Block> commit_blocks;
+    for (std::uint64_t key = 0; key < ycfg.keys; ++key) {
+      const std::size_t s = slot_of[key];
+      Block& b = commit_blocks[layout.commit_block_addr(s)];  // zero-init
+      put_word(b, layout.commit_word_offset(s), CommitWord{1, 0, true}.encode());
+    }
+    for (const auto& [addr, block] : commit_blocks) {
+      t = mem.write_block(addr, block, t);
+    }
+  }
+  for (unsigned i = 0; i < mem.controllers(); ++i) mem.controller(i).stats().reset();
+
+  // Measured phase: clients start together at the preload frontier.
+  const Cycle start = mem.max_frontier();
+  std::vector<Client> clients(ycfg.clients);
+  for (unsigned i = 0; i < ycfg.clients; ++i) {
+    clients[i].now = start;
+    clients[i].rng = Xoshiro256(ycfg.seed * 0x9e3779b97f4a7c15ULL + i + 1);
+  }
+  const ZipfSampler sampler(static_cast<std::size_t>(ycfg.keys), ycfg.zipf_s);
+  const double upd_frac = update_fraction(ycfg.mix);
+
+  YcsbResult res;
+  for (std::uint64_t op = 0; op < ycfg.ops; ++op) {
+    // The client furthest behind issues next (closed loop, no think time).
+    Client& c = *std::min_element(
+        clients.begin(), clients.end(),
+        [](const Client& a, const Client& b) { return a.now < b.now; });
+
+    // Zipf rank -> key, scattered so the hot set spans controllers.
+    const std::uint64_t rank = sampler.sample(c.rng);
+    const std::uint64_t key = (rank * 0x9e3779b97f4a7c15ULL) % ycfg.keys;
+    const std::size_t slot = slot_of[key];
+    const Addr commit_addr = layout.commit_block_addr(slot);
+    const std::size_t commit_off = layout.commit_word_offset(slot);
+    const bool is_update = upd_frac > 0.0 && c.rng.chance(upd_frac);
+
+    const Cycle t0 = c.now;
+    Block commit_block;
+    Cycle now = mem.read_block(commit_addr, t0, &commit_block);
+    const CommitWord word = CommitWord::decode(word_at(commit_block, commit_off));
+    if (word.empty() || !word.live) {
+      throw std::logic_error("YCSB driver found an unexpected dead slot");
+    }
+
+    if (!is_update) {
+      Block rec_block;
+      now = mem.read_block(layout.record_addr(slot, word.replica), now, &rec_block);
+      KvRecord rec;
+      if (!decode_record(rec_block, &rec) || rec.key != key) {
+        throw std::logic_error("YCSB driver read a corrupt record");
+      }
+      c.read_lat.add(now - t0);
+      ++c.reads;
+    } else {
+      if (ycfg.mix == Mix::kF) {
+        // Read-modify-write: fetch the current record before rewriting it.
+        Block rec_block;
+        now = mem.read_block(layout.record_addr(slot, word.replica), now, &rec_block);
+      }
+      const int replica = 1 - word.replica;
+      const KvRecord rec{key, word.version + 1,
+                         client_value(key, word.version + 1, ycfg.value_bytes)};
+      now = mem.write_block(layout.record_addr(slot, replica), encode_record(rec), now);
+      put_word(commit_block, commit_off, CommitWord{word.version + 1, replica, true}.encode());
+      now = mem.write_block(commit_addr, commit_block, now);
+      c.update_lat.add(now - t0);
+      ++c.updates;
+    }
+    c.now = now;
+  }
+
+  for (const Client& c : clients) {
+    res.read_lat.merge(c.read_lat);
+    res.update_lat.merge(c.update_lat);
+    res.reads += c.reads;
+    res.updates += c.updates;
+    res.makespan = std::max(res.makespan, c.now - start);
+  }
+  res.all_lat.merge(res.read_lat);
+  res.all_lat.merge(res.update_lat);
+  res.ops = ycfg.ops;
+  res.seconds = cfg.cycles_to_seconds(res.makespan);
+  res.kops_per_sec =
+      res.seconds > 0.0 ? static_cast<double>(res.ops) / res.seconds / 1e3 : 0.0;
+  res.nvm_writes = mem.total_nvm_writes();
+  return res;
+}
+
+}  // namespace steins::kv

@@ -1,0 +1,68 @@
+// Closed-loop multi-client YCSB-style driver over MultiControllerMemory.
+//
+// N logical clients, each with its own timeline and RNG, issue KV
+// operations against a shared store image interleaved across memory
+// controllers (paper §IV-F). The driver is a discrete-event simulation:
+// each step executes one whole operation for the client whose clock is
+// furthest behind, so clients on disjoint DIMMs overlap while a shared
+// hot DIMM serializes — exactly the controller model's contention story.
+//
+// Key popularity is Zipfian (YCSB's default theta = 0.99), scattered over
+// the key space by a multiplicative hash so hot keys spread across
+// controllers. Mixes follow the YCSB core workloads:
+//   A 50% read / 50% update      B 95% read / 5% update
+//   C 100% read                  F 50% read / 50% read-modify-write
+//
+// Per-operation latencies land in mergeable log-bucketed histograms
+// (per-client, merged at the end) for p50/p95/p99/p99.9 reporting.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "common/config.hpp"
+#include "common/stats.hpp"
+#include "kv/kv_store.hpp"
+#include "secure/secure_memory.hpp"
+
+namespace steins::kv {
+
+enum class Mix { kA, kB, kC, kF };
+
+const char* mix_name(Mix m);
+std::optional<Mix> parse_mix(const std::string& name);
+
+struct YcsbConfig {
+  Mix mix = Mix::kA;
+  unsigned clients = 4;
+  unsigned controllers = 2;
+  std::uint64_t ops = 100'000;   // measured operations across all clients
+  std::uint64_t keys = 10'000;   // preloaded key universe
+  std::size_t slots = std::size_t{1} << 15;  // store capacity (power of two)
+  std::size_t value_bytes = 24;
+  double zipf_s = 0.99;          // YCSB default skew
+  std::uint64_t seed = 1;
+  Addr base = Addr{1} << 20;
+  std::size_t interleave_bytes = 4096;
+};
+
+struct YcsbResult {
+  std::uint64_t ops = 0;
+  std::uint64_t reads = 0;
+  std::uint64_t updates = 0;     // updates + the write half of RMWs
+  LatencyHistogram read_lat;     // cycles, merged across clients
+  LatencyHistogram update_lat;
+  LatencyHistogram all_lat;
+  Cycle makespan = 0;            // busiest client's measured span
+  double seconds = 0.0;
+  double kops_per_sec = 0.0;
+  std::uint64_t nvm_writes = 0;  // across all controllers, incl. preload
+};
+
+/// Run one (scheme, mix) cell. Throws std::invalid_argument on nonsense
+/// configurations (zero clients, keys overflowing the table, region not
+/// fitting the NVM capacity).
+YcsbResult run_ycsb(const SystemConfig& cfg, Scheme scheme, const YcsbConfig& ycfg);
+
+}  // namespace steins::kv

@@ -4,6 +4,7 @@
 #include <cassert>
 
 #include "schemes/anubis.hpp"
+#include "schemes/scue.hpp"
 #include "schemes/star.hpp"
 #include "schemes/steins.hpp"
 #include "schemes/writeback.hpp"
@@ -31,6 +32,8 @@ std::string scheme_name(Scheme s, CounterMode mode) {
       return "STAR";
     case Scheme::kSteins:
       return std::string("Steins") + suffix;
+    case Scheme::kScue:
+      return "SCUE";
   }
   return "?";
 }
@@ -420,6 +423,11 @@ std::unique_ptr<SecureMemory> make_scheme(Scheme scheme, const SystemConfig& cfg
       return std::make_unique<StarMemory>(cfg);
     case Scheme::kSteins:
       return std::make_unique<SteinsMemory>(cfg);
+    case Scheme::kScue:
+      if (cfg.counter_mode != CounterMode::kGeneral) {
+        throw std::invalid_argument("SCUE does not employ split counter blocks");
+      }
+      return std::make_unique<ScueMemory>(cfg);
   }
   return nullptr;
 }

@@ -78,8 +78,9 @@ struct ExecStats {
   void reset() { *this = ExecStats{}; }
 };
 
-/// Scheme identifiers (paper §IV).
-enum class Scheme { kWriteBack, kAnubis, kStar, kSteins };
+/// Scheme identifiers (paper §IV; SCUE is the §II-D whole-tree-rebuild
+/// baseline, general-counter mode only).
+enum class Scheme { kWriteBack, kAnubis, kStar, kSteins, kScue };
 
 std::string scheme_name(Scheme s, CounterMode mode);
 

@@ -121,6 +121,20 @@ RecoveryResult System::crash_and_recover() {
   return mem_->recover();
 }
 
+void System::resync_truth_after_crash() {
+  for (auto it = truth_.begin(); it != truth_.end();) {
+    if (mem_->device().contains(it->first)) {
+      Block actual;
+      mem_->read_block(it->first, cpu_.now(), &actual);
+      it->second = actual;
+      ++it;
+    } else {
+      // Never persisted: the block reads as zero after reboot.
+      it = truth_.erase(it);
+    }
+  }
+}
+
 void System::reset_stats() {
   mem_->stats().reset();
   stats_epoch_cycles_ = cpu_.now();
@@ -137,6 +151,10 @@ RunStats System::collect_stats() {
   s.energy_nj = s.mem.energy_nj(cfg_);
   s.read_latency_cycles = s.mem.read_latency.mean();
   s.write_latency_cycles = s.mem.write_latency.mean();
+  s.read_latency_p50 = s.mem.read_latency.percentile(50.0);
+  s.read_latency_p99 = s.mem.read_latency.percentile(99.0);
+  s.write_latency_p50 = s.mem.write_latency.percentile(50.0);
+  s.write_latency_p99 = s.mem.write_latency.percentile(99.0);
   s.mcache_hit_rate = mem_->metadata_cache_stats().hit_rate();
   return s;
 }

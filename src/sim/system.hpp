@@ -25,6 +25,10 @@ struct RunStats {
   double energy_nj = 0.0;
   double read_latency_cycles = 0.0;   // mean per data read
   double write_latency_cycles = 0.0;  // mean per data write
+  double read_latency_p50 = 0.0;      // tail percentiles (cycles), from the
+  double read_latency_p99 = 0.0;      // log-bucketed histogram
+  double write_latency_p50 = 0.0;
+  double write_latency_p99 = 0.0;
   double mcache_hit_rate = 0.0;
 
   double seconds(const SystemConfig& cfg) const { return cfg.cycles_to_seconds(cycles); }
@@ -56,6 +60,15 @@ class System {
   /// Crash-and-recover convenience used by examples/tests: drops CPU
   /// caches, crashes the controller, runs recovery.
   RecoveryResult crash_and_recover();
+
+  /// After a successful crash_and_recover(): reconcile the plaintext ground
+  /// truth with what actually survived in NVM. Stores that never reached the
+  /// controller (lost with the caches) are dropped; blocks with a stale
+  /// persistent image are reloaded through the secure path. This is what a
+  /// rebooted application observes, and it is required before driving
+  /// further loads after a crash that lost unpersisted stores. Must not be
+  /// called when recovery failed (reads would throw IntegrityViolation).
+  void resync_truth_after_crash();
 
   /// Collect statistics accumulated since the last reset.
   RunStats collect_stats();

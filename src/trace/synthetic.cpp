@@ -50,7 +50,9 @@ bool SyntheticTrace::next(MemAccess* out) {
 
   out->addr = block_to_addr(block);
   out->is_write = rng_.chance(cfg_.write_ratio);
-  out->flush = false;
+  // Guarded so profiles without commit points draw no extra randomness and
+  // keep their exact historical access streams.
+  out->flush = out->is_write && cfg_.flush_frac > 0.0 && rng_.chance(cfg_.flush_frac);
   // Geometric-ish gap around the mean keeps the stream memory-bound but
   // not lockstep.
   out->gap = cfg_.gap_mean > 0

@@ -25,6 +25,10 @@ struct SyntheticConfig {
   double zipf_s = 0.8;
   std::size_t zipf_universe = 1 << 16;  // hot blocks drawn from this many
   double pchase_frac = 0.0;    // dependent pointer chasing
+  // Fraction of writes followed by clwb+fence (persistent commit points,
+  // as a KV store's record/commit persists produce). 0 leaves the stream
+  // identical to pre-flush_frac traces (no extra RNG draws).
+  double flush_frac = 0.0;
   std::uint32_t gap_mean = 6;  // mean non-memory instructions between accesses
   std::uint64_t seed = 1;
 };

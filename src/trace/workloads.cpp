@@ -89,6 +89,29 @@ const std::map<std::string, SyntheticConfig>& profiles() {
     xalancbmk.gap_mean = 1260;
     m["xalancbmk"] = xalancbmk;
 
+    // YCSB-shaped KV access profiles (mixes A/B/C/F): a Zipf-0.99 hot key
+    // set over a KV region, every update committed with clwb+fence, little
+    // compute between requests. These approximate what the src/kv driver
+    // issues, shaped for the single-stream figure benches.
+    auto kv_profile = [](double write_ratio) {
+      SyntheticConfig kv;
+      kv.footprint_bytes = 32 * kMB;
+      kv.write_ratio = write_ratio;
+      kv.zipf_frac = 0.95;
+      kv.zipf_s = 0.99;
+      kv.zipf_universe = 1 << 17;
+      kv.flush_frac = 1.0;  // every update is a commit
+      kv.gap_mean = 180;
+      return kv;
+    };
+    m["kv_a"] = kv_profile(0.50);  // YCSB-A: 50/50 read/update
+    m["kv_b"] = kv_profile(0.05);  // YCSB-B: 95/5
+    m["kv_c"] = kv_profile(0.00);  // YCSB-C: read-only
+    SyntheticConfig kv_f = kv_profile(0.50);  // YCSB-F: read-modify-write
+    kv_f.zipf_frac = 1.0;  // the write always revisits a just-read hot key
+    kv_f.gap_mean = 260;
+    m["kv_f"] = kv_f;
+
     return m;
   }();
   return kProfiles;
@@ -99,6 +122,11 @@ const std::map<std::string, SyntheticConfig>& profiles() {
 const std::vector<std::string>& spec_workload_names() {
   static const std::vector<std::string> kNames = {"lbm",  "mcf",  "libquantum", "cactusADM",
                                                   "gcc",  "milc", "bwaves",     "xalancbmk"};
+  return kNames;
+}
+
+const std::vector<std::string>& kv_workload_names() {
+  static const std::vector<std::string> kNames = {"kv_a", "kv_b", "kv_c", "kv_f"};
   return kNames;
 }
 

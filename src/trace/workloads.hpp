@@ -22,6 +22,12 @@ const std::vector<std::string>& workload_names();
 /// Only the eight SPEC-like workloads (no persistent ones).
 const std::vector<std::string>& spec_workload_names();
 
+/// YCSB-shaped KV trace profiles (kv_a/kv_b/kv_c/kv_f): Zipfian hot-key
+/// access with committed updates, approximating what the src/kv driver
+/// issues. Not part of workload_names() so the recorded figure tables keep
+/// their historical rows; benches opt in explicitly.
+const std::vector<std::string>& kv_workload_names();
+
 /// Construct a trace for `name` producing `accesses` accesses.
 /// Throws std::invalid_argument for unknown names.
 std::unique_ptr<TraceSource> make_workload(const std::string& name, std::uint64_t accesses,

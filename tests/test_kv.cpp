@@ -1,0 +1,250 @@
+// The crash-consistent KV store and its validation harness: record/commit
+// encoding, round trips through every scheme's secure path, the YCSB
+// driver, and the crash-at-every-persist-boundary recovery matrix.
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <map>
+#include <string>
+
+#include "kv/kv_crash.hpp"
+#include "kv/kv_store.hpp"
+#include "kv/ycsb.hpp"
+#include "sim/system.hpp"
+#include "test_util.hpp"
+
+namespace steins::kv {
+namespace {
+
+using testutil::small_config;
+
+TEST(KvLayout, AddressesAreDisjointAndInRegion) {
+  KvLayout layout;
+  layout.base = 1 << 20;
+  layout.slots = 64;
+  std::map<Addr, int> seen;
+  for (std::size_t s = 0; s < layout.slots; ++s) {
+    ++seen[layout.record_addr(s, 0)];
+    ++seen[layout.record_addr(s, 1)];
+    const Addr commit = layout.commit_block_addr(s);
+    EXPECT_LT(layout.commit_word_offset(s) + 8, kBlockSize + 1);
+    EXPECT_GE(commit, layout.base);
+    EXPECT_LT(commit + kBlockSize, layout.base + layout.region_bytes() + 1);
+  }
+  for (const auto& [addr, n] : seen) {
+    EXPECT_EQ(n, 1) << "record address " << addr << " aliased";
+    EXPECT_GE(addr, layout.base);
+    EXPECT_LT(addr + kBlockSize, layout.base + layout.region_bytes() + 1);
+  }
+  for (std::uint64_t key = 0; key < 1000; ++key) {
+    EXPECT_LT(layout.home_slot(key), layout.slots);
+  }
+}
+
+TEST(KvRecordCodec, RoundTripsAndRejectsCorruption) {
+  const KvRecord rec{0xdeadbeefULL, 17, "value-payload"};
+  Block b = encode_record(rec);
+  KvRecord out;
+  ASSERT_TRUE(decode_record(b, &out));
+  EXPECT_EQ(out.key, rec.key);
+  EXPECT_EQ(out.version, rec.version);
+  EXPECT_EQ(out.value, rec.value);
+
+  Block flipped = b;
+  flipped[40] ^= 0x01;  // one bit in the value payload
+  EXPECT_FALSE(decode_record(flipped, nullptr));
+  Block zero{};
+  KvRecord z;  // all-zero decodes only if the checksum happens to match
+  EXPECT_FALSE(decode_record(zero, &z) && z.version != 0);
+}
+
+TEST(KvCommitWord, EncodeDecodeRoundTrip) {
+  for (const CommitWord w : {CommitWord{1, 0, true}, CommitWord{7, 1, false},
+                             CommitWord{(std::uint64_t{1} << 60) - 1, 1, true}}) {
+    const CommitWord d = CommitWord::decode(w.encode());
+    EXPECT_EQ(d.version, w.version);
+    EXPECT_EQ(d.replica, w.replica);
+    EXPECT_EQ(d.live, w.live);
+    EXPECT_FALSE(d.empty());
+  }
+  EXPECT_TRUE(CommitWord::decode(0).empty());
+}
+
+std::string param_name(Scheme s) {
+  std::string name = scheme_name(s, CounterMode::kGeneral);
+  std::erase_if(name, [](char c) { return !std::isalnum(static_cast<unsigned char>(c)); });
+  return name;
+}
+
+class KvStoreScheme : public ::testing::TestWithParam<Scheme> {};
+
+INSTANTIATE_TEST_SUITE_P(AllSchemes, KvStoreScheme,
+                         ::testing::Values(Scheme::kWriteBack, Scheme::kAnubis,
+                                           Scheme::kStar, Scheme::kScue, Scheme::kSteins),
+                         [](const auto& info) { return param_name(info.param); });
+
+TEST_P(KvStoreScheme, PutGetEraseRoundTrip) {
+  System sys(small_config(), GetParam());
+  KvLayout layout;
+  layout.slots = 64;
+  KvStore kv(sys, layout);
+
+  std::map<std::uint64_t, std::string> model;
+  for (std::uint64_t k = 0; k < 20; ++k) {
+    const std::string v = "v" + std::to_string(k);
+    kv.put(k, v);
+    model[k] = v;
+  }
+  for (std::uint64_t k = 0; k < 20; k += 3) {  // updates flip replicas
+    const std::string v = "updated" + std::to_string(k);
+    kv.put(k, v);
+    model[k] = v;
+  }
+  for (std::uint64_t k = 1; k < 20; k += 4) {
+    EXPECT_TRUE(kv.erase(k));
+    model.erase(k);
+  }
+  EXPECT_FALSE(kv.erase(999));
+  EXPECT_EQ(kv.get(999), std::nullopt);
+  for (const auto& [k, v] : model) {
+    const auto got = kv.get(k);
+    ASSERT_TRUE(got.has_value()) << "key " << k;
+    EXPECT_EQ(*got, v);
+  }
+  EXPECT_EQ(kv.dump(), model);
+
+  // The store is stateless over NVM: a second handle resumes the image.
+  KvStore reopened(sys, layout);
+  EXPECT_EQ(reopened.dump(), model);
+}
+
+TEST(KvStore, RejectsOversizedValuesAndFullTable) {
+  System sys(small_config(), Scheme::kSteins);
+  KvLayout layout;
+  layout.slots = 4;
+  KvStore kv(sys, layout);
+  EXPECT_THROW(kv.put(1, std::string(kMaxValueBytes + 1, 'x')), std::invalid_argument);
+  for (std::uint64_t k = 0; k < 4; ++k) kv.put(k, "v");
+  EXPECT_THROW(kv.put(99, "overflow"), std::runtime_error);
+  kv.put(2, "update still fine");  // existing keys update in place
+  EXPECT_EQ(*kv.get(2), "update still fine");
+}
+
+TEST(KvStore, TombstoneSlotsAreReused) {
+  System sys(small_config(), Scheme::kSteins);
+  KvLayout layout;
+  layout.slots = 4;
+  KvStore kv(sys, layout);
+  for (std::uint64_t k = 0; k < 4; ++k) kv.put(k, "v");
+  ASSERT_TRUE(kv.erase(1));
+  kv.put(50, "reused");  // must land in the tombstoned slot
+  EXPECT_EQ(*kv.get(50), "reused");
+  EXPECT_EQ(kv.dump().size(), 4u);
+}
+
+TEST(KvCrash, WriteBackIsDetectedUnrecoverable) {
+  KvCrashOptions opt;
+  opt.ops = 16;
+  const KvCrashReport r = run_kv_crash_validation(small_config(), Scheme::kWriteBack, opt);
+  EXPECT_FALSE(r.recovery_supported);
+  EXPECT_TRUE(r.pass(Scheme::kWriteBack));
+  EXPECT_FALSE(r.pass(Scheme::kSteins));  // the same report fails a real scheme
+}
+
+class KvCrashScheme : public ::testing::TestWithParam<Scheme> {};
+
+INSTANTIATE_TEST_SUITE_P(RecoverableSchemes, KvCrashScheme,
+                         ::testing::Values(Scheme::kAnubis, Scheme::kStar, Scheme::kScue,
+                                           Scheme::kSteins),
+                         [](const auto& info) { return param_name(info.param); });
+
+// The exhaustive matrix: kill the store before EVERY persist barrier of a
+// small deterministic script; each crash point must recover to exactly the
+// committed model.
+TEST_P(KvCrashScheme, RecoversAtEveryPersistBoundary) {
+  const SystemConfig cfg = small_config();
+  KvCrashOptions opt;
+  opt.ops = 10;
+  opt.keys = 4;
+  opt.slots = 32;
+  opt.value_bytes = 8;
+
+  opt.crash_at = 0;
+  KvCrashReport first = run_kv_crash_validation(cfg, GetParam(), opt);
+  ASSERT_TRUE(first.pass(GetParam())) << first.detail;
+  ASSERT_GT(first.total_persists, 0u);
+
+  for (std::uint64_t at = 1; at <= first.total_persists; ++at) {
+    opt.crash_at = at;
+    const KvCrashReport r = run_kv_crash_validation(cfg, GetParam(), opt);
+    EXPECT_TRUE(r.pass(GetParam()))
+        << "crash before persist " << at << "/" << r.total_persists << ": " << r.detail;
+    EXPECT_EQ(r.total_persists, first.total_persists);
+  }
+}
+
+TEST(KvCrash, RandomBoundaryIsDeterministicPerSeed) {
+  KvCrashOptions opt;
+  opt.ops = 24;
+  const KvCrashReport a = run_kv_crash_validation(small_config(), Scheme::kSteins, opt);
+  const KvCrashReport b = run_kv_crash_validation(small_config(), Scheme::kSteins, opt);
+  EXPECT_TRUE(a.pass(Scheme::kSteins)) << a.detail;
+  EXPECT_EQ(a.crash_at, b.crash_at);
+  opt.seed = 2;
+  const KvCrashReport c = run_kv_crash_validation(small_config(), Scheme::kSteins, opt);
+  EXPECT_TRUE(c.pass(Scheme::kSteins)) << c.detail;
+}
+
+TEST(YcsbDriver, MixesProduceExpectedShapes) {
+  YcsbConfig ycfg;
+  ycfg.clients = 3;
+  ycfg.ops = 2000;
+  ycfg.keys = 200;
+  ycfg.slots = 1024;
+  const SystemConfig cfg = small_config();
+
+  ycfg.mix = Mix::kC;
+  const YcsbResult ro = run_ycsb(cfg, Scheme::kSteins, ycfg);
+  EXPECT_EQ(ro.reads, ycfg.ops);
+  EXPECT_EQ(ro.updates, 0u);
+  EXPECT_EQ(ro.all_lat.count(), ycfg.ops);
+  EXPECT_GT(ro.kops_per_sec, 0.0);
+
+  ycfg.mix = Mix::kA;
+  const YcsbResult rw = run_ycsb(cfg, Scheme::kSteins, ycfg);
+  EXPECT_EQ(rw.reads + rw.updates, ycfg.ops);
+  EXPECT_GT(rw.updates, ycfg.ops / 3);  // ~50% updates
+  EXPECT_LT(rw.updates, 2 * ycfg.ops / 3);
+  EXPECT_GT(rw.nvm_writes, 0u);
+  // Updates traverse two block writes; the tail must sit above reads'.
+  EXPECT_GE(rw.update_lat.percentile(50), ro.read_lat.percentile(50));
+
+  // Determinism: identical config twice gives identical results.
+  const YcsbResult again = run_ycsb(cfg, Scheme::kSteins, ycfg);
+  EXPECT_EQ(again.makespan, rw.makespan);
+  EXPECT_DOUBLE_EQ(again.kops_per_sec, rw.kops_per_sec);
+}
+
+TEST(YcsbDriver, RejectsNonsenseConfigs) {
+  const SystemConfig cfg = small_config();
+  YcsbConfig ycfg;
+  ycfg.clients = 0;
+  EXPECT_THROW(run_ycsb(cfg, Scheme::kSteins, ycfg), std::invalid_argument);
+  ycfg.clients = 1;
+  ycfg.slots = 1000;  // not a power of two
+  EXPECT_THROW(run_ycsb(cfg, Scheme::kSteins, ycfg), std::invalid_argument);
+  ycfg.slots = 1024;
+  ycfg.keys = 1024;  // over half full
+  EXPECT_THROW(run_ycsb(cfg, Scheme::kSteins, ycfg), std::invalid_argument);
+}
+
+TEST(YcsbDriver, ParsesMixNames) {
+  EXPECT_EQ(parse_mix("a"), Mix::kA);
+  EXPECT_EQ(parse_mix("B"), Mix::kB);
+  EXPECT_EQ(parse_mix("f"), Mix::kF);
+  EXPECT_EQ(parse_mix("z"), std::nullopt);
+  EXPECT_STREQ(mix_name(Mix::kC), "c");
+}
+
+}  // namespace
+}  // namespace steins::kv

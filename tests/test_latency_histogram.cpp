@@ -1,0 +1,128 @@
+// Log-bucketed latency histogram, JSON string escaping, and the Zipf
+// sampler the KV driver's popularity model rests on.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+
+namespace steins {
+namespace {
+
+TEST(LatencyHistogram, ExactBelowSixteenAndBucketBoundaries) {
+  for (std::uint64_t v = 0; v < LatencyHistogram::kSub; ++v) {
+    EXPECT_EQ(LatencyHistogram::bucket_of(v), v);
+    EXPECT_DOUBLE_EQ(LatencyHistogram::bucket_mid(v), static_cast<double>(v));
+  }
+  // Buckets are monotone in the value and stay in range.
+  std::size_t prev = 0;
+  for (int shift = 0; shift < 63; ++shift) {
+    const std::uint64_t v = std::uint64_t{1} << shift;
+    const std::size_t b = LatencyHistogram::bucket_of(v);
+    EXPECT_GE(b, prev);
+    EXPECT_LT(b, LatencyHistogram::kBuckets);
+    prev = b;
+  }
+  // Everything at or above the 2^32 ceiling clamps into the last bucket.
+  EXPECT_EQ(LatencyHistogram::bucket_of(std::uint64_t{1} << 32),
+            LatencyHistogram::kBuckets - 1);
+  EXPECT_EQ(LatencyHistogram::bucket_of(~std::uint64_t{0}),
+            LatencyHistogram::kBuckets - 1);
+}
+
+TEST(LatencyHistogram, EmptyIsZero) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(h.percentile(50), 0.0);
+}
+
+TEST(LatencyHistogram, PercentilesWithinBucketResolution) {
+  // Uniform 1..100000: every percentile is known analytically, and the
+  // 16-sub-buckets-per-octave layout bounds relative error at ~6%.
+  LatencyHistogram h;
+  for (std::uint64_t v = 1; v <= 100'000; ++v) h.add(v);
+  EXPECT_EQ(h.count(), 100'000u);
+  EXPECT_EQ(h.max(), 100'000u);
+  for (const double p : {10.0, 50.0, 90.0, 99.0, 99.9}) {
+    const double expect = p / 100.0 * 100'000.0;
+    EXPECT_NEAR(h.percentile(p), expect, 0.07 * expect) << "p" << p;
+  }
+  // The extreme percentile never exceeds the exact max.
+  EXPECT_LE(h.percentile(100), static_cast<double>(h.max()));
+}
+
+TEST(LatencyHistogram, MergeMatchesSingleHistogram) {
+  LatencyHistogram a, b, whole;
+  Xoshiro256 rng(42);
+  for (int i = 0; i < 20'000; ++i) {
+    const std::uint64_t v = rng.below(1 << 20) + 1;
+    ((i % 2) ? a : b).add(v);
+    whole.add(v);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), whole.count());
+  EXPECT_EQ(a.max(), whole.max());
+  EXPECT_DOUBLE_EQ(a.mean(), whole.mean());
+  for (const double p : {25.0, 50.0, 95.0, 99.0}) {
+    EXPECT_DOUBLE_EQ(a.percentile(p), whole.percentile(p)) << "p" << p;
+  }
+}
+
+TEST(LatencyAccumulator, PercentileDelegatesToHistogram) {
+  LatencyAccumulator acc;
+  for (std::uint64_t v = 1; v <= 1000; ++v) acc.add(v);
+  EXPECT_NEAR(acc.percentile(50), 500.0, 35.0);
+  acc.reset();
+  EXPECT_DOUBLE_EQ(acc.percentile(50), 0.0);
+}
+
+TEST(JsonEscape, EscapesQuotesBackslashesAndControls) {
+  EXPECT_EQ(json_escape("plain text"), "plain text");
+  EXPECT_EQ(json_escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(json_escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(json_escape("line1\nline2\t."), "line1\\nline2\\t.");
+  EXPECT_EQ(json_escape("\r\b\f"), "\\r\\b\\f");
+  EXPECT_EQ(json_escape(std::string("\x01\x1f", 2)), "\\u0001\\u001f");
+}
+
+TEST(ResultTable, JsonEscapesEmbeddedControlCharacters) {
+  ResultTable t("evil\ntitle", {"col\"A"});
+  t.add_row("row\\1", {1.0});
+  const std::string json = t.to_json();
+  EXPECT_NE(json.find("evil\\ntitle"), std::string::npos);
+  EXPECT_NE(json.find("col\\\"A"), std::string::npos);
+  EXPECT_NE(json.find("row\\\\1"), std::string::npos);
+  EXPECT_EQ(json.find('\n'), std::string::npos);  // single-line value strings
+}
+
+TEST(ZipfSampler, MatchesAnalyticFrequencies) {
+  constexpr std::size_t kN = 100;
+  constexpr double kS = 0.99;
+  constexpr int kSamples = 200'000;
+  const ZipfSampler sampler(kN, kS);
+  Xoshiro256 rng(7);
+  std::vector<int> freq(kN, 0);
+  for (int i = 0; i < kSamples; ++i) {
+    const std::size_t r = sampler.sample(rng);
+    ASSERT_LT(r, kN);
+    ++freq[r];
+  }
+  double harmonic = 0.0;
+  for (std::size_t i = 1; i <= kN; ++i) harmonic += 1.0 / std::pow(i, kS);
+  // The head ranks carry enough mass for a tight empirical check.
+  for (std::size_t rank = 0; rank < 5; ++rank) {
+    const double expect = kSamples / (std::pow(rank + 1.0, kS) * harmonic);
+    EXPECT_NEAR(freq[rank], expect, 0.05 * expect + 50) << "rank " << rank;
+  }
+  // Popularity is (statistically) non-increasing: rank 0 beats rank 9
+  // beats rank 99 by wide margins.
+  EXPECT_GT(freq[0], freq[9]);
+  EXPECT_GT(freq[9], freq[99]);
+}
+
+}  // namespace
+}  // namespace steins

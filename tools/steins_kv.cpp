@@ -1,0 +1,284 @@
+// steins_kv: the secure-NVM key-value service front end.
+//
+//   steins_kv --mix a --clients 4 --crash
+//   steins_kv --scheme steins,scue --mix f --ops 200000 --json kv.json
+//
+// For each scheme it runs the closed-loop multi-client YCSB driver over
+// MultiControllerMemory (throughput + tail latency), and with --crash also
+// the KV crash-recovery validation: a deterministic op script killed at a
+// seeded-random persist boundary, recovered, reopened, and diffed against
+// the committed model. Steins/ASIT/STAR/SCUE must verify; WB must be
+// detected as unrecoverable. Exit status is nonzero if any scheme fails
+// its criterion.
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "kv/kv_crash.hpp"
+#include "kv/ycsb.hpp"
+
+using namespace steins;
+using namespace steins::kv;
+
+namespace {
+
+struct Options {
+  std::string schemes = "wb,asit,star,scue,steins";
+  std::string mix = "a";
+  unsigned clients = 4;
+  unsigned controllers = 2;
+  std::uint64_t ops = 100'000;
+  std::uint64_t keys = 10'000;
+  std::uint64_t slots = 1 << 15;
+  std::uint64_t value_bytes = 24;
+  double zipf_s = 0.99;
+  std::uint64_t seed = 1;
+  std::uint64_t capacity_mb = 256;
+  std::uint64_t mcache_kb = 256;
+  std::uint64_t crash_ops = 64;
+  std::string json_path;
+  bool crash = false;
+  bool help = false;
+};
+
+void usage() {
+  std::printf(
+      "steins_kv - crash-consistent KV service over the secure NVM simulator\n\n"
+      "  --scheme <list>      comma-separated wb|asit|star|scue|steins (default all)\n"
+      "  --mix <a|b|c|f>      YCSB mix (default a)\n"
+      "  --clients <n>        closed-loop clients (default 4)\n"
+      "  --controllers <n>    memory controllers / DIMMs (default 2)\n"
+      "  --ops <n>            measured KV operations (default 100000)\n"
+      "  --keys <n>           preloaded keys (default 10000)\n"
+      "  --slots <n>          table slots, power of two (default 32768)\n"
+      "  --value-bytes <n>    value payload size, <= 32 (default 24)\n"
+      "  --zipf <s>           Zipfian skew (default 0.99)\n"
+      "  --seed <n>           driver + crash-boundary seed (default 1)\n"
+      "  --capacity-mb <n>    NVM capacity (default 256)\n"
+      "  --mcache-kb <n>      metadata cache size (default 256)\n"
+      "  --crash              also run crash-recovery validation per scheme\n"
+      "  --crash-ops <n>      ops in the crash-validation script (default 64)\n"
+      "  --json <file>        write results (same numbers as printed) as JSON\n");
+}
+
+bool parse(int argc, char** argv, Options* opt) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> const char* { return (i + 1 < argc) ? argv[++i] : ""; };
+    if (arg == "--scheme") {
+      opt->schemes = value();
+    } else if (arg == "--mix") {
+      opt->mix = value();
+    } else if (arg == "--clients") {
+      opt->clients = static_cast<unsigned>(std::strtoul(value(), nullptr, 10));
+    } else if (arg == "--controllers") {
+      opt->controllers = static_cast<unsigned>(std::strtoul(value(), nullptr, 10));
+    } else if (arg == "--ops") {
+      opt->ops = std::strtoull(value(), nullptr, 10);
+    } else if (arg == "--keys") {
+      opt->keys = std::strtoull(value(), nullptr, 10);
+    } else if (arg == "--slots") {
+      opt->slots = std::strtoull(value(), nullptr, 10);
+    } else if (arg == "--value-bytes") {
+      opt->value_bytes = std::strtoull(value(), nullptr, 10);
+    } else if (arg == "--zipf") {
+      opt->zipf_s = std::strtod(value(), nullptr);
+    } else if (arg == "--seed") {
+      opt->seed = std::strtoull(value(), nullptr, 10);
+    } else if (arg == "--capacity-mb") {
+      opt->capacity_mb = std::strtoull(value(), nullptr, 10);
+    } else if (arg == "--mcache-kb") {
+      opt->mcache_kb = std::strtoull(value(), nullptr, 10);
+    } else if (arg == "--crash") {
+      opt->crash = true;
+    } else if (arg == "--crash-ops") {
+      opt->crash_ops = std::strtoull(value(), nullptr, 10);
+    } else if (arg == "--json") {
+      opt->json_path = value();
+    } else if (arg == "--help" || arg == "-h") {
+      opt->help = true;
+    } else {
+      std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+Scheme parse_scheme(const std::string& name) {
+  if (name == "wb") return Scheme::kWriteBack;
+  if (name == "asit") return Scheme::kAnubis;
+  if (name == "star") return Scheme::kStar;
+  if (name == "steins") return Scheme::kSteins;
+  if (name == "scue") return Scheme::kScue;
+  throw std::invalid_argument("unknown scheme: " + name);
+}
+
+std::vector<std::string> split_csv(const std::string& csv) {
+  std::vector<std::string> out;
+  std::stringstream ss(csv);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (!item.empty()) out.push_back(item);
+  }
+  return out;
+}
+
+struct SchemeOutcome {
+  std::string label;
+  YcsbResult ycsb;
+  bool crash_ran = false;
+  KvCrashReport crash;
+  bool crash_pass = true;
+};
+
+double cycles_to_ns(const SystemConfig& cfg, double cycles) {
+  return cfg.cycles_to_seconds(1) * 1e9 * cycles;
+}
+
+void emit_json(const Options& opt, const SystemConfig& cfg,
+               const std::vector<SchemeOutcome>& outcomes) {
+  std::FILE* f = std::fopen(opt.json_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s: %s\n", opt.json_path.c_str(),
+                 std::strerror(errno));
+    std::exit(1);
+  }
+  std::ostringstream os;
+  os << "{\"mix\": \"" << json_escape(opt.mix) << "\", \"clients\": " << opt.clients
+     << ", \"controllers\": " << opt.controllers << ", \"ops\": " << opt.ops
+     << ", \"keys\": " << opt.keys << ", \"value_bytes\": " << opt.value_bytes
+     << ", \"zipf_s\": " << opt.zipf_s << ", \"seed\": " << opt.seed
+     << ",\n \"schemes\": [";
+  char buf[64];
+  const auto num = [&](double v) {
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return std::string(buf);
+  };
+  for (std::size_t i = 0; i < outcomes.size(); ++i) {
+    const SchemeOutcome& o = outcomes[i];
+    const auto lat = [&](const LatencyHistogram& h) {
+      return "{\"mean_ns\": " + num(cycles_to_ns(cfg, h.mean())) +
+             ", \"p50_ns\": " + num(cycles_to_ns(cfg, h.percentile(50))) +
+             ", \"p95_ns\": " + num(cycles_to_ns(cfg, h.percentile(95))) +
+             ", \"p99_ns\": " + num(cycles_to_ns(cfg, h.percentile(99))) +
+             ", \"p999_ns\": " + num(cycles_to_ns(cfg, h.percentile(99.9))) + "}";
+    };
+    os << (i ? ",\n  " : "\n  ") << "{\"scheme\": \"" << json_escape(o.label)
+       << "\", \"kops_per_sec\": " << num(o.ycsb.kops_per_sec)
+       << ", \"reads\": " << o.ycsb.reads << ", \"updates\": " << o.ycsb.updates
+       << ", \"nvm_writes\": " << o.ycsb.nvm_writes
+       << ", \"all\": " << lat(o.ycsb.all_lat) << ", \"read\": " << lat(o.ycsb.read_lat)
+       << ", \"update\": " << lat(o.ycsb.update_lat);
+    if (o.crash_ran) {
+      os << ", \"crash\": {\"supported\": " << (o.crash.recovery_supported ? "true" : "false")
+         << ", \"recovered\": " << (o.crash.recovery_ok ? "true" : "false")
+         << ", \"verified\": " << (o.crash.verified ? "true" : "false")
+         << ", \"pass\": " << (o.crash_pass ? "true" : "false")
+         << ", \"crash_at\": " << o.crash.crash_at
+         << ", \"total_persists\": " << o.crash.total_persists
+         << ", \"committed_keys\": " << o.crash.committed_keys
+         << ", \"recovery_seconds\": " << num(o.crash.recovery_seconds)
+         << ", \"detail\": \"" << json_escape(o.crash.detail) << "\"}";
+    }
+    os << "}";
+  }
+  os << "\n]}\n";
+  std::fprintf(f, "%s", os.str().c_str());
+  if (std::fclose(f) != 0) {
+    std::fprintf(stderr, "error writing %s: %s\n", opt.json_path.c_str(),
+                 std::strerror(errno));
+    std::exit(1);
+  }
+  std::printf("wrote JSON results to %s\n", opt.json_path.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  if (!parse(argc, argv, &opt)) return 2;
+  if (opt.help) {
+    usage();
+    return 0;
+  }
+
+  const std::optional<Mix> mix = parse_mix(opt.mix);
+  if (!mix) {
+    std::fprintf(stderr, "unknown mix: %s (expected a, b, c, or f)\n", opt.mix.c_str());
+    return 2;
+  }
+
+  SystemConfig cfg = default_config();
+  cfg.nvm.capacity_bytes = opt.capacity_mb << 20;
+  cfg.secure.metadata_cache.size_bytes = opt.mcache_kb * 1024;
+
+  YcsbConfig ycfg;
+  ycfg.mix = *mix;
+  ycfg.clients = opt.clients;
+  ycfg.controllers = opt.controllers;
+  ycfg.ops = opt.ops;
+  ycfg.keys = opt.keys;
+  ycfg.slots = static_cast<std::size_t>(opt.slots);
+  ycfg.value_bytes = static_cast<std::size_t>(opt.value_bytes);
+  ycfg.zipf_s = opt.zipf_s;
+  ycfg.seed = opt.seed;
+
+  KvCrashOptions ccfg;
+  ccfg.ops = opt.crash_ops;
+  ccfg.seed = opt.seed;
+
+  std::vector<SchemeOutcome> outcomes;
+  bool all_pass = true;
+  try {
+    std::printf("KV service: mix %s, %u clients, %u controllers, %llu ops over %llu keys\n\n",
+                mix_name(*mix), opt.clients, opt.controllers,
+                static_cast<unsigned long long>(opt.ops),
+                static_cast<unsigned long long>(opt.keys));
+    std::printf("%-11s %10s %9s %9s %9s %9s   %s\n", "scheme", "kops/s", "p50_ns",
+                "p95_ns", "p99_ns", "p99.9_ns", opt.crash ? "crash-recovery" : "");
+    for (const std::string& name : split_csv(opt.schemes)) {
+      const Scheme scheme = parse_scheme(name);
+      SchemeOutcome o;
+      o.label = scheme_name(scheme, cfg.counter_mode);
+      o.ycsb = run_ycsb(cfg, scheme, ycfg);
+      std::string crash_note;
+      if (opt.crash) {
+        o.crash_ran = true;
+        o.crash = run_kv_crash_validation(cfg, scheme, ccfg);
+        o.crash_pass = o.crash.pass(scheme);
+        all_pass = all_pass && o.crash_pass;
+        if (scheme == Scheme::kWriteBack) {
+          crash_note = o.crash_pass ? "unrecoverable (detected, as expected)"
+                                    : "FAIL: WB not detected as unrecoverable";
+        } else if (o.crash_pass) {
+          crash_note = "ok (killed before persist " + std::to_string(o.crash.crash_at) +
+                       "/" + std::to_string(o.crash.total_persists) + ", " +
+                       std::to_string(o.crash.committed_keys) + " keys verified)";
+        } else {
+          crash_note = "FAIL: " + o.crash.detail;
+        }
+      }
+      std::printf("%-11s %10.1f %9.0f %9.0f %9.0f %9.0f   %s\n", o.label.c_str(),
+                  o.ycsb.kops_per_sec, cycles_to_ns(cfg, o.ycsb.all_lat.percentile(50)),
+                  cycles_to_ns(cfg, o.ycsb.all_lat.percentile(95)),
+                  cycles_to_ns(cfg, o.ycsb.all_lat.percentile(99)),
+                  cycles_to_ns(cfg, o.ycsb.all_lat.percentile(99.9)), crash_note.c_str());
+      outcomes.push_back(std::move(o));
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+
+  if (!opt.json_path.empty()) emit_json(opt, cfg, outcomes);
+  if (opt.crash && !all_pass) {
+    std::fprintf(stderr, "\ncrash-recovery validation FAILED for at least one scheme\n");
+    return 1;
+  }
+  return 0;
+}

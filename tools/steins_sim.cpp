@@ -8,6 +8,7 @@
 // Runs one (scheme, workload) configuration through the full system (CPU +
 // caches + controller), optionally crashes and recovers at the end, audits
 // the persisted tree, and prints the statistics the paper's figures use.
+#include <cerrno>
 #include <cstdio>
 #include <cstring>
 #include <memory>
@@ -48,7 +49,7 @@ struct Options {
 void usage() {
   std::printf(
       "steins_sim - secure NVM simulator (Steins reproduction)\n\n"
-      "  --scheme <wb|asit|star|steins>   scheme to run (default steins)\n"
+      "  --scheme <wb|asit|star|steins|scue>  scheme to run (default steins)\n"
       "  --mode <gc|sc>                   counter mode (default gc)\n"
       "  --workload <name>                built-in workload (default phash)\n"
       "  --trace <file>                   replay a trace file instead\n"
@@ -119,6 +120,7 @@ Scheme parse_scheme(const std::string& name) {
   if (name == "asit") return Scheme::kAnubis;
   if (name == "star") return Scheme::kStar;
   if (name == "steins") return Scheme::kSteins;
+  if (name == "scue") return Scheme::kScue;
   throw std::invalid_argument("unknown scheme: " + name);
 }
 
@@ -134,6 +136,8 @@ int main(int argc, char** argv) {
   if (opt.list) {
     std::printf("built-in workloads:\n");
     for (const auto& name : workload_names()) std::printf("  %s\n", name.c_str());
+    std::printf("KV profiles (YCSB-shaped; see also tools/steins_kv):\n");
+    for (const auto& name : kv_workload_names()) std::printf("  %s\n", name.c_str());
     return 0;
   }
 
@@ -163,11 +167,16 @@ int main(int argc, char** argv) {
       if (!opt.json_path.empty()) {
         std::FILE* f = std::fopen(opt.json_path.c_str(), "w");
         if (f == nullptr) {
-          std::fprintf(stderr, "cannot write %s\n", opt.json_path.c_str());
+          std::fprintf(stderr, "cannot open %s: %s\n", opt.json_path.c_str(),
+                       std::strerror(errno));
           return 1;
         }
         std::fprintf(f, "%s\n", table.to_json().c_str());
-        std::fclose(f);
+        if (std::fclose(f) != 0) {
+          std::fprintf(stderr, "error writing %s: %s\n", opt.json_path.c_str(),
+                       std::strerror(errno));
+          return 1;
+        }
         std::printf("wrote JSON results to %s\n", opt.json_path.c_str());
       }
       return 0;
@@ -208,8 +217,10 @@ int main(int argc, char** argv) {
     std::printf("  instructions         %llu\n", static_cast<unsigned long long>(s.instructions));
     std::printf("  accesses             %llu\n", static_cast<unsigned long long>(s.accesses));
     std::printf("memory\n");
-    std::printf("  read latency         %.0f cycles mean\n", s.read_latency_cycles);
-    std::printf("  write latency        %.0f cycles mean\n", s.write_latency_cycles);
+    std::printf("  read latency         %.0f cycles mean (p50 %.0f, p99 %.0f)\n",
+                s.read_latency_cycles, s.read_latency_p50, s.read_latency_p99);
+    std::printf("  write latency        %.0f cycles mean (p50 %.0f, p99 %.0f)\n",
+                s.write_latency_cycles, s.write_latency_p50, s.write_latency_p99);
     std::printf("  NVM reads/writes     %llu / %llu\n",
                 static_cast<unsigned long long>(s.mem.nvm_reads()),
                 static_cast<unsigned long long>(s.mem.nvm_writes()));
