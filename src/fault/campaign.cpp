@@ -1,0 +1,385 @@
+#include "fault/campaign.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <map>
+#include <sstream>
+
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/thread_pool.hpp"
+
+namespace steins {
+
+namespace {
+
+/// Deterministic per-(block, version) plaintext so an audit can tell from
+/// the content alone WHICH committed version a block rolled back to.
+Block trial_pattern_block(Addr addr, std::uint64_t version) {
+  Block b = zero_block();
+  std::memcpy(b.data(), &addr, 8);
+  std::memcpy(b.data() + 8, &version, 8);
+  const std::uint64_t mix = version * 0x9e3779b97f4a7c15ULL ^ addr;
+  std::memcpy(b.data() + 16, &mix, 8);
+  return b;
+}
+
+std::uint64_t pattern_version(const Block& b) {
+  std::uint64_t v = 0;
+  std::memcpy(&v, b.data() + 8, 8);
+  return v;
+}
+
+TrialOutcome detected(TrialOutcome out, std::string detail) {
+  out.verdict = FaultVerdict::kDetected;
+  out.detail = std::move(detail);
+  return out;
+}
+
+TrialOutcome silent(TrialOutcome out, std::string detail) {
+  out.verdict = FaultVerdict::kSilentCorruption;
+  out.detail = std::move(detail);
+  return out;
+}
+
+}  // namespace
+
+const char* fault_verdict_name(FaultVerdict v) {
+  switch (v) {
+    case FaultVerdict::kDetected:
+      return "detected";
+    case FaultVerdict::kRecovered:
+      return "recovered";
+    case FaultVerdict::kSilentCorruption:
+      return "silent-corruption";
+  }
+  return "?";
+}
+
+std::vector<SchemeSpec> campaign_schemes(CounterMode mode) {
+  if (mode == CounterMode::kSplit) {
+    return {{Scheme::kSteins, CounterMode::kSplit, scheme_name(Scheme::kSteins, mode)}};
+  }
+  return {
+      {Scheme::kAnubis, mode, scheme_name(Scheme::kAnubis, mode)},
+      {Scheme::kStar, mode, scheme_name(Scheme::kStar, mode)},
+      {Scheme::kScue, mode, scheme_name(Scheme::kScue, mode)},
+      {Scheme::kSteins, mode, scheme_name(Scheme::kSteins, mode)},
+  };
+}
+
+TrialOutcome run_fault_trial(const SchemeSpec& spec, FaultClass cls,
+                             std::uint64_t campaign_seed, std::uint64_t trial,
+                             const FaultTrialOptions& workload) {
+  TrialOutcome out;
+  out.trial = trial;
+  out.cls = cls;
+  out.scheme = spec.label;
+
+  SystemConfig cfg = default_config();
+  cfg.nvm.capacity_bytes = workload.capacity_mb << 20;
+  cfg.secure.metadata_cache.size_bytes = workload.mcache_kb * 1024;
+  cfg.counter_mode = spec.mode;
+  cfg.crypto = CryptoProfile::kFast;
+  std::unique_ptr<SecureMemory> mem = make_scheme(spec.scheme, cfg);
+
+  // The workload stream is seeded independently of the fault plan so the
+  // same trial index replays the same trace under every fault class.
+  SplitMix64 sm(campaign_seed ^ (trial * 0x2545f4914f6cdd1dULL));
+  Xoshiro256 rng(sm.next());
+
+  std::map<Addr, std::uint64_t> versions;  // latest committed-or-posted version
+  Cycle now = 0;
+
+  const auto pick_addr = [&]() -> Addr {
+    return rng.below(workload.footprint_blocks) * kBlockSize;
+  };
+  const auto do_write = [&](Addr addr) {
+    const std::uint64_t v = ++versions[addr];
+    now = mem->write_block(addr, trial_pattern_block(addr, v), now);
+  };
+  // Pre-crash reads must always verify: no fault has been injected yet, so
+  // a mismatch here is a harness or scheme bug, not a fault outcome.
+  const auto do_read_check = [&](Addr addr) -> bool {
+    const auto it = versions.find(addr);
+    Block got;
+    now = mem->read_block(addr, now, &got);
+    const Block want =
+        it == versions.end() ? zero_block() : trial_pattern_block(addr, it->second);
+    return got == want;
+  };
+
+  // Phase 1: mixed traffic, then a full metadata flush — the checkpoint.
+  // Everything written before it is durably committed; recovery may not
+  // roll any block back past its checkpoint version.
+  for (std::uint64_t i = 0; i < workload.ops; ++i) {
+    const Addr addr = pick_addr();
+    if (rng.chance(0.75)) {
+      do_write(addr);
+    } else if (!do_read_check(addr)) {
+      return silent(std::move(out), "pre-checkpoint read mismatch");
+    }
+  }
+  auto* base = dynamic_cast<SecureMemoryBase*>(mem.get());
+  base->flush_all_metadata();
+  const std::map<Addr, std::uint64_t> checkpoint = versions;
+
+  // Phase 2: a dirty burst that the crash will interrupt — cached metadata,
+  // queued persists, and ADR-resident tracking state all in flight.
+  for (std::uint64_t i = 0; i < workload.ops / 2; ++i) {
+    const Addr addr = pick_addr();
+    if (rng.chance(0.9)) {
+      do_write(addr);
+    } else if (!do_read_check(addr)) {
+      return silent(std::move(out), "pre-crash read mismatch");
+    }
+  }
+
+  // Crash with the fault plan armed; post-crash media faults follow.
+  const FaultPlan plan = FaultPlan::derive(cls, campaign_seed, trial);
+  FaultInjector injector(plan);
+  mem->set_fault_injector(&injector);
+  mem->crash();
+  injector.apply_post_crash(*mem);
+  mem->set_fault_injector(nullptr);
+  out.faults_injected = injector.events().size();
+  out.events = injector.event_summary();
+
+  RecoveryResult r;
+  try {
+    r = mem->recover();
+  } catch (const IntegrityViolation& e) {
+    return detected(std::move(out), std::string("recovery raised: ") + e.what());
+  } catch (const std::exception& e) {
+    return silent(std::move(out), std::string("recovery crashed: ") + e.what());
+  }
+  if (!r.supported) {
+    return detected(std::move(out), "scheme reports recovery unsupported");
+  }
+  if (r.attack_detected) {
+    return detected(std::move(out), "recovery flagged: " + r.attack_detail);
+  }
+
+  // Full audit: every block the workload ever wrote must read back as an
+  // authentic committed version in [checkpoint, latest]. Acceptance of an
+  // in-window version is what makes dropped-but-undetected persists legal:
+  // a posted write the crash destroyed was never acknowledged as durable.
+  now = 0;
+  for (const auto& [addr, latest] : versions) {
+    Block got;
+    try {
+      now = mem->read_block(addr, now, &got);
+    } catch (const IntegrityViolation& e) {
+      return detected(std::move(out), std::string("post-recovery read raised: ") + e.what());
+    } catch (const std::exception& e) {
+      return silent(std::move(out), std::string("post-recovery read crashed: ") + e.what());
+    }
+    const auto cp_it = checkpoint.find(addr);
+    const std::uint64_t cp = cp_it == checkpoint.end() ? 0 : cp_it->second;
+    if (got == zero_block()) {
+      if (cp != 0) {
+        return silent(std::move(out), "block " + std::to_string(addr / kBlockSize) +
+                                          " rolled back to zero past checkpoint v" +
+                                          std::to_string(cp));
+      }
+      continue;
+    }
+    const std::uint64_t v = pattern_version(got);
+    if (v < std::max<std::uint64_t>(cp, 1) || v > latest ||
+        got != trial_pattern_block(addr, v)) {
+      return silent(std::move(out), "block " + std::to_string(addr / kBlockSize) +
+                                        " read unauthentic state (decoded v" +
+                                        std::to_string(v) + ", window [" +
+                                        std::to_string(cp) + ", " + std::to_string(latest) +
+                                        "])");
+    }
+  }
+
+  // Functional epilogue: the recovered tree must accept and verify fresh
+  // writes (a recovery that leaves the SIT wedged is not a recovery).
+  std::uint64_t probes = 0;
+  for (const auto& [addr, latest] : versions) {
+    (void)latest;
+    if (++probes > 4) break;
+    try {
+      do_write(addr);
+      Block got;
+      now = mem->read_block(addr, now, &got);
+      if (got != trial_pattern_block(addr, versions[addr])) {
+        return silent(std::move(out), "post-recovery write/read mismatch at block " +
+                                          std::to_string(addr / kBlockSize));
+      }
+    } catch (const IntegrityViolation& e) {
+      return detected(std::move(out),
+                      std::string("post-recovery write path raised: ") + e.what());
+    } catch (const std::exception& e) {
+      return silent(std::move(out),
+                    std::string("post-recovery write path crashed: ") + e.what());
+    }
+  }
+
+  out.verdict = FaultVerdict::kRecovered;
+  return out;
+}
+
+CampaignResult run_fault_campaign(const CampaignOptions& opts) {
+  CampaignResult result;
+  result.options = opts;
+  if (result.options.schemes.empty()) {
+    result.options.schemes = campaign_schemes(CounterMode::kGeneral);
+  }
+  if (result.options.classes.empty()) result.options.classes = all_fault_classes();
+  const auto& schemes = result.options.schemes;
+  const auto& classes = result.options.classes;
+
+  std::vector<std::uint64_t> trials;
+  if (result.options.only_trial.has_value()) {
+    trials.push_back(*result.options.only_trial);
+  } else {
+    trials.resize(result.options.trials);
+    for (std::uint64_t t = 0; t < result.options.trials; ++t) trials[t] = t;
+  }
+
+  // Pre-assigned result slots: each cell is a pure function of its indices,
+  // so the outcome vector is bit-identical for any job count.
+  result.outcomes.resize(trials.size() * schemes.size());
+  const auto run_cell = [&](std::size_t idx) {
+    const std::uint64_t trial = trials[idx / schemes.size()];
+    const SchemeSpec& spec = schemes[idx % schemes.size()];
+    const FaultClass cls = classes[trial % classes.size()];
+    result.outcomes[idx] =
+        run_fault_trial(spec, cls, result.options.seed, trial, result.options.workload);
+  };
+
+  if (result.options.jobs <= 1) {
+    for (std::size_t i = 0; i < result.outcomes.size(); ++i) run_cell(i);
+  } else {
+    ThreadPool pool(result.options.jobs);
+    pool.for_each_index(result.outcomes.size(), run_cell);
+  }
+  return result;
+}
+
+CampaignCell CampaignResult::cell(const std::string& scheme, FaultClass cls) const {
+  CampaignCell c;
+  for (const TrialOutcome& o : outcomes) {
+    if (o.scheme != scheme || o.cls != cls) continue;
+    switch (o.verdict) {
+      case FaultVerdict::kDetected:
+        ++c.detected;
+        break;
+      case FaultVerdict::kRecovered:
+        ++c.recovered;
+        break;
+      case FaultVerdict::kSilentCorruption:
+        ++c.silent;
+        break;
+    }
+  }
+  return c;
+}
+
+std::uint64_t CampaignResult::silent_total() const {
+  std::uint64_t n = 0;
+  for (const TrialOutcome& o : outcomes) {
+    if (o.verdict == FaultVerdict::kSilentCorruption) ++n;
+  }
+  return n;
+}
+
+std::vector<const TrialOutcome*> CampaignResult::silent_outcomes() const {
+  std::vector<const TrialOutcome*> out;
+  for (const TrialOutcome& o : outcomes) {
+    if (o.verdict == FaultVerdict::kSilentCorruption) out.push_back(&o);
+  }
+  return out;
+}
+
+void CampaignResult::print(bool verbose, std::FILE* out) const {
+  std::fprintf(out, "verdict matrix: detected/recovered/SILENT per (scheme, fault class)\n");
+  int label_w = 10;
+  for (const SchemeSpec& s : options.schemes) {
+    label_w = std::max(label_w, static_cast<int>(s.label.size()) + 2);
+  }
+  std::fprintf(out, "%-*s", label_w, "");
+  for (const FaultClass cls : options.classes) {
+    std::fprintf(out, " %17s", fault_class_name(cls));
+  }
+  std::fprintf(out, "\n");
+  for (const SchemeSpec& s : options.schemes) {
+    std::fprintf(out, "%-*s", label_w, s.label.c_str());
+    for (const FaultClass cls : options.classes) {
+      const CampaignCell c = cell(s.label, cls);
+      char buf[32];
+      std::snprintf(buf, sizeof buf, "%llu/%llu/%llu",
+                    static_cast<unsigned long long>(c.detected),
+                    static_cast<unsigned long long>(c.recovered),
+                    static_cast<unsigned long long>(c.silent));
+      std::fprintf(out, " %17s", buf);
+    }
+    std::fprintf(out, "\n");
+  }
+  const std::uint64_t silent = silent_total();
+  std::fprintf(out, "\ntrials: %llu x %zu schemes  silent-corruption: %llu\n",
+               static_cast<unsigned long long>(
+                   options.only_trial.has_value() ? 1 : options.trials),
+               options.schemes.size(), static_cast<unsigned long long>(silent));
+  if (silent > 0 || verbose) {
+    for (const TrialOutcome* o : silent_outcomes()) {
+      std::fprintf(out, "SILENT trial %llu scheme %s class %s: %s\n  faults: %s\n",
+                   static_cast<unsigned long long>(o->trial), o->scheme.c_str(),
+                   fault_class_name(o->cls), o->detail.c_str(), o->events.c_str());
+    }
+  }
+  if (verbose) {
+    for (const TrialOutcome& o : outcomes) {
+      std::fprintf(out, "trial %llu %s %s -> %s%s%s%s%s\n",
+                   static_cast<unsigned long long>(o.trial), o.scheme.c_str(),
+                   fault_class_name(o.cls), fault_verdict_name(o.verdict),
+                   o.detail.empty() ? "" : " (", o.detail.c_str(),
+                   o.detail.empty() ? "" : ")",
+                   o.events.empty() ? "" : (" faults: " + o.events).c_str());
+    }
+  }
+}
+
+std::string CampaignResult::to_json() const {
+  std::ostringstream os;
+  os << "{\"trials\": " << (options.only_trial.has_value() ? 1 : options.trials)
+     << ", \"seed\": " << options.seed << ", \"jobs\": " << options.jobs;
+  if (options.only_trial.has_value()) os << ", \"only_trial\": " << *options.only_trial;
+  os << ",\n \"schemes\": [";
+  for (std::size_t i = 0; i < options.schemes.size(); ++i) {
+    os << (i ? ", " : "") << '"' << json_escape(options.schemes[i].label) << '"';
+  }
+  os << "],\n \"classes\": [";
+  for (std::size_t i = 0; i < options.classes.size(); ++i) {
+    os << (i ? ", " : "") << '"' << fault_class_name(options.classes[i]) << '"';
+  }
+  os << "],\n \"matrix\": [";
+  bool first = true;
+  for (const SchemeSpec& s : options.schemes) {
+    for (const FaultClass cls : options.classes) {
+      const CampaignCell c = cell(s.label, cls);
+      if (c.total() == 0) continue;
+      os << (first ? "" : ",") << "\n  {\"scheme\": \"" << json_escape(s.label)
+         << "\", \"class\": \"" << fault_class_name(cls) << "\", \"detected\": " << c.detected
+         << ", \"recovered\": " << c.recovered << ", \"silent_corruption\": " << c.silent
+         << "}";
+      first = false;
+    }
+  }
+  os << "\n ],\n \"silent_total\": " << silent_total() << ",\n \"silent_trials\": [";
+  const auto silents = silent_outcomes();
+  for (std::size_t i = 0; i < silents.size(); ++i) {
+    const TrialOutcome* o = silents[i];
+    os << (i ? "," : "") << "\n  {\"trial\": " << o->trial << ", \"scheme\": \""
+       << json_escape(o->scheme) << "\", \"class\": \"" << fault_class_name(o->cls)
+       << "\", \"detail\": \"" << json_escape(o->detail) << "\", \"events\": \""
+       << json_escape(o->events) << "\"}";
+  }
+  os << "\n ]}\n";
+  return os.str();
+}
+
+}  // namespace steins

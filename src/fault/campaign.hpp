@@ -1,0 +1,102 @@
+// Fault-injection campaigns: N seeded trials x schemes x fault classes,
+// each trial ending in a three-way verdict.
+//
+//   detected           the fault surfaced as an integrity violation — at
+//                      recovery or on a post-recovery read — or the scheme
+//                      declared itself unrecoverable (WB);
+//   recovered          recovery ran clean and every block read back as an
+//                      authentic committed version: at least the checkpoint
+//                      (the last full flush), at most the latest write;
+//   silent-corruption  wrong plaintext served without any check firing, a
+//                      rollback past the checkpoint, or an unexpected crash
+//                      of the recovery code. Always a real bug.
+//
+// Trials are pure functions of (campaign seed, trial index): the workload,
+// the crash point, and every injected fault derive from them, so a verdict
+// reproduces bit-for-bit — alone, under --jobs N, or re-run via --trial.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "fault/fault.hpp"
+#include "sim/experiment.hpp"
+
+namespace steins {
+
+enum class FaultVerdict { kDetected, kRecovered, kSilentCorruption };
+
+const char* fault_verdict_name(FaultVerdict v);
+
+/// Workload shape of one trial (small enough that thousands of trials —
+/// each with its own scheme instance and SCUE's whole-tree recovery — stay
+/// fast, large enough to keep the metadata cache under eviction pressure).
+struct FaultTrialOptions {
+  std::uint64_t ops = 384;              // phase-1 accesses (75% writes)
+  std::uint64_t footprint_blocks = 2048;  // addresses drawn from this range
+  std::uint64_t capacity_mb = 16;       // per-trial NVM capacity
+  std::uint64_t mcache_kb = 16;         // metadata cache (keeps eviction live)
+};
+
+struct TrialOutcome {
+  std::uint64_t trial = 0;
+  FaultClass cls = FaultClass::kNone;
+  std::string scheme;  // SchemeSpec label
+  FaultVerdict verdict = FaultVerdict::kRecovered;
+  std::string detail;  // which check fired / what went silently wrong
+  std::string events;  // injected fault log (capped)
+  std::uint64_t faults_injected = 0;
+};
+
+struct CampaignOptions {
+  std::uint64_t trials = 100;
+  std::uint64_t seed = 42;
+  unsigned jobs = 1;
+  std::vector<SchemeSpec> schemes;   // empty = campaign_schemes(kGeneral)
+  std::vector<FaultClass> classes;   // empty = all_fault_classes()
+  FaultTrialOptions workload;
+  std::optional<std::uint64_t> only_trial;  // reproduce one trial index
+};
+
+/// One (scheme, class) cell of the verdict matrix.
+struct CampaignCell {
+  std::uint64_t detected = 0;
+  std::uint64_t recovered = 0;
+  std::uint64_t silent = 0;
+  std::uint64_t total() const { return detected + recovered + silent; }
+};
+
+struct CampaignResult {
+  CampaignOptions options;  // with schemes/classes resolved to their defaults
+  std::vector<TrialOutcome> outcomes;  // trial-major, scheme-minor order
+
+  CampaignCell cell(const std::string& scheme, FaultClass cls) const;
+  std::uint64_t silent_total() const;
+  std::vector<const TrialOutcome*> silent_outcomes() const;
+
+  /// Verdict matrix (+ silent trial details when verbose).
+  void print(bool verbose = false, std::FILE* out = stdout) const;
+
+  /// Machine-readable record: options, per-cell matrix, silent trials.
+  std::string to_json() const;
+};
+
+/// Default scheme set per counter mode: the recoverable schemes the paper
+/// compares (GC: ASIT/STAR/SCUE/Steins-GC; SC: Steins-SC).
+std::vector<SchemeSpec> campaign_schemes(CounterMode mode);
+
+/// Run one (scheme, trial) cell: seeded workload, checkpoint flush, dirty
+/// burst, faulted crash, recovery, full audit of every written block.
+TrialOutcome run_fault_trial(const SchemeSpec& spec, FaultClass cls,
+                             std::uint64_t campaign_seed, std::uint64_t trial,
+                             const FaultTrialOptions& workload);
+
+/// Run the whole matrix. Trial t draws fault class classes[t % size], so
+/// every class gets an equal share of trials; `jobs` > 1 fans cells across
+/// a thread pool with results bit-identical to the sequential run.
+CampaignResult run_fault_campaign(const CampaignOptions& opts);
+
+}  // namespace steins

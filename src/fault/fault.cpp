@@ -1,0 +1,304 @@
+#include "fault/fault.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <utility>
+
+namespace steins {
+
+const char* fault_class_name(FaultClass c) {
+  switch (c) {
+    case FaultClass::kNone:
+      return "none";
+    case FaultClass::kTornWrite:
+      return "torn-write";
+    case FaultClass::kDroppedPersist:
+      return "dropped-persist";
+    case FaultClass::kReorderedPersist:
+      return "reordered-persist";
+    case FaultClass::kAdrLoss:
+      return "adr-loss";
+    case FaultClass::kBitFlipData:
+      return "flip-data";
+    case FaultClass::kBitFlipCounter:
+      return "flip-counter";
+    case FaultClass::kBitFlipNode:
+      return "flip-node";
+    case FaultClass::kBitFlipMac:
+      return "flip-mac";
+    case FaultClass::kBitFlipRecord:
+      return "flip-record";
+  }
+  return "?";
+}
+
+std::optional<FaultClass> parse_fault_class(std::string_view name) {
+  for (const FaultClass c : all_fault_classes()) {
+    if (name == fault_class_name(c)) return c;
+  }
+  if (name == "none") return FaultClass::kNone;
+  if (name == "torn") return FaultClass::kTornWrite;
+  if (name == "drop" || name == "dropped") return FaultClass::kDroppedPersist;
+  if (name == "reorder" || name == "reordered") return FaultClass::kReorderedPersist;
+  if (name == "adr") return FaultClass::kAdrLoss;
+  if (name == "data") return FaultClass::kBitFlipData;
+  if (name == "counter") return FaultClass::kBitFlipCounter;
+  if (name == "node") return FaultClass::kBitFlipNode;
+  if (name == "mac") return FaultClass::kBitFlipMac;
+  if (name == "record") return FaultClass::kBitFlipRecord;
+  return std::nullopt;
+}
+
+const std::vector<FaultClass>& all_fault_classes() {
+  static const std::vector<FaultClass> kAll = {
+      FaultClass::kTornWrite,  FaultClass::kDroppedPersist, FaultClass::kReorderedPersist,
+      FaultClass::kAdrLoss,    FaultClass::kBitFlipData,    FaultClass::kBitFlipCounter,
+      FaultClass::kBitFlipNode, FaultClass::kBitFlipMac,    FaultClass::kBitFlipRecord,
+  };
+  return kAll;
+}
+
+FaultPlan FaultPlan::derive(FaultClass cls, std::uint64_t campaign_seed, std::uint64_t trial) {
+  // Decorrelate the plan from the workload stream that uses the same
+  // (seed, trial) pair: fold the class in as a third coordinate.
+  SplitMix64 sm(campaign_seed ^ (trial * 0x9e3779b97f4a7c15ULL) ^
+                (static_cast<std::uint64_t>(cls) << 56));
+  FaultPlan plan;
+  plan.cls = cls;
+  plan.seed = sm.next();
+  plan.intensity = 1 + static_cast<unsigned>(sm.next() % 3);  // 1..3 faults
+  return plan;
+}
+
+std::string to_string(const FaultEvent& e) {
+  const char* kind = "?";
+  switch (e.kind) {
+    case FaultEvent::Kind::kDrop:
+      kind = "drop";
+      break;
+    case FaultEvent::Kind::kTear:
+      kind = "tear";
+      break;
+    case FaultEvent::Kind::kReorder:
+      kind = "reorder";
+      break;
+    case FaultEvent::Kind::kFlipBlock:
+      kind = "flip-block";
+      break;
+    case FaultEvent::Kind::kFlipTag:
+      kind = "flip-tag";
+      break;
+  }
+  return std::string(kind) + "@0x" +
+         [](std::uint64_t v) {
+           char buf[17];
+           std::snprintf(buf, sizeof buf, "%llx", static_cast<unsigned long long>(v));
+           return std::string(buf);
+         }(e.addr) +
+         ":" + std::to_string(e.detail);
+}
+
+std::string FaultInjector::event_summary(std::size_t max_events) const {
+  std::string out;
+  const std::size_t n = std::min(max_events, events_.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!out.empty()) out += ", ";
+    out += to_string(events_[i]);
+  }
+  if (events_.size() > n) {
+    out += ", +" + std::to_string(events_.size() - n) + " more";
+  }
+  return out;
+}
+
+Block FaultInjector::torn_block(const Block& oldv, const Block& newv,
+                                std::uint64_t* word_mask) {
+  // A 64 B line tears at the memory-word (8 B) granularity: some words of
+  // the new data land, the rest keep the old image. Three shapes: a prefix
+  // (write interrupted mid-line), a suffix (wear-leveled device writing
+  // back-to-front), or an arbitrary interleave. Never all-new (that is a
+  // completed write) and never all-old (that is a drop).
+  constexpr unsigned kWords = kBlockSize / 8;
+  std::uint64_t mask = 0;
+  switch (rng_.below(3)) {
+    case 0:  // prefix: words [0, k) are new, 1 <= k < kWords
+      mask = (std::uint64_t{1} << (1 + rng_.below(kWords - 1))) - 1;
+      break;
+    case 1:  // suffix: words [k, kWords) are new, 1 <= k < kWords
+      mask = ~((std::uint64_t{1} << (1 + rng_.below(kWords - 1))) - 1) &
+             ((std::uint64_t{1} << kWords) - 1);
+      break;
+    default:  // interleave: random nonempty proper subset of the words
+      do {
+        mask = rng_.next() & ((std::uint64_t{1} << kWords) - 1);
+      } while (mask == 0 || mask == (std::uint64_t{1} << kWords) - 1);
+      break;
+  }
+  Block out = oldv;
+  for (unsigned w = 0; w < kWords; ++w) {
+    if (mask & (std::uint64_t{1} << w)) {
+      std::memcpy(out.data() + w * 8, newv.data() + w * 8, 8);
+    }
+  }
+  if (word_mask != nullptr) *word_mask = mask;
+  return out;
+}
+
+void FaultInjector::commit(const QueuedWrite& w, NvmDevice& dev) {
+  dev.write_block(w.addr, w.data);
+  if (w.has_tag) dev.write_tag(w.addr, w.tag);
+}
+
+void FaultInjector::drain_crashed_queue(std::vector<QueuedWrite> entries, NvmDevice& dev) {
+  switch (plan_.cls) {
+    case FaultClass::kAdrLoss: {
+      // The ADR guarantee fails wholesale: nothing queued reaches the array.
+      for (const QueuedWrite& w : entries) {
+        events_.push_back({FaultEvent::Kind::kDrop, w.addr, 0});
+      }
+      return;
+    }
+    case FaultClass::kTornWrite: {
+      if (entries.empty()) return;
+      // Pick `intensity` victims; everything drains in order, but a victim
+      // lands as a mix of the old array image and the new line (its tag,
+      // part of the same transaction, goes with whichever half carried it:
+      // modeled as the tag tearing to the *old* tag — the transaction did
+      // not complete).
+      std::vector<std::size_t> victims;
+      for (unsigned i = 0; i < plan_.intensity; ++i) {
+        victims.push_back(static_cast<std::size_t>(rng_.below(entries.size())));
+      }
+      for (std::size_t i = 0; i < entries.size(); ++i) {
+        QueuedWrite w = entries[i];
+        if (std::find(victims.begin(), victims.end(), i) != victims.end()) {
+          std::uint64_t mask = 0;
+          w.data = torn_block(dev.peek_block(w.addr), w.data, &mask);
+          w.has_tag = false;  // incomplete transaction: old tag survives
+          events_.push_back({FaultEvent::Kind::kTear, w.addr, mask});
+        }
+        commit(w, dev);
+      }
+      return;
+    }
+    case FaultClass::kDroppedPersist: {
+      if (entries.empty()) return;
+      // Each queued write independently fails to land with p = 1/2; the
+      // survivors drain in order. Guarantee at least one drop so the trial
+      // actually exercises the class.
+      std::vector<bool> dropped(entries.size(), false);
+      bool any = false;
+      for (std::size_t i = 0; i < entries.size(); ++i) {
+        dropped[i] = rng_.chance(0.5);
+        any = any || dropped[i];
+      }
+      if (!any) dropped[entries.size() - 1] = true;
+      for (std::size_t i = 0; i < entries.size(); ++i) {
+        if (dropped[i]) {
+          events_.push_back({FaultEvent::Kind::kDrop, entries[i].addr, i});
+        } else {
+          commit(entries[i], dev);
+        }
+      }
+      return;
+    }
+    case FaultClass::kReorderedPersist: {
+      if (entries.size() < 2) {
+        for (const QueuedWrite& w : entries) commit(w, dev);
+        return;
+      }
+      // The controller drains out of order (bank scheduling) and power dies
+      // mid-drain: a random permutation, cut after a random prefix. Writes
+      // past the cut are lost; an older write can thereby overwrite a newer
+      // one that already landed, or land while the newer one is lost.
+      std::vector<std::size_t> order(entries.size());
+      for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+      for (std::size_t i = order.size() - 1; i > 0; --i) {
+        std::swap(order[i], order[static_cast<std::size_t>(rng_.below(i + 1))]);
+      }
+      const std::size_t committed = 1 + static_cast<std::size_t>(rng_.below(order.size()));
+      for (std::size_t i = 0; i < committed; ++i) {
+        const std::size_t src = order[i];
+        if (src != i) events_.push_back({FaultEvent::Kind::kReorder, entries[src].addr, src});
+        commit(entries[src], dev);
+      }
+      for (std::size_t i = committed; i < order.size(); ++i) {
+        events_.push_back({FaultEvent::Kind::kDrop, entries[order[i]].addr, order[i]});
+      }
+      return;
+    }
+    default: {
+      // Bit-flip classes (and kNone) leave the drain intact; their faults
+      // apply post-crash on the array image.
+      for (const QueuedWrite& w : entries) commit(w, dev);
+      return;
+    }
+  }
+}
+
+void FaultInjector::flip_block_bit(NvmDevice& dev, Addr addr) {
+  Block img = dev.peek_block(addr);
+  const std::uint64_t bit = rng_.below(kBlockSize * 8);
+  img[static_cast<std::size_t>(bit / 8)] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+  dev.poke_block(addr, img);
+  events_.push_back({FaultEvent::Kind::kFlipBlock, addr, bit});
+}
+
+void FaultInjector::flip_tag_bit(NvmDevice& dev, Addr addr) {
+  const std::uint64_t bit = rng_.below(64);
+  dev.write_tag(addr, dev.read_tag(addr) ^ (std::uint64_t{1} << bit));
+  events_.push_back({FaultEvent::Kind::kFlipTag, addr, bit});
+}
+
+void FaultInjector::apply_post_crash(SecureMemory& mem) {
+  NvmDevice& dev = mem.device();
+  const SitGeometry& geo = mem.geometry();
+  const Addr data_end = mem.config().nvm.capacity_bytes;
+  const Addr leaves_end = geo.meta_base() + geo.level_count(0) * kBlockSize;
+
+  Addr lo = 0, hi = 0;
+  bool tags = false;
+  switch (plan_.cls) {
+    case FaultClass::kBitFlipData:
+      lo = 0;
+      hi = data_end;
+      break;
+    case FaultClass::kBitFlipCounter:
+      lo = geo.meta_base();
+      hi = leaves_end;
+      break;
+    case FaultClass::kBitFlipNode:
+      lo = leaves_end;
+      hi = geo.aux_base();
+      break;
+    case FaultClass::kBitFlipMac:
+      lo = 0;
+      hi = data_end;
+      tags = true;
+      break;
+    case FaultClass::kBitFlipRecord:
+      lo = geo.aux_base();
+      hi = dev.address_limit();
+      break;
+    default:
+      return;  // queue-fate classes act at drain time only
+  }
+
+  // Flip bits in resident state only: an untouched (all-zero) block has no
+  // physical cell written, and the sorted candidate list keeps the choice
+  // independent of hash-map iteration order.
+  const std::vector<Addr> candidates =
+      tags ? dev.resident_tags(lo, hi) : dev.resident_blocks(lo, hi);
+  if (candidates.empty()) return;
+  for (unsigned i = 0; i < plan_.intensity; ++i) {
+    const Addr addr = candidates[static_cast<std::size_t>(rng_.below(candidates.size()))];
+    if (tags) {
+      flip_tag_bit(dev, addr);
+    } else {
+      flip_block_bit(dev, addr);
+    }
+  }
+}
+
+}  // namespace steins

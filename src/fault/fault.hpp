@@ -1,0 +1,130 @@
+// Deterministic fault injection for the secure-NVM stack.
+//
+// The crash tests of the KV layer only exercise *clean* crashes: dirty
+// cache lines are lost, the write queue and ADR domain drain intact. Real
+// NVM failures are messier — a 64 B line write can tear mid-flight, a
+// posted persist can be dropped or reordered before power dies, the ADR
+// guarantee itself can fail, and media cells can flip. A FaultPlan is a
+// seed-derived description of the faults one crash suffers; a FaultInjector
+// executes the plan at two hook points:
+//
+//   1. the write queue's crash drain (NvmChannel::crash_drain_all): each
+//      queued line write either commits intact, commits torn (prefix /
+//      suffix / interleaved 8-byte words of old and new data, with the
+//      ECC-colocated tag counted as the last word), is dropped, or drains
+//      in a reordered sequence that is cut short by the power failure;
+//   2. after the scheme's crash() completes (apply_post_crash): single /
+//      multi bit flips in the data region, the counter-block (SIT leaf)
+//      region, the internal SIT-node region, the ECC-colocated MAC tags,
+//      and the per-scheme aux region (offset records / shadow table /
+//      bitmap lines).
+//
+// Every decision derives from the plan's seed, so any campaign trial can be
+// reproduced bit-for-bit from (campaign seed, trial index) alone. The
+// contract the campaign enforces: an injected fault must end in *detection*
+// (an integrity violation raised at recovery or on a later read) or in
+// *recovery* (the post-recovery image is a committed, authentic state);
+// silently serving wrong plaintext is a real bug.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "nvm/nvm_device.hpp"
+#include "secure/secure_memory.hpp"
+
+namespace steins {
+
+/// The campaign's fault taxonomy. The first group decides the fate of the
+/// write queue at crash; the second flips bits in one NVM region after it.
+enum class FaultClass {
+  kNone,              // clean crash (control group)
+  kTornWrite,         // a queued 64 B write lands partially
+  kDroppedPersist,    // queued writes silently never reach the array
+  kReorderedPersist,  // the queue drains out of order and is cut short
+  kAdrLoss,           // the ADR domain fails: nothing queued drains
+  kBitFlipData,       // media flips in the user-data region
+  kBitFlipCounter,    // media flips in counter blocks (SIT leaves)
+  kBitFlipNode,       // media flips in internal SIT nodes
+  kBitFlipMac,        // media flips in the ECC-colocated data MAC tags
+  kBitFlipRecord,     // media flips in the aux region (records/shadow/bitmap)
+};
+
+/// Canonical CLI name, e.g. "torn-write".
+const char* fault_class_name(FaultClass c);
+
+/// Parse a CLI name (canonical or short alias: torn, drop, reorder, adr,
+/// data, counter, node, mac, record, none).
+std::optional<FaultClass> parse_fault_class(std::string_view name);
+
+/// Every injectable class, in matrix-column order (excludes kNone).
+const std::vector<FaultClass>& all_fault_classes();
+
+/// Seed-derived description of the faults one crash suffers.
+struct FaultPlan {
+  FaultClass cls = FaultClass::kNone;
+  std::uint64_t seed = 0;  // drives every random decision of the injector
+  unsigned intensity = 1;  // queue entries to fault / bits to flip
+
+  /// The canonical derivation used by campaigns: every parameter is a pure
+  /// function of (class, campaign seed, trial index).
+  static FaultPlan derive(FaultClass cls, std::uint64_t campaign_seed, std::uint64_t trial);
+};
+
+/// One concrete injected fault, for logs and reproduction reports.
+struct FaultEvent {
+  enum class Kind { kDrop, kTear, kReorder, kFlipBlock, kFlipTag };
+  Kind kind;
+  Addr addr = 0;
+  std::uint64_t detail = 0;  // torn-word mask / flipped bit index / position
+};
+
+std::string to_string(const FaultEvent& e);
+
+class FaultInjector {
+ public:
+  explicit FaultInjector(const FaultPlan& plan) : plan_(plan), rng_(plan.seed) {}
+
+  /// A write pending in the queue when power failed (FIFO order).
+  struct QueuedWrite {
+    Addr addr;
+    Block data;
+    bool has_tag = false;
+    std::uint64_t tag = 0;
+  };
+
+  /// Crash-drain hook called by NvmChannel: decide each queued write's fate
+  /// and commit the survivors to the device. Entries arrive oldest-first.
+  void drain_crashed_queue(std::vector<QueuedWrite> entries, NvmDevice& dev);
+
+  /// Post-crash media faults: flip bits in the plan's region. Must run
+  /// after the scheme's crash() so ADR-resident structures (record lines,
+  /// bitmap lines) have reached the device and are corruptible too.
+  void apply_post_crash(SecureMemory& mem);
+
+  const FaultPlan& plan() const { return plan_; }
+  const std::vector<FaultEvent>& events() const { return events_; }
+
+  /// Joined human-readable event log (capped), for verdict details.
+  std::string event_summary(std::size_t max_events = 8) const;
+
+ private:
+  /// Mix old and new data at 8-byte-word granularity; returns the mask of
+  /// words taken from the *new* data (never all-ones, never zero).
+  Block torn_block(const Block& oldv, const Block& newv, std::uint64_t* word_mask);
+
+  void commit(const QueuedWrite& w, NvmDevice& dev);
+  void flip_block_bit(NvmDevice& dev, Addr addr);
+  void flip_tag_bit(NvmDevice& dev, Addr addr);
+
+  FaultPlan plan_;
+  Xoshiro256 rng_;
+  std::vector<FaultEvent> events_;
+};
+
+}  // namespace steins

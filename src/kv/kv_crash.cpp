@@ -145,7 +145,23 @@ KvCrashReport run_kv_crash_validation(const SystemConfig& base_cfg, Scheme schem
   }
   report.committed_keys = model.size();
 
-  const RecoveryResult r = sys.crash_and_recover();
+  // Fold the requested hardware fault into the crash. The injector hooks
+  // the write queue's crash drain and flips bits after the scheme's ADR
+  // flush, exactly as in the fault campaigns.
+  report.faulted = opt.fault_class != FaultClass::kNone;
+  FaultInjector injector(FaultPlan::derive(opt.fault_class, opt.fault_seed, report.crash_at));
+  if (report.faulted) sys.set_fault_injector(&injector);
+
+  RecoveryResult r;
+  try {
+    r = sys.crash_and_recover();
+  } catch (const IntegrityViolation& e) {
+    sys.set_fault_injector(nullptr);
+    report.fault_detected = true;
+    report.detail = std::string("recovery raised: ") + e.what();
+    return report;
+  }
+  sys.set_fault_injector(nullptr);
   report.recovery_supported = r.supported;
   report.recovery_ok = r.ok();
   report.recovery_seconds = r.seconds;
@@ -154,18 +170,22 @@ KvCrashReport run_kv_crash_validation(const SystemConfig& base_cfg, Scheme schem
     return report;
   }
   if (r.attack_detected) {
+    report.fault_detected = report.faulted;
     report.detail = "recovery flagged: " + r.attack_detail;
     return report;
   }
 
   // Reboot: reconcile the application-visible image with NVM, reopen the
   // store over the surviving region, and diff against the model.
-  sys.resync_truth_after_crash();
-  KvStore reopened(sys, layout);
   try {
+    sys.resync_truth_after_crash();
+    KvStore reopened(sys, layout);
     const std::map<std::uint64_t, std::string> recovered = reopened.dump();
     report.detail = diff_detail(model, recovered);
     report.verified = report.detail.empty();
+  } catch (const IntegrityViolation& e) {
+    report.fault_detected = report.faulted;
+    report.detail = std::string("reopen raised: ") + e.what();
   } catch (const KvCorruption& e) {
     report.detail = e.what();
   }

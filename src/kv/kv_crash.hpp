@@ -15,6 +15,7 @@
 #include <string>
 
 #include "common/config.hpp"
+#include "fault/fault.hpp"
 #include "secure/secure_memory.hpp"
 
 namespace steins::kv {
@@ -28,6 +29,12 @@ struct KvCrashOptions {
   std::size_t value_bytes = 24;      // payload size per value
   std::uint64_t seed = 1;            // script + boundary-choice seed
   std::uint64_t crash_at = kRandomBoundary;  // persist barrier index to die at
+
+  // Optional hardware fault folded into the crash (kNone = clean crash).
+  // The plan derives from (fault_seed, crash_at), so a report reproduces
+  // from its own fields alone.
+  FaultClass fault_class = FaultClass::kNone;
+  std::uint64_t fault_seed = 0;
 };
 
 struct KvCrashReport {
@@ -38,13 +45,18 @@ struct KvCrashReport {
   std::uint64_t crash_at = 0;       // barrier the run was killed before
   std::uint64_t committed_keys = 0; // model size at the crash point
   double recovery_seconds = 0.0;    // modeled recovery time
+  bool faulted = false;             // a fault was injected at the crash
+  bool fault_detected = false;      // an integrity check caught the fault
   std::string detail;               // first mismatch / failure description
 
   /// WB passes by being detected as unrecoverable; everything else passes
-  /// by recovering a verified image.
+  /// by recovering a verified image. Under an injected fault, detection
+  /// (recovery refusing the image, or a MAC/tree check firing on reopen)
+  /// is equally legal — only silent divergence from the model fails.
   bool pass(Scheme scheme) const {
     if (scheme == Scheme::kWriteBack) return !recovery_supported;
-    return recovery_ok && verified;
+    if (recovery_ok && verified) return true;
+    return faulted && fault_detected;
   }
 };
 

@@ -1,6 +1,17 @@
 #include "nvm/nvm_device.hpp"
 
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
 namespace steins {
+
+void NvmDevice::check_limit(Addr addr) const {
+  if (addr >= limit_) {
+    throw std::out_of_range("NVM write beyond device address limit: addr=" +
+                            std::to_string(addr) + " limit=" + std::to_string(limit_));
+  }
+}
 
 Block NvmDevice::read_block(Addr addr) {
   ++stats_.reads;
@@ -9,6 +20,7 @@ Block NvmDevice::read_block(Addr addr) {
 }
 
 void NvmDevice::write_block(Addr addr, const Block& data) {
+  check_limit(addr);
   ++stats_.writes;
   stats_.energy_nj += cfg_.write_energy_nj;
   blocks_[align(addr)] = data;
@@ -19,20 +31,47 @@ std::uint64_t NvmDevice::read_tag(Addr addr) const {
   return it == tags_.end() ? 0 : it->second;
 }
 
-void NvmDevice::write_tag(Addr addr, std::uint64_t tag) { tags_[align(addr)] = tag; }
+void NvmDevice::write_tag(Addr addr, std::uint64_t tag) {
+  check_limit(addr);
+  tags_[align(addr)] = tag;
+}
 
 std::uint64_t NvmDevice::read_tag2(Addr addr) const {
   auto it = tags2_.find(align(addr));
   return it == tags2_.end() ? 0 : it->second;
 }
 
-void NvmDevice::write_tag2(Addr addr, std::uint64_t tag) { tags2_[align(addr)] = tag; }
+void NvmDevice::write_tag2(Addr addr, std::uint64_t tag) {
+  check_limit(addr);
+  tags2_[align(addr)] = tag;
+}
 
 Block NvmDevice::peek_block(Addr addr) const {
   auto it = blocks_.find(align(addr));
   return it == blocks_.end() ? zero_block() : it->second;
 }
 
-void NvmDevice::poke_block(Addr addr, const Block& data) { blocks_[align(addr)] = data; }
+void NvmDevice::poke_block(Addr addr, const Block& data) {
+  check_limit(addr);
+  blocks_[align(addr)] = data;
+}
+
+std::vector<Addr> NvmDevice::resident_blocks(Addr lo, Addr hi) const {
+  std::vector<Addr> out;
+  for (const auto& kv : blocks_) {
+    if (kv.first >= lo && kv.first < hi) out.push_back(kv.first);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<Addr> NvmDevice::resident_tags(Addr lo, Addr hi) const {
+  std::vector<Addr> out;
+  for (const auto& kv : tags_) {
+    if (kv.first >= lo && kv.first < hi) out.push_back(kv.first);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
 
 }  // namespace steins

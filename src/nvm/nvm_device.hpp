@@ -12,6 +12,7 @@
 
 #include <cstdint>
 #include <unordered_map>
+#include <vector>
 
 #include "common/config.hpp"
 #include "common/types.hpp"
@@ -28,12 +29,16 @@ struct NvmStats {
 
 class NvmDevice {
  public:
-  explicit NvmDevice(const NvmConfig& cfg) : cfg_(cfg) {}
+  explicit NvmDevice(const NvmConfig& cfg)
+      : cfg_(cfg), limit_(address_limit(cfg)) {}
 
   /// Functional block read; counts a device read + energy.
   Block read_block(Addr addr);
 
   /// Functional block write; counts a device write + energy.
+  /// Throws std::out_of_range beyond the device's address limit — a write
+  /// there is a wild pointer (corrupted offset / record arithmetic), and
+  /// silently storing it would mask the bug under the sparse block map.
   void write_block(Addr addr, const Block& data);
 
   /// ECC-colocated 8-byte tag (data HMAC, node sidecar). Reads/writes of the
@@ -53,6 +58,20 @@ class NvmDevice {
 
   bool contains(Addr addr) const { return blocks_.contains(align(addr)); }
 
+  /// Addresses (sorted, block-aligned) of resident blocks / tags in
+  /// [lo, hi). Fault injection and audits target regions through these;
+  /// sorting makes the selection independent of hash-map iteration order.
+  std::vector<Addr> resident_blocks(Addr lo, Addr hi) const;
+  std::vector<Addr> resident_tags(Addr lo, Addr hi) const;
+
+  /// Exclusive upper bound of writable addresses. The data region, the SIT
+  /// metadata region (< 15% of capacity) and the per-scheme aux regions all
+  /// fit below 2x capacity plus a fixed slack; anything above is garbage.
+  Addr address_limit() const { return limit_; }
+  static Addr address_limit(const NvmConfig& cfg) {
+    return cfg.capacity_bytes * 2 + (Addr{32} << 20);
+  }
+
   const NvmStats& stats() const { return stats_; }
   void reset_stats() { stats_.reset(); }
 
@@ -61,7 +80,10 @@ class NvmDevice {
  private:
   static Addr align(Addr a) { return a & ~static_cast<Addr>(kBlockSize - 1); }
 
+  void check_limit(Addr addr) const;
+
   NvmConfig cfg_;
+  Addr limit_;
   NvmStats stats_;
   std::unordered_map<Addr, Block> blocks_;
   std::unordered_map<Addr, std::uint64_t> tags_;

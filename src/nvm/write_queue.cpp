@@ -1,6 +1,10 @@
 #include "nvm/write_queue.hpp"
 
 #include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "fault/fault.hpp"
 
 namespace steins {
 
@@ -12,6 +16,7 @@ void NvmChannel::issue_front(Cycle start) {
   const Cycle begin = std::max(start, free_at_[bank]);
   const Cycle done = begin + cfg_.nvm_write_cycles();
   dev_.write_block(w.addr, w.data);
+  if (w.has_tag) dev_.write_tag(w.addr, w.tag);
   stats_.write_latency.add(done - w.enqueued);
   if (w.acc != nullptr) w.acc->add(done - w.birth);
   free_at_[bank] = done;
@@ -22,6 +27,16 @@ void NvmChannel::issue_front(Cycle start) {
 bool NvmChannel::queued(Addr addr) const {
   for (const auto& w : queue_) {
     if (w.addr == addr) return true;
+  }
+  return false;
+}
+
+bool NvmChannel::peek_queued_tag(Addr addr, std::uint64_t* tag) const {
+  for (auto it = queue_.rbegin(); it != queue_.rend(); ++it) {
+    if (it->addr == addr && it->has_tag) {
+      if (tag != nullptr) *tag = it->tag;
+      return true;
+    }
   }
   return false;
 }
@@ -39,6 +54,18 @@ Cycle NvmChannel::drain_all(Cycle now) {
   while (!queue_.empty()) {
     issue_front(std::max(now, free_at_[bank_of(queue_.front().addr)]));
   }
+  return std::max(now, device_free_at());
+}
+
+Cycle NvmChannel::crash_drain_all(Cycle now) {
+  if (crash_hook_ == nullptr) return drain_all(now);
+  std::vector<FaultInjector::QueuedWrite> entries;
+  entries.reserve(queue_.size());
+  for (const Pending& w : queue_) {
+    entries.push_back(FaultInjector::QueuedWrite{w.addr, w.data, w.has_tag, w.tag});
+  }
+  queue_.clear();
+  crash_hook_->drain_crashed_queue(std::move(entries), dev_);
   return std::max(now, device_free_at());
 }
 
@@ -67,7 +94,7 @@ Cycle NvmChannel::read(Addr addr, Cycle now, Block* out) {
 }
 
 Cycle NvmChannel::write(Addr addr, const Block& data, Cycle now, LatencyAccumulator* acc,
-                        Cycle birth) {
+                        Cycle birth, const std::uint64_t* tag) {
   drain_until(now);
   if (queue_.size() >= cfg_.nvm.write_queue_entries) {
     // Queue full: the producer stalls until one entry drains.
@@ -76,7 +103,8 @@ Cycle NvmChannel::write(Addr addr, const Block& data, Cycle now, LatencyAccumula
     issue_front(std::max(now, free_at_[bank]));
     now = std::max(now, free_at_[bank]);
   }
-  queue_.push_back(Pending{addr, data, now, birth == 0 ? now : birth, acc});
+  queue_.push_back(Pending{addr, data, now, birth == 0 ? now : birth, acc,
+                           tag != nullptr, tag != nullptr ? *tag : 0});
   return now;
 }
 

@@ -20,6 +20,8 @@
 
 namespace steins {
 
+class FaultInjector;
+
 struct ChannelStats {
   LatencyAccumulator read_latency;    // arrival -> data returned (device only)
   LatencyAccumulator write_latency;   // enqueue -> NVM write completed
@@ -43,12 +45,19 @@ class NvmChannel {
   /// continue (== now unless the queue was full and it had to stall).
   /// If `acc` is given, (completion - birth) is accumulated into it when
   /// the write drains (per-class latency attribution); `birth` defaults to
-  /// `now`.
+  /// `now`. If `tag` is given, the ECC-colocated tag travels with the
+  /// queued line and reaches the device in the same transaction as the
+  /// block — a torn or dropped line write tears or drops its tag too.
   Cycle write(Addr addr, const Block& data, Cycle now, LatencyAccumulator* acc = nullptr,
-              Cycle birth = 0);
+              Cycle birth = 0, const std::uint64_t* tag = nullptr);
 
   /// True if a write to `addr` is still queued (store-forwarding window).
   bool queued(Addr addr) const;
+
+  /// Tag of the newest queued write to `addr` that carries one (the
+  /// store-forwarding companion for tag reads). Returns false if no queued
+  /// write to `addr` carries a tag.
+  bool peek_queued_tag(Addr addr, std::uint64_t* tag) const;
 
   /// Drain queued writes that the device can start strictly before `t`.
   /// Writes are held back until the queue exceeds the drain watermark
@@ -66,6 +75,16 @@ class NvmChannel {
   /// Synchronously drain everything (crash persist / ADR flush); returns
   /// the cycle at which the last write completes.
   Cycle drain_all(Cycle now);
+
+  /// Drain at power loss. Without a fault hook this is drain_all; with one
+  /// installed, the injector decides each queued write's fate (commit /
+  /// tear / drop / reorder) and commits the survivors itself. Only the
+  /// crash path uses this — orderly flushes (flush_all_metadata) always
+  /// drain intact.
+  Cycle crash_drain_all(Cycle now);
+
+  /// Install (or clear, with nullptr) the crash-drain fault hook.
+  void set_crash_fault_hook(FaultInjector* injector) { crash_hook_ = injector; }
 
   std::size_t queue_depth() const { return queue_.size(); }
   Cycle device_free_at() const {
@@ -86,6 +105,8 @@ class NvmChannel {
     Cycle enqueued;
     Cycle birth;
     LatencyAccumulator* acc;
+    bool has_tag = false;
+    std::uint64_t tag = 0;
   };
 
   /// Issue the front queued write with earliest start time `start`.
@@ -97,6 +118,7 @@ class NvmChannel {
 
   const SystemConfig& cfg_;
   NvmDevice& dev_;
+  FaultInjector* crash_hook_ = nullptr;
   std::deque<Pending> queue_;
   std::array<Cycle, kBanks> free_at_{};
   std::array<bool, kBanks> last_was_write_{};

@@ -68,9 +68,9 @@ void AnubisMemory::on_node_modified(NodeId id, Cycle& now) {
   // Anubis persists the ST entry atomically with the update, so the cell
   // programming time sits on the critical path of every modification.
   const Addr saddr = shadow_addr(static_cast<std::size_t>(line_idx));
-  now = timed_write(saddr, image, now);
+  const std::uint64_t sid = encode_id(id);
+  now = timed_write(saddr, image, now, nullptr, 0, &sid);
   if (!recovering_) charge_tracking(cfg_.nvm_write_cycles());
-  dev_.write_tag(saddr, encode_id(id));
   ++stats_.aux_writes;
 
   tree_[0][static_cast<std::size_t>(line_idx)] =

@@ -420,6 +420,16 @@ RecoveryResult SteinsMemory::recover() {
     const auto offsets = decode_record(dev_.peek_block(record_line_addr(line)));
     for (const std::uint32_t o : offsets) {
       if (o == 0) continue;
+      // Stored offsets are offset_of(id)+1, so valid values are bounded by
+      // the node count; anything else is a corrupted record line. Records
+      // are only a superset hint, but a malformed entry means the ADR
+      // domain lied — indistinguishable from tampering, so flag it rather
+      // than index out of the tree.
+      if (o - 1 >= geo_.total_nodes()) {
+        result.attack_detected = true;
+        result.attack_detail = "corrupted offset record (node offset out of range)";
+        return finish(result);
+      }
       const NodeId id = geo_.node_at_offset(o - 1);
       if (seen.insert(flat_key(geo_, id)).second) by_level[id.level].push_back(id);
     }

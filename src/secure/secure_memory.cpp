@@ -58,13 +58,15 @@ Cycle SecureMemoryBase::timed_read(Addr addr, Cycle now, Block* out) {
 }
 
 Cycle SecureMemoryBase::timed_write(Addr addr, const Block& data, Cycle now,
-                                    LatencyAccumulator* acc, Cycle birth) {
+                                    LatencyAccumulator* acc, Cycle birth,
+                                    const std::uint64_t* tag) {
   if (recovering_) {
     ++recovery_writes_;
     dev_.poke_block(addr, data);
+    if (tag != nullptr) dev_.write_tag(addr, *tag);
     return now;
   }
-  return channel_.write(addr, data, now, acc, birth);
+  return channel_.write(addr, data, now, acc, birth, tag);
 }
 
 void SecureMemoryBase::on_node_modified(NodeId, Cycle&) {}
@@ -267,8 +269,7 @@ void SecureMemoryBase::reencrypt_covered_blocks(const SitNode& before, const Sit
     charge_aes();
     const std::uint64_t tag = cme_.data_mac(nct, addr, new_ctr, after.sc.major);
     charge_hash(now);
-    now = timed_write(addr, nct, now);
-    dev_.write_tag(addr, tag);
+    now = timed_write(addr, nct, now, nullptr, 0, &tag);
     ++stats_.data_writes;
     ++stats_.reencryptions;
   }
@@ -312,8 +313,10 @@ Cycle SecureMemoryBase::write_block(Addr addr, const Block& data, Cycle now) {
   const Block ct = cme_.encrypt(data, addr, bump.enc_counter);
   const std::uint64_t tag = cme_.data_mac(ct, addr, bump.enc_counter, bump.aux);
   charge_hash(t);
-  t = timed_write(addr, ct, t);
-  dev_.write_tag(addr, tag);
+  // The tag rides the queue with the ciphertext: the 64 B line and its
+  // ECC-colocated MAC are one memory transaction, so a crash can never
+  // persist one without the other (only tear them together).
+  t = timed_write(addr, ct, t, nullptr, 0, &tag);
   ++stats_.data_writes;
   // Write latency: metadata front-end work + tracking-structure work +
   // queue acceptance + the cell programming time of this block (posted
@@ -352,7 +355,10 @@ Cycle SecureMemoryBase::read_block(Addr addr, Cycle now, Block* out) {
   Cycle ready = std::max(t_data, t_meta + cfg_.secure.aes_latency_cycles);
 
   if (exists) {
-    const std::uint64_t tag = dev_.read_tag(addr);
+    // Store-forwarded data must be checked against its queued tag, not the
+    // stale tag of the image still in the array.
+    std::uint64_t tag = dev_.read_tag(addr);
+    channel_.peek_queued_tag(addr, &tag);
     const std::uint64_t mac = cme_.data_mac(ct, addr, ctr, aux);
     charge_hash(ready);
     if (mac != tag) {
@@ -375,7 +381,9 @@ void SecureMemoryBase::crash() {
   // Power loss: the write queue and ADR domain drain to NVM (paper §III-A);
   // everything volatile is lost. Scheme subclasses flush their ADR-resident
   // structures (record lines, bitmap lines, NV buffer) before calling this.
-  channel_.drain_all(mc_free_at_);
+  // With a fault injector installed, the drain goes through it: queued
+  // writes may tear, drop, or reorder instead of landing intact.
+  channel_.crash_drain_all(mc_free_at_);
   mcache_.clear();
   mc_free_at_ = 0;
 }

@@ -31,6 +31,8 @@
 
 namespace steins {
 
+class FaultInjector;
+
 /// Thrown when runtime integrity verification fails (tampering detected).
 class IntegrityViolation : public std::runtime_error {
  public:
@@ -108,6 +110,11 @@ class SecureMemory {
   virtual NvmDevice& device() = 0;
   virtual const SitGeometry& geometry() const = 0;
   virtual const CacheStats& metadata_cache_stats() const = 0;
+
+  /// Install (or clear, with nullptr) a fault injector: the next crash()
+  /// drains the write queue through it instead of draining intact. Faults
+  /// apply only at crash; the runtime path is unaffected.
+  virtual void set_fault_injector(FaultInjector* injector) { (void)injector; }
 };
 
 class SecureMemoryBase : public SecureMemory {
@@ -129,6 +136,10 @@ class SecureMemoryBase : public SecureMemory {
   const SitGeometry& geometry() const override { return geo_; }
 
   const CacheStats& metadata_cache_stats() const override { return mcache_.stats(); }
+
+  void set_fault_injector(FaultInjector* injector) override {
+    channel_.set_crash_fault_hook(injector);
+  }
 
   NvmChannel& channel() { return channel_; }
   MetadataCache& metadata_cache() { return mcache_; }
@@ -257,9 +268,10 @@ class SecureMemoryBase : public SecureMemory {
 
   /// Channel read that respects recovery accounting.
   Cycle timed_read(Addr addr, Cycle now, Block* out);
-  /// Channel (posted) write that respects recovery accounting.
+  /// Channel (posted) write that respects recovery accounting. A non-null
+  /// `tag` rides the queue with the block (single-transaction ECC tag).
   Cycle timed_write(Addr addr, const Block& data, Cycle now, LatencyAccumulator* acc = nullptr,
-                    Cycle birth = 0);
+                    Cycle birth = 0, const std::uint64_t* tag = nullptr);
 
   /// Nodes currently being flushed but not yet written (see
   /// persist_detached); newest last.

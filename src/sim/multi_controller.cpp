@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "fault/fault.hpp"
+
 namespace steins {
 
 MultiControllerMemory::MultiControllerMemory(const SystemConfig& cfg, Scheme scheme,
@@ -15,7 +17,14 @@ MultiControllerMemory::MultiControllerMemory(const SystemConfig& cfg, Scheme sch
   for (unsigned i = 0; i < controllers; ++i) {
     mcs_.push_back(make_scheme(scheme, per_mc));
     frontier_.push_back(0);
+    injectors_.push_back(nullptr);
   }
+}
+
+void MultiControllerMemory::set_fault_injector(unsigned controller, FaultInjector* injector) {
+  assert(controller < mcs_.size());
+  injectors_[controller] = injector;
+  mcs_[controller]->set_fault_injector(injector);
 }
 
 Cycle MultiControllerMemory::read_block(Addr addr, Cycle now, Block* out) {
@@ -34,8 +43,10 @@ Cycle MultiControllerMemory::write_block(Addr addr, const Block& data, Cycle now
 
 RecoveryResult MultiControllerMemory::crash_and_recover_all() {
   RecoveryResult combined;
-  for (auto& mc : mcs_) {
+  for (std::size_t i = 0; i < mcs_.size(); ++i) {
+    auto& mc = mcs_[i];
     mc->crash();
+    if (injectors_[i] != nullptr) injectors_[i]->apply_post_crash(*mc);
     const RecoveryResult r = mc->recover();
     if (!r.ok()) return r;
     combined.nodes_recovered += r.nodes_recovered;

@@ -33,6 +33,10 @@ class MultiControllerMemory {
   /// bounds the system (controllers recover in parallel).
   RecoveryResult crash_and_recover_all();
 
+  /// Arm one controller's next crash with an injector (nullptr disarms);
+  /// crash_and_recover_all applies its post-crash faults to that DIMM.
+  void set_fault_injector(unsigned controller, FaultInjector* injector);
+
   unsigned controllers() const { return static_cast<unsigned>(mcs_.size()); }
   SecureMemory& controller(unsigned i) { return *mcs_[i]; }
 
@@ -54,6 +58,7 @@ class MultiControllerMemory {
   std::size_t interleave_;
   std::vector<std::unique_ptr<SecureMemory>> mcs_;
   std::vector<Cycle> frontier_;  // per-controller completion frontier
+  std::vector<FaultInjector*> injectors_;  // per-controller crash faults
 };
 
 }  // namespace steins

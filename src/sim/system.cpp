@@ -3,6 +3,8 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "fault/fault.hpp"
+
 namespace steins {
 
 System::System(const SystemConfig& cfg, Scheme scheme)
@@ -115,9 +117,15 @@ RunStats System::run(TraceSource& trace, std::uint64_t warmup_accesses) {
   return collect_stats();
 }
 
+void System::set_fault_injector(FaultInjector* injector) {
+  fault_injector_ = injector;
+  mem_->set_fault_injector(injector);
+}
+
 RecoveryResult System::crash_and_recover() {
   hierarchy_.clear();
   mem_->crash();
+  if (fault_injector_ != nullptr) fault_injector_->apply_post_crash(*mem_);
   return mem_->recover();
 }
 

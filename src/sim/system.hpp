@@ -17,6 +17,8 @@
 
 namespace steins {
 
+class FaultInjector;
+
 struct RunStats {
   Cycle cycles = 0;
   std::uint64_t instructions = 0;
@@ -61,6 +63,11 @@ class System {
   /// caches, crashes the controller, runs recovery.
   RecoveryResult crash_and_recover();
 
+  /// Arm the next crash with an injector (nullptr disarms): the write
+  /// queue drains through it at crash() and its post-crash media faults
+  /// apply between crash and recovery.
+  void set_fault_injector(FaultInjector* injector);
+
   /// After a successful crash_and_recover(): reconcile the plaintext ground
   /// truth with what actually survived in NVM. Stores that never reached the
   /// controller (lost with the caches) are dropped; blocks with a stale
@@ -83,6 +90,7 @@ class System {
 
   SystemConfig cfg_;
   std::unique_ptr<SecureMemory> mem_;
+  FaultInjector* fault_injector_ = nullptr;
   CacheHierarchy hierarchy_;
   CpuModel cpu_;
   std::unordered_map<Addr, Block> truth_;  // plaintext ground truth

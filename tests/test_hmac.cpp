@@ -40,6 +40,23 @@ TEST(HmacSha256, Rfc4231Case3) {
             "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe");
 }
 
+TEST(HmacSha256, Rfc4231Case4CombinedKey) {
+  std::string key;
+  for (int i = 1; i <= 25; ++i) key.push_back(static_cast<char>(i));
+  const std::string msg(50, '\xcd');
+  HmacSha256 mac(bytes(key));
+  EXPECT_EQ(hex(mac.tag(bytes(msg))),
+            "82558a389a443c0ea4cc819899f2083a85f0faa3e578f8077a2e3ff46729665b");
+}
+
+TEST(HmacSha256, Rfc4231Case5Truncated) {
+  // RFC 4231 publishes only the leading 128 bits of this tag.
+  const std::string key(20, '\x0c');
+  HmacSha256 mac(bytes(key));
+  const std::string full = hex(mac.tag(bytes("Test With Truncation")));
+  EXPECT_EQ(full.substr(0, 32), "a3b6167473100ee06e0c796c2955552b");
+}
+
 TEST(HmacSha256, Rfc4231Case6LongKey) {
   const std::string key(131, '\xaa');  // key longer than the block size
   HmacSha256 mac(bytes(key));

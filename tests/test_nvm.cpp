@@ -46,6 +46,34 @@ TEST(NvmDevice, SubBlockAddressesAlias) {
   EXPECT_EQ(dev.read_block(0x13f), filled(1));
 }
 
+TEST(NvmDevice, WritesBeyondAddressLimitThrow) {
+  NvmDevice dev(NvmConfig{});
+  const Addr limit = dev.address_limit();
+  EXPECT_NO_THROW(dev.write_block(limit - kBlockSize, filled(1)));
+  EXPECT_THROW(dev.write_block(limit, filled(1)), std::out_of_range);
+  EXPECT_THROW(dev.poke_block(limit + kBlockSize, filled(1)), std::out_of_range);
+  EXPECT_THROW(dev.write_tag(limit, 1), std::out_of_range);
+  EXPECT_THROW(dev.write_tag2(limit, 1), std::out_of_range);
+  // Reads stay total: an out-of-range read is a zero block, not a crash,
+  // so probes during recovery can never bring the device model down.
+  EXPECT_EQ(dev.peek_block(limit + kBlockSize), zero_block());
+}
+
+TEST(NvmDevice, ResidentBlocksAreSortedAndBounded) {
+  NvmDevice dev(NvmConfig{});
+  dev.write_block(0x200, filled(1));
+  dev.write_block(0x80, filled(2));
+  dev.write_block(0x140, filled(3));
+  dev.write_tag(0x200, 7);
+  const auto blocks = dev.resident_blocks(0x100, 0x240);
+  ASSERT_EQ(blocks.size(), 2u);
+  EXPECT_EQ(blocks[0], 0x140u);
+  EXPECT_EQ(blocks[1], 0x200u);
+  const auto tags = dev.resident_tags(0, 0x1000);
+  ASSERT_EQ(tags.size(), 1u);
+  EXPECT_EQ(tags[0], 0x200u);
+}
+
 TEST(NvmChannel, ReadLatencyMatchesArrayTiming) {
   const SystemConfig cfg = default_config();
   NvmDevice dev(cfg.nvm);
@@ -100,6 +128,53 @@ TEST(NvmChannel, DrainAllPersistsEverything) {
   ch.drain_all(0);
   EXPECT_EQ(ch.queue_depth(), 0u);
   for (int i = 0; i < 10; ++i) EXPECT_TRUE(dev.contains(static_cast<Addr>(i) * 64));
+}
+
+TEST(NvmChannel, DrainIsFifoPerAddress) {
+  // Same-address writes must reach the device in posting order: the last
+  // posted value wins, and its tag travels in the same transaction.
+  const SystemConfig cfg = default_config();
+  NvmDevice dev(cfg.nvm);
+  NvmChannel ch(cfg, dev);
+  const std::uint64_t t1 = 0x11, t2 = 0x22, t3 = 0x33;
+  ch.write(0x40, filled(1), 0, nullptr, 0, &t1);
+  ch.write(0x40, filled(2), 0, nullptr, 0, &t2);
+  ch.write(0x40, filled(3), 0, nullptr, 0, &t3);
+  ch.drain_all(0);
+  EXPECT_EQ(dev.peek_block(0x40), filled(3));
+  EXPECT_EQ(dev.read_tag(0x40), t3);
+}
+
+TEST(NvmChannel, PeekQueuedTagForwardsNewest) {
+  const SystemConfig cfg = default_config();
+  NvmDevice dev(cfg.nvm);
+  NvmChannel ch(cfg, dev);
+  std::uint64_t tag = 0;
+  EXPECT_FALSE(ch.peek_queued_tag(0x40, &tag));
+  const std::uint64_t t1 = 0xaa, t2 = 0xbb;
+  ch.write(0x40, filled(1), 0, nullptr, 0, &t1);
+  ch.write(0x40, filled(2), 0, nullptr, 0, &t2);
+  ch.write(0x80, filled(3), 0);  // tagless write must not shadow 0x40
+  ASSERT_TRUE(ch.peek_queued_tag(0x40, &tag));
+  EXPECT_EQ(tag, t2);
+  ch.drain_all(0);
+  EXPECT_FALSE(ch.peek_queued_tag(0x40, &tag));
+}
+
+TEST(NvmChannel, CrashDrainWithoutHookPersistsEverything) {
+  const SystemConfig cfg = default_config();
+  NvmDevice dev(cfg.nvm);
+  NvmChannel ch(cfg, dev);
+  const std::uint64_t tag = 0x77;
+  for (int i = 0; i < 6; ++i) {
+    ch.write(static_cast<Addr>(i) * 64, filled(4), 0, nullptr, 0, &tag);
+  }
+  ch.crash_drain_all(0);
+  EXPECT_EQ(ch.queue_depth(), 0u);
+  for (int i = 0; i < 6; ++i) {
+    EXPECT_TRUE(dev.contains(static_cast<Addr>(i) * 64));
+    EXPECT_EQ(dev.read_tag(static_cast<Addr>(i) * 64), tag);
+  }
 }
 
 TEST(NvmChannel, WriteLatencyAttribution) {

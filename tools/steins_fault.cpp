@@ -1,0 +1,195 @@
+// steins_fault: deterministic fault-injection campaign runner.
+//
+//   steins_fault --trials 1000 --seed 42 --jobs 8
+//   steins_fault --trials 1000 --seed 42 --trial 137 --verbose
+//   steins_fault --schemes steins,scue --classes torn,adr --json fc.json
+//
+// Runs N seeded trials per scheme: a workload phase, a checkpoint flush, a
+// dirty burst, then a crash with injected faults (torn/dropped/reordered
+// persists, ADR loss, or region-targeted bit flips), recovery, and a full
+// audit of every written block. Prints the per-(scheme, class) verdict
+// matrix detected/recovered/silent-corruption. Every trial is a pure
+// function of (--seed, trial index): the matrix is bit-identical for any
+// --jobs value, and --trial K reruns exactly one trial for debugging.
+// Exit status is nonzero if any silent corruption was observed.
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "fault/campaign.hpp"
+
+using namespace steins;
+
+namespace {
+
+struct Options {
+  CampaignOptions campaign;
+  std::string schemes;  // csv; empty = default recoverable set
+  std::string classes;  // csv; empty = all
+  std::string mode = "gc";
+  std::string json_path;
+  bool verbose = false;
+  bool help = false;
+};
+
+void usage() {
+  std::printf(
+      "steins_fault - fault-injection campaigns over the secure NVM schemes\n\n"
+      "  --trials <n>        seeded trials per scheme (default 100)\n"
+      "  --seed <n>          campaign seed (default 42)\n"
+      "  --jobs <n>          worker threads; results are bit-identical for\n"
+      "                      any value (default 1)\n"
+      "  --schemes <list>    comma-separated wb|asit|star|scue|steins\n"
+      "                      (default: asit,star,scue,steins)\n"
+      "  --mode <gc|sc>      counter mode (default gc; sc restricts the\n"
+      "                      default scheme set to steins)\n"
+      "  --classes <list>    comma-separated fault classes (default: all):\n"
+      "                      torn-write dropped-persist reordered-persist\n"
+      "                      adr-loss flip-data flip-counter flip-node\n"
+      "                      flip-mac flip-record\n"
+      "  --trial <k>         run only trial k (seed-exact reproduction)\n"
+      "  --ops <n>           phase-1 accesses per trial (default 384)\n"
+      "  --footprint <n>     workload footprint in blocks (default 2048)\n"
+      "  --capacity-mb <n>   per-trial NVM capacity (default 16)\n"
+      "  --mcache-kb <n>     metadata cache size (default 16)\n"
+      "  --json <file>       write the verdict matrix as JSON\n"
+      "  --verbose           per-trial verdicts + injected-fault logs\n");
+}
+
+bool parse(int argc, char** argv, Options* opt) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> const char* { return (i + 1 < argc) ? argv[++i] : ""; };
+    if (arg == "--trials") {
+      opt->campaign.trials = std::strtoull(value(), nullptr, 10);
+    } else if (arg == "--seed") {
+      opt->campaign.seed = std::strtoull(value(), nullptr, 10);
+    } else if (arg == "--jobs") {
+      const long v = std::strtol(value(), nullptr, 10);
+      opt->campaign.jobs = v < 1 ? 1u : static_cast<unsigned>(v);
+    } else if (arg == "--schemes" || arg == "--scheme") {
+      opt->schemes = value();
+    } else if (arg == "--mode") {
+      opt->mode = value();
+    } else if (arg == "--classes" || arg == "--class") {
+      opt->classes = value();
+    } else if (arg == "--trial") {
+      opt->campaign.only_trial = std::strtoull(value(), nullptr, 10);
+    } else if (arg == "--ops") {
+      opt->campaign.workload.ops = std::strtoull(value(), nullptr, 10);
+    } else if (arg == "--footprint") {
+      opt->campaign.workload.footprint_blocks = std::strtoull(value(), nullptr, 10);
+    } else if (arg == "--capacity-mb") {
+      opt->campaign.workload.capacity_mb = std::strtoull(value(), nullptr, 10);
+    } else if (arg == "--mcache-kb") {
+      opt->campaign.workload.mcache_kb = std::strtoull(value(), nullptr, 10);
+    } else if (arg == "--json") {
+      opt->json_path = value();
+    } else if (arg == "--verbose") {
+      opt->verbose = true;
+    } else if (arg == "--help" || arg == "-h") {
+      opt->help = true;
+    } else {
+      std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+Scheme parse_scheme(const std::string& name) {
+  if (name == "wb") return Scheme::kWriteBack;
+  if (name == "asit") return Scheme::kAnubis;
+  if (name == "star") return Scheme::kStar;
+  if (name == "steins") return Scheme::kSteins;
+  if (name == "scue") return Scheme::kScue;
+  throw std::invalid_argument("unknown scheme: " + name);
+}
+
+std::vector<std::string> split_csv(const std::string& csv) {
+  std::vector<std::string> out;
+  std::stringstream ss(csv);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (!item.empty()) out.push_back(item);
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  if (!parse(argc, argv, &opt)) return 2;
+  if (opt.help) {
+    usage();
+    return 0;
+  }
+
+  CounterMode mode;
+  if (opt.mode == "gc") {
+    mode = CounterMode::kGeneral;
+  } else if (opt.mode == "sc") {
+    mode = CounterMode::kSplit;
+  } else {
+    std::fprintf(stderr, "unknown mode: %s (expected gc or sc)\n", opt.mode.c_str());
+    return 2;
+  }
+
+  try {
+    if (opt.schemes.empty()) {
+      opt.campaign.schemes = campaign_schemes(mode);
+    } else {
+      for (const std::string& name : split_csv(opt.schemes)) {
+        const Scheme s = parse_scheme(name);
+        opt.campaign.schemes.push_back({s, mode, scheme_name(s, mode)});
+      }
+    }
+    for (const std::string& name : split_csv(opt.classes)) {
+      const auto cls = parse_fault_class(name);
+      if (!cls.has_value()) {
+        std::fprintf(stderr, "unknown fault class: %s\n", name.c_str());
+        return 2;
+      }
+      opt.campaign.classes.push_back(*cls);
+    }
+
+    std::printf("fault campaign: %llu trials, seed %llu, %u job%s, mode %s\n\n",
+                static_cast<unsigned long long>(
+                    opt.campaign.only_trial.has_value() ? 1 : opt.campaign.trials),
+                static_cast<unsigned long long>(opt.campaign.seed), opt.campaign.jobs,
+                opt.campaign.jobs == 1 ? "" : "s", opt.mode.c_str());
+    const CampaignResult result = run_fault_campaign(opt.campaign);
+    result.print(opt.verbose);
+
+    if (!opt.json_path.empty()) {
+      std::FILE* f = std::fopen(opt.json_path.c_str(), "w");
+      if (f == nullptr) {
+        std::fprintf(stderr, "cannot open %s: %s\n", opt.json_path.c_str(),
+                     std::strerror(errno));
+        return 1;
+      }
+      const std::string json = result.to_json();
+      const bool wrote = std::fwrite(json.data(), 1, json.size(), f) == json.size();
+      if (std::fclose(f) != 0 || !wrote) {
+        std::fprintf(stderr, "error writing %s: %s\n", opt.json_path.c_str(),
+                     std::strerror(errno));
+        return 1;
+      }
+      std::printf("wrote JSON results to %s\n", opt.json_path.c_str());
+    }
+
+    if (result.silent_total() > 0) {
+      std::fprintf(stderr, "\nFAIL: %llu silent-corruption verdict(s)\n",
+                   static_cast<unsigned long long>(result.silent_total()));
+      return 1;
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}
