@@ -25,6 +25,10 @@ int main(int argc, char** argv) {
     campaign.seed = std::strtoull(env, nullptr, 10);
   }
   campaign.jobs = opt.jobs;
+  if (campaign.trials == 0) {
+    std::fprintf(stderr, "error: a 0-trial campaign would report vacuous success\n");
+    return 2;
+  }
 
   std::printf("fault campaign: %llu trials, seed %llu, %u job%s\n\n",
               static_cast<unsigned long long>(campaign.trials),

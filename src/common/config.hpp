@@ -51,6 +51,22 @@ struct NvmConfig {
   // for the normalized figures).
   double read_energy_nj = 3.5;    // per 64 B array read
   double write_energy_nj = 22.0;  // per 64 B array write
+  // Spare-line pool for retiring ECC-uncorrectable 64 B lines. A retired
+  // line keeps accepting fresh writes; once the pool is exhausted further
+  // dead lines fail fast and stay quarantined.
+  std::size_t remap_pool_lines = 32;
+};
+
+/// Runtime fault-tolerance knobs (ECC read-retry, patrol scrub,
+/// quarantine). Scrub is off by default so figure benches keep their
+/// baseline traffic; fault campaigns and the scrub CLI turn it on.
+struct FaultToleranceConfig {
+  bool ecc_enabled = true;              // model per-line ECC on data reads
+  unsigned max_read_retries = 3;        // bounded retry before declaring loss
+  Cycle retry_backoff_cycles = 32;      // base backoff, doubled per retry
+  std::uint64_t scrub_interval_accesses = 0;  // patrol epoch; 0 disables
+  unsigned scrub_lines_per_epoch = 8;   // budget per patrol epoch
+  bool scrub_verify_macs = true;        // patrol also MAC-verifies data lines
 };
 
 struct SecureConfig {
@@ -65,6 +81,7 @@ struct SecureConfig {
   double cache_access_energy_nj = 0.05;
   // Recovery read+verify cost per metadata block, ns (paper §IV-D).
   double recovery_read_ns = 100.0;
+  FaultToleranceConfig ft;
 };
 
 struct SystemConfig {

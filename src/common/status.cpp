@@ -1,0 +1,41 @@
+#include "common/status.hpp"
+
+namespace steins {
+
+const char* error_code_name(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kOk:
+      return "ok";
+    case ErrorCode::kInvalidArgument:
+      return "invalid-argument";
+    case ErrorCode::kUnsupported:
+      return "unsupported";
+    case ErrorCode::kIntegrity:
+      return "integrity";
+    case ErrorCode::kUncorrectable:
+      return "uncorrectable";
+    case ErrorCode::kQuarantined:
+      return "quarantined";
+    case ErrorCode::kUnavailable:
+      return "unavailable";
+    case ErrorCode::kReadOnly:
+      return "read-only";
+    case ErrorCode::kInvariant:
+      return "invariant";
+    case ErrorCode::kInternal:
+      return "internal";
+  }
+  return "?";
+}
+
+namespace internal {
+
+void check_failed(const char* condition, const char* file, int line,
+                  const std::string& message) {
+  throw StatusError(Status(ErrorCode::kInvariant,
+                           message + " [" + condition + " at " + file + ":" +
+                               std::to_string(line) + "]"));
+}
+
+}  // namespace internal
+}  // namespace steins

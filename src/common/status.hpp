@@ -1,0 +1,117 @@
+// Error taxonomy for the runtime fault-tolerance layer.
+//
+// Recovery and degraded-mode paths must never abort the process: a media
+// fault is an expected outcome, not a programming error. Status carries a
+// machine-checkable code plus a human-readable message; StatusError is its
+// exception envelope for paths that cannot return one (the SecureMemory
+// read/write interface); Expected<T> is the value-or-Status return shape
+// for the KV layer's non-throwing API.
+//
+// STEINS_CHECK replaces assert() on mutation/recovery invariants: it stays
+// active under NDEBUG (Release builds must stop at a broken invariant, not
+// silently corrupt) and throws a typed kInvariant error instead of calling
+// abort(), so a fault campaign can tell an internal bug from a detected
+// attack.
+#pragma once
+
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace steins {
+
+enum class ErrorCode {
+  kOk = 0,
+  kInvalidArgument,  // caller misuse (bad config, empty campaign)
+  kUnsupported,      // the scheme cannot perform the operation (WB recovery)
+  kIntegrity,        // an HMAC/root check fired (tampering or torn state)
+  kUncorrectable,    // ECC could not repair the line; its content is lost
+  kQuarantined,      // the address is inside a quarantined line/subtree
+  kUnavailable,      // derived unavailability (KV slot behind a dead line)
+  kReadOnly,         // the store is in read-only degraded mode
+  kInvariant,        // an internal invariant broke (always a bug)
+  kInternal,         // unexpected exception escaped a recovery path
+};
+
+const char* error_code_name(ErrorCode code);
+
+/// True for codes that mean "this datum is legitimately unreadable in a
+/// degraded system" — the outcomes a salvage-aware caller tolerates, as
+/// opposed to integrity violations and internal bugs.
+inline bool is_unavailable(ErrorCode code) {
+  return code == ErrorCode::kUncorrectable || code == ErrorCode::kQuarantined ||
+         code == ErrorCode::kUnavailable || code == ErrorCode::kReadOnly;
+}
+
+class [[nodiscard]] Status {
+ public:
+  Status() : code_(ErrorCode::kOk) {}
+  Status(ErrorCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == ErrorCode::kOk; }
+  ErrorCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  std::string to_string() const {
+    if (ok()) return "OK";
+    return std::string(error_code_name(code_)) + ": " + message_;
+  }
+
+ private:
+  ErrorCode code_;
+  std::string message_;
+};
+
+/// Exception envelope for Status on interfaces that return values/cycles.
+class StatusError : public std::runtime_error {
+ public:
+  explicit StatusError(Status status)
+      : std::runtime_error(status.to_string()), status_(std::move(status)) {}
+
+  const Status& status() const { return status_; }
+  ErrorCode code() const { return status_.code(); }
+
+ private:
+  Status status_;
+};
+
+/// Value-or-Status: the non-throwing return shape of the degraded KV API.
+template <typename T>
+class [[nodiscard]] Expected {
+ public:
+  Expected(T value) : value_(std::move(value)) {}               // NOLINT
+  Expected(Status status) : status_(std::move(status)) {}       // NOLINT
+
+  bool has_value() const { return value_.has_value(); }
+  explicit operator bool() const { return has_value(); }
+
+  const T& value() const { return *value_; }
+  T& value() { return *value_; }
+  const T& operator*() const { return *value_; }
+
+  /// Ok when a value is present, the carried error otherwise.
+  const Status& status() const { return status_; }
+
+ private:
+  std::optional<T> value_;
+  Status status_;
+};
+
+namespace internal {
+[[noreturn]] void check_failed(const char* condition, const char* file, int line,
+                               const std::string& message);
+}  // namespace internal
+
+/// Invariant check that survives NDEBUG: throws StatusError(kInvariant).
+#define STEINS_CHECK(cond, msg)                                          \
+  do {                                                                   \
+    if (!(cond)) {                                                       \
+      ::steins::internal::check_failed(#cond, __FILE__, __LINE__, (msg)); \
+    }                                                                    \
+  } while (false)
+
+}  // namespace steins

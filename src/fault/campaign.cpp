@@ -50,6 +50,8 @@ const char* fault_verdict_name(FaultVerdict v) {
       return "detected";
     case FaultVerdict::kRecovered:
       return "recovered";
+    case FaultVerdict::kSalvaged:
+      return "salvaged";
     case FaultVerdict::kSilentCorruption:
       return "silent-corruption";
   }
@@ -81,6 +83,7 @@ TrialOutcome run_fault_trial(const SchemeSpec& spec, FaultClass cls,
   cfg.secure.metadata_cache.size_bytes = workload.mcache_kb * 1024;
   cfg.counter_mode = spec.mode;
   cfg.crypto = CryptoProfile::kFast;
+  cfg.secure.ft = workload.ft;
   std::unique_ptr<SecureMemory> mem = make_scheme(spec.scheme, cfg);
 
   // The workload stream is seeded independently of the fault plan so the
@@ -153,17 +156,27 @@ TrialOutcome run_fault_trial(const SchemeSpec& spec, FaultClass cls,
   } catch (const std::exception& e) {
     return silent(std::move(out), std::string("recovery crashed: ") + e.what());
   }
+  if (!r.status.ok()) {
+    // The salvage contract: recovery never aborts — an error Status smuggled
+    // out of it is an internal failure, scored as the bug it is.
+    return silent(std::move(out), "recovery internal error: " + r.status.to_string());
+  }
   if (!r.supported) {
     return detected(std::move(out), "scheme reports recovery unsupported");
   }
   if (r.attack_detected) {
     return detected(std::move(out), "recovery flagged: " + r.attack_detail);
   }
+  bool degraded = r.degraded();
+  std::uint64_t unavailable_reads = 0;
 
   // Full audit: every block the workload ever wrote must read back as an
   // authentic committed version in [checkpoint, latest]. Acceptance of an
   // in-window version is what makes dropped-but-undetected persists legal:
   // a posted write the crash destroyed was never acknowledged as durable.
+  // A *typed* unavailable error (quarantined/uncorrectable) is the legal
+  // degraded outcome for a block recovery wrote off — refusing service is
+  // the opposite of serving wrong plaintext.
   now = 0;
   for (const auto& [addr, latest] : versions) {
     Block got;
@@ -171,6 +184,13 @@ TrialOutcome run_fault_trial(const SchemeSpec& spec, FaultClass cls,
       now = mem->read_block(addr, now, &got);
     } catch (const IntegrityViolation& e) {
       return detected(std::move(out), std::string("post-recovery read raised: ") + e.what());
+    } catch (const StatusError& e) {
+      if (is_unavailable(e.code())) {
+        degraded = true;
+        ++unavailable_reads;
+        continue;
+      }
+      return silent(std::move(out), std::string("post-recovery read crashed: ") + e.what());
     } catch (const std::exception& e) {
       return silent(std::move(out), std::string("post-recovery read crashed: ") + e.what());
     }
@@ -197,6 +217,8 @@ TrialOutcome run_fault_trial(const SchemeSpec& spec, FaultClass cls,
 
   // Functional epilogue: the recovered tree must accept and verify fresh
   // writes (a recovery that leaves the SIT wedged is not a recovery).
+  // Quarantined targets may refuse with a typed error; that is degraded
+  // service, not a wedge.
   std::uint64_t probes = 0;
   for (const auto& [addr, latest] : versions) {
     (void)latest;
@@ -212,17 +234,37 @@ TrialOutcome run_fault_trial(const SchemeSpec& spec, FaultClass cls,
     } catch (const IntegrityViolation& e) {
       return detected(std::move(out),
                       std::string("post-recovery write path raised: ") + e.what());
+    } catch (const StatusError& e) {
+      if (is_unavailable(e.code())) {
+        degraded = true;
+        continue;
+      }
+      return silent(std::move(out),
+                    std::string("post-recovery write path crashed: ") + e.what());
     } catch (const std::exception& e) {
       return silent(std::move(out),
                     std::string("post-recovery write path crashed: ") + e.what());
     }
   }
 
+  if (degraded) {
+    out.verdict = FaultVerdict::kSalvaged;
+    out.detail = r.summary();
+    if (unavailable_reads > 0) {
+      out.detail += "; " + std::to_string(unavailable_reads) + " audit reads unavailable (typed)";
+    }
+    return out;
+  }
   out.verdict = FaultVerdict::kRecovered;
   return out;
 }
 
 CampaignResult run_fault_campaign(const CampaignOptions& opts) {
+  if (opts.trials == 0 && !opts.only_trial.has_value()) {
+    throw std::invalid_argument(
+        "fault campaign with 0 trials would report vacuous success; "
+        "pass --trials >= 1 or reproduce one index with --trial");
+  }
   CampaignResult result;
   result.options = opts;
   if (result.options.schemes.empty()) {
@@ -271,6 +313,9 @@ CampaignCell CampaignResult::cell(const std::string& scheme, FaultClass cls) con
       case FaultVerdict::kRecovered:
         ++c.recovered;
         break;
+      case FaultVerdict::kSalvaged:
+        ++c.salvaged;
+        break;
       case FaultVerdict::kSilentCorruption:
         ++c.silent;
         break;
@@ -287,6 +332,14 @@ std::uint64_t CampaignResult::silent_total() const {
   return n;
 }
 
+std::uint64_t CampaignResult::salvaged_total() const {
+  std::uint64_t n = 0;
+  for (const TrialOutcome& o : outcomes) {
+    if (o.verdict == FaultVerdict::kSalvaged) ++n;
+  }
+  return n;
+}
+
 std::vector<const TrialOutcome*> CampaignResult::silent_outcomes() const {
   std::vector<const TrialOutcome*> out;
   for (const TrialOutcome& o : outcomes) {
@@ -296,7 +349,8 @@ std::vector<const TrialOutcome*> CampaignResult::silent_outcomes() const {
 }
 
 void CampaignResult::print(bool verbose, std::FILE* out) const {
-  std::fprintf(out, "verdict matrix: detected/recovered/SILENT per (scheme, fault class)\n");
+  std::fprintf(out,
+               "verdict matrix: detected/recovered/salvaged/SILENT per (scheme, fault class)\n");
   int label_w = 10;
   for (const SchemeSpec& s : options.schemes) {
     label_w = std::max(label_w, static_cast<int>(s.label.size()) + 2);
@@ -310,20 +364,23 @@ void CampaignResult::print(bool verbose, std::FILE* out) const {
     std::fprintf(out, "%-*s", label_w, s.label.c_str());
     for (const FaultClass cls : options.classes) {
       const CampaignCell c = cell(s.label, cls);
-      char buf[32];
-      std::snprintf(buf, sizeof buf, "%llu/%llu/%llu",
+      char buf[48];
+      std::snprintf(buf, sizeof buf, "%llu/%llu/%llu/%llu",
                     static_cast<unsigned long long>(c.detected),
                     static_cast<unsigned long long>(c.recovered),
+                    static_cast<unsigned long long>(c.salvaged),
                     static_cast<unsigned long long>(c.silent));
       std::fprintf(out, " %17s", buf);
     }
     std::fprintf(out, "\n");
   }
   const std::uint64_t silent = silent_total();
-  std::fprintf(out, "\ntrials: %llu x %zu schemes  silent-corruption: %llu\n",
+  std::fprintf(out,
+               "\ntrials: %llu x %zu schemes  salvaged: %llu  silent-corruption: %llu\n",
                static_cast<unsigned long long>(
                    options.only_trial.has_value() ? 1 : options.trials),
-               options.schemes.size(), static_cast<unsigned long long>(silent));
+               options.schemes.size(), static_cast<unsigned long long>(salvaged_total()),
+               static_cast<unsigned long long>(silent));
   if (silent > 0 || verbose) {
     for (const TrialOutcome* o : silent_outcomes()) {
       std::fprintf(out, "SILENT trial %llu scheme %s class %s: %s\n  faults: %s\n",
@@ -364,12 +421,13 @@ std::string CampaignResult::to_json() const {
       if (c.total() == 0) continue;
       os << (first ? "" : ",") << "\n  {\"scheme\": \"" << json_escape(s.label)
          << "\", \"class\": \"" << fault_class_name(cls) << "\", \"detected\": " << c.detected
-         << ", \"recovered\": " << c.recovered << ", \"silent_corruption\": " << c.silent
-         << "}";
+         << ", \"recovered\": " << c.recovered << ", \"salvaged\": " << c.salvaged
+         << ", \"silent_corruption\": " << c.silent << "}";
       first = false;
     }
   }
-  os << "\n ],\n \"silent_total\": " << silent_total() << ",\n \"silent_trials\": [";
+  os << "\n ],\n \"salvaged_total\": " << salvaged_total()
+     << ",\n \"silent_total\": " << silent_total() << ",\n \"silent_trials\": [";
   const auto silents = silent_outcomes();
   for (std::size_t i = 0; i < silents.size(); ++i) {
     const TrialOutcome* o = silents[i];

@@ -7,6 +7,11 @@
 //   recovered          recovery ran clean and every block read back as an
 //                      authentic committed version: at least the checkpoint
 //                      (the last full flush), at most the latest write;
+//   salvaged           recovery completed in degraded mode: unverifiable
+//                      lines/subtrees were quarantined, every surviving
+//                      block read back authentic, and reads of quarantined
+//                      blocks failed with a *typed* unavailable error
+//                      (never wrong plaintext);
 //   silent-corruption  wrong plaintext served without any check firing, a
 //                      rollback past the checkpoint, or an unexpected crash
 //                      of the recovery code. Always a real bug.
@@ -27,7 +32,7 @@
 
 namespace steins {
 
-enum class FaultVerdict { kDetected, kRecovered, kSilentCorruption };
+enum class FaultVerdict { kDetected, kRecovered, kSalvaged, kSilentCorruption };
 
 const char* fault_verdict_name(FaultVerdict v);
 
@@ -39,6 +44,15 @@ struct FaultTrialOptions {
   std::uint64_t footprint_blocks = 2048;  // addresses drawn from this range
   std::uint64_t capacity_mb = 16;       // per-trial NVM capacity
   std::uint64_t mcache_kb = 16;         // metadata cache (keeps eviction live)
+  /// Fault-tolerance knobs for the trial instance. ECC is on and the patrol
+  /// scrubber runs every 64 accesses so the quarantine machinery is
+  /// exercised by the campaign (the runtime default leaves scrub off).
+  FaultToleranceConfig ft{.ecc_enabled = true,
+                          .max_read_retries = 3,
+                          .retry_backoff_cycles = 32,
+                          .scrub_interval_accesses = 64,
+                          .scrub_lines_per_epoch = 8,
+                          .scrub_verify_macs = true};
 };
 
 struct TrialOutcome {
@@ -65,8 +79,9 @@ struct CampaignOptions {
 struct CampaignCell {
   std::uint64_t detected = 0;
   std::uint64_t recovered = 0;
+  std::uint64_t salvaged = 0;
   std::uint64_t silent = 0;
-  std::uint64_t total() const { return detected + recovered + silent; }
+  std::uint64_t total() const { return detected + recovered + salvaged + silent; }
 };
 
 struct CampaignResult {
@@ -75,6 +90,7 @@ struct CampaignResult {
 
   CampaignCell cell(const std::string& scheme, FaultClass cls) const;
   std::uint64_t silent_total() const;
+  std::uint64_t salvaged_total() const;
   std::vector<const TrialOutcome*> silent_outcomes() const;
 
   /// Verdict matrix (+ silent trial details when verbose).
@@ -97,6 +113,8 @@ TrialOutcome run_fault_trial(const SchemeSpec& spec, FaultClass cls,
 /// Run the whole matrix. Trial t draws fault class classes[t % size], so
 /// every class gets an equal share of trials; `jobs` > 1 fans cells across
 /// a thread pool with results bit-identical to the sequential run.
+/// Throws std::invalid_argument for an empty campaign (trials == 0 without
+/// an explicit --trial): an empty matrix would report vacuous success.
 CampaignResult run_fault_campaign(const CampaignOptions& opts);
 
 }  // namespace steins

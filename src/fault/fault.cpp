@@ -29,6 +29,8 @@ const char* fault_class_name(FaultClass c) {
       return "flip-mac";
     case FaultClass::kBitFlipRecord:
       return "flip-record";
+    case FaultClass::kCorrectableFlip:
+      return "correctable-flip";
   }
   return "?";
 }
@@ -47,6 +49,7 @@ std::optional<FaultClass> parse_fault_class(std::string_view name) {
   if (name == "node") return FaultClass::kBitFlipNode;
   if (name == "mac") return FaultClass::kBitFlipMac;
   if (name == "record") return FaultClass::kBitFlipRecord;
+  if (name == "correctable" || name == "cflip") return FaultClass::kCorrectableFlip;
   return std::nullopt;
 }
 
@@ -55,6 +58,7 @@ const std::vector<FaultClass>& all_fault_classes() {
       FaultClass::kTornWrite,  FaultClass::kDroppedPersist, FaultClass::kReorderedPersist,
       FaultClass::kAdrLoss,    FaultClass::kBitFlipData,    FaultClass::kBitFlipCounter,
       FaultClass::kBitFlipNode, FaultClass::kBitFlipMac,    FaultClass::kBitFlipRecord,
+      FaultClass::kCorrectableFlip,
   };
   return kAll;
 }
@@ -88,6 +92,9 @@ std::string to_string(const FaultEvent& e) {
       break;
     case FaultEvent::Kind::kFlipTag:
       kind = "flip-tag";
+      break;
+    case FaultEvent::Kind::kCorrectable:
+      kind = "correctable";
       break;
   }
   return std::string(kind) + "@0x" +
@@ -238,10 +245,12 @@ void FaultInjector::drain_crashed_queue(std::vector<QueuedWrite> entries, NvmDev
 }
 
 void FaultInjector::flip_block_bit(NvmDevice& dev, Addr addr) {
-  Block img = dev.peek_block(addr);
+  // Media flips are what the line's ECC sees: record the fault (flipping
+  // the stored image exactly as before) so an ECC-aware reader classifies
+  // the line instead of silently consuming garbage. A stuck cell is beyond
+  // the correction budget, hence uncorrectable.
   const std::uint64_t bit = rng_.below(kBlockSize * 8);
-  img[static_cast<std::size_t>(bit / 8)] ^= static_cast<std::uint8_t>(1u << (bit % 8));
-  dev.poke_block(addr, img);
+  dev.inject_ecc_error(addr, static_cast<unsigned>(bit), /*correctable=*/false, 0);
   events_.push_back({FaultEvent::Kind::kFlipBlock, addr, bit});
 }
 
@@ -249,6 +258,15 @@ void FaultInjector::flip_tag_bit(NvmDevice& dev, Addr addr) {
   const std::uint64_t bit = rng_.below(64);
   dev.write_tag(addr, dev.read_tag(addr) ^ (std::uint64_t{1} << bit));
   events_.push_back({FaultEvent::Kind::kFlipTag, addr, bit});
+}
+
+void FaultInjector::flip_correctable(NvmDevice& dev, Addr addr) {
+  // A marginal cell within the SECDED budget: the golden image stays
+  // recoverable, possibly after a few re-sense retries.
+  const std::uint64_t bit = rng_.below(kBlockSize * 8);
+  const unsigned retries = static_cast<unsigned>(rng_.below(3));
+  dev.inject_ecc_error(addr, static_cast<unsigned>(bit), /*correctable=*/true, retries);
+  events_.push_back({FaultEvent::Kind::kCorrectable, addr, bit});
 }
 
 void FaultInjector::apply_post_crash(SecureMemory& mem) {
@@ -281,8 +299,23 @@ void FaultInjector::apply_post_crash(SecureMemory& mem) {
       lo = geo.aux_base();
       hi = dev.address_limit();
       break;
+    case FaultClass::kCorrectableFlip:
+      // Marginal cells can sit anywhere: data, counters, nodes, or aux.
+      lo = 0;
+      hi = dev.address_limit();
+      break;
     default:
       return;  // queue-fate classes act at drain time only
+  }
+
+  if (plan_.cls == FaultClass::kCorrectableFlip) {
+    const std::vector<Addr> candidates = dev.resident_blocks(lo, hi);
+    if (candidates.empty()) return;
+    for (unsigned i = 0; i < plan_.intensity; ++i) {
+      const Addr addr = candidates[static_cast<std::size_t>(rng_.below(candidates.size()))];
+      flip_correctable(dev, addr);
+    }
+    return;
   }
 
   // Flip bits in resident state only: an untouched (all-zero) block has no

@@ -53,6 +53,7 @@ enum class FaultClass {
   kBitFlipNode,       // media flips in internal SIT nodes
   kBitFlipMac,        // media flips in the ECC-colocated data MAC tags
   kBitFlipRecord,     // media flips in the aux region (records/shadow/bitmap)
+  kCorrectableFlip,   // marginal-cell flips within the ECC correction budget
 };
 
 /// Canonical CLI name, e.g. "torn-write".
@@ -78,7 +79,7 @@ struct FaultPlan {
 
 /// One concrete injected fault, for logs and reproduction reports.
 struct FaultEvent {
-  enum class Kind { kDrop, kTear, kReorder, kFlipBlock, kFlipTag };
+  enum class Kind { kDrop, kTear, kReorder, kFlipBlock, kFlipTag, kCorrectable };
   Kind kind;
   Addr addr = 0;
   std::uint64_t detail = 0;  // torn-word mask / flipped bit index / position
@@ -121,6 +122,7 @@ class FaultInjector {
   void commit(const QueuedWrite& w, NvmDevice& dev);
   void flip_block_bit(NvmDevice& dev, Addr addr);
   void flip_tag_bit(NvmDevice& dev, Addr addr);
+  void flip_correctable(NvmDevice& dev, Addr addr);
 
   FaultPlan plan_;
   Xoshiro256 rng_;

@@ -41,6 +41,9 @@ struct KvCrashReport {
   bool recovery_supported = false;  // scheme claims post-crash recovery
   bool recovery_ok = false;         // recovery ran clean (no attack flagged)
   bool verified = false;            // recovered image == committed model
+  bool salvaged = false;            // recovery degraded but attack-free
+  bool degraded_verified = false;   // every readable key matched the model
+  std::uint64_t keys_unavailable = 0;  // committed keys behind typed errors
   std::uint64_t total_persists = 0; // barriers in the full script
   std::uint64_t crash_at = 0;       // barrier the run was killed before
   std::uint64_t committed_keys = 0; // model size at the crash point
@@ -52,10 +55,13 @@ struct KvCrashReport {
   /// WB passes by being detected as unrecoverable; everything else passes
   /// by recovering a verified image. Under an injected fault, detection
   /// (recovery refusing the image, or a MAC/tree check firing on reopen)
-  /// is equally legal — only silent divergence from the model fails.
+  /// is equally legal, and so is a *salvage*: a degraded recovery where
+  /// every committed key either reads back exactly or fails with a typed
+  /// unavailable error — only silent divergence from the model fails.
   bool pass(Scheme scheme) const {
     if (scheme == Scheme::kWriteBack) return !recovery_supported;
     if (recovery_ok && verified) return true;
+    if (salvaged && degraded_verified) return true;
     return faulted && fault_detected;
   }
 };

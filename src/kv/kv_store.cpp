@@ -1,6 +1,5 @@
 #include "kv/kv_store.hpp"
 
-#include <cassert>
 #include <cstring>
 #include <stdexcept>
 
@@ -35,7 +34,7 @@ std::uint64_t record_checksum(std::uint64_t key, std::uint64_t version,
 }  // namespace
 
 Block encode_record(const KvRecord& rec) {
-  assert(rec.value.size() <= kMaxValueBytes);
+  STEINS_CHECK(rec.value.size() <= kMaxValueBytes, "KV record value overflows its block");
   Block b{};
   const std::uint64_t len = rec.value.size();
   const std::uint64_t sum = record_checksum(rec.key, rec.version, rec.value);
@@ -180,6 +179,72 @@ bool KvStore::erase(std::uint64_t key) {
   write_commit(p.slot, CommitWord{p.word.version + 1, p.word.replica, false});
   persist_barrier(layout_.commit_block_addr(p.slot), "commit");
   return true;
+}
+
+void KvStore::apply_recovery_report(const RecoveryReport& report) {
+  degraded_ = report.degraded();
+  if (report.attack_detected || !report.status.ok()) read_only_ = true;
+}
+
+Expected<std::optional<std::string>> KvStore::try_get(std::uint64_t key) {
+  try {
+    return get(key);
+  } catch (const StatusError& e) {
+    return e.status();
+  }
+}
+
+Status KvStore::try_put(std::uint64_t key, const std::string& value) {
+  if (read_only_) {
+    return Status(ErrorCode::kReadOnly, "KV store is read-only after degraded recovery");
+  }
+  try {
+    put(key, value);
+    return Status::Ok();
+  } catch (const StatusError& e) {
+    return e.status();
+  }
+}
+
+Expected<bool> KvStore::try_erase(std::uint64_t key) {
+  if (read_only_) {
+    return Status(ErrorCode::kReadOnly, "KV store is read-only after degraded recovery");
+  }
+  try {
+    return erase(key);
+  } catch (const StatusError& e) {
+    return e.status();
+  }
+}
+
+KvStore::DegradedDump KvStore::dump_degraded() {
+  DegradedDump out;
+  for (std::size_t s = 0; s < layout_.slots; ++s) {
+    CommitWord w;
+    try {
+      w = read_commit(s);
+    } catch (const StatusError& e) {
+      if (!is_unavailable(e.code())) throw;
+      ++out.slots_unavailable;
+      continue;
+    }
+    if (w.empty() || !w.live) continue;
+    Block b;
+    try {
+      b = sys_.load(layout_.record_addr(s, w.replica));
+    } catch (const StatusError& e) {
+      if (!is_unavailable(e.code())) throw;
+      ++out.slots_unavailable;
+      continue;
+    }
+    KvRecord rec;
+    if (!decode_record(b, &rec) || rec.version != w.version) {
+      throw KvCorruption("slot " + std::to_string(s) +
+                         " holds a committed record that fails validation");
+    }
+    out.live[rec.key] = rec.value;
+  }
+  return out;
 }
 
 std::map<std::uint64_t, std::string> KvStore::dump() {

@@ -26,6 +26,7 @@
 #include <optional>
 #include <string>
 
+#include "common/status.hpp"
 #include "common/types.hpp"
 #include "sim/system.hpp"
 
@@ -118,6 +119,41 @@ class KvStore {
   /// validation and tests use this to diff against a model).
   std::map<std::uint64_t, std::string> dump();
 
+  // Degraded-mode API. After a salvage recovery some lines under the store
+  // are quarantined: the secure path fails reads of them with a *typed*
+  // StatusError instead of plaintext. The try_ variants convert those into
+  // Status values so a service can keep running; the throwing API above is
+  // unchanged (a typed error simply propagates).
+
+  /// Adopt the outcome of System::crash_and_recover(). A detected attack or
+  /// an internal recovery failure means the tree was never re-armed: the
+  /// store freezes into read-only mode, still serving whatever verifies.
+  /// A clean-but-degraded salvage stays writable — quarantined slots just
+  /// answer with typed errors until their lines are remapped and rewritten.
+  void apply_recovery_report(const RecoveryReport& report);
+
+  bool read_only() const { return read_only_; }
+  void set_read_only(bool ro) { read_only_ = ro; }
+  /// True when the last applied recovery report salvaged (lost) anything.
+  bool degraded() const { return degraded_; }
+
+  /// get() that returns the unavailability instead of throwing. The outer
+  /// layer distinguishes "absent" (ok + nullopt) from "unreadable" (error).
+  Expected<std::optional<std::string>> try_get(std::uint64_t key);
+
+  /// put() guarded by read-only mode; unavailable lines yield their Status.
+  Status try_put(std::uint64_t key, const std::string& value);
+
+  /// erase() with the same contract; value is "was present".
+  Expected<bool> try_erase(std::uint64_t key);
+
+  /// dump() that skips unreadable slots instead of throwing on them.
+  struct DegradedDump {
+    std::map<std::uint64_t, std::string> live;
+    std::uint64_t slots_unavailable = 0;  // commit word or record unreadable
+  };
+  DegradedDump dump_degraded();
+
   /// Number of persist (clwb+fence) barriers issued so far.
   std::uint64_t persists() const { return persists_; }
 
@@ -148,6 +184,8 @@ class KvStore {
   KvLayout layout_;
   PersistHook hook_;
   std::uint64_t persists_ = 0;
+  bool read_only_ = false;
+  bool degraded_ = false;
 };
 
 }  // namespace steins::kv

@@ -24,6 +24,7 @@ void NvmDevice::write_block(Addr addr, const Block& data) {
   ++stats_.writes;
   stats_.energy_nj += cfg_.write_energy_nj;
   blocks_[align(addr)] = data;
+  ecc_faults_.erase(align(addr));  // a full-line write lays a fresh codeword
 }
 
 std::uint64_t NvmDevice::read_tag(Addr addr) const {
@@ -54,6 +55,81 @@ Block NvmDevice::peek_block(Addr addr) const {
 void NvmDevice::poke_block(Addr addr, const Block& data) {
   check_limit(addr);
   blocks_[align(addr)] = data;
+  ecc_faults_.erase(align(addr));
+}
+
+void NvmDevice::inject_ecc_error(Addr addr, unsigned bit, bool correctable,
+                                 unsigned retries) {
+  check_limit(addr);
+  const Addr line = align(addr);
+  Block image = peek_block(line);
+  auto it = ecc_faults_.find(line);
+  if (it == ecc_faults_.end()) {
+    EccLineState st;
+    st.golden = image;
+    st.uncorrectable = !correctable;
+    st.retries_needed = correctable ? retries : 0;
+    it = ecc_faults_.emplace(line, st).first;
+  } else {
+    // A second independent fault exceeds the SECDED correction budget.
+    it->second.uncorrectable = true;
+    it->second.retries_needed = 0;
+  }
+  image[bit / 8] = static_cast<std::uint8_t>(image[bit / 8] ^ (1u << (bit % 8)));
+  blocks_[line] = image;
+}
+
+bool NvmDevice::ecc_uncorrectable(Addr addr) const {
+  auto it = ecc_faults_.find(align(addr));
+  return it != ecc_faults_.end() && it->second.uncorrectable;
+}
+
+NvmDevice::EccRead NvmDevice::read_block_ecc(Addr addr, Block* out) {
+  ++stats_.reads;
+  stats_.energy_nj += cfg_.read_energy_nj;
+  const Addr line = align(addr);
+  auto it = ecc_faults_.find(line);
+  if (it == ecc_faults_.end()) {
+    *out = peek_block(line);
+    return EccRead::kClean;
+  }
+  if (it->second.uncorrectable) {
+    ++stats_.ecc_uncorrectable_reads;
+    *out = peek_block(line);
+    return EccRead::kUncorrectable;
+  }
+  if (it->second.retries_needed > 0) {
+    --it->second.retries_needed;
+    ++stats_.ecc_retry_reads;
+    *out = peek_block(line);
+    return EccRead::kNeedsRetry;
+  }
+  ++stats_.ecc_corrected_reads;
+  *out = it->second.golden;
+  return EccRead::kCorrected;
+}
+
+Block NvmDevice::peek_corrected(Addr addr, bool* uncorrectable) const {
+  const Addr line = align(addr);
+  auto it = ecc_faults_.find(line);
+  if (it == ecc_faults_.end()) {
+    if (uncorrectable != nullptr) *uncorrectable = false;
+    return peek_block(line);
+  }
+  if (uncorrectable != nullptr) *uncorrectable = it->second.uncorrectable;
+  return it->second.uncorrectable ? peek_block(line) : it->second.golden;
+}
+
+bool NvmDevice::remap_line(Addr addr) {
+  if (remap_pool_free_ == 0) return false;
+  --remap_pool_free_;
+  const Addr line = align(addr);
+  ecc_faults_.erase(line);
+  blocks_.erase(line);
+  tags_.erase(line);
+  tags2_.erase(line);
+  ++stats_.lines_remapped;
+  return true;
 }
 
 std::vector<Addr> NvmDevice::resident_blocks(Addr lo, Addr hi) const {

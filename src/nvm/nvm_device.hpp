@@ -23,6 +23,11 @@ struct NvmStats {
   std::uint64_t reads = 0;
   std::uint64_t writes = 0;
   double energy_nj = 0.0;
+  // ECC model counters.
+  std::uint64_t ecc_corrected_reads = 0;
+  std::uint64_t ecc_retry_reads = 0;
+  std::uint64_t ecc_uncorrectable_reads = 0;
+  std::uint64_t lines_remapped = 0;
 
   void reset() { *this = NvmStats{}; }
 };
@@ -30,7 +35,8 @@ struct NvmStats {
 class NvmDevice {
  public:
   explicit NvmDevice(const NvmConfig& cfg)
-      : cfg_(cfg), limit_(address_limit(cfg)) {}
+      : cfg_(cfg), limit_(address_limit(cfg)),
+        remap_pool_free_(cfg.remap_pool_lines) {}
 
   /// Functional block read; counts a device read + energy.
   Block read_block(Addr addr);
@@ -55,6 +61,46 @@ class NvmDevice {
   /// Peek without charging traffic (attacker / test / snapshot use).
   Block peek_block(Addr addr) const;
   void poke_block(Addr addr, const Block& data);  // attacker mutation
+
+  // --- Per-line ECC model -------------------------------------------------
+  //
+  // A line can carry at most one ECC fault record. A correctable fault keeps
+  // the pre-fault ("golden") image recoverable after `retries` re-reads; the
+  // stored image itself is flipped, so plain read_block/peek_block return
+  // corrupted bytes exactly as before this model existed. A second fault on
+  // an already-faulted line exceeds SECDED's correction budget and escalates
+  // to uncorrectable. Any full-line write lays down a fresh codeword and
+  // clears the fault.
+
+  /// Outcome of an ECC-aware read attempt.
+  enum class EccRead { kClean, kCorrected, kNeedsRetry, kUncorrectable };
+
+  /// Flip `bit` of the stored image and record the ECC fault. `retries` is
+  /// the number of kNeedsRetry results a correctable fault yields before a
+  /// read finally corrects (models marginal cells needing re-sensing).
+  void inject_ecc_error(Addr addr, unsigned bit, bool correctable,
+                        unsigned retries);
+
+  bool has_ecc_faults() const { return !ecc_faults_.empty(); }
+  bool ecc_faulted(Addr addr) const { return ecc_faults_.contains(align(addr)); }
+  bool ecc_uncorrectable(Addr addr) const;
+
+  /// ECC-aware read: counts a device read; decrements the retry budget on
+  /// kNeedsRetry. On kCorrected, *out holds the golden image; on kClean the
+  /// stored image; otherwise the corrupted stored image.
+  EccRead read_block_ecc(Addr addr, Block* out);
+
+  /// Peek through ECC without charging traffic: golden image for a
+  /// correctable fault, stored (corrupt) image otherwise. Sets *uncorrectable
+  /// when the line's content is unrecoverable.
+  Block peek_corrected(Addr addr, bool* uncorrectable) const;
+
+  /// Retire an uncorrectable line to a spare from the remap pool. Clears the
+  /// fault and drops the stale block/tag images (the spare starts blank).
+  /// Returns false when the pool is exhausted.
+  bool remap_line(Addr addr);
+
+  std::size_t remap_pool_free() const { return remap_pool_free_; }
 
   bool contains(Addr addr) const { return blocks_.contains(align(addr)); }
 
@@ -82,12 +128,20 @@ class NvmDevice {
 
   void check_limit(Addr addr) const;
 
+  struct EccLineState {
+    Block golden{};            // pre-fault image (valid while correctable)
+    bool uncorrectable = false;
+    unsigned retries_needed = 0;
+  };
+
   NvmConfig cfg_;
   Addr limit_;
   NvmStats stats_;
+  std::size_t remap_pool_free_;
   std::unordered_map<Addr, Block> blocks_;
   std::unordered_map<Addr, std::uint64_t> tags_;
   std::unordered_map<Addr, std::uint64_t> tags2_;
+  std::unordered_map<Addr, EccLineState> ecc_faults_;
 };
 
 }  // namespace steins

@@ -1,14 +1,13 @@
 #include "schemes/anubis.hpp"
 
-#include <cassert>
 #include <cstring>
 #include <unordered_map>
 
 namespace steins {
 
 AnubisMemory::AnubisMemory(const SystemConfig& cfg) : SecureMemoryBase(cfg) {
-  assert(cfg.counter_mode == CounterMode::kGeneral &&
-         "ASIT is evaluated with general counter blocks only (paper §IV)");
+  STEINS_CHECK(cfg.counter_mode == CounterMode::kGeneral,
+               "ASIT is evaluated with general counter blocks only (paper §IV)");
   shadow_base_ = geo_.aux_base();
   std::size_t n = mcache_.num_lines();
   tree_.emplace_back(n, 0);
@@ -60,7 +59,7 @@ void AnubisMemory::update_tree_path(std::size_t line_idx, Cycle&) {
 void AnubisMemory::on_node_modified(NodeId id, Cycle& now) {
   const Addr addr = geo_.node_addr(id);
   const std::int64_t line_idx = mcache_.line_index(addr);
-  assert(line_idx >= 0 && "modified node must be cached");
+  STEINS_CHECK(line_idx >= 0, "modified node must be cached");
   const MetadataLine* line = mcache_.peek(addr);
   const Block image = line->payload.to_block(0);
 
@@ -87,13 +86,27 @@ void AnubisMemory::crash() {
   }
 }
 
-RecoveryResult AnubisMemory::recover() {
-  RecoveryResult result;
-  recovering_ = true;
-  recovery_reads_ = 0;
-  recovery_writes_ = 0;
+RecoveryReport AnubisMemory::recover() {
+  RecoveryReport result;
+  recovery_prologue();
+  try {
+    recover_impl(result);
+  } catch (const IntegrityViolation& e) {
+    if (!result.attack_detected) {
+      result.attack_detected = true;
+      result.attack_detail = e.what();
+    }
+  } catch (const StatusError& e) {
+    result.status = e.status();
+  } catch (const std::exception& e) {
+    result.status = Status(ErrorCode::kInternal, e.what());
+  }
+  return finish_recovery(std::move(result));
+}
 
+void AnubisMemory::recover_impl(RecoveryReport& result) {
   const std::size_t lines = mcache_.num_lines();
+  bool ecc_evidence = false;
 
   // Pass 1: read every shadow entry, rebuild the cache-tree, compare roots.
   std::vector<Block> images(lines);
@@ -102,16 +115,34 @@ RecoveryResult AnubisMemory::recover() {
     const Addr saddr = shadow_addr(i);
     ++recovery_reads_;
     if (!dev_.contains(saddr)) continue;
-    images[i] = dev_.peek_block(saddr);
+    bool dead = false;
+    const Block img = dev_.peek_corrected(saddr, &dead);
+    if (dead) {
+      // The entry's latest node image is gone. Its identity survives in the
+      // ECC-colocated tag: quarantine the data the lost node covered and
+      // keep replaying every other entry.
+      ecc_evidence = true;
+      result.tracking_degraded = true;
+      NodeId id;
+      if (decode_id(dev_.read_tag(saddr), &id)) {
+        quarantine_node_subtree(id, QuarantineReason::kEccMeta);
+      }
+      continue;
+    }
+    images[i] = img;
     present[i] = true;
-    tree_[0][i] = leaf_mac(images[i], i);
+    tree_[0][i] = leaf_mac(img, i);
   }
   recompute_internals();
   if (tree_.back()[0] != root_reg_) {
-    result.attack_detected = true;
-    result.attack_detail = "ASIT cache-tree root mismatch: shadow table corrupted";
-    recovering_ = false;
-    return result;
+    if (!ecc_evidence) {
+      result.attack_detected = true;
+      result.attack_detail = "ASIT cache-tree root mismatch: shadow table corrupted";
+      return;
+    }
+    // Lost entries make the aggregate root unprovable; the replay below is
+    // individually cross-checked against NVM images and anything tampered
+    // still fails its node/data MAC at first use. Proceed degraded.
   }
 
   // Pass 2: replay shadow entries into the metadata cache. A node can
@@ -138,8 +169,14 @@ RecoveryResult AnubisMemory::recover() {
     // the node is clean and current in NVM.
     if (dev_.contains(addr)) {
       ++recovery_reads_;
-      const SitNode nvm_node = SitNode::from_block(node.id, false, dev_.peek_block(addr));
-      if (nvm_node.parent_value() >= node.parent_value()) continue;
+      bool dead = false;
+      const Block nvm_img = dev_.peek_corrected(addr, &dead);
+      if (!dead) {
+        const SitNode nvm_node = SitNode::from_block(node.id, false, nvm_img);
+        if (nvm_node.parent_value() >= node.parent_value()) continue;
+      }
+      // Dead NVM copy: the shadow entry is the only readable version —
+      // install it; re-persisting lays down a fresh codeword.
     }
     auto victim = mcache_.insert(addr, true, node, &line);
     if (victim && victim->dirty) {
@@ -151,13 +188,6 @@ RecoveryResult AnubisMemory::recover() {
     on_node_modified(node.id, t);
     ++result.nodes_recovered;
   }
-
-  recovering_ = false;
-  result.nvm_reads = recovery_reads_;
-  result.nvm_writes = recovery_writes_;
-  result.seconds = static_cast<double>(recovery_reads_) * cfg_.secure.recovery_read_ns * 1e-9 +
-                   static_cast<double>(recovery_writes_) * cfg_.nvm.t_wr_ns * 1e-9;
-  return result;
 }
 
 }  // namespace steins

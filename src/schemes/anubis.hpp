@@ -55,6 +55,9 @@ class AnubisMemory : public SecureMemoryBase {
   /// Recompute every internal cache-tree level from the current leaf MACs.
   void recompute_internals();
 
+  /// Recovery body; recover() wraps it so every exit yields a report.
+  void recover_impl(RecoveryReport& result);
+
   Addr shadow_base_;
   // tree_[0] = leaf MACs (one per cache line), tree_.back() = root (size 1).
   std::vector<std::vector<std::uint64_t>> tree_;

@@ -1,13 +1,12 @@
 #include "schemes/scue.hpp"
 
-#include <cassert>
 #include <vector>
 
 namespace steins {
 
 ScueMemory::ScueMemory(const SystemConfig& cfg) : SecureMemoryBase(cfg) {
-  assert(cfg.counter_mode == CounterMode::kGeneral &&
-         "SCUE does not employ split counter blocks (paper §I)");
+  STEINS_CHECK(cfg.counter_mode == CounterMode::kGeneral,
+               "SCUE does not employ split counter blocks (paper §I)");
 }
 
 Cycle ScueMemory::persist_node(SitNode& node, Cycle now) {
@@ -48,35 +47,75 @@ SecureMemoryBase::CounterBump ScueMemory::bump_leaf_counter(MetadataLine& leaf,
 }
 
 RecoveryResult ScueMemory::recover() {
-  // Reconstruct the whole tree from all the leaf nodes (paper §II-D).
-  RecoveryResult result;
-  recovering_ = true;
-  recovery_reads_ = 0;
-  recovery_writes_ = 0;
+  RecoveryReport result;
+  recovery_prologue();
+  try {
+    recover_impl(result);
+  } catch (const IntegrityViolation& e) {
+    if (!result.attack_detected) {
+      result.attack_detected = true;
+      result.attack_detail = e.what();
+    }
+  } catch (const StatusError& e) {
+    result.status = e.status();
+  } catch (const std::exception& e) {
+    result.status = Status(ErrorCode::kInternal, e.what());
+  }
+  return finish_recovery(std::move(result));
+}
 
+void ScueMemory::recover_impl(RecoveryReport& result) {
+  // Reconstruct the whole tree from all the leaf nodes (paper §II-D).
+  // Losses to uncorrectable ECC faults quarantine the affected leaf or data
+  // line and void the Recovery_root comparison (the sum is incomplete); the
+  // rest of the tree is still rebuilt and served.
+  bool degraded_scan = false;
   std::uint64_t leaf_sum = 0;
   std::vector<SitNode> level(geo_.level_count(0));
   for (std::uint64_t i = 0; i < geo_.level_count(0); ++i) {
     const NodeId id{0, i};
     const Addr addr = geo_.node_addr(id);
     ++recovery_reads_;
-    SitNode node = SitNode::from_block(id, false, dev_.peek_block(addr));
+    bool leaf_dead = false;
+    SitNode node = SitNode::from_block(id, false, dev_.peek_corrected(addr, &leaf_dead));
+    if (dev_.contains(addr) && leaf_dead) {
+      // The stale leaf is gone: its counters have no trustworthy base, so
+      // the covered data is blocked. The rebuild installs a zeroed leaf.
+      quarantine_node_subtree(id, QuarantineReason::kEccMeta);
+      degraded_scan = true;
+      level[i] = SitNode{};
+      level[i].id = id;
+      continue;
+    }
     for (std::size_t j = 0; j < kGeneralArity; ++j) {
       const std::uint64_t block = i * kGeneralArity + j;
       if (block >= geo_.data_blocks()) break;
       const Addr daddr = block * kBlockSize;
       ++recovery_reads_;
+      if (qmap_.read_blocked(daddr)) {
+        // Previously quarantined line: its counter has no recoverable base.
+        degraded_scan = true;
+        continue;
+      }
       if (!dev_.contains(daddr)) {
-        if (node.gc.counters[j] != 0) {
-          result.attack_detected = true;
-          result.attacked_level = 0;
-          result.attack_detail = "data block erased during SCUE recovery";
-          recovering_ = false;
-          return result;
+        if (node.gc.counters[j] != 0 && !qmap_.read_blocked(daddr)) {
+          if (!result.attack_detected) {
+            result.attack_detected = true;
+            result.attacked_level = 0;
+            result.attack_detail = "data block erased during SCUE recovery";
+          }
+          quarantine_data_line(daddr, QuarantineReason::kLost);
+          degraded_scan = true;
         }
         continue;
       }
-      const Block ct = dev_.peek_block(daddr);
+      bool dead = false;
+      const Block ct = dev_.peek_corrected(daddr, &dead);
+      if (dead) {
+        quarantine_data_line(daddr, QuarantineReason::kEccData);
+        degraded_scan = true;
+        continue;  // stale counter stays; reads of the line are blocked
+      }
       const std::uint64_t tag = dev_.read_tag(daddr);
       bool found = false;
       for (std::uint64_t c = node.gc.counters[j]; c <= node.gc.counters[j] + kStopLoss; ++c) {
@@ -87,24 +126,30 @@ RecoveryResult ScueMemory::recover() {
         }
       }
       if (!found) {
-        result.attack_detected = true;
-        result.attacked_level = 0;
-        result.attack_detail = "SCUE leaf counter not recoverable (tamper/replay)";
-        recovering_ = false;
-        return result;
+        if (!result.attack_detected) {
+          result.attack_detected = true;
+          result.attacked_level = 0;
+          result.attack_detail = "SCUE leaf counter not recoverable (tamper/replay)";
+        }
+        quarantine_data_line(daddr, QuarantineReason::kLost);
+        degraded_scan = true;
       }
     }
     leaf_sum += node.parent_value();
     level[i] = node;
   }
+  if (degraded_scan) result.tracking_degraded = true;
 
   // The Recovery_root check: replayed data/leaves make the sum fall short.
-  if (leaf_sum != recovery_root_) {
+  // An incomplete (degraded) sum proves nothing either way, so it is only
+  // compared when the scan covered everything.
+  if (!degraded_scan && leaf_sum != recovery_root_) {
     result.attack_detected = true;
     result.attack_detail = "Recovery_root mismatch: leaf counter sum regressed (replay)";
-    recovering_ = false;
-    return result;
+    return;
   }
+  // A detected attack is terminal: report it without re-arming the tree.
+  if (result.attack_detected) return;
 
   // Rebuild every level from the sums and persist the whole tree.
   for (unsigned k = 0;; ++k) {
@@ -131,13 +176,9 @@ RecoveryResult ScueMemory::recover() {
     }
     level = std::move(parents);
   }
-
-  recovering_ = false;
-  result.nvm_reads = recovery_reads_;
-  result.nvm_writes = recovery_writes_;
-  result.seconds = static_cast<double>(recovery_reads_) * cfg_.secure.recovery_read_ns * 1e-9 +
-                   static_cast<double>(recovery_writes_) * cfg_.nvm.t_wr_ns * 1e-9;
-  return result;
+  // Re-sync Recovery_root to the rebuilt (possibly degraded) tree so the
+  // next crash compares against what is actually installed.
+  if (degraded_scan) recovery_root_ = leaf_sum;
 }
 
 }  // namespace steins

@@ -36,6 +36,9 @@ class ScueMemory : public SecureMemoryBase {
   CounterBump bump_leaf_counter(MetadataLine& leaf, std::size_t slot, Cycle& now) override;
 
  private:
+  /// Recovery body; recover() wraps it so every exit yields a report.
+  void recover_impl(RecoveryReport& result);
+
   std::uint64_t recovery_root_ = 0;  // on-chip NV register: sum of leaf counters
 };
 

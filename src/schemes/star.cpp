@@ -1,7 +1,6 @@
 #include "schemes/star.hpp"
 
 #include <algorithm>
-#include <cassert>
 #include <cstring>
 
 namespace steins {
@@ -26,8 +25,8 @@ StarMemory::StarMemory(const SystemConfig& cfg)
     : SecureMemoryBase(cfg),
       bitmap_cache_(cfg.secure.record_lines_cached * kBlockSize,
                     static_cast<unsigned>(cfg.secure.record_lines_cached)) {
-  assert(cfg.counter_mode == CounterMode::kGeneral &&
-         "STAR is evaluated with general counter blocks only (paper §IV)");
+  STEINS_CHECK(cfg.counter_mode == CounterMode::kGeneral,
+               "STAR is evaluated with general counter blocks only (paper §IV)");
   bitmap_base_ = geo_.aux_base();
   bitmap_lines_ = (geo_.total_nodes() + kNodesPerBitmapLine - 1) / kNodesPerBitmapLine;
 
@@ -183,18 +182,49 @@ void StarMemory::crash() {
 }
 
 RecoveryResult StarMemory::recover() {
-  RecoveryResult result;
-  recovering_ = true;
-  recovery_reads_ = 0;
-  recovery_writes_ = 0;
+  RecoveryReport result;
+  recovery_prologue();
+  try {
+    recover_impl(result);
+  } catch (const IntegrityViolation& e) {
+    if (!result.attack_detected) {
+      result.attack_detected = true;
+      result.attack_detail = e.what();
+    }
+  } catch (const StatusError& e) {
+    result.status = e.status();
+  } catch (const std::exception& e) {
+    result.status = Status(ErrorCode::kInternal, e.what());
+  }
+  return finish_recovery(std::move(result));
+}
+
+void StarMemory::recover_impl(RecoveryReport& result) {
+  bool ecc_evidence = false;
 
   // Scan the multi-layer bitmap: the upper layer tells us which bitmap
-  // lines are nonzero; read only those.
+  // lines are nonzero; read only those. A line whose content is lost to an
+  // uncorrectable ECC fault falls back to taking every node it covers as a
+  // candidate — a superset of the dirty bits it recorded.
   recovery_reads_ += (bitmap_lines_ + kNodesPerBitmapLine - 1) / kNodesPerBitmapLine;
   std::vector<NodeId> dirty_nodes;
+  std::vector<std::pair<NodeId, bool>> candidates;  // (node, from_fallback)
   for (const std::uint64_t line : nonzero_lines_) {
     ++recovery_reads_;
-    const auto bits = decode_bitmap(dev_.peek_block(bitmap_line_addr(line)));
+    bool dead = false;
+    const Block raw = dev_.peek_corrected(bitmap_line_addr(line), &dead);
+    if (dead) {
+      ecc_evidence = true;
+      result.tracking_degraded = true;
+      const std::uint64_t first = line * kNodesPerBitmapLine;
+      const std::uint64_t last = std::min<std::uint64_t>(first + kNodesPerBitmapLine,
+                                                         geo_.total_nodes());
+      for (std::uint64_t flat = first; flat < last; ++flat) {
+        candidates.emplace_back(geo_.node_at_offset(static_cast<std::uint32_t>(flat)), true);
+      }
+      continue;
+    }
+    const auto bits = decode_bitmap(raw);
     for (std::size_t w = 0; w < bits.size(); ++w) {
       std::uint64_t word = bits[w];
       while (word != 0) {
@@ -202,18 +232,30 @@ RecoveryResult StarMemory::recover() {
         word &= word - 1;
         const std::uint64_t flat = line * kNodesPerBitmapLine + w * 64 + b;
         if (flat < geo_.total_nodes()) {
-          dirty_nodes.push_back(geo_.node_at_offset(static_cast<std::uint32_t>(flat)));
+          candidates.emplace_back(geo_.node_at_offset(static_cast<std::uint32_t>(flat)), false);
         }
       }
     }
   }
 
-  // Reconstruct each dirty node: splice the parent-counter LSBs stored in
-  // each persistent child onto the stale counters.
-  for (const NodeId id : dirty_nodes) {
+  // Reconstruct each candidate node: splice the parent-counter LSBs stored
+  // in each persistent child onto the stale counters. Fallback candidates
+  // are only installed when splicing changed something — a clean node
+  // splices to itself, and installing it dirty would corrupt the set-MACs.
+  for (const auto& [id, from_fallback] : candidates) {
     const Addr addr = geo_.node_addr(id);
     ++recovery_reads_;
-    SitNode node = SitNode::from_block(id, false, dev_.peek_block(addr));
+    if (from_fallback && !dev_.contains(addr)) continue;  // never persisted
+    bool dead = false;
+    SitNode node = SitNode::from_block(id, false, dev_.peek_corrected(addr, &dead));
+    if (dead) {
+      // The stale base for LSB splicing is gone: the node and everything
+      // under it cannot be re-verified.
+      ecc_evidence = true;
+      quarantine_node_subtree(id, QuarantineReason::kEccMeta);
+      continue;
+    }
+    const SitNode stale = node;
 
     for (std::size_t j = 0; j < kTreeArity; ++j) {
       Addr child_addr;
@@ -229,31 +271,28 @@ RecoveryResult StarMemory::recover() {
       if (!dev_.contains(child_addr)) continue;  // never written: counter 0
       node.gc.counters[j] = reconstruct_counter(node.gc.counters[j], dev_.read_tag2(child_addr));
     }
+    if (from_fallback && node.gc.counters == stale.gc.counters) continue;
 
-    const Addr naddr = geo_.node_addr(id);
-    if (mcache_.peek(naddr) == nullptr) {
-      mcache_.insert(naddr, true, node);
+    if (mcache_.peek(addr) == nullptr) {
+      mcache_.insert(addr, true, node);
       ++result.nodes_recovered;
     }
   }
 
   // Verify: rebuild every set-MAC and the cache-tree root, compare with the
-  // non-volatile root register.
+  // non-volatile root register. With ECC losses in the walk the recovered
+  // dirty set provably differs from the pre-crash one (quarantined nodes
+  // are missing), so a mismatch is degradation, not an attack verdict.
   rebuild_tree();
   if (tree_.back()[0] != root_reg_) {
-    result.attack_detected = true;
-    result.attack_detail = "STAR cache-tree root mismatch: recovered dirty set corrupted";
-    recovering_ = false;
-    return result;
+    if (!ecc_evidence) {
+      result.attack_detected = true;
+      result.attack_detail = "STAR cache-tree root mismatch: recovered dirty set corrupted";
+      return;
+    }
+    result.tracking_degraded = true;
   }
   root_reg_ = tree_.back()[0];
-
-  recovering_ = false;
-  result.nvm_reads = recovery_reads_;
-  result.nvm_writes = recovery_writes_;
-  result.seconds = static_cast<double>(recovery_reads_) * cfg_.secure.recovery_read_ns * 1e-9 +
-                   static_cast<double>(recovery_writes_) * cfg_.nvm.t_wr_ns * 1e-9;
-  return result;
 }
 
 }  // namespace steins

@@ -66,6 +66,9 @@ class StarMemory : public SecureMemoryBase {
   /// Splice stored LSBs onto a stale counter, adding carry if needed.
   static std::uint64_t reconstruct_counter(std::uint64_t stale, std::uint64_t lsbs);
 
+  /// Recovery body; recover() wraps it so every exit yields a report.
+  void recover_impl(RecoveryReport& result);
+
   Addr bitmap_base_;
   std::uint64_t bitmap_lines_;
   SetAssocCache<BitmapLine> bitmap_cache_;

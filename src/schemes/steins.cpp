@@ -1,7 +1,6 @@
 #include "schemes/steins.hpp"
 
 #include <algorithm>
-#include <cassert>
 #include <cstring>
 
 namespace steins {
@@ -14,6 +13,15 @@ std::array<std::uint32_t, 16> decode_record(const Block& b) {
   return offsets;
 }
 
+/// Record the first attack observed during the walk; later ones are
+/// secondary (localization reports the initial failure site).
+void note_attack(RecoveryReport* r, int level, std::string detail) {
+  if (r->attack_detected) return;
+  r->attack_detected = true;
+  r->attacked_level = level;
+  r->attack_detail = std::move(detail);
+}
+
 }  // namespace
 
 SteinsMemory::SteinsMemory(const SystemConfig& cfg)
@@ -22,13 +30,14 @@ SteinsMemory::SteinsMemory(const SystemConfig& cfg)
                     static_cast<unsigned>(cfg.secure.record_lines_cached)),
       lincs_(geo_.num_levels(), 0),
       nv_buffer_capacity_(cfg.secure.nv_buffer_bytes / 16) {
-  assert(geo_.num_levels() <= 8 && "all LIncs must fit one 64 B NV register (paper §III-D)");
-  assert(cfg.update_policy == UpdatePolicy::kLazy &&
-         "Steins' counter generation is defined for the lazy update scheme");
+  STEINS_CHECK(geo_.num_levels() <= 8,
+               "all LIncs must fit one 64 B NV register (paper §III-D)");
+  STEINS_CHECK(cfg.update_policy == UpdatePolicy::kLazy,
+               "Steins' counter generation is defined for the lazy update scheme");
   record_base_ = geo_.aux_base();
   record_lines_ =
       (mcache_.num_lines() + kOffsetsPerRecordLine - 1) / kOffsetsPerRecordLine;
-  assert(nv_buffer_capacity_ > 0);
+  STEINS_CHECK(nv_buffer_capacity_ > 0, "NV parent buffer must hold at least one entry");
 }
 
 // ---------------------------------------------------------------------------
@@ -55,7 +64,7 @@ void SteinsMemory::flush_record_line(Addr laddr, const RecordLine& line, Cycle& 
 void SteinsMemory::write_record(NodeId id, Cycle& now) {
   const Addr addr = geo_.node_addr(id);
   const std::int64_t line_idx = mcache_.line_index(addr);
-  assert(line_idx >= 0 && "dirtied node must be cached");
+  STEINS_CHECK(line_idx >= 0, "dirtied node must be cached");
   const std::size_t rec_line = static_cast<std::size_t>(line_idx) / kOffsetsPerRecordLine;
   const std::size_t slot = static_cast<std::size_t>(line_idx) % kOffsetsPerRecordLine;
   const Addr laddr = record_line_addr(rec_line);
@@ -250,7 +259,25 @@ void SteinsMemory::crash() {
   record_cache_.clear();
 }
 
+bool SteinsMemory::in_quarantined(const RecoveryCtx& ctx, NodeId id) {
+  for (const auto& [ql, qi] : ctx.quarantined) {
+    if (id.level > ql) continue;
+    // kTreeArity = 8: indexes shrink by 3 bits per level climbed.
+    if ((id.index >> (3 * (ql - id.level))) == qi) return true;
+  }
+  return false;
+}
+
+void SteinsMemory::quarantine_subtree_ctx(NodeId id, RecoveryCtx& ctx,
+                                          QuarantineReason reason) {
+  if (in_quarantined(ctx, id)) return;
+  ctx.quarantined.emplace_back(id.level, id.index);
+  ctx.linc_skip = true;  // the subtree's counter increases are unknowable
+  quarantine_node_subtree(id, reason);
+}
+
 bool SteinsMemory::recovery_counters(NodeId id, RecoveryCtx& ctx, SitNode* out) {
+  if (in_quarantined(ctx, id)) return false;
   const std::uint64_t key = flat_key(geo_, id);
   if (auto it = ctx.recovered.find(key); it != ctx.recovered.end()) {
     *out = it->second;
@@ -263,9 +290,14 @@ bool SteinsMemory::recovery_counters(NodeId id, RecoveryCtx& ctx, SitNode* out) 
   const Addr addr = geo_.node_addr(id);
   const bool exists = dev_.contains(addr);
   ++recovery_reads_;
+  bool dead = false;
   std::uint64_t stored = 0;
   SitNode node = SitNode::from_block(id, leaf_is_split() && id.level == 0,
-                                     dev_.peek_block(addr), &stored);
+                                     dev_.peek_corrected(addr, &dead), &stored);
+  if (exists && dead) {
+    quarantine_subtree_ctx(id, ctx, QuarantineReason::kEccMeta);
+    return false;
+  }
 
   std::uint64_t pc = 0;
   if (geo_.is_top_level(id)) {
@@ -278,16 +310,15 @@ bool SteinsMemory::recovery_counters(NodeId id, RecoveryCtx& ctx, SitNode* out) 
   if (exists) {
     const std::uint64_t mac = cme_.mac().node_mac(node.payload(), addr, pc);
     if (mac != stored) {
-      ctx.result->attack_detected = true;
-      ctx.result->attacked_level = static_cast<int>(id.level);
-      ctx.result->attack_detail =
-          "tampered SIT node detected by HMAC at level " + std::to_string(id.level);
+      note_attack(ctx.result, static_cast<int>(id.level),
+                  "tampered SIT node detected by HMAC at level " + std::to_string(id.level));
+      quarantine_subtree_ctx(id, ctx, QuarantineReason::kLost);
       return false;
     }
   } else if (pc != 0) {
-    ctx.result->attack_detected = true;
-    ctx.result->attacked_level = static_cast<int>(id.level);
-    ctx.result->attack_detail = "SIT node erased (missing with nonzero parent counter)";
+    note_attack(ctx.result, static_cast<int>(id.level),
+                "SIT node erased (missing with nonzero parent counter)");
+    quarantine_subtree_ctx(id, ctx, QuarantineReason::kLost);
     return false;
   }
   ctx.clean_verified.emplace(key, node);
@@ -295,47 +326,51 @@ bool SteinsMemory::recovery_counters(NodeId id, RecoveryCtx& ctx, SitNode* out) 
   return true;
 }
 
-bool SteinsMemory::rebuild_from_children(NodeId id, const SitNode& stale, RecoveryCtx& ctx,
+void SteinsMemory::rebuild_from_children(NodeId id, const SitNode& stale, RecoveryCtx& ctx,
                                          SitNode* out) {
   SitNode node = stale;
   node.id = id;
   const std::size_t n = geo_.num_children(id);
   for (std::size_t j = 0; j < n; ++j) {
     const NodeId child = geo_.child_of(id, j);
+    if (in_quarantined(ctx, child)) continue;  // keep the stale slot value
     const Addr caddr = geo_.node_addr(child);
     ++recovery_reads_;
     if (!dev_.contains(caddr)) {
       if (stale.gc.counters[j] != 0) {
-        ctx.result->attack_detected = true;
-        ctx.result->attacked_level = static_cast<int>(child.level);
-        ctx.result->attack_detail = "child node erased during recovery";
-        return false;
+        note_attack(ctx.result, static_cast<int>(child.level),
+                    "child node erased during recovery");
+        quarantine_subtree_ctx(child, ctx, QuarantineReason::kLost);
+        continue;
       }
       node.gc.counters[j] = 0;
       continue;
     }
+    bool dead = false;
     std::uint64_t stored = 0;
     const SitNode cnode = SitNode::from_block(child, leaf_is_split() && child.level == 0,
-                                              dev_.peek_block(caddr), &stored);
+                                              dev_.peek_corrected(caddr, &dead), &stored);
+    if (dead) {
+      quarantine_subtree_ctx(child, ctx, QuarantineReason::kEccMeta);
+      continue;  // stale slot value stays; the subtree's data is blocked
+    }
     // Regenerate the parent counter from the child and verify the child's
     // HMAC with it (paper Fig. 6): detects tampering; replay is caught by
     // the LInc comparison afterwards.
     const std::uint64_t regenerated = cnode.parent_value();
     const std::uint64_t mac = cme_.mac().node_mac(cnode.payload(), caddr, regenerated);
     if (mac != stored) {
-      ctx.result->attack_detected = true;
-      ctx.result->attacked_level = static_cast<int>(child.level);
-      ctx.result->attack_detail =
-          "tampered child detected by HMAC at level " + std::to_string(child.level);
-      return false;
+      note_attack(ctx.result, static_cast<int>(child.level),
+                  "tampered child detected by HMAC at level " + std::to_string(child.level));
+      quarantine_subtree_ctx(child, ctx, QuarantineReason::kLost);
+      continue;
     }
     node.gc.counters[j] = regenerated;
   }
   *out = node;
-  return true;
 }
 
-bool SteinsMemory::rebuild_leaf_from_data(NodeId id, const SitNode& stale, RecoveryCtx& ctx,
+void SteinsMemory::rebuild_leaf_from_data(NodeId id, const SitNode& stale, RecoveryCtx& ctx,
                                           SitNode* out) {
   SitNode node = stale;
   node.id = id;
@@ -350,14 +385,26 @@ bool SteinsMemory::rebuild_leaf_from_data(NodeId id, const SitNode& stale, Recov
                                         : stale.gc.counters[j];
     if (!dev_.contains(daddr)) {
       if (stale_ctr != 0) {
-        ctx.result->attack_detected = true;
-        ctx.result->attacked_level = 0;
-        ctx.result->attack_detail = "data block erased during recovery";
-        return false;
+        if (qmap_.read_blocked(daddr)) {
+          // A previously retired line: its image was dropped with the remap.
+          ctx.linc_skip = true;
+          continue;
+        }
+        note_attack(ctx.result, 0, "data block erased during recovery");
+        quarantine_data_line(daddr, QuarantineReason::kLost);
+        ctx.linc_skip = true;
       }
       continue;  // never-written block: counter stays zero
     }
-    const Block ct = dev_.peek_block(daddr);
+    bool dead = false;
+    const Block ct = dev_.peek_corrected(daddr, &dead);
+    if (dead) {
+      // The line's content is gone; its counter increments since the stale
+      // image are unknowable. Retire the line, keep the stale counter.
+      quarantine_data_line(daddr, QuarantineReason::kEccData);
+      ctx.linc_skip = true;
+      continue;
+    }
     const std::uint64_t tag = dev_.read_tag(daddr);
     bool found = false;
     if (node.split) {
@@ -383,41 +430,53 @@ bool SteinsMemory::rebuild_leaf_from_data(NodeId id, const SitNode& stale, Recov
       }
     }
     if (!found) {
-      ctx.result->attack_detected = true;
-      ctx.result->attacked_level = 0;
-      ctx.result->attack_detail =
-          "data block HMAC matched no counter in the recovery window (tamper/replay)";
-      return false;
+      note_attack(ctx.result, 0,
+                  "data block HMAC matched no counter in the recovery window (tamper/replay)");
+      quarantine_data_line(daddr, QuarantineReason::kLost);
+      ctx.linc_skip = true;
     }
   }
   *out = node;
-  return true;
 }
 
-RecoveryResult SteinsMemory::recover() {
-  RecoveryResult result;
-  recovering_ = true;
-  recovery_reads_ = 0;
-  recovery_writes_ = 0;
+RecoveryReport SteinsMemory::recover() {
+  RecoveryReport result;
+  recovery_prologue();
   RecoveryCtx ctx;
   ctx.result = &result;
+  try {
+    recover_impl(ctx, result);
+  } catch (const IntegrityViolation& e) {
+    note_attack(&result, -1, e.what());
+  } catch (const StatusError& e) {
+    result.status = e.status();
+  } catch (const std::exception& e) {
+    result.status = Status(ErrorCode::kInternal, e.what());
+  }
+  if (ctx.record_fallback) result.tracking_degraded = true;
+  if (ctx.linc_skip && result.linc_unverified.empty()) {
+    // Losses before/outside the level walk: no level's sum was checkable.
+    for (unsigned k = 0; k < geo_.num_levels(); ++k) result.linc_unverified.push_back(k);
+  }
+  return finish_recovery(std::move(result));
+}
 
-  auto finish = [&](RecoveryResult r) {
-    recovering_ = false;
-    r.nvm_reads = recovery_reads_;
-    r.nvm_writes = recovery_writes_;
-    r.seconds = static_cast<double>(recovery_reads_) * cfg_.secure.recovery_read_ns * 1e-9 +
-                static_cast<double>(recovery_writes_) * cfg_.nvm.t_wr_ns * 1e-9;
-    return r;
-  };
-
+void SteinsMemory::recover_impl(RecoveryCtx& ctx, RecoveryReport& result) {
   // Step 1: read the offset records to locate candidate dirty nodes
   // (a superset of the truly dirty set; clean entries are harmless, §III-H).
   std::vector<std::vector<NodeId>> by_level(geo_.num_levels());
   std::unordered_set<std::uint64_t> seen;
   for (std::size_t line = 0; line < record_lines_; ++line) {
     ++recovery_reads_;
-    const auto offsets = decode_record(dev_.peek_block(record_line_addr(line)));
+    bool dead = false;
+    const Block rec = dev_.peek_corrected(record_line_addr(line), &dead);
+    if (dead) {
+      // The dirty-set hint for this line's nodes is gone; fall back to a
+      // resident-metadata scan below (still a superset of the dirty set).
+      ctx.record_fallback = true;
+      continue;
+    }
+    const auto offsets = decode_record(rec);
     for (const std::uint32_t o : offsets) {
       if (o == 0) continue;
       // Stored offsets are offset_of(id)+1, so valid values are bounded by
@@ -426,13 +485,27 @@ RecoveryResult SteinsMemory::recover() {
       // domain lied — indistinguishable from tampering, so flag it rather
       // than index out of the tree.
       if (o - 1 >= geo_.total_nodes()) {
-        result.attack_detected = true;
-        result.attack_detail = "corrupted offset record (node offset out of range)";
-        return finish(result);
+        note_attack(&result, -1, "corrupted offset record (node offset out of range)");
+        ctx.record_fallback = true;
+        continue;
       }
       const NodeId id = geo_.node_at_offset(o - 1);
       if (seen.insert(flat_key(geo_, id)).second) by_level[id.level].push_back(id);
     }
+  }
+  if (ctx.record_fallback) {
+    // Dirty-set tracking is degraded: take every resident SIT node as a
+    // candidate. Clean candidates rebuild to themselves (delta 0) and only
+    // cost reads; truly dirty nodes are guaranteed to be covered. The LInc
+    // sums are not comparable against this candidate set.
+    for (auto& lvl : by_level) lvl.clear();
+    seen.clear();
+    for (const Addr a : dev_.resident_blocks(geo_.meta_base(),
+                                             geo_.meta_base() + geo_.total_nodes() * kBlockSize)) {
+      const NodeId id = geo_.node_at(a);
+      if (seen.insert(flat_key(geo_, id)).second) by_level[id.level].push_back(id);
+    }
+    ctx.linc_skip = true;
   }
   // Nodes targeted by parked parent counters are dirty too.
   for (const auto& e : nv_buffer_) {
@@ -440,6 +513,9 @@ RecoveryResult SteinsMemory::recover() {
   }
 
   // Steps 2-4 (Fig. 8): recover level by level, from the root downward.
+  // Failures no longer abort the walk: the failing subtree is quarantined
+  // (its data range is blocked and, for MAC-type failures, the attack is
+  // flagged) and the walk salvages every sibling it can still verify.
   for (int k = static_cast<int>(geo_.top_level()); k >= 0; --k) {
     // Apply NV-buffer adjustments for parents at this level (Fig. 8 step 5):
     // the buffered counter is already reflected in the persistent child, so
@@ -455,7 +531,15 @@ RecoveryResult SteinsMemory::recover() {
       if (it == applied.end()) {
         const Addr paddr = geo_.node_addr(e.parent);
         ++recovery_reads_;
-        const SitNode stale = SitNode::from_block(e.parent, false, dev_.peek_block(paddr));
+        bool dead = false;
+        const Block pimg = dev_.peek_corrected(paddr, &dead);
+        if (dead) {
+          // Cannot compute this entry's net increase; the parent itself is
+          // quarantined when the level walk reaches it.
+          ctx.linc_skip = true;
+          continue;
+        }
+        const SitNode stale = SitNode::from_block(e.parent, false, pimg);
         it = applied.emplace(slot_key, stale.gc.counters[e.slot]).first;
       }
       if (e.counter <= it->second) continue;  // absorbed by a later inline update
@@ -467,42 +551,48 @@ RecoveryResult SteinsMemory::recover() {
 
     std::uint64_t level_sum = 0;
     for (const NodeId id : by_level[static_cast<std::size_t>(k)]) {
+      if (in_quarantined(ctx, id)) continue;  // ancestor already written off
       // Read the stale version and verify it against its (already
       // recovered) parent or the root register.
       const Addr addr = geo_.node_addr(id);
       const bool exists = dev_.contains(addr);
       ++recovery_reads_;
+      bool dead = false;
       std::uint64_t stored = 0;
       const SitNode stale = SitNode::from_block(id, leaf_is_split() && id.level == 0,
-                                                dev_.peek_block(addr), &stored);
+                                                dev_.peek_corrected(addr, &dead), &stored);
+      if (exists && dead) {
+        quarantine_subtree_ctx(id, ctx, QuarantineReason::kEccMeta);
+        continue;
+      }
       std::uint64_t pc = 0;
       if (geo_.is_top_level(id)) {
         pc = root_[id.index];
       } else {
         SitNode parent;
-        if (!recovery_counters(geo_.parent_of(id), ctx, &parent)) return finish(result);
+        if (!recovery_counters(geo_.parent_of(id), ctx, &parent)) continue;
         pc = parent.gc.counters[geo_.slot_in_parent(id)];
       }
       if (exists) {
         if (cme_.mac().node_mac(stale.payload(), addr, pc) != stored) {
-          result.attack_detected = true;
-          result.attacked_level = k;
-          result.attack_detail =
-              "stale node failed parent verification at level " + std::to_string(k);
-          return finish(result);
+          note_attack(&result, k,
+                      "stale node failed parent verification at level " + std::to_string(k));
+          quarantine_subtree_ctx(id, ctx, QuarantineReason::kLost);
+          continue;
         }
       } else if (pc != 0) {
-        result.attack_detected = true;
-        result.attacked_level = k;
-        result.attack_detail = "stale node erased at level " + std::to_string(k);
-        return finish(result);
+        note_attack(&result, k, "stale node erased at level " + std::to_string(k));
+        quarantine_subtree_ctx(id, ctx, QuarantineReason::kLost);
+        continue;
       }
 
       // Rebuild the latest counters from the persistent children.
       SitNode rebuilt;
-      const bool ok = (k == 0) ? rebuild_leaf_from_data(id, stale, ctx, &rebuilt)
-                               : rebuild_from_children(id, stale, ctx, &rebuilt);
-      if (!ok) return finish(result);
+      if (k == 0) {
+        rebuild_leaf_from_data(id, stale, ctx, &rebuilt);
+      } else {
+        rebuild_from_children(id, stale, ctx, &rebuilt);
+      }
 
       level_sum += rebuilt.parent_value() - stale.parent_value();
       ctx.recovered[flat_key(geo_, id)] = rebuilt;
@@ -511,23 +601,28 @@ RecoveryResult SteinsMemory::recover() {
 
     // Replay check (Fig. 8 steps 3-4 / 9-10): the summed counter increase
     // of this level must equal the stored LInc — replayed children yield a
-    // smaller sum.
-    if (level_sum != lincs_[static_cast<std::size_t>(k)]) {
-      result.attack_detected = true;
-      result.attacked_level = k;
-      result.attack_detail = "LInc mismatch at level " + std::to_string(k) +
-                             " (replay attack or forged records)";
-      return finish(result);
+    // smaller sum. With any quarantined loss the sum is no longer
+    // comparable; the level is reported unverified instead.
+    if (ctx.linc_skip) {
+      result.linc_unverified.push_back(static_cast<unsigned>(k));
+    } else if (level_sum != lincs_[static_cast<std::size_t>(k)]) {
+      note_attack(&result, k,
+                  "LInc mismatch at level " + std::to_string(k) +
+                      " (replay attack or forged records)");
+      return;
     }
   }
 
   // Step 5: install the recovered nodes into the metadata cache, marked
   // dirty (paper: "all the retrieved nodes will be marked as dirty"), and
-  // rebuild the offset records for them.
+  // rebuild the offset records for them. After a detected attack the tree
+  // is not re-armed: the report carries the verdict and the caller decides.
+  if (result.attack_detected) return;
   nv_buffer_.clear();
   Cycle t = 0;
   for (int k = static_cast<int>(geo_.top_level()); k >= 0; --k) {
     for (const NodeId id : by_level[static_cast<std::size_t>(k)]) {
+      if (in_quarantined(ctx, id)) continue;
       const auto it = ctx.recovered.find(flat_key(geo_, id));
       if (it == ctx.recovered.end()) continue;
       const Addr addr = geo_.node_addr(id);
@@ -540,8 +635,6 @@ RecoveryResult SteinsMemory::recover() {
       on_node_dirtied(id, t);
     }
   }
-
-  return finish(result);
 }
 
 }  // namespace steins

@@ -103,24 +103,46 @@ class SteinsMemory : public SecureMemoryBase {
   struct RecoveryCtx {
     std::unordered_map<std::uint64_t, SitNode> recovered;  // key = flat offset
     std::unordered_map<std::uint64_t, SitNode> clean_verified;
-    RecoveryResult* result = nullptr;
+    /// Roots of subtrees quarantined during this walk: (level, index).
+    std::vector<std::pair<unsigned, std::uint64_t>> quarantined;
+    /// Any loss happened: remaining LInc sums are unverifiable and skipped.
+    bool linc_skip = false;
+    /// Record lines were unreadable: candidates came from a resident scan.
+    bool record_fallback = false;
+    RecoveryReport* result = nullptr;
   };
 
   static std::uint64_t flat_key(const SitGeometry& geo, NodeId id) {
     return geo.offset_of(id);
   }
 
+  /// True when `id` lies inside a subtree already quarantined this walk.
+  static bool in_quarantined(const RecoveryCtx& ctx, NodeId id);
+
+  /// Quarantine `id`'s subtree: records it in the walk context (so siblings
+  /// keep going but descendants are skipped), blocks its covered data range,
+  /// and voids the remaining LInc checks.
+  void quarantine_subtree_ctx(NodeId id, RecoveryCtx& ctx, QuarantineReason reason);
+
   /// Counters of `id` during recovery: recovered map, else NVM (verified
-  /// against its parent, recursing upward). Returns false on verification
-  /// failure (attack recorded in ctx).
+  /// against its parent, recursing upward). Returns false when the chain is
+  /// unusable — attack recorded and/or subtree quarantined in ctx — and the
+  /// caller moves on to the next candidate.
   bool recovery_counters(NodeId id, RecoveryCtx& ctx, SitNode* out);
 
   /// Rebuild a node's counters from its persistent children; verifies each
-  /// child's HMAC with the regenerated counter (tamper check).
-  bool rebuild_from_children(NodeId id, const SitNode& stale, RecoveryCtx& ctx, SitNode* out);
+  /// child's HMAC with the regenerated counter (tamper check). Unusable
+  /// children are quarantined and keep their stale slot value.
+  void rebuild_from_children(NodeId id, const SitNode& stale, RecoveryCtx& ctx, SitNode* out);
 
   /// Recover one leaf's counters by bounded trial against data HMACs.
-  bool rebuild_leaf_from_data(NodeId id, const SitNode& stale, RecoveryCtx& ctx, SitNode* out);
+  /// Unreadable or unmatched blocks are quarantined; their counters stay
+  /// stale and the covering LInc checks are voided.
+  void rebuild_leaf_from_data(NodeId id, const SitNode& stale, RecoveryCtx& ctx, SitNode* out);
+
+  /// The salvage walk proper; recover() wraps it so every exit path still
+  /// yields a RecoveryReport.
+  void recover_impl(RecoveryCtx& ctx, RecoveryReport& result);
 
   Addr record_base_;
   std::size_t record_lines_;                 // record region size in lines

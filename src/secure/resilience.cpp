@@ -1,0 +1,188 @@
+#include "secure/resilience.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <sstream>
+
+namespace steins {
+namespace {
+
+constexpr std::uint64_t kQmapMagic = 0x53544e51'4d415030ull;  // "STNQMAP0"
+// Entries are 24 bytes (lo, hi, flags), two per 64 B line after the header.
+constexpr std::size_t kEntriesPerLine = 2;
+constexpr std::size_t kMaxPersistedEntries = 510;
+
+std::uint64_t load_u64(const Block& b, std::size_t off) {
+  std::uint64_t v = 0;
+  std::memcpy(&v, b.data() + off, sizeof(v));
+  return v;
+}
+
+void store_u64(Block& b, std::size_t off, std::uint64_t v) {
+  std::memcpy(b.data() + off, &v, sizeof(v));
+}
+
+std::uint64_t pack_flags(const QuarantineEntry& e) {
+  return static_cast<std::uint64_t>(e.reason) |
+         (std::uint64_t{e.line} << 8) | (std::uint64_t{e.remapped} << 9) |
+         (std::uint64_t{e.rewritten} << 10);
+}
+
+void unpack_flags(std::uint64_t flags, QuarantineEntry* e) {
+  e->reason = static_cast<QuarantineReason>(flags & 0xff);
+  e->line = (flags >> 8) & 1;
+  e->remapped = (flags >> 9) & 1;
+  e->rewritten = (flags >> 10) & 1;
+}
+
+Addr line_align(Addr a) { return a & ~static_cast<Addr>(kBlockSize - 1); }
+
+}  // namespace
+
+const char* quarantine_reason_name(QuarantineReason r) {
+  switch (r) {
+    case QuarantineReason::kEccData:
+      return "ecc-data";
+    case QuarantineReason::kEccMeta:
+      return "ecc-meta";
+    case QuarantineReason::kMacMismatch:
+      return "mac-mismatch";
+    case QuarantineReason::kLost:
+      return "lost";
+  }
+  return "?";
+}
+
+void QuarantineMap::add_line(Addr addr, QuarantineReason reason, bool remapped) {
+  const Addr lo = line_align(addr);
+  for (const QuarantineEntry& e : entries_) {
+    if (e.line && e.lo == lo) return;
+  }
+  QuarantineEntry e;
+  e.lo = lo;
+  e.hi = lo + kBlockSize;
+  e.reason = reason;
+  e.line = true;
+  e.remapped = remapped;
+  entries_.push_back(e);
+}
+
+void QuarantineMap::add_range(Addr lo, Addr hi, QuarantineReason reason) {
+  for (const QuarantineEntry& e : entries_) {
+    if (!e.line && e.lo == lo && e.hi == hi) return;
+  }
+  QuarantineEntry e;
+  e.lo = lo;
+  e.hi = hi;
+  e.reason = reason;
+  e.line = false;
+  entries_.push_back(e);
+}
+
+std::size_t QuarantineMap::line_count() const {
+  return static_cast<std::size_t>(
+      std::count_if(entries_.begin(), entries_.end(),
+                    [](const QuarantineEntry& e) { return e.line; }));
+}
+
+std::size_t QuarantineMap::range_count() const {
+  return entries_.size() - line_count();
+}
+
+const QuarantineEntry* QuarantineMap::blocking_read(Addr addr) const {
+  for (const QuarantineEntry& e : entries_) {
+    if (!e.covers(addr)) continue;
+    if (!e.line || !e.rewritten) return &e;
+  }
+  return nullptr;
+}
+
+bool QuarantineMap::read_blocked(Addr addr) const {
+  return blocking_read(addr) != nullptr;
+}
+
+bool QuarantineMap::write_blocked(Addr addr) const {
+  for (const QuarantineEntry& e : entries_) {
+    if (!e.covers(addr)) continue;
+    if (!e.line) return true;        // subtree range: no writes until repair
+    if (!e.remapped) return true;    // spare pool exhausted: line is dead
+  }
+  return false;
+}
+
+bool QuarantineMap::has_line(Addr addr) const {
+  const Addr lo = line_align(addr);
+  for (const QuarantineEntry& e : entries_) {
+    if (e.line && e.lo == lo) return true;
+  }
+  return false;
+}
+
+bool QuarantineMap::note_rewrite(Addr addr) {
+  const Addr lo = line_align(addr);
+  bool changed = false;
+  for (QuarantineEntry& e : entries_) {
+    if (e.line && e.lo == lo && !e.rewritten) {
+      e.rewritten = true;
+      changed = true;
+    }
+  }
+  return changed;
+}
+
+void QuarantineMap::persist(NvmDevice& dev, Addr base) const {
+  const std::size_t n = std::min(entries_.size(), kMaxPersistedEntries);
+  Block header = zero_block();
+  store_u64(header, 0, kQmapMagic);
+  store_u64(header, 8, n);
+  dev.poke_block(base, header);
+  for (std::size_t i = 0; i < n; i += kEntriesPerLine) {
+    Block line = zero_block();
+    for (std::size_t j = 0; j < kEntriesPerLine && i + j < n; ++j) {
+      const QuarantineEntry& e = entries_[i + j];
+      store_u64(line, j * 24 + 0, e.lo);
+      store_u64(line, j * 24 + 8, e.hi);
+      store_u64(line, j * 24 + 16, pack_flags(e));
+    }
+    dev.poke_block(base + kBlockSize * (1 + i / kEntriesPerLine), line);
+  }
+}
+
+bool QuarantineMap::load(NvmDevice& dev, Addr base) {
+  if (!dev.contains(base)) return false;
+  const Block header = dev.peek_block(base);
+  if (load_u64(header, 0) != kQmapMagic) return false;
+  const std::uint64_t n = load_u64(header, 8);
+  if (n > kMaxPersistedEntries) return false;
+  std::vector<QuarantineEntry> loaded;
+  loaded.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const Block line =
+        dev.peek_block(base + kBlockSize * (1 + i / kEntriesPerLine));
+    const std::size_t off = (i % kEntriesPerLine) * 24;
+    QuarantineEntry e;
+    e.lo = load_u64(line, off + 0);
+    e.hi = load_u64(line, off + 8);
+    unpack_flags(load_u64(line, off + 16), &e);
+    if (e.hi <= e.lo) return false;  // torn/corrupt image: reject wholesale
+    loaded.push_back(e);
+  }
+  entries_ = std::move(loaded);
+  return true;
+}
+
+std::string FtStats::describe() const {
+  std::ostringstream os;
+  os << "ecc: corrected=" << corrected_reads << " retries=" << read_retries
+     << " uncorrectable=" << uncorrectable_reads
+     << " | scrub: passes=" << scrub_passes << " lines=" << scrub_lines
+     << " corrected=" << scrub_corrected << " detected=" << scrub_detected
+     << " | quarantine: lines=" << lines_quarantined
+     << " remapped=" << lines_remapped
+     << " subtrees=" << subtrees_quarantined
+     << " blocked-reads=" << quarantined_reads
+     << " blocked-writes=" << quarantined_writes;
+  return os.str();
+}
+
+}  // namespace steins

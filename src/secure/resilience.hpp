@@ -1,0 +1,102 @@
+// Quarantine map + fault-tolerance stats for the runtime resilience layer.
+//
+// The quarantine map records physical regions whose content is lost or
+// unverifiable: single 64 B lines retired by the ECC path, and whole data
+// ranges covered by a SIT subtree that recovery could not re-verify. It is
+// persisted to a reserved region near the top of the device address space
+// (header line + packed entries) so a post-crash recovery pass sees the
+// same blocked set the runtime saw; a corrupted image fails its magic check
+// and loads as empty rather than blocking arbitrary addresses.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "nvm/nvm_device.hpp"
+
+namespace steins {
+
+enum class QuarantineReason : std::uint8_t {
+  kEccData = 0,   // uncorrectable ECC fault on a data line
+  kEccMeta = 1,   // uncorrectable ECC fault on a SIT node line
+  kMacMismatch = 2,  // patrol scrub found a line failing its MAC
+  kLost = 3,      // recovery could not reconstruct the covering metadata
+};
+
+const char* quarantine_reason_name(QuarantineReason r);
+
+struct QuarantineEntry {
+  Addr lo = 0;        // inclusive, line-aligned
+  Addr hi = 0;        // exclusive; lo + kBlockSize for a single-line entry
+  QuarantineReason reason = QuarantineReason::kEccData;
+  bool line = true;       // single retired line (vs. subtree data range)
+  bool remapped = false;  // a spare line backs it: fresh writes are allowed
+  bool rewritten = false; // a fresh write landed; reads are good again
+
+  bool covers(Addr addr) const { return addr >= lo && addr < hi; }
+};
+
+class QuarantineMap {
+ public:
+  /// Add a retired line. Idempotent per line address.
+  void add_line(Addr addr, QuarantineReason reason, bool remapped);
+
+  /// Add a data range lost with its covering subtree. Exact duplicates are
+  /// ignored (re-running recovery re-discovers the same subtrees).
+  void add_range(Addr lo, Addr hi, QuarantineReason reason);
+
+  bool empty() const { return entries_.empty(); }
+  bool has_line(Addr addr) const;
+  std::size_t size() const { return entries_.size(); }
+  std::size_t line_count() const;
+  std::size_t range_count() const;
+  const std::vector<QuarantineEntry>& entries() const { return entries_; }
+
+  /// A read is blocked by any covering range, or by a line entry that has
+  /// not yet been rewritten.
+  bool read_blocked(Addr addr) const;
+
+  /// A write is blocked by any covering range, or by a line entry whose
+  /// backing line was not remapped (spare pool exhausted: fail fast).
+  bool write_blocked(Addr addr) const;
+
+  /// First entry blocking a read of addr, or nullptr.
+  const QuarantineEntry* blocking_read(Addr addr) const;
+
+  /// Mark a line entry rewritten after a fresh write is accepted for it.
+  /// Returns true if any entry changed state.
+  bool note_rewrite(Addr addr);
+
+  void clear() { entries_.clear(); }
+
+  /// Persist to / load from the device at `base` (poke/peek: bookkeeping
+  /// traffic is not part of the modeled workload). load() returns false and
+  /// leaves the map untouched when no valid image is present.
+  void persist(NvmDevice& dev, Addr base) const;
+  bool load(NvmDevice& dev, Addr base);
+
+ private:
+  std::vector<QuarantineEntry> entries_;
+};
+
+/// Counters for the ECC/scrub/quarantine machinery (per memory instance).
+struct FtStats {
+  std::uint64_t corrected_reads = 0;      // demand reads fixed by ECC
+  std::uint64_t read_retries = 0;         // kNeedsRetry rounds observed
+  std::uint64_t uncorrectable_reads = 0;  // demand reads hitting dead lines
+  std::uint64_t quarantined_reads = 0;    // reads rejected by the map
+  std::uint64_t quarantined_writes = 0;   // writes rejected by the map
+  std::uint64_t scrub_passes = 0;
+  std::uint64_t scrub_lines = 0;          // lines patrolled
+  std::uint64_t scrub_corrected = 0;      // correctable faults rewritten
+  std::uint64_t scrub_detected = 0;       // dead/MAC-failing lines found
+  std::uint64_t lines_quarantined = 0;
+  std::uint64_t lines_remapped = 0;
+  std::uint64_t subtrees_quarantined = 0;
+
+  std::string describe() const;
+};
+
+}  // namespace steins

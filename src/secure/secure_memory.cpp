@@ -1,7 +1,7 @@
 #include "secure/secure_memory.hpp"
 
 #include <algorithm>
-#include <cassert>
+#include <sstream>
 
 #include "schemes/anubis.hpp"
 #include "schemes/scue.hpp"
@@ -19,6 +19,22 @@ double ExecStats::energy_nj(const SystemConfig& cfg) const {
          static_cast<double>(hash_ops) * cfg.secure.hash_energy_nj +
          static_cast<double>(aes_ops) * cfg.secure.aes_energy_nj +
          static_cast<double>(mcache_accesses) * cfg.secure.cache_access_energy_nj;
+}
+
+std::string RecoveryReport::summary() const {
+  std::ostringstream os;
+  os << blocks_salvaged << " blocks salvaged, " << blocks_quarantined
+     << " quarantined";
+  if (subtrees_quarantined > 0) {
+    os << " (" << subtrees_quarantined << " subtree"
+       << (subtrees_quarantined == 1 ? "" : "s") << ")";
+  }
+  if (lines_quarantined > 0) os << ", " << lines_quarantined << " dead lines";
+  if (tracking_degraded) os << ", dirty-set tracking degraded";
+  if (!linc_unverified.empty()) {
+    os << ", " << linc_unverified.size() << " LInc levels unverified";
+  }
+  return os.str();
 }
 
 std::string scheme_name(Scheme s, CounterMode mode) {
@@ -46,7 +62,11 @@ SecureMemoryBase::SecureMemoryBase(const SystemConfig& cfg, std::uint64_t key_se
       cme_(cfg.crypto, key_seed),
       mcache_(cfg.secure.metadata_cache.size_bytes, cfg.secure.metadata_cache.ways,
               cfg.secure.metadata_cache.block_bytes),
-      root_(geo_.root_children(), 0) {}
+      root_(geo_.root_children(), 0),
+      ft_(cfg.secure.ft),
+      // The quarantine map persists in a reserved region just below the
+      // device address limit, clear of every scheme's aux region.
+      qmap_base_(dev_.address_limit() - (Addr{1} << 16)) {}
 
 Cycle SecureMemoryBase::timed_read(Addr addr, Cycle now, Block* out) {
   if (recovering_) {
@@ -129,6 +149,10 @@ SecureMemoryBase::FetchResult SecureMemoryBase::fetch_node(NodeId id, Cycle now)
   Block img{};
   Cycle t = timed_read(addr, now, &img);
   ++stats_.meta_reads;
+  if (ft_.ecc_enabled && !recovering_ && dev_.has_ecc_faults() &&
+      dev_.ecc_faulted(addr) && !channel_.queued(addr)) {
+    t = resolve_node_ecc(id, addr, t, &img);
+  }
 
   std::uint64_t stored = 0;
   const bool split = leaf_is_split() && id.level == 0;
@@ -252,14 +276,20 @@ void SecureMemoryBase::reencrypt_covered_blocks(const SitNode& before, const Sit
                                                 std::size_t skip_slot, Cycle& now) {
   // A split-counter minor overflow reset every minor: all covered data
   // blocks must be re-encrypted under their new counters (paper §II-B).
-  assert(before.split && after.split);
+  STEINS_CHECK(before.split && after.split,
+               "re-encryption requires split-counter leaves");
   const std::uint64_t first_block = before.id.index * geo_.leaf_coverage();
   for (std::size_t j = 0; j < geo_.leaf_coverage(); ++j) {
     if (j == skip_slot) continue;  // about to be rewritten by the caller
     const Addr addr = (first_block + j) * kBlockSize;
     if (!block_exists(addr)) continue;
+    if (!qmap_.empty() && qmap_.read_blocked(addr)) continue;  // already lost
     Block ct;
-    now = timed_read(addr, now, &ct);
+    try {
+      now = resilient_data_read(addr, now, &ct);
+    } catch (const StatusError&) {
+      continue;  // line died mid-sweep: quarantined, skip re-encryption
+    }
     ++stats_.data_reads;
     const std::uint64_t old_ctr = before.sc.encryption_counter(j);
     const std::uint64_t new_ctr = after.sc.encryption_counter(j);
@@ -278,6 +308,12 @@ void SecureMemoryBase::reencrypt_covered_blocks(const SitNode& before, const Sit
 Cycle SecureMemoryBase::write_block(Addr addr, const Block& data, Cycle now) {
   Cycle t = std::max(now, mc_free_at_);
   tracking_penalty_ = 0;
+  maybe_scrub(t);
+  if (!qmap_.empty()) {
+    check_write_allowed(addr);
+    // A fresh write re-validates a remapped line: reads are good again.
+    if (qmap_.note_rewrite(addr)) persist_qmap();
+  }
   const std::uint64_t block = addr / kBlockSize;
   const NodeId leaf_id = geo_.leaf_of_data(block);
   const std::size_t slot = geo_.slot_of_data(block);
@@ -334,6 +370,8 @@ Cycle SecureMemoryBase::write_block(Addr addr, const Block& data, Cycle now) {
 Cycle SecureMemoryBase::read_block(Addr addr, Cycle now, Block* out) {
   Cycle t = std::max(now, mc_free_at_);
   tracking_penalty_ = 0;  // tracking work on the read path is pipelined away
+  maybe_scrub(t);
+  if (!qmap_.empty()) check_read_allowed(addr);
   before_read(t);
   const std::uint64_t block = addr / kBlockSize;
   const NodeId leaf_id = geo_.leaf_of_data(block);
@@ -349,7 +387,7 @@ Cycle SecureMemoryBase::read_block(Addr addr, Cycle now, Block* out) {
   // §II-B): the decrypt latency is hidden behind the array read.
   const bool exists = block_exists(addr);
   Block ct{};
-  const Cycle t_data = timed_read(addr, t, &ct);
+  const Cycle t_data = resilient_data_read(addr, t, &ct);
   ++stats_.data_reads;
   charge_aes();
   Cycle ready = std::max(t_data, t_meta + cfg_.secure.aes_latency_cycles);
@@ -419,6 +457,210 @@ std::optional<SitNode> SecureMemoryBase::current_node_state(NodeId id) const {
   if (!dev_.contains(addr)) return std::nullopt;
   const Block img = dev_.peek_block(addr);
   return SitNode::from_block(id, leaf_is_split() && id.level == 0, img);
+}
+
+// ---------------------------------------------------------------------------
+// Runtime fault tolerance: ECC retry, quarantine, patrol scrub, salvage
+// ---------------------------------------------------------------------------
+
+Cycle SecureMemoryBase::resilient_data_read(Addr addr, Cycle now, Block* out) {
+  Cycle t = timed_read(addr, now, out);
+  if (!ft_.ecc_enabled || recovering_ || !dev_.has_ecc_faults()) return t;
+  // Store-forwarded data never touched the faulty array image.
+  if (!dev_.ecc_faulted(addr) || channel_.queued(addr)) return t;
+  unsigned attempt = 0;
+  while (true) {
+    const NvmDevice::EccRead r = dev_.read_block_ecc(addr, out);
+    if (r == NvmDevice::EccRead::kClean) return t;
+    if (r == NvmDevice::EccRead::kCorrected) {
+      ++ft_stats_.corrected_reads;
+      return t;
+    }
+    if (r == NvmDevice::EccRead::kUncorrectable ||
+        attempt >= ft_.max_read_retries) {
+      break;
+    }
+    ++ft_stats_.read_retries;
+    t += ft_.retry_backoff_cycles << attempt;
+    ++attempt;
+  }
+  ++ft_stats_.uncorrectable_reads;
+  quarantine_data_line(addr, QuarantineReason::kEccData);
+  throw StatusError(Status(
+      ErrorCode::kUncorrectable,
+      "uncorrectable ECC error at data block " + std::to_string(addr / kBlockSize)));
+}
+
+Cycle SecureMemoryBase::resolve_node_ecc(NodeId id, Addr addr, Cycle now, Block* img) {
+  unsigned attempt = 0;
+  while (true) {
+    const NvmDevice::EccRead r = dev_.read_block_ecc(addr, img);
+    if (r == NvmDevice::EccRead::kClean) return now;
+    if (r == NvmDevice::EccRead::kCorrected) {
+      ++ft_stats_.corrected_reads;
+      return now;
+    }
+    if (r == NvmDevice::EccRead::kUncorrectable ||
+        attempt >= ft_.max_read_retries) {
+      break;
+    }
+    ++ft_stats_.read_retries;
+    now += ft_.retry_backoff_cycles << attempt;
+    ++attempt;
+  }
+  // The node's counters are gone: every data block under it becomes
+  // unverifiable. Quarantine the whole subtree rather than serving
+  // plaintext we cannot authenticate.
+  ++ft_stats_.uncorrectable_reads;
+  quarantine_node_subtree(id, QuarantineReason::kEccMeta);
+  throw StatusError(Status(
+      ErrorCode::kUncorrectable,
+      "uncorrectable ECC error in SIT node at level " + std::to_string(id.level) +
+          " index " + std::to_string(id.index)));
+}
+
+void SecureMemoryBase::check_read_allowed(Addr addr) {
+  if (const QuarantineEntry* e = qmap_.blocking_read(addr)) {
+    ++ft_stats_.quarantined_reads;
+    throw StatusError(Status(
+        ErrorCode::kQuarantined,
+        "read of quarantined block " + std::to_string(addr / kBlockSize) + " (" +
+            quarantine_reason_name(e->reason) + ")"));
+  }
+}
+
+void SecureMemoryBase::check_write_allowed(Addr addr) {
+  if (qmap_.write_blocked(addr)) {
+    ++ft_stats_.quarantined_writes;
+    throw StatusError(Status(
+        ErrorCode::kQuarantined,
+        "write to quarantined block " + std::to_string(addr / kBlockSize)));
+  }
+}
+
+void SecureMemoryBase::quarantine_data_line(Addr addr, QuarantineReason reason) {
+  if (qmap_.has_line(addr)) return;  // already quarantined
+  // Try to retire the dead line to a spare first; without a spare the line
+  // stays dead and even writes fail fast.
+  const bool remapped = dev_.remap_line(addr);
+  qmap_.add_line(addr, reason, remapped);
+  ++ft_stats_.lines_quarantined;
+  if (remapped) ++ft_stats_.lines_remapped;
+  persist_qmap();
+}
+
+void SecureMemoryBase::quarantine_node_subtree(NodeId id, QuarantineReason reason) {
+  const auto [lo, hi] = node_data_span(id);
+  const std::size_t before = qmap_.size();
+  qmap_.add_range(lo, hi, reason);
+  if (qmap_.size() == before) return;
+  ++ft_stats_.subtrees_quarantined;
+  persist_qmap();
+}
+
+std::pair<Addr, Addr> SecureMemoryBase::node_data_span(NodeId id) const {
+  std::uint64_t cover = geo_.leaf_coverage();
+  for (unsigned k = 0; k < id.level; ++k) cover *= kTreeArity;
+  const std::uint64_t lo = id.index * cover;
+  const std::uint64_t hi = std::min<std::uint64_t>(geo_.data_blocks(), lo + cover);
+  return {lo * kBlockSize, hi * kBlockSize};
+}
+
+void SecureMemoryBase::maybe_scrub(Cycle& now) {
+  if (ft_.scrub_interval_accesses == 0 || recovering_ || in_scrub_) return;
+  if (++scrub_accesses_ < ft_.scrub_interval_accesses) return;
+  scrub_accesses_ = 0;
+  scrub_epoch(now);
+}
+
+void SecureMemoryBase::scrub_epoch(Cycle& now) {
+  if (in_scrub_ || recovering_) return;
+  in_scrub_ = true;
+  ++ft_stats_.scrub_passes;
+  // Patrol resident data lines round-robin under a per-epoch budget; the
+  // cursor survives epochs so every line is eventually visited.
+  const std::vector<Addr> resident = dev_.resident_blocks(0, cfg_.nvm.capacity_bytes);
+  if (!resident.empty()) {
+    const std::size_t budget =
+        std::min<std::size_t>(ft_.scrub_lines_per_epoch, resident.size());
+    for (std::size_t i = 0; i < budget; ++i) {
+      scrub_one(resident[(scrub_cursor_ + i) % resident.size()], now);
+    }
+    scrub_cursor_ = (scrub_cursor_ + budget) % resident.size();
+  }
+  in_scrub_ = false;
+}
+
+void SecureMemoryBase::scrub_one(Addr addr, Cycle& now) {
+  ++ft_stats_.scrub_lines;
+  // A queued write supersedes the array image; a quarantined line is
+  // already handled.
+  if (channel_.queued(addr) || (!qmap_.empty() && qmap_.read_blocked(addr))) return;
+  bool dead = false;
+  const Block img = dev_.peek_corrected(addr, &dead);
+  if (dead) {
+    ++ft_stats_.scrub_detected;
+    quarantine_data_line(addr, QuarantineReason::kEccData);
+    return;
+  }
+  if (dev_.ecc_faulted(addr)) {
+    // Correctable fault caught on patrol: rewrite the corrected image in
+    // place before a second hit escalates it to uncorrectable.
+    dev_.poke_block(addr, img);
+    ++ft_stats_.scrub_corrected;
+    return;
+  }
+  if (!ft_.scrub_verify_macs) return;
+  const std::uint64_t block = addr / kBlockSize;
+  try {
+    const FetchResult leaf = fetch_node(geo_.leaf_of_data(block), now);
+    now = leaf.ready;
+    std::uint64_t aux = 0;
+    const std::uint64_t ctr =
+        leaf_enc_counter(leaf.line->payload, geo_.slot_of_data(block), &aux);
+    if (ctr == 0) return;  // never written through the secure path
+    charge_hash(now);
+    if (cme_.data_mac(img, addr, ctr, aux) != dev_.read_tag(addr)) {
+      ++ft_stats_.scrub_detected;
+      quarantine_data_line(addr, QuarantineReason::kMacMismatch);
+    }
+  } catch (const IntegrityViolation&) {
+    ++ft_stats_.scrub_detected;  // covering metadata failed verification
+  } catch (const StatusError&) {
+    // Covering metadata died mid-patrol; the subtree is quarantined now.
+  }
+}
+
+void SecureMemoryBase::recovery_prologue() {
+  recovering_ = true;
+  recovery_reads_ = 0;
+  recovery_writes_ = 0;
+  // Reload the persisted quarantine map: quarantines survive the crash. A
+  // corrupted image fails its magic check and the in-memory state stands.
+  qmap_.load(dev_, qmap_base_);
+}
+
+RecoveryReport SecureMemoryBase::finish_recovery(RecoveryReport r) {
+  recovering_ = false;
+  r.nvm_reads = recovery_reads_;
+  r.nvm_writes = recovery_writes_;
+  r.seconds = static_cast<double>(recovery_reads_) * cfg_.secure.recovery_read_ns * 1e-9 +
+              static_cast<double>(recovery_writes_) * cfg_.nvm.t_wr_ns * 1e-9;
+  if (!qmap_.empty()) {
+    std::uint64_t blocked = 0;
+    const std::vector<Addr> resident = dev_.resident_blocks(0, cfg_.nvm.capacity_bytes);
+    for (const Addr a : resident) {
+      if (qmap_.read_blocked(a)) ++blocked;
+    }
+    r.blocks_quarantined = blocked;
+    r.blocks_salvaged = resident.size() - blocked;
+    r.lines_quarantined = qmap_.line_count();
+    r.subtrees_quarantined = qmap_.range_count();
+    for (const QuarantineEntry& e : qmap_.entries()) {
+      if (!e.line) r.quarantined_ranges.emplace_back(e.lo, e.hi);
+    }
+  }
+  return r;
 }
 
 std::unique_ptr<SecureMemory> make_scheme(Scheme scheme, const SystemConfig& cfg) {

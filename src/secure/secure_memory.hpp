@@ -21,11 +21,13 @@
 
 #include "common/config.hpp"
 #include "common/stats.hpp"
+#include "common/status.hpp"
 #include "common/types.hpp"
 #include "nvm/nvm_device.hpp"
 #include "nvm/write_queue.hpp"
 #include "secure/cme.hpp"
 #include "secure/metadata_cache.hpp"
+#include "secure/resilience.hpp"
 #include "sit/geometry.hpp"
 #include "sit/node.hpp"
 
@@ -40,18 +42,45 @@ class IntegrityViolation : public std::runtime_error {
 };
 
 /// Outcome of SecureMemory::recover().
-struct RecoveryResult {
+///
+/// Recovery never throws: every path — clean rebuild, detected attack, lost
+/// media — comes back as a report. `status` is non-ok only when recovery
+/// itself failed internally (a bug, not a property of the device). A report
+/// can be degraded() without an attack: salvage mode quarantined subtrees
+/// whose metadata was unrecoverable and kept everything else serviceable.
+struct RecoveryReport {
   bool supported = true;          // WB reports false
   bool attack_detected = false;
   std::string attack_detail;      // which check fired, at which level
   int attacked_level = -1;
+  Status status;                  // internal recovery failure, if any
   std::uint64_t nodes_recovered = 0;
+  std::uint64_t blocks_salvaged = 0;     // resident data blocks still served
+  std::uint64_t blocks_quarantined = 0;  // resident data blocks now blocked
+  std::uint64_t subtrees_quarantined = 0;
+  std::uint64_t lines_quarantined = 0;   // single retired lines
+  bool tracking_degraded = false;  // dirty-set tracking partially lost
+  std::vector<unsigned> linc_unverified;  // Steins levels left unchecked
+  std::vector<std::pair<Addr, Addr>> quarantined_ranges;  // data byte ranges
   std::uint64_t nvm_reads = 0;    // metadata/data blocks fetched
   std::uint64_t nvm_writes = 0;   // blocks written back during recovery
   double seconds = 0.0;           // modeled recovery time
 
-  bool ok() const { return supported && !attack_detected; }
+  bool degraded() const {
+    return blocks_quarantined > 0 || subtrees_quarantined > 0 ||
+           lines_quarantined > 0 || !quarantined_ranges.empty() ||
+           tracking_degraded || !linc_unverified.empty();
+  }
+
+  /// "N blocks salvaged, M quarantined (K subtrees)" — for logs/CLIs.
+  std::string summary() const;
+
+  bool ok() const {
+    return supported && !attack_detected && status.ok() && !degraded();
+  }
 };
+
+using RecoveryResult = RecoveryReport;
 
 /// Aggregated runtime statistics for one simulation run.
 struct ExecStats {
@@ -103,7 +132,8 @@ class SecureMemory {
   virtual void crash() = 0;
 
   /// Rebuild security metadata after crash() per the scheme's procedure.
-  virtual RecoveryResult recover() = 0;
+  /// Never throws: failures are reported in the returned RecoveryReport.
+  virtual RecoveryReport recover() = 0;
 
   virtual ExecStats& stats() = 0;
   virtual const SystemConfig& config() const = 0;
@@ -145,6 +175,13 @@ class SecureMemoryBase : public SecureMemory {
   MetadataCache& metadata_cache() { return mcache_; }
   const std::vector<std::uint64_t>& root_counters() const { return root_; }
   const CmeEngine& cme() const { return cme_; }
+
+  const FtStats& ft_stats() const { return ft_stats_; }
+  const QuarantineMap& quarantine() const { return qmap_; }
+
+  /// Run one patrol-scrub epoch immediately (the steins_scrub CLI drives
+  /// this directly; the runtime triggers it every scrub_interval_accesses).
+  void scrub_epoch(Cycle& now);
 
   /// Scheme hook (public for introspection/auditing): a pending, not yet
   /// applied parent counter for `id`, if any. Steins answers from its NV
@@ -260,6 +297,43 @@ class SecureMemoryBase : public SecureMemory {
 
   bool leaf_is_split() const { return cfg_.counter_mode == CounterMode::kSplit; }
 
+  // --- Runtime fault tolerance -------------------------------------------
+
+  /// Data read with bounded ECC retry/backoff. Throws StatusError
+  /// (kUncorrectable) after quarantining the line when ECC gives up.
+  Cycle resilient_data_read(Addr addr, Cycle now, Block* out);
+
+  /// ECC retry for a SIT node image just read in fetch_node. Quarantines
+  /// the node's whole data subtree and throws StatusError on a dead line.
+  Cycle resolve_node_ecc(NodeId id, Addr addr, Cycle now, Block* img);
+
+  /// Throw StatusError(kQuarantined) if the map blocks the access.
+  void check_read_allowed(Addr addr);
+  void check_write_allowed(Addr addr);
+
+  /// Retire a dead 64 B line: remap from the spare pool if one is left,
+  /// record it in the quarantine map, persist the map.
+  void quarantine_data_line(Addr addr, QuarantineReason reason);
+
+  /// Quarantine the data range covered by a SIT node's subtree.
+  void quarantine_node_subtree(NodeId id, QuarantineReason reason);
+
+  /// Data byte range [lo, hi) covered by a node's subtree.
+  std::pair<Addr, Addr> node_data_span(NodeId id) const;
+
+  void persist_qmap() { qmap_.persist(dev_, qmap_base_); }
+
+  /// Patrol scrub driver: every ft_.scrub_interval_accesses demand accesses,
+  /// patrol up to ft_.scrub_lines_per_epoch resident data lines.
+  void maybe_scrub(Cycle& now);
+  void scrub_one(Addr addr, Cycle& now);
+
+  /// Common entry/exit for scheme recover() implementations: prologue
+  /// resets counters and reloads the persisted quarantine map; finish
+  /// computes salvage totals, timing, and clears recovering_.
+  void recovery_prologue();
+  RecoveryReport finish_recovery(RecoveryReport r);
+
   /// Reads during recovery are charged to the recovery budget instead of
   /// the runtime channel.
   bool recovering_ = false;
@@ -287,6 +361,15 @@ class SecureMemoryBase : public SecureMemory {
   ExecStats stats_;
   Cycle mc_free_at_ = 0;       // controller front-end serialization
   Cycle tracking_penalty_ = 0; // per-op tracking work (write-latency side)
+
+  // Fault-tolerance state (declared after dev_: qmap_base_ derives from it).
+  FaultToleranceConfig ft_;
+  QuarantineMap qmap_;
+  FtStats ft_stats_;
+  Addr qmap_base_ = 0;
+  std::uint64_t scrub_accesses_ = 0;
+  std::uint64_t scrub_cursor_ = 0;
+  bool in_scrub_ = false;
 };
 
 /// Factory covering the paper's evaluated schemes.

@@ -3,6 +3,7 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "common/status.hpp"
 #include "fault/fault.hpp"
 
 namespace steins {
@@ -30,7 +31,16 @@ void System::apply_memory_ops(const MemoryOps& ops, bool is_write) {
   }
   if (ops.miss_fill) {
     Block loaded;
-    const Cycle done = mem_->read_block(ops.fill_addr, cpu_.now(), &loaded);
+    Cycle done;
+    try {
+      done = mem_->read_block(ops.fill_addr, cpu_.now(), &loaded);
+    } catch (const StatusError&) {
+      // Typed unavailability (quarantined/uncorrectable line): evict the
+      // just-installed cache line so every later access of the address
+      // re-surfaces the typed error instead of serving a phantom fill.
+      (void)hierarchy_.flush_block(ops.fill_addr);
+      throw;
+    }
     if (!is_write) {
       // End-to-end check: what a LOAD gets back through decrypt+verify must
       // be what the program last stored (or zero if never stored). Store
@@ -133,7 +143,15 @@ void System::resync_truth_after_crash() {
   for (auto it = truth_.begin(); it != truth_.end();) {
     if (mem_->device().contains(it->first)) {
       Block actual;
-      mem_->read_block(it->first, cpu_.now(), &actual);
+      try {
+        mem_->read_block(it->first, cpu_.now(), &actual);
+      } catch (const StatusError& e) {
+        if (!is_unavailable(e.code())) throw;
+        // Quarantined after salvage: the block is typed-unavailable, not a
+        // value — drop it so later loads surface the error, not plaintext.
+        it = truth_.erase(it);
+        continue;
+      }
       it->second = actual;
       ++it;
     } else {

@@ -64,10 +64,11 @@ TEST(FaultClassNames, RoundTripAndAliases) {
     ASSERT_TRUE(parsed.has_value()) << fault_class_name(cls);
     EXPECT_EQ(*parsed, cls);
   }
-  EXPECT_EQ(all_fault_classes().size(), 9u);  // kNone excluded
+  EXPECT_EQ(all_fault_classes().size(), 10u);  // kNone excluded
   EXPECT_EQ(parse_fault_class("torn"), FaultClass::kTornWrite);
   EXPECT_EQ(parse_fault_class("adr"), FaultClass::kAdrLoss);
   EXPECT_EQ(parse_fault_class("mac"), FaultClass::kBitFlipMac);
+  EXPECT_EQ(parse_fault_class("cflip"), FaultClass::kCorrectableFlip);
   EXPECT_EQ(parse_fault_class("none"), FaultClass::kNone);
   EXPECT_FALSE(parse_fault_class("bogus").has_value());
 }
@@ -161,6 +162,34 @@ TEST(FaultInjector, PostCrashFlipsAreDeterministic) {
   const std::string first = run_events();
   EXPECT_FALSE(first.empty());
   EXPECT_EQ(first, run_events());
+}
+
+TEST(FaultInjector, CorrectableFlipsStayWithinTheEccBudget) {
+  const SystemConfig cfg = small_config();
+  std::unique_ptr<SecureMemory> mem = make_scheme(Scheme::kSteins, cfg);
+  Cycle now = 0;
+  for (int i = 0; i < 32; ++i) {
+    now = mem->write_block(static_cast<Addr>(i) * 64,
+                           filled(static_cast<std::uint8_t>(i)), now);
+  }
+  dynamic_cast<SecureMemoryBase*>(mem.get())->flush_all_metadata();
+  mem->crash();
+  FaultPlan plan;
+  plan.cls = FaultClass::kCorrectableFlip;
+  plan.seed = 0xab5019;
+  plan.intensity = 4;
+  FaultInjector injector(plan);
+  injector.apply_post_crash(*mem);
+  ASSERT_FALSE(injector.events().empty());
+  // Every event is a correctable fault, and ECC recovers the golden image:
+  // peeking through ECC returns the pre-fault content for every target.
+  NvmDevice& dev = mem->device();
+  for (const FaultEvent& e : injector.events()) {
+    EXPECT_EQ(e.kind, FaultEvent::Kind::kCorrectable);
+    bool uncorrectable = true;
+    (void)dev.peek_corrected(e.addr, &uncorrectable);
+    EXPECT_FALSE(uncorrectable) << "addr " << e.addr;
+  }
 }
 
 TEST(FaultTrial, SingleTrialReproducesBitForBit) {

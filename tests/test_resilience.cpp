@@ -1,0 +1,316 @@
+// Runtime fault-tolerance unit tests: the Status taxonomy, the per-line
+// ECC model, read-retry and quarantine on the demand path, patrol scrub,
+// quarantine-map persistence, salvage-mode recovery, and the KV store's
+// degraded API.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <stdexcept>
+
+#include "common/status.hpp"
+#include "fault/campaign.hpp"
+#include "kv/kv_store.hpp"
+#include "nvm/nvm_device.hpp"
+#include "secure/resilience.hpp"
+#include "secure/secure_memory.hpp"
+#include "sim/system.hpp"
+#include "test_util.hpp"
+
+namespace steins {
+namespace {
+
+using testutil::Driver;
+using testutil::pattern_block;
+using testutil::small_config;
+
+TEST(StatusTaxonomy, CodesAndUnavailability) {
+  EXPECT_TRUE(Status::Ok().ok());
+  const Status s(ErrorCode::kQuarantined, "line 64");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), ErrorCode::kQuarantined);
+  EXPECT_NE(s.to_string().find("quarantined"), std::string::npos);
+
+  EXPECT_TRUE(is_unavailable(ErrorCode::kUncorrectable));
+  EXPECT_TRUE(is_unavailable(ErrorCode::kQuarantined));
+  EXPECT_TRUE(is_unavailable(ErrorCode::kReadOnly));
+  EXPECT_FALSE(is_unavailable(ErrorCode::kIntegrity));
+  EXPECT_FALSE(is_unavailable(ErrorCode::kInvariant));
+  EXPECT_FALSE(is_unavailable(ErrorCode::kOk));
+}
+
+TEST(StatusTaxonomy, SteinsCheckThrowsTypedInvariant) {
+  try {
+    STEINS_CHECK(1 + 1 == 3, "arithmetic broke");
+    FAIL() << "STEINS_CHECK did not throw";
+  } catch (const StatusError& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kInvariant);
+    EXPECT_NE(std::string(e.what()).find("arithmetic broke"), std::string::npos);
+  }
+}
+
+TEST(NvmEcc, CorrectableFaultRecoversGoldenAfterRetries) {
+  NvmDevice dev(NvmConfig{});
+  const Addr addr = 3 * kBlockSize;
+  const Block golden = pattern_block(addr, 1);
+  dev.write_block(addr, golden);
+  dev.inject_ecc_error(addr, 17, /*correctable=*/true, /*retries=*/2);
+
+  // The raw stored image is corrupted; ECC needs two re-reads to lock on.
+  EXPECT_NE(dev.peek_block(addr), golden);
+  Block out{};
+  EXPECT_EQ(dev.read_block_ecc(addr, &out), NvmDevice::EccRead::kNeedsRetry);
+  EXPECT_EQ(dev.read_block_ecc(addr, &out), NvmDevice::EccRead::kNeedsRetry);
+  EXPECT_EQ(dev.read_block_ecc(addr, &out), NvmDevice::EccRead::kCorrected);
+  EXPECT_EQ(out, golden);
+}
+
+TEST(NvmEcc, SecondFaultEscalatesAndWriteClears) {
+  NvmDevice dev(NvmConfig{});
+  const Addr addr = 5 * kBlockSize;
+  dev.write_block(addr, pattern_block(addr, 1));
+  dev.inject_ecc_error(addr, 1, true, 0);
+  dev.inject_ecc_error(addr, 2, true, 0);  // exceeds the correction budget
+  EXPECT_TRUE(dev.ecc_uncorrectable(addr));
+  bool uncorrectable = false;
+  (void)dev.peek_corrected(addr, &uncorrectable);
+  EXPECT_TRUE(uncorrectable);
+
+  // A full-line write lays down a fresh codeword.
+  dev.write_block(addr, pattern_block(addr, 2));
+  EXPECT_FALSE(dev.ecc_faulted(addr));
+}
+
+TEST(NvmEcc, RemapConsumesPoolAndDropsStaleImages) {
+  NvmConfig cfg;
+  cfg.remap_pool_lines = 1;
+  NvmDevice dev(cfg);
+  const Addr addr = 7 * kBlockSize;
+  dev.write_block(addr, pattern_block(addr, 1));
+  dev.write_tag(addr, 0xabcd);
+  dev.inject_ecc_error(addr, 9, false, 0);
+
+  EXPECT_TRUE(dev.remap_line(addr));
+  EXPECT_EQ(dev.remap_pool_free(), 0u);
+  EXPECT_FALSE(dev.ecc_faulted(addr));
+  EXPECT_FALSE(dev.contains(addr));  // the spare starts blank
+  EXPECT_EQ(dev.read_tag(addr), 0u);
+  EXPECT_FALSE(dev.remap_line(addr));  // pool exhausted
+}
+
+TEST(ResilientRead, CorrectableFaultIsAbsorbedWithRetries) {
+  const SystemConfig cfg = small_config();
+  std::unique_ptr<SecureMemory> mem = make_scheme(Scheme::kSteins, cfg);
+  auto* base = dynamic_cast<SecureMemoryBase*>(mem.get());
+  Driver driver(*mem);
+  for (std::uint64_t i = 0; i < 16; ++i) driver.write(i);
+  base->flush_all_metadata();
+
+  mem->device().inject_ecc_error(4 * kBlockSize, 100, true, 2);
+  EXPECT_TRUE(driver.read_check(4));  // exact plaintext despite the fault
+  EXPECT_GE(base->ft_stats().read_retries, 2u);
+  EXPECT_GE(base->ft_stats().corrected_reads, 1u);
+}
+
+TEST(ResilientRead, UncorrectableFaultQuarantinesAndRewriteHeals) {
+  const SystemConfig cfg = small_config();
+  std::unique_ptr<SecureMemory> mem = make_scheme(Scheme::kSteins, cfg);
+  auto* base = dynamic_cast<SecureMemoryBase*>(mem.get());
+  Driver driver(*mem);
+  for (std::uint64_t i = 0; i < 16; ++i) driver.write(i);
+  base->flush_all_metadata();
+
+  const Addr addr = 6 * kBlockSize;
+  mem->device().inject_ecc_error(addr, 42, false, 0);
+  Cycle now = driver.now();
+  Block out{};
+  try {
+    mem->read_block(addr, now, &out);
+    FAIL() << "dead line served a read";
+  } catch (const StatusError& e) {
+    EXPECT_TRUE(is_unavailable(e.code()));
+  }
+  EXPECT_TRUE(base->quarantine().has_line(addr));
+  EXPECT_GE(base->ft_stats().uncorrectable_reads, 1u);
+
+  // The line was remapped to a spare: a fresh write re-arms it.
+  now = mem->write_block(addr, pattern_block(addr, 99), now);
+  now = mem->read_block(addr, now, &out);
+  EXPECT_EQ(out, pattern_block(addr, 99));
+}
+
+TEST(PatrolScrub, CorrectsMarginalLinesAndRetiresDeadOnes) {
+  SystemConfig cfg = small_config();
+  cfg.secure.ft.scrub_lines_per_epoch = 64;
+  std::unique_ptr<SecureMemory> mem = make_scheme(Scheme::kSteins, cfg);
+  auto* base = dynamic_cast<SecureMemoryBase*>(mem.get());
+  Driver driver(*mem);
+  for (std::uint64_t i = 0; i < 32; ++i) driver.write(i);
+  base->flush_all_metadata();
+
+  mem->device().inject_ecc_error(2 * kBlockSize, 7, true, 1);
+  mem->device().inject_ecc_error(9 * kBlockSize, 8, false, 0);
+
+  Cycle now = driver.now();
+  for (int e = 0; e < 8; ++e) base->scrub_epoch(now);
+
+  const FtStats& ft = base->ft_stats();
+  EXPECT_GE(ft.scrub_passes, 1u);
+  EXPECT_GE(ft.scrub_corrected, 1u);  // marginal line rewritten in place
+  EXPECT_GE(ft.scrub_detected, 1u);   // dead line found by patrol
+  EXPECT_FALSE(mem->device().ecc_faulted(2 * kBlockSize));
+  EXPECT_TRUE(base->quarantine().has_line(9 * kBlockSize));
+  EXPECT_TRUE(driver.read_check(2));  // scrubbed line serves exact data
+}
+
+TEST(QuarantineMap, PersistLoadRoundTripAndCorruptionRejected) {
+  NvmDevice dev(NvmConfig{});
+  const Addr base = dev.address_limit() - (Addr{64} << 10);
+
+  QuarantineMap map;
+  map.add_line(128, QuarantineReason::kEccData, /*remapped=*/true);
+  map.add_range(4096, 8192, QuarantineReason::kLost);
+  map.persist(dev, base);
+
+  QuarantineMap loaded;
+  ASSERT_TRUE(loaded.load(dev, base));
+  ASSERT_EQ(loaded.size(), 2u);
+  EXPECT_EQ(loaded.line_count(), 1u);
+  EXPECT_EQ(loaded.range_count(), 1u);
+  EXPECT_TRUE(loaded.read_blocked(128));
+  EXPECT_FALSE(loaded.write_blocked(128));  // remapped: fresh writes allowed
+  EXPECT_TRUE(loaded.read_blocked(5000));
+  EXPECT_TRUE(loaded.write_blocked(5000));
+  EXPECT_FALSE(loaded.read_blocked(9000));
+
+  // A corrupted header must load as empty, not block arbitrary addresses.
+  Block hdr = dev.peek_block(base);
+  hdr[0] ^= 0xff;
+  dev.poke_block(base, hdr);
+  QuarantineMap rejected;
+  EXPECT_FALSE(rejected.load(dev, base));
+  EXPECT_TRUE(rejected.empty());
+}
+
+TEST(SalvageRecovery, DeadSitLeafQuarantinesItsSubtreeOnly) {
+  const SystemConfig cfg = small_config();
+  std::unique_ptr<SecureMemory> mem = make_scheme(Scheme::kSteins, cfg);
+  auto* base = dynamic_cast<SecureMemoryBase*>(mem.get());
+  Driver driver(*mem);
+  // Blocks 88..111 span SIT leaves 11, 12, and 13 (8 blocks per leaf).
+  for (std::uint64_t b = 88; b < 112; ++b) driver.write(b);
+  base->flush_all_metadata();
+
+  const NodeId dead_leaf{0, 12};
+  mem->device().inject_ecc_error(mem->geometry().node_addr(dead_leaf), 13,
+                                 /*correctable=*/false, 0);
+  mem->crash();
+  const RecoveryReport r = mem->recover();
+
+  // Media loss is not an attack; the subtree is quarantined, nothing else.
+  EXPECT_TRUE(r.supported);
+  EXPECT_TRUE(r.status.ok()) << r.status.to_string();
+  EXPECT_FALSE(r.attack_detected) << r.attack_detail;
+  EXPECT_TRUE(r.degraded());
+  EXPECT_GE(r.subtrees_quarantined, 1u);
+  EXPECT_FALSE(r.linc_unverified.empty());  // LInc proves nothing when lossy
+
+  // Covered blocks 96..103 fail typed; both sibling subtrees read exact.
+  Cycle now = driver.now();
+  for (std::uint64_t b = 96; b < 104; ++b) {
+    Block out{};
+    try {
+      now = mem->read_block(b * kBlockSize, now, &out);
+      FAIL() << "quarantined block " << b << " served a read";
+    } catch (const StatusError& e) {
+      EXPECT_EQ(e.code(), ErrorCode::kQuarantined);
+    }
+  }
+  for (std::uint64_t b = 88; b < 96; ++b) EXPECT_TRUE(driver.read_check(b)) << b;
+  for (std::uint64_t b = 104; b < 112; ++b) EXPECT_TRUE(driver.read_check(b)) << b;
+}
+
+TEST(KvDegraded, TypedErrorsAndReadOnlyMode) {
+  SystemConfig cfg = small_config();
+  cfg.nvm.capacity_bytes = 16ULL << 20;
+  System sys(cfg, Scheme::kSteins);
+  kv::KvLayout layout;
+  layout.slots = 256;
+  kv::KvStore store(sys, layout);
+  for (std::uint64_t k = 0; k < 48; ++k) {
+    store.put(k, "value-" + std::to_string(k));
+  }
+
+  // Kill one resident record line inside the store's region, then crash.
+  NvmDevice& dev = sys.memory().device();
+  const auto resident =
+      dev.resident_blocks(layout.base, layout.base + 2 * layout.slots * kBlockSize);
+  ASSERT_FALSE(resident.empty());
+  dev.inject_ecc_error(resident[resident.size() / 2], 21, false, 0);
+
+  const RecoveryReport r = sys.crash_and_recover();
+  ASSERT_TRUE(r.status.ok()) << r.status.to_string();
+  ASSERT_FALSE(r.attack_detected) << r.attack_detail;
+  sys.resync_truth_after_crash();
+
+  kv::KvStore reopened(sys, layout);
+  reopened.apply_recovery_report(r);
+  EXPECT_FALSE(reopened.read_only());  // attack-free salvage stays writable
+
+  std::uint64_t ok = 0, unavailable = 0;
+  for (std::uint64_t k = 0; k < 48; ++k) {
+    const auto got = reopened.try_get(k);
+    if (!got.has_value()) {
+      EXPECT_TRUE(is_unavailable(got.status().code())) << got.status().to_string();
+      ++unavailable;
+      continue;
+    }
+    ASSERT_TRUE(got.value().has_value()) << "key " << k << " silently missing";
+    EXPECT_EQ(*got.value(), "value-" + std::to_string(k));
+    ++ok;
+  }
+  EXPECT_GE(unavailable, 1u);  // the dead line took at least one key out
+  EXPECT_GE(ok, 1u);           // but the store keeps serving the rest
+  const auto dump = reopened.dump_degraded();
+  EXPECT_EQ(dump.live.size(), ok);
+  EXPECT_GE(dump.slots_unavailable, 1u);
+
+  // Read-only mode: mutations fail typed, reads keep working.
+  reopened.set_read_only(true);
+  const Status put_status = reopened.try_put(1, "new");
+  EXPECT_EQ(put_status.code(), ErrorCode::kReadOnly);
+  const auto erase_result = reopened.try_erase(1);
+  EXPECT_FALSE(erase_result.has_value());
+  EXPECT_EQ(erase_result.status().code(), ErrorCode::kReadOnly);
+}
+
+TEST(KvDegraded, AttackReportFreezesTheStore) {
+  SystemConfig cfg = small_config();
+  cfg.nvm.capacity_bytes = 16ULL << 20;
+  System sys(cfg, Scheme::kSteins);
+  kv::KvLayout layout;
+  layout.slots = 64;
+  kv::KvStore store(sys, layout);
+  RecoveryReport attacked;
+  attacked.attack_detected = true;
+  store.apply_recovery_report(attacked);
+  EXPECT_TRUE(store.read_only());
+  EXPECT_EQ(store.try_put(1, "x").code(), ErrorCode::kReadOnly);
+}
+
+TEST(Campaign, EmptyCampaignThrowsInvalidArgument) {
+  CampaignOptions opts;
+  opts.trials = 0;
+  EXPECT_THROW(run_fault_campaign(opts), std::invalid_argument);
+  opts.only_trial = 3;  // an explicit single-trial reproduction is fine
+  opts.trials = 0;
+  opts.schemes = {{Scheme::kSteins, CounterMode::kGeneral, "Steins-GC"}};
+  opts.classes = {FaultClass::kNone};
+  opts.workload.ops = 32;
+  opts.workload.footprint_blocks = 128;
+  opts.workload.capacity_mb = 4;
+  const CampaignResult r = run_fault_campaign(opts);
+  EXPECT_EQ(r.outcomes.size(), 1u);
+}
+
+}  // namespace
+}  // namespace steins

@@ -8,10 +8,11 @@
 // dirty burst, then a crash with injected faults (torn/dropped/reordered
 // persists, ADR loss, or region-targeted bit flips), recovery, and a full
 // audit of every written block. Prints the per-(scheme, class) verdict
-// matrix detected/recovered/silent-corruption. Every trial is a pure
-// function of (--seed, trial index): the matrix is bit-identical for any
-// --jobs value, and --trial K reruns exactly one trial for debugging.
-// Exit status is nonzero if any silent corruption was observed.
+// matrix detected/recovered/salvaged/silent-corruption. Every trial is a
+// pure function of (--seed, trial index): the matrix is bit-identical for
+// any --jobs value, and --trial K reruns exactly one trial for debugging.
+// Exit status is nonzero if any silent corruption was observed; 2 for
+// usage errors (including --trials 0, which would report vacuous success).
 #include <cerrno>
 #include <cstdio>
 #include <cstring>
@@ -38,7 +39,8 @@ struct Options {
 void usage() {
   std::printf(
       "steins_fault - fault-injection campaigns over the secure NVM schemes\n\n"
-      "  --trials <n>        seeded trials per scheme (default 100)\n"
+      "  --trials <n>        seeded trials per scheme (default 100; must be\n"
+      "                      >= 1 unless --trial selects a single one)\n"
       "  --seed <n>          campaign seed (default 42)\n"
       "  --jobs <n>          worker threads; results are bit-identical for\n"
       "                      any value (default 1)\n"
@@ -49,7 +51,7 @@ void usage() {
       "  --classes <list>    comma-separated fault classes (default: all):\n"
       "                      torn-write dropped-persist reordered-persist\n"
       "                      adr-loss flip-data flip-counter flip-node\n"
-      "                      flip-mac flip-record\n"
+      "                      flip-mac flip-record correctable-flip\n"
       "  --trial <k>         run only trial k (seed-exact reproduction)\n"
       "  --ops <n>           phase-1 accesses per trial (default 384)\n"
       "  --footprint <n>     workload footprint in blocks (default 2048)\n"
@@ -127,6 +129,12 @@ int main(int argc, char** argv) {
   if (opt.help) {
     usage();
     return 0;
+  }
+  if (opt.campaign.trials == 0 && !opt.campaign.only_trial.has_value()) {
+    std::fprintf(stderr,
+                 "error: --trials 0 runs no trials and would report vacuous "
+                 "success; pass --trials >= 1 or reproduce one with --trial\n");
+    return 2;
   }
 
   CounterMode mode;

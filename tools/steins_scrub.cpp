@@ -1,0 +1,289 @@
+// steins_scrub: drive the runtime fault-tolerance machinery interactively.
+//
+//   steins_scrub --scheme steins --blocks 512 --correctable 24 --uncorrectable 4
+//   steins_scrub --epochs 16 --lines-per-epoch 32 --json scrub.json
+//
+// Writes a seeded working set through the secure path, injects a mix of
+// correctable (marginal-cell, absorbed by ECC) and uncorrectable media
+// faults into resident data lines, then runs patrol-scrub epochs by hand.
+// The scrub pass rewrites correctable lines in place and retires dead
+// lines to the remap pool (quarantining them until a fresh write lands).
+// The tool then audits every block: a read must return the exact written
+// data, be corrected transparently, or fail with a typed unavailable
+// error — wrong plaintext exits nonzero. Finally it rewrites the
+// quarantined lines to demonstrate the remap/rewrite lifecycle.
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/status.hpp"
+#include "secure/secure_memory.hpp"
+
+using namespace steins;
+
+namespace {
+
+struct Options {
+  std::string scheme = "steins";
+  std::string mode = "gc";
+  std::uint64_t capacity_mb = 16;
+  std::uint64_t blocks = 512;          // working-set size
+  std::uint64_t correctable = 24;      // injected marginal-cell faults
+  std::uint64_t uncorrectable = 4;     // injected dead lines
+  std::uint64_t epochs = 8;            // patrol epochs to run
+  unsigned lines_per_epoch = 64;
+  std::uint64_t seed = 42;
+  std::string json_path;
+  bool no_mac_verify = false;
+  bool help = false;
+};
+
+void usage() {
+  std::printf(
+      "steins_scrub - ECC, patrol-scrub and quarantine lifecycle driver\n\n"
+      "  --scheme <name>        wb|asit|star|scue|steins (default steins)\n"
+      "  --mode <gc|sc>         counter mode (default gc)\n"
+      "  --capacity-mb <n>      NVM capacity (default 16)\n"
+      "  --blocks <n>           working-set blocks to write (default 512)\n"
+      "  --correctable <n>      marginal-cell faults to inject (default 24)\n"
+      "  --uncorrectable <n>    dead lines to inject (default 4)\n"
+      "  --epochs <n>           patrol-scrub epochs to run (default 8)\n"
+      "  --lines-per-epoch <n>  scrub budget per epoch (default 64)\n"
+      "  --seed <n>             workload + fault placement seed (default 42)\n"
+      "  --no-mac-verify        patrol without MAC-verifying data lines\n"
+      "  --json <file>          write the outcome as JSON\n");
+}
+
+bool parse(int argc, char** argv, Options* opt) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> const char* { return (i + 1 < argc) ? argv[++i] : ""; };
+    if (arg == "--scheme") {
+      opt->scheme = value();
+    } else if (arg == "--mode") {
+      opt->mode = value();
+    } else if (arg == "--capacity-mb") {
+      opt->capacity_mb = std::strtoull(value(), nullptr, 10);
+    } else if (arg == "--blocks") {
+      opt->blocks = std::strtoull(value(), nullptr, 10);
+    } else if (arg == "--correctable") {
+      opt->correctable = std::strtoull(value(), nullptr, 10);
+    } else if (arg == "--uncorrectable") {
+      opt->uncorrectable = std::strtoull(value(), nullptr, 10);
+    } else if (arg == "--epochs") {
+      opt->epochs = std::strtoull(value(), nullptr, 10);
+    } else if (arg == "--lines-per-epoch") {
+      opt->lines_per_epoch = static_cast<unsigned>(std::strtoul(value(), nullptr, 10));
+    } else if (arg == "--seed") {
+      opt->seed = std::strtoull(value(), nullptr, 10);
+    } else if (arg == "--no-mac-verify") {
+      opt->no_mac_verify = true;
+    } else if (arg == "--json") {
+      opt->json_path = value();
+    } else if (arg == "--help" || arg == "-h") {
+      opt->help = true;
+    } else {
+      std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+Scheme parse_scheme(const std::string& name) {
+  if (name == "wb") return Scheme::kWriteBack;
+  if (name == "asit") return Scheme::kAnubis;
+  if (name == "star") return Scheme::kStar;
+  if (name == "steins") return Scheme::kSteins;
+  if (name == "scue") return Scheme::kScue;
+  throw std::invalid_argument("unknown scheme: " + name);
+}
+
+Block pattern_block(std::uint64_t seed, Addr addr) {
+  Block b{};
+  Xoshiro256 rng(seed ^ (addr * 0x9e3779b97f4a7c15ULL));
+  for (std::size_t i = 0; i < kBlockSize; i += 8) {
+    const std::uint64_t w = rng.next();
+    std::memcpy(b.data() + i, &w, 8);
+  }
+  return b;
+}
+
+struct AuditCounts {
+  std::uint64_t ok = 0;           // exact data back
+  std::uint64_t unavailable = 0;  // typed quarantine/uncorrectable error
+  std::uint64_t wrong = 0;        // wrong plaintext — always a bug
+};
+
+AuditCounts audit(SecureMemoryBase& mem, const Options& opt, Cycle& now) {
+  AuditCounts counts;
+  for (std::uint64_t i = 0; i < opt.blocks; ++i) {
+    const Addr addr = i * kBlockSize;
+    Block got{};
+    try {
+      now = mem.read_block(addr, now, &got);
+    } catch (const StatusError& e) {
+      if (!is_unavailable(e.code())) throw;
+      ++counts.unavailable;
+      continue;
+    }
+    if (got == pattern_block(opt.seed, addr)) {
+      ++counts.ok;
+    } else {
+      ++counts.wrong;
+      std::fprintf(stderr, "WRONG PLAINTEXT at block %llu\n",
+                   static_cast<unsigned long long>(i));
+    }
+  }
+  return counts;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  if (!parse(argc, argv, &opt)) return 2;
+  if (opt.help) {
+    usage();
+    return 0;
+  }
+
+  try {
+    SystemConfig cfg = default_config();
+    cfg.nvm.capacity_bytes = opt.capacity_mb * 1024 * 1024;
+    cfg.counter_mode = opt.mode == "sc" ? CounterMode::kSplit : CounterMode::kGeneral;
+    cfg.secure.ft.ecc_enabled = true;
+    cfg.secure.ft.scrub_interval_accesses = 0;  // epochs are driven by hand
+    cfg.secure.ft.scrub_lines_per_epoch = opt.lines_per_epoch;
+    cfg.secure.ft.scrub_verify_macs = !opt.no_mac_verify;
+
+    const std::unique_ptr<SecureMemory> mem_owner =
+        make_scheme(parse_scheme(opt.scheme), cfg);
+    auto* mem = dynamic_cast<SecureMemoryBase*>(mem_owner.get());
+    if (mem == nullptr) {
+      std::fprintf(stderr, "scheme does not expose the scrub interface\n");
+      return 1;
+    }
+
+    // Phase 1: write the seeded working set through the secure path.
+    Cycle now = 0;
+    for (std::uint64_t i = 0; i < opt.blocks; ++i) {
+      const Addr addr = i * kBlockSize;
+      now = mem->write_block(addr, pattern_block(opt.seed, addr), now);
+    }
+    mem->flush_all_metadata();
+
+    // Phase 2: place faults on distinct resident data lines.
+    NvmDevice& dev = mem->device();
+    const std::vector<Addr> resident = dev.resident_blocks(0, opt.blocks * kBlockSize);
+    Xoshiro256 rng(opt.seed * 0x2545f4914f6cdd1dULL + 11);
+    std::vector<Addr> targets = resident;
+    for (std::size_t i = targets.size(); i > 1; --i) {
+      std::swap(targets[i - 1], targets[rng.below(i)]);
+    }
+    const std::uint64_t n_unc = std::min<std::uint64_t>(opt.uncorrectable, targets.size());
+    const std::uint64_t n_cor =
+        std::min<std::uint64_t>(opt.correctable, targets.size() - n_unc);
+    std::vector<Addr> dead_lines;
+    for (std::uint64_t i = 0; i < n_unc; ++i) {
+      dev.inject_ecc_error(targets[i], static_cast<unsigned>(rng.below(kBlockSize * 8)),
+                           /*correctable=*/false, 0);
+      dead_lines.push_back(targets[i]);
+    }
+    for (std::uint64_t i = 0; i < n_cor; ++i) {
+      dev.inject_ecc_error(targets[n_unc + i],
+                           static_cast<unsigned>(rng.below(kBlockSize * 8)),
+                           /*correctable=*/true, static_cast<unsigned>(rng.below(3)));
+    }
+    std::printf("injected %llu correctable + %llu uncorrectable faults over %zu lines\n",
+                static_cast<unsigned long long>(n_cor),
+                static_cast<unsigned long long>(n_unc), resident.size());
+
+    // Phase 3: patrol. Scrub rewrites marginal lines and retires dead ones.
+    for (std::uint64_t e = 0; e < opt.epochs; ++e) mem->scrub_epoch(now);
+
+    // Phase 4: demand-read audit of every block.
+    const AuditCounts after_scrub = audit(*mem, opt, now);
+    std::printf("\naudit after scrub: %llu ok, %llu typed-unavailable, %llu wrong\n",
+                static_cast<unsigned long long>(after_scrub.ok),
+                static_cast<unsigned long long>(after_scrub.unavailable),
+                static_cast<unsigned long long>(after_scrub.wrong));
+
+    // Phase 5: rewrite the dead lines. A remapped line accepts the fresh
+    // write and leaves quarantine; without a spare the write fails typed.
+    std::uint64_t rewritten = 0;
+    std::uint64_t write_blocked = 0;
+    for (const Addr addr : dead_lines) {
+      try {
+        now = mem->write_block(addr, pattern_block(opt.seed, addr), now);
+        ++rewritten;
+      } catch (const StatusError& e) {
+        if (!is_unavailable(e.code())) throw;
+        ++write_blocked;
+      }
+    }
+    const AuditCounts final_audit = audit(*mem, opt, now);
+    std::printf("rewrite: %llu accepted (remapped), %llu rejected (pool exhausted)\n",
+                static_cast<unsigned long long>(rewritten),
+                static_cast<unsigned long long>(write_blocked));
+    std::printf("final audit: %llu ok, %llu typed-unavailable, %llu wrong\n\n",
+                static_cast<unsigned long long>(final_audit.ok),
+                static_cast<unsigned long long>(final_audit.unavailable),
+                static_cast<unsigned long long>(final_audit.wrong));
+
+    const FtStats& ft = mem->ft_stats();
+    std::printf("%s\n", ft.describe().c_str());
+    std::printf("quarantine map: %zu entries (%zu lines, %zu ranges)\n",
+                mem->quarantine().size(), mem->quarantine().line_count(),
+                mem->quarantine().range_count());
+
+    if (!opt.json_path.empty()) {
+      std::FILE* f = std::fopen(opt.json_path.c_str(), "w");
+      if (f == nullptr) {
+        std::fprintf(stderr, "cannot open %s: %s\n", opt.json_path.c_str(),
+                     std::strerror(errno));
+        return 1;
+      }
+      std::fprintf(
+          f,
+          "{\n \"scheme\": \"%s\",\n \"blocks\": %llu,\n"
+          " \"injected_correctable\": %llu,\n \"injected_uncorrectable\": %llu,\n"
+          " \"scrub_passes\": %llu,\n \"scrub_lines\": %llu,\n"
+          " \"scrub_corrected\": %llu,\n \"scrub_detected\": %llu,\n"
+          " \"lines_quarantined\": %llu,\n \"lines_remapped\": %llu,\n"
+          " \"audit_ok\": %llu,\n \"audit_unavailable\": %llu,\n"
+          " \"audit_wrong\": %llu,\n \"rewritten\": %llu,\n"
+          " \"write_blocked\": %llu\n}\n",
+          opt.scheme.c_str(), static_cast<unsigned long long>(opt.blocks),
+          static_cast<unsigned long long>(n_cor), static_cast<unsigned long long>(n_unc),
+          static_cast<unsigned long long>(ft.scrub_passes),
+          static_cast<unsigned long long>(ft.scrub_lines),
+          static_cast<unsigned long long>(ft.scrub_corrected),
+          static_cast<unsigned long long>(ft.scrub_detected),
+          static_cast<unsigned long long>(ft.lines_quarantined),
+          static_cast<unsigned long long>(ft.lines_remapped),
+          static_cast<unsigned long long>(final_audit.ok),
+          static_cast<unsigned long long>(final_audit.unavailable),
+          static_cast<unsigned long long>(final_audit.wrong),
+          static_cast<unsigned long long>(rewritten),
+          static_cast<unsigned long long>(write_blocked));
+      if (std::fclose(f) != 0) {
+        std::fprintf(stderr, "error writing %s\n", opt.json_path.c_str());
+        return 1;
+      }
+      std::printf("wrote JSON results to %s\n", opt.json_path.c_str());
+    }
+
+    if (after_scrub.wrong > 0 || final_audit.wrong > 0) {
+      std::fprintf(stderr, "\nFAIL: wrong plaintext served\n");
+      return 1;
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}
