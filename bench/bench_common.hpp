@@ -12,6 +12,7 @@
 
 #include "common/config.hpp"
 #include "common/thread_pool.hpp"
+#include "crypto/backend.hpp"
 #include "sim/experiment.hpp"
 #include "trace/workloads.hpp"
 
@@ -27,8 +28,12 @@ struct BenchOptions {
 
 /// Parse sizing from positional argv[1]/argv[2] or STEINS_ACCESSES /
 /// STEINS_WARMUP, parallelism from `--jobs N` / STEINS_JOBS (default: all
-/// hardware threads; 1 reproduces the sequential run exactly), and JSON
-/// output from `--json FILE` / STEINS_JSON.
+/// hardware threads; 1 reproduces the sequential run exactly), JSON output
+/// from `--json FILE` / STEINS_JSON, and the crypto backend from
+/// `--crypto-backend ref|ttable|hw|auto` (the STEINS_CRYPTO_BACKEND env var
+/// is read by the registry itself; the flag wins). Backends are
+/// bit-identical, so this only affects host wall-clock — it is recorded in
+/// the JSON provenance so trajectory points stay comparable.
 inline BenchOptions parse_options(int argc, char** argv) {
   BenchOptions opt;
   opt.jobs = ThreadPool::default_jobs();  // reads STEINS_JOBS
@@ -46,6 +51,8 @@ inline BenchOptions parse_options(int argc, char** argv) {
     if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
       const long v = std::strtol(argv[++i], nullptr, 10);
       opt.jobs = v < 1 ? 1u : static_cast<unsigned>(v);
+    } else if (std::strcmp(argv[i], "--crypto-backend") == 0 && i + 1 < argc) {
+      if (auto b = crypto::parse_backend(argv[++i])) crypto::set_crypto_backend(*b);
     } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
       opt.json_path = argv[++i];
     } else if (std::strcmp(argv[i], "--verbose") == 0) {
@@ -87,9 +94,12 @@ inline bool write_table_json(const std::string& path, const ResultTable& table,
     return false;
   }
   const int written = std::fprintf(
-      f, "{\"accesses\": %llu, \"warmup\": %llu, \"jobs\": %u,\n \"table\": %s%s}\n",
+      f,
+      "{\"accesses\": %llu, \"warmup\": %llu, \"jobs\": %u, \"crypto_backend\": \"%s\",\n"
+      " \"table\": %s%s}\n",
       static_cast<unsigned long long>(opt.accesses),
-      static_cast<unsigned long long>(opt.warmup), opt.jobs, table.to_json().c_str(),
+      static_cast<unsigned long long>(opt.warmup), opt.jobs,
+      crypto::backend_name(crypto::active_backend()), table.to_json().c_str(),
       extra_members.c_str());
   const bool flushed = std::fflush(f) == 0 && std::ferror(f) == 0;
   if (std::fclose(f) != 0 || written < 0 || !flushed) {

@@ -5,11 +5,11 @@
 namespace steins {
 
 std::size_t cache_num_sets(std::size_t size_bytes, unsigned ways, std::size_t block_bytes) {
-  assert(ways > 0 && block_bytes > 0);
+  STEINS_CHECK(ways > 0 && block_bytes > 0, "cache geometry must be nonzero");
   const std::size_t lines = size_bytes / block_bytes;
-  assert(lines % ways == 0 && "cache size must be a whole number of sets");
+  STEINS_CHECK(lines % ways == 0, "cache size must be a whole number of sets");
   const std::size_t sets = lines / ways;
-  assert(std::has_single_bit(sets) && "number of sets must be a power of two");
+  STEINS_CHECK(std::has_single_bit(sets), "number of sets must be a power of two");
   return sets;
 }
 

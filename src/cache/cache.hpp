@@ -5,11 +5,11 @@
 // ADR-resident record/bitmap line caches of Steins and STAR.
 #pragma once
 
-#include <cassert>
 #include <cstdint>
 #include <optional>
 #include <vector>
 
+#include "common/status.hpp"
 #include "common/types.hpp"
 
 namespace steins {
@@ -95,7 +95,11 @@ class SetAssocCache {
   /// valid line had to be evicted, along with its payload.
   std::optional<Evicted> insert(Addr addr, bool dirty, Payload payload, Line** out_line = nullptr) {
     const Addr tag = align(addr);
-    assert(peek(tag) == nullptr && "insert of already-cached block");
+    // A duplicate insert would create two valid lines for one tag, so
+    // lookup would hit either nondeterministically while eviction could
+    // drop a dirty twin — silent corruption. assert() vanished under
+    // NDEBUG; STEINS_CHECK stays armed in Release builds.
+    STEINS_CHECK(peek(tag) == nullptr, "insert of already-cached block");
     const std::size_t base = set_index(tag) * ways_;
     Line* victim = &lines_[base];
     for (unsigned w = 0; w < ways_; ++w) {

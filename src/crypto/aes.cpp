@@ -2,6 +2,8 @@
 
 #include <cstring>
 
+#include "crypto/aes_ni.hpp"
+
 namespace steins::crypto {
 
 namespace {
@@ -174,6 +176,31 @@ void Aes128::encrypt_block(std::uint8_t* s) const {
 #ifdef STEINS_AES_REFERENCE
   encrypt_block_ref(s);
 #else
+  switch (backend()) {
+    case CryptoBackend::kHw:
+      aesni::encrypt_block(round_keys_.data(), s);
+      return;
+    case CryptoBackend::kRef:
+      encrypt_block_ref(s);
+      return;
+    case CryptoBackend::kTtable:
+      encrypt_block_ttable(s);
+      return;
+  }
+#endif
+}
+
+void Aes128::encrypt4(std::uint8_t* blocks) const {
+#ifndef STEINS_AES_REFERENCE
+  if (backend() == CryptoBackend::kHw) {
+    aesni::encrypt4(round_keys_.data(), blocks);
+    return;
+  }
+#endif
+  for (int i = 0; i < 4; ++i) encrypt_block(blocks + i * kBlockBytes);
+}
+
+void Aes128::encrypt_block_ttable(std::uint8_t* s) const {
   const std::uint32_t* rk = enc_rk_.data();
   std::uint32_t s0 = load_be32(s) ^ rk[0];
   std::uint32_t s1 = load_be32(s + 4) ^ rk[1];
@@ -210,13 +237,27 @@ void Aes128::encrypt_block(std::uint8_t* s) const {
   store_be32(s + 4, last(s1, s2, s3, s0) ^ rk[1]);
   store_be32(s + 8, last(s2, s3, s0, s1) ^ rk[2]);
   store_be32(s + 12, last(s3, s0, s1, s2) ^ rk[3]);
-#endif
 }
 
 void Aes128::decrypt_block(std::uint8_t* s) const {
 #ifdef STEINS_AES_REFERENCE
   decrypt_block_ref(s);
 #else
+  switch (backend()) {
+    case CryptoBackend::kHw:
+      aesni::decrypt_block(round_keys_.data(), s);
+      return;
+    case CryptoBackend::kRef:
+      decrypt_block_ref(s);
+      return;
+    case CryptoBackend::kTtable:
+      decrypt_block_ttable(s);
+      return;
+  }
+#endif
+}
+
+void Aes128::decrypt_block_ttable(std::uint8_t* s) const {
   const std::uint32_t* rk = dec_rk_.data();
   std::uint32_t s0 = load_be32(s) ^ rk[0];
   std::uint32_t s1 = load_be32(s + 4) ^ rk[1];
@@ -252,7 +293,6 @@ void Aes128::decrypt_block(std::uint8_t* s) const {
   store_be32(s + 4, last(s1, s0, s3, s2) ^ rk[1]);
   store_be32(s + 8, last(s2, s1, s0, s3) ^ rk[2]);
   store_be32(s + 12, last(s3, s2, s1, s0) ^ rk[3]);
-#endif
 }
 
 bool Aes128::self_check() {

@@ -1,0 +1,83 @@
+#include "crypto/aes_ni.hpp"
+
+#ifdef STEINS_AESNI_COMPILED
+
+#include <emmintrin.h>
+#include <wmmintrin.h>
+
+namespace steins::crypto::aesni {
+
+namespace {
+
+inline __m128i load_rk(const std::uint8_t* round_keys, unsigned round) {
+  return _mm_loadu_si128(reinterpret_cast<const __m128i*>(round_keys + round * 16));
+}
+
+}  // namespace
+
+bool compiled() { return true; }
+
+void encrypt_block(const std::uint8_t* round_keys, std::uint8_t* block) {
+  __m128i b = _mm_loadu_si128(reinterpret_cast<const __m128i*>(block));
+  b = _mm_xor_si128(b, load_rk(round_keys, 0));
+  for (unsigned r = 1; r < 10; ++r) b = _mm_aesenc_si128(b, load_rk(round_keys, r));
+  b = _mm_aesenclast_si128(b, load_rk(round_keys, 10));
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(block), b);
+}
+
+void decrypt_block(const std::uint8_t* round_keys, std::uint8_t* block) {
+  __m128i b = _mm_loadu_si128(reinterpret_cast<const __m128i*>(block));
+  b = _mm_xor_si128(b, load_rk(round_keys, 10));
+  for (unsigned r = 9; r >= 1; --r) {
+    b = _mm_aesdec_si128(b, _mm_aesimc_si128(load_rk(round_keys, r)));
+  }
+  b = _mm_aesdeclast_si128(b, load_rk(round_keys, 0));
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(block), b);
+}
+
+void encrypt4(const std::uint8_t* round_keys, std::uint8_t* blocks) {
+  __m128i* p = reinterpret_cast<__m128i*>(blocks);
+  __m128i k = load_rk(round_keys, 0);
+  __m128i b0 = _mm_xor_si128(_mm_loadu_si128(p + 0), k);
+  __m128i b1 = _mm_xor_si128(_mm_loadu_si128(p + 1), k);
+  __m128i b2 = _mm_xor_si128(_mm_loadu_si128(p + 2), k);
+  __m128i b3 = _mm_xor_si128(_mm_loadu_si128(p + 3), k);
+  for (unsigned r = 1; r < 10; ++r) {
+    k = load_rk(round_keys, r);
+    b0 = _mm_aesenc_si128(b0, k);
+    b1 = _mm_aesenc_si128(b1, k);
+    b2 = _mm_aesenc_si128(b2, k);
+    b3 = _mm_aesenc_si128(b3, k);
+  }
+  k = load_rk(round_keys, 10);
+  _mm_storeu_si128(p + 0, _mm_aesenclast_si128(b0, k));
+  _mm_storeu_si128(p + 1, _mm_aesenclast_si128(b1, k));
+  _mm_storeu_si128(p + 2, _mm_aesenclast_si128(b2, k));
+  _mm_storeu_si128(p + 3, _mm_aesenclast_si128(b3, k));
+}
+
+}  // namespace steins::crypto::aesni
+
+#else  // !STEINS_AESNI_COMPILED
+
+#include "common/status.hpp"
+
+namespace steins::crypto::aesni {
+
+bool compiled() { return false; }
+
+void encrypt_block(const std::uint8_t*, std::uint8_t*) {
+  STEINS_CHECK(false, "AES-NI backend invoked but not compiled in");
+}
+
+void decrypt_block(const std::uint8_t*, std::uint8_t*) {
+  STEINS_CHECK(false, "AES-NI backend invoked but not compiled in");
+}
+
+void encrypt4(const std::uint8_t*, std::uint8_t*) {
+  STEINS_CHECK(false, "AES-NI backend invoked but not compiled in");
+}
+
+}  // namespace steins::crypto::aesni
+
+#endif  // STEINS_AESNI_COMPILED

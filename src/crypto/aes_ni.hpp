@@ -1,0 +1,37 @@
+// AES-NI kernels for the hw crypto backend.
+//
+// The functions take the byte-form round-key schedule Aes128 already
+// expands ((kRounds+1) x 16 bytes in FIPS-197 order) — AES-NI consumes
+// round keys in exactly that memory layout, so there is no second key
+// schedule to keep in sync.
+//
+// This translation unit is compiled with `-maes -mssse3` when the compiler
+// supports it (STEINS_AESNI_COMPILED set per-file by CMake); otherwise the
+// same symbols are built as stubs with compiled() == false. Callers must
+// gate on aes_hw_available() (compiled + CPUID), which the backend registry
+// does — these functions are never reached on hardware without AES-NI.
+#pragma once
+
+#include <cstdint>
+
+namespace steins::crypto::aesni {
+
+/// True when this TU was built with AES-NI instruction support.
+bool compiled();
+
+/// Encrypt one 16-byte block in place.
+void encrypt_block(const std::uint8_t* round_keys, std::uint8_t* block);
+
+/// Decrypt one 16-byte block in place (equivalent inverse cipher via
+/// AESIMC; decryption is off the OTP hot path, so the inverse schedule is
+/// derived per call instead of being cached).
+void decrypt_block(const std::uint8_t* round_keys, std::uint8_t* block);
+
+/// Encrypt 4 contiguous 16-byte blocks in place, with the rounds
+/// interleaved across the four lanes. aesenc has multi-cycle latency but
+/// single-cycle throughput on every AES-NI core, so issuing the same round
+/// for all lanes back-to-back hides nearly all of the latency — this is the
+/// OTP CTR kernel (OtpEngine::pad encrypts exactly 4 blocks per call).
+void encrypt4(const std::uint8_t* round_keys, std::uint8_t* blocks);
+
+}  // namespace steins::crypto::aesni

@@ -4,28 +4,37 @@
 
 namespace steins::crypto {
 
-HmacSha256::HmacSha256(std::span<const std::uint8_t> key) {
-  std::array<std::uint8_t, 64> k{};
-  if (key.size() > 64) {
+HmacSha256::HmacSha256(std::span<const std::uint8_t> key,
+                       std::optional<CryptoBackend> backend)
+    : backend_(backend) {
+  std::array<std::uint8_t, Sha256::kBlockBytes> k{};
+  if (key.size() > k.size()) {
     const auto digest = Sha256::hash(key);
     std::memcpy(k.data(), digest.data(), digest.size());
   } else {
     std::memcpy(k.data(), key.data(), key.size());
   }
-  for (std::size_t i = 0; i < 64; ++i) {
-    ipad_key_[i] = static_cast<std::uint8_t>(k[i] ^ 0x36);
-    opad_key_[i] = static_cast<std::uint8_t>(k[i] ^ 0x5c);
+
+  std::array<std::uint8_t, Sha256::kBlockBytes> pad;
+  for (std::size_t i = 0; i < pad.size(); ++i) {
+    pad[i] = static_cast<std::uint8_t>(k[i] ^ 0x36);
   }
+  inner_mid_ = Sha256::initial_state();
+  Sha256::compress(inner_mid_, pad.data(), backend_);
+
+  for (std::size_t i = 0; i < pad.size(); ++i) {
+    pad[i] = static_cast<std::uint8_t>(k[i] ^ 0x5c);
+  }
+  outer_mid_ = Sha256::initial_state();
+  Sha256::compress(outer_mid_, pad.data(), backend_);
 }
 
 HmacSha256::Tag HmacSha256::tag(std::span<const std::uint8_t> data) const {
-  Sha256 inner;
-  inner.update(ipad_key_);
+  Sha256 inner(inner_mid_, Sha256::kBlockBytes, backend_);
   inner.update(data);
   const auto inner_digest = inner.finalize();
 
-  Sha256 outer;
-  outer.update(opad_key_);
+  Sha256 outer(outer_mid_, Sha256::kBlockBytes, backend_);
   outer.update(inner_digest);
   return outer.finalize();
 }

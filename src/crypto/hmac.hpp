@@ -3,12 +3,21 @@
 // The paper's SIT nodes and data blocks carry 64-bit HMACs; we truncate the
 // full HMAC-SHA256 tag to its first 8 bytes (big-endian), the standard
 // construction for shortened MACs.
+//
+// Midstate caching: the key-dependent first block of each hash (the ipad
+// and opad blocks) is compressed once at key setup and the resulting 8-word
+// SHA-256 states are saved. Every tag() then resumes from those midstates,
+// cutting two of the four compressions a short-message HMAC costs —
+// exactly the trick a hardware HMAC engine with key-state registers uses.
+// Bit-identical to the two-pass construction by definition of SHA-256.
 #pragma once
 
 #include <array>
 #include <cstdint>
+#include <optional>
 #include <span>
 
+#include "crypto/backend.hpp"
 #include "crypto/sha256.hpp"
 
 namespace steins::crypto {
@@ -18,7 +27,10 @@ class HmacSha256 {
   static constexpr std::size_t kTagBytes = Sha256::kDigestBytes;
   using Tag = Sha256::Digest;
 
-  explicit HmacSha256(std::span<const std::uint8_t> key);
+  /// Follows the process-wide crypto backend; pass `backend` to pin one
+  /// (tests and per-backend benchmarks).
+  explicit HmacSha256(std::span<const std::uint8_t> key,
+                      std::optional<CryptoBackend> backend = std::nullopt);
 
   /// Full 32-byte tag over `data`.
   Tag tag(std::span<const std::uint8_t> data) const;
@@ -28,8 +40,10 @@ class HmacSha256 {
   std::uint64_t tag64(std::span<const std::uint8_t> data) const;
 
  private:
-  std::array<std::uint8_t, 64> ipad_key_{};
-  std::array<std::uint8_t, 64> opad_key_{};
+  // SHA-256 states after absorbing the 64-byte ipad/opad key blocks.
+  Sha256::State inner_mid_{};
+  Sha256::State outer_mid_{};
+  std::optional<CryptoBackend> backend_;
 };
 
 }  // namespace steins::crypto

@@ -1,17 +1,20 @@
 #include "crypto/mac.hpp"
 
 #include <cstring>
-#include <vector>
+
+#include "common/status.hpp"
 
 namespace steins::crypto {
 
-MacEngine::MacEngine(CryptoProfile profile, std::uint64_t key_seed) : profile_(profile) {
+MacEngine::MacEngine(CryptoProfile profile, std::uint64_t key_seed,
+                     std::optional<CryptoBackend> backend)
+    : profile_(profile) {
   constexpr std::uint64_t kMacDomain = 0x4d41435f4b455931ULL;  // "MAC_KEY1"
   std::uint8_t key[16];
   std::memcpy(key, &key_seed, 8);
   std::memcpy(key + 8, &kMacDomain, 8);
   if (profile_ == CryptoProfile::kReal) {
-    hmac_ = std::make_unique<HmacSha256>(std::span<const std::uint8_t>{key, 16});
+    hmac_ = std::make_unique<HmacSha256>(std::span<const std::uint8_t>{key, 16}, backend);
   } else {
     SipHash24::Key k{};
     std::memcpy(k.data(), key, 16);
@@ -24,10 +27,15 @@ std::uint64_t MacEngine::mac64(std::span<const std::uint8_t> data) const {
   return sip_->hash(data);
 }
 
+// MAC input assembly is allocation-free by design: both composite MACs
+// build their message in a fixed stack buffer sized for the worst case.
+// Keep it that way — these run once per simulated memory access.
+
 std::uint64_t MacEngine::node_mac(std::span<const std::uint8_t> payload, Addr node_addr,
                                   std::uint64_t parent_counter) const {
   std::uint8_t buf[72];  // up to 56 B payload + addr + parent counter
   const std::size_t n = payload.size();
+  STEINS_CHECK(n + 16 <= sizeof(buf), "node_mac payload exceeds the stack buffer");
   std::memcpy(buf, payload.data(), n);
   std::memcpy(buf + n, &node_addr, 8);
   std::memcpy(buf + n + 8, &parent_counter, 8);

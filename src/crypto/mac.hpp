@@ -7,10 +7,12 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <span>
 
 #include "common/config.hpp"
 #include "common/types.hpp"
+#include "crypto/backend.hpp"
 #include "crypto/hmac.hpp"
 #include "crypto/siphash.hpp"
 
@@ -18,7 +20,10 @@ namespace steins::crypto {
 
 class MacEngine {
  public:
-  MacEngine(CryptoProfile profile, std::uint64_t key_seed);
+  /// `backend` pins the hash backend (tests/benchmarks); nullopt follows
+  /// the process-wide registry.
+  MacEngine(CryptoProfile profile, std::uint64_t key_seed,
+            std::optional<CryptoBackend> backend = std::nullopt);
 
   /// Generic keyed 64-bit MAC over raw bytes.
   std::uint64_t mac64(std::span<const std::uint8_t> data) const;

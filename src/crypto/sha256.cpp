@@ -3,6 +3,8 @@
 #include <bit>
 #include <cstring>
 
+#include "crypto/sha_ni.hpp"
+
 namespace steins::crypto {
 
 namespace {
@@ -21,16 +23,35 @@ constexpr std::uint32_t kK[64] = {
 
 inline std::uint32_t rotr(std::uint32_t x, int n) { return std::rotr(x, n); }
 
+void scalar_compress(Sha256::State& state, const std::uint8_t* block);
+
 }  // namespace
 
 void Sha256::reset() {
-  state_ = {0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a,
-            0x510e527f, 0x9b05688c, 0x1f83d9ab, 0x5be0cd19};
+  state_ = initial_state();
   buffer_len_ = 0;
   total_len_ = 0;
 }
 
-void Sha256::process_block(const std::uint8_t* block) {
+Sha256::State Sha256::initial_state() {
+  return {0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a,
+          0x510e527f, 0x9b05688c, 0x1f83d9ab, 0x5be0cd19};
+}
+
+void Sha256::compress(State& state, const std::uint8_t* block,
+                      std::optional<CryptoBackend> backend) {
+  const bool hw = backend ? (*backend == CryptoBackend::kHw && sha_hw_available())
+                          : sha_hw_active();
+  if (hw) {
+    shani::compress(state.data(), block);
+  } else {
+    scalar_compress(state, block);
+  }
+}
+
+namespace {
+
+void scalar_compress(Sha256::State& state_, const std::uint8_t* block) {
   std::uint32_t w[64];
   for (int i = 0; i < 16; ++i) {
     w[i] = (std::uint32_t{block[i * 4]} << 24) | (std::uint32_t{block[i * 4 + 1]} << 16) |
@@ -71,6 +92,8 @@ void Sha256::process_block(const std::uint8_t* block) {
   state_[6] += g;
   state_[7] += h;
 }
+
+}  // namespace
 
 void Sha256::update(std::span<const std::uint8_t> data) {
   total_len_ += data.size();

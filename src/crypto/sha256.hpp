@@ -1,23 +1,57 @@
-// SHA-256 (FIPS 180-4), implemented from scratch. Streaming interface plus a
-// one-shot helper. Used by HMAC-SHA256 in the real crypto profile.
+// SHA-256 (FIPS 180-4), implemented from scratch. Streaming interface plus
+// one-shot and midstate helpers. Used by HMAC-SHA256 in the real crypto
+// profile.
+//
+// The 64-round compression dispatches through the crypto backend registry:
+// the hw backend uses the SHA-NI compress (crypto/sha_ni.cpp) when CPUID
+// reports the SHA extensions, everything else the scalar rounds below. Both
+// are bit-identical.
+//
+// The exposed State/compress/resume-constructor trio exists for HMAC
+// midstate caching: HmacSha256 compresses its ipad/opad blocks once at key
+// setup and resumes from the saved 8-word states on every tag.
 #pragma once
 
 #include <array>
 #include <cstdint>
+#include <optional>
 #include <span>
+
+#include "crypto/backend.hpp"
 
 namespace steins::crypto {
 
 class Sha256 {
  public:
   static constexpr std::size_t kDigestBytes = 32;
+  static constexpr std::size_t kBlockBytes = 64;
   using Digest = std::array<std::uint8_t, kDigestBytes>;
+  /// The 8-word working state (a..h) between compressions.
+  using State = std::array<std::uint32_t, 8>;
 
   Sha256() { reset(); }
+
+  /// Pinned to one backend regardless of the registry (tests and
+  /// per-backend benchmarks).
+  explicit Sha256(CryptoBackend backend) : backend_(backend) { reset(); }
+
+  /// Resume from a midstate: `state` after `bytes_compressed` bytes
+  /// (a multiple of 64) have already been absorbed.
+  explicit Sha256(const State& state, std::uint64_t bytes_compressed,
+                  std::optional<CryptoBackend> backend = std::nullopt)
+      : backend_(backend), state_(state), total_len_(bytes_compressed) {}
 
   void reset();
   void update(std::span<const std::uint8_t> data);
   Digest finalize();
+
+  /// FIPS 180-4 initial hash value H(0).
+  static State initial_state();
+
+  /// state = compress(state, one 64-byte block), dispatched per the
+  /// registry (or pinned via `backend`).
+  static void compress(State& state, const std::uint8_t* block,
+                       std::optional<CryptoBackend> backend = std::nullopt);
 
   /// One-shot convenience.
   static Digest hash(std::span<const std::uint8_t> data) {
@@ -27,10 +61,12 @@ class Sha256 {
   }
 
  private:
-  void process_block(const std::uint8_t* block);
+  void process_block(const std::uint8_t* block) { compress(state_, block, backend_); }
 
-  std::array<std::uint32_t, 8> state_{};
-  std::array<std::uint8_t, 64> buffer_{};
+  // nullopt = follow the process-wide registry at call time.
+  std::optional<CryptoBackend> backend_;
+  State state_{};
+  std::array<std::uint8_t, kBlockBytes> buffer_{};
   std::size_t buffer_len_ = 0;
   std::uint64_t total_len_ = 0;
 };

@@ -1,0 +1,97 @@
+#include "crypto/sha_ni.hpp"
+
+#ifdef STEINS_SHANI_COMPILED
+
+#include <immintrin.h>
+
+namespace steins::crypto::shani {
+
+namespace {
+
+// FIPS 180-4 round constants, grouped 4-per-__m128i by the loads below.
+alignas(16) constexpr std::uint32_t kK[64] = {
+    0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1, 0x923f82a4,
+    0xab1c5ed5, 0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3, 0x72be5d74, 0x80deb1fe,
+    0x9bdc06a7, 0xc19bf174, 0xe49b69c1, 0xefbe4786, 0x0fc19dc6, 0x240ca1cc, 0x2de92c6f,
+    0x4a7484aa, 0x5cb0a9dc, 0x76f988da, 0x983e5152, 0xa831c66d, 0xb00327c8, 0xbf597fc7,
+    0xc6e00bf3, 0xd5a79147, 0x06ca6351, 0x14292967, 0x27b70a85, 0x2e1b2138, 0x4d2c6dfc,
+    0x53380d13, 0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85, 0xa2bfe8a1, 0xa81a664b,
+    0xc24b8b70, 0xc76c51a3, 0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070, 0x19a4c116,
+    0x1e376c08, 0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a, 0x5b9cca4f, 0x682e6ff3,
+    0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208, 0x90befffa, 0xa4506ceb, 0xbef9a3f7,
+    0xc67178f2};
+
+}  // namespace
+
+bool compiled() { return true; }
+
+void compress(std::uint32_t* state, const std::uint8_t* block) {
+  // SHA256RNDS2 wants the state split/interleaved as {A,B,E,F} / {C,D,G,H}
+  // (high to low lane); the prologue/epilogue shuffles translate from the
+  // linear a..h layout and back.
+  __m128i tmp = _mm_loadu_si128(reinterpret_cast<const __m128i*>(&state[0]));
+  __m128i state1 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(&state[4]));
+  const __m128i byteswap =
+      _mm_set_epi64x(0x0c0d0e0f08090a0bLL, 0x0405060700010203LL);
+
+  tmp = _mm_shuffle_epi32(tmp, 0xB1);                    // CDAB
+  state1 = _mm_shuffle_epi32(state1, 0x1B);              // EFGH
+  __m128i state0 = _mm_alignr_epi8(tmp, state1, 8);      // ABEF
+  state1 = _mm_blend_epi16(state1, tmp, 0xF0);           // CDGH
+
+  const __m128i abef_save = state0;
+  const __m128i cdgh_save = state1;
+
+  // Message groups m[g] = W[4g..4g+3], big-endian loaded. Groups for
+  // rounds 16..63 are scheduled on the fly: W[t] = sigma1(W[t-2]) + W[t-7]
+  // + sigma0(W[t-15]) + W[t-16], expressed with SHA256MSG1/MSG2 plus an
+  // ALIGNR for the W[t-7] term.
+  __m128i m[4];
+  for (int i = 0; i < 4; ++i) {
+    m[i] = _mm_shuffle_epi8(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(block + i * 16)), byteswap);
+  }
+
+  for (int g = 0; g < 16; ++g) {
+    __m128i msg = _mm_add_epi32(
+        m[g & 3], _mm_load_si128(reinterpret_cast<const __m128i*>(&kK[g * 4])));
+    state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+    if (g < 12) {
+      const __m128i w7 = _mm_alignr_epi8(m[(g + 3) & 3], m[(g + 2) & 3], 4);
+      m[g & 3] = _mm_sha256msg2_epu32(
+          _mm_add_epi32(_mm_sha256msg1_epu32(m[g & 3], m[(g + 1) & 3]), w7),
+          m[(g + 3) & 3]);
+    }
+  }
+
+  state0 = _mm_add_epi32(state0, abef_save);
+  state1 = _mm_add_epi32(state1, cdgh_save);
+
+  tmp = _mm_shuffle_epi32(state0, 0x1B);                 // FEBA
+  state1 = _mm_shuffle_epi32(state1, 0xB1);              // DCHG
+  state0 = _mm_blend_epi16(tmp, state1, 0xF0);           // DCBA
+  state1 = _mm_alignr_epi8(state1, tmp, 8);              // HGFE
+
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(&state[0]), state0);
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(&state[4]), state1);
+}
+
+}  // namespace steins::crypto::shani
+
+#else  // !STEINS_SHANI_COMPILED
+
+#include "common/status.hpp"
+
+namespace steins::crypto::shani {
+
+bool compiled() { return false; }
+
+void compress(std::uint32_t*, const std::uint8_t*) {
+  STEINS_CHECK(false, "SHA-NI backend invoked but not compiled in");
+}
+
+}  // namespace steins::crypto::shani
+
+#endif  // STEINS_SHANI_COMPILED

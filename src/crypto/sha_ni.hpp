@@ -1,0 +1,24 @@
+// SHA-NI (Intel SHA extensions) SHA-256 compress for the hw backend.
+//
+// One function: run the FIPS 180-4 compression over a single 64-byte block
+// against an 8-word state. Bit-identical to the scalar compress in
+// sha256.cpp; Sha256::compress dispatches here when the hw backend is
+// active and CPUID reports the SHA extensions.
+//
+// Compiled with `-msha -msse4.1 -mssse3` when the compiler supports it
+// (STEINS_SHANI_COMPILED set per-file by CMake); stubbed otherwise. Callers
+// gate on sha_hw_available() via the backend registry.
+#pragma once
+
+#include <cstdint>
+
+namespace steins::crypto::shani {
+
+/// True when this TU was built with SHA extension support.
+bool compiled();
+
+/// state = SHA-256 compress(state, block). `state` is the 8-word working
+/// state (a..h), `block` one 64-byte message block.
+void compress(std::uint32_t* state, const std::uint8_t* block);
+
+}  // namespace steins::crypto::shani

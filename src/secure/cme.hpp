@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 
 #include "common/config.hpp"
 #include "common/types.hpp"
@@ -16,8 +17,12 @@ namespace steins {
 
 class CmeEngine {
  public:
-  CmeEngine(CryptoProfile profile, std::uint64_t key_seed)
-      : otp_(profile, key_seed), mac_(profile, key_seed) {}
+  /// `backend` pins the crypto backend for both engines (tests/benchmarks);
+  /// nullopt follows the process-wide registry (crypto/backend.hpp).
+  CmeEngine(CryptoProfile profile, std::uint64_t key_seed,
+            std::optional<crypto::CryptoBackend> backend = std::nullopt)
+      : otp_(profile, key_seed, crypto::PadDomain::kV2, backend),
+        mac_(profile, key_seed, backend) {}
 
   Block encrypt(const Block& plaintext, Addr addr, std::uint64_t counter) const {
     return xor_pad(plaintext, addr, counter);

@@ -12,6 +12,15 @@ TEST(Cache, GeometryComputation) {
   EXPECT_EQ(cache_num_sets(256 * 1024, 8, 64), 512u);   // metadata cache
 }
 
+TEST(Cache, DuplicateInsertThrowsInvariant) {
+  // A duplicate insert would leave two valid lines for one tag (silent
+  // corruption); the STEINS_CHECK must fire even in NDEBUG builds.
+  TagCache c(1024, 2, 64);
+  c.insert(0x40, false, Empty{});
+  EXPECT_THROW(c.insert(0x40, true, Empty{}), StatusError);
+  EXPECT_THROW(c.insert(0x7f, true, Empty{}), StatusError);  // same block, unaligned
+}
+
 TEST(Cache, HitAfterInsert) {
   TagCache c(1024, 2, 64);
   EXPECT_EQ(c.lookup(0x1000), nullptr);

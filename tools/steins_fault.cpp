@@ -20,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "crypto/backend.hpp"
 #include "fault/campaign.hpp"
 
 using namespace steins;
@@ -58,6 +59,8 @@ void usage() {
       "  --capacity-mb <n>   per-trial NVM capacity (default 16)\n"
       "  --mcache-kb <n>     metadata cache size (default 16)\n"
       "  --json <file>       write the verdict matrix as JSON\n"
+      "  --crypto-backend <ref|ttable|hw|auto>  crypto backend (bit-identical;\n"
+      "                      host wall-clock only; or STEINS_CRYPTO_BACKEND)\n"
       "  --verbose           per-trial verdicts + injected-fault logs\n");
 }
 
@@ -90,6 +93,15 @@ bool parse(int argc, char** argv, Options* opt) {
       opt->campaign.workload.mcache_kb = std::strtoull(value(), nullptr, 10);
     } else if (arg == "--json") {
       opt->json_path = value();
+    } else if (arg == "--crypto-backend") {
+      const std::string name = value();
+      if (auto b = crypto::parse_backend(name)) {
+        crypto::set_crypto_backend(*b);
+      } else if (name != "auto") {
+        std::fprintf(stderr, "unknown crypto backend: %s (expected ref|ttable|hw|auto)\n",
+                     name.c_str());
+        return false;
+      }
     } else if (arg == "--verbose") {
       opt->verbose = true;
     } else if (arg == "--help" || arg == "-h") {

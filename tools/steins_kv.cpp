@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "common/stats.hpp"
+#include "crypto/backend.hpp"
 #include "kv/kv_crash.hpp"
 #include "kv/ycsb.hpp"
 
@@ -62,7 +63,9 @@ void usage() {
       "  --mcache-kb <n>      metadata cache size (default 256)\n"
       "  --crash              also run crash-recovery validation per scheme\n"
       "  --crash-ops <n>      ops in the crash-validation script (default 64)\n"
-      "  --json <file>        write results (same numbers as printed) as JSON\n");
+      "  --json <file>        write results (same numbers as printed) as JSON\n"
+      "  --crypto-backend <ref|ttable|hw|auto>  crypto backend (bit-identical;\n"
+      "                       host wall-clock only; or STEINS_CRYPTO_BACKEND)\n");
 }
 
 bool parse(int argc, char** argv, Options* opt) {
@@ -99,6 +102,15 @@ bool parse(int argc, char** argv, Options* opt) {
       opt->crash_ops = std::strtoull(value(), nullptr, 10);
     } else if (arg == "--json") {
       opt->json_path = value();
+    } else if (arg == "--crypto-backend") {
+      const std::string name = value();
+      if (auto b = crypto::parse_backend(name)) {
+        crypto::set_crypto_backend(*b);
+      } else if (name != "auto") {
+        std::fprintf(stderr, "unknown crypto backend: %s (expected ref|ttable|hw|auto)\n",
+                     name.c_str());
+        return false;
+      }
     } else if (arg == "--help" || arg == "-h") {
       opt->help = true;
     } else {

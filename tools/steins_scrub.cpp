@@ -20,6 +20,7 @@
 
 #include "common/rng.hpp"
 #include "common/status.hpp"
+#include "crypto/backend.hpp"
 #include "secure/secure_memory.hpp"
 
 using namespace steins;
@@ -54,7 +55,9 @@ void usage() {
       "  --lines-per-epoch <n>  scrub budget per epoch (default 64)\n"
       "  --seed <n>             workload + fault placement seed (default 42)\n"
       "  --no-mac-verify        patrol without MAC-verifying data lines\n"
-      "  --json <file>          write the outcome as JSON\n");
+      "  --json <file>          write the outcome as JSON\n"
+      "  --crypto-backend <ref|ttable|hw|auto>  crypto backend (bit-identical;\n"
+      "                         host wall-clock only; or STEINS_CRYPTO_BACKEND)\n");
 }
 
 bool parse(int argc, char** argv, Options* opt) {
@@ -83,6 +86,15 @@ bool parse(int argc, char** argv, Options* opt) {
       opt->no_mac_verify = true;
     } else if (arg == "--json") {
       opt->json_path = value();
+    } else if (arg == "--crypto-backend") {
+      const std::string name = value();
+      if (auto b = crypto::parse_backend(name)) {
+        crypto::set_crypto_backend(*b);
+      } else if (name != "auto") {
+        std::fprintf(stderr, "unknown crypto backend: %s (expected ref|ttable|hw|auto)\n",
+                     name.c_str());
+        return false;
+      }
     } else if (arg == "--help" || arg == "-h") {
       opt->help = true;
     } else {

@@ -15,6 +15,7 @@
 #include <string>
 
 #include "common/thread_pool.hpp"
+#include "crypto/backend.hpp"
 #include "schemes/steins.hpp"
 #include "sim/experiment.hpp"
 #include "sim/system.hpp"
@@ -63,6 +64,10 @@ void usage() {
       "  --jobs <n>                       matrix worker threads (default: all\n"
       "                                   hardware threads, or STEINS_JOBS)\n"
       "  --json <file>                    write matrix results as JSON\n"
+      "  --crypto-backend <ref|ttable|hw|auto>\n"
+      "                                   crypto backend (default: auto; or\n"
+      "                                   STEINS_CRYPTO_BACKEND). Bit-identical;\n"
+      "                                   affects host wall-clock only\n"
       "  --crash                          crash + recover after the run\n"
       "  --audit                          verify the whole persisted tree\n"
       "  --list                           list built-in workloads\n");
@@ -99,6 +104,15 @@ bool parse(int argc, char** argv, Options* opt) {
       opt->jobs = v < 1 ? 1u : static_cast<unsigned>(v);
     } else if (arg == "--json") {
       opt->json_path = value();
+    } else if (arg == "--crypto-backend") {
+      const std::string name = value();
+      if (auto b = crypto::parse_backend(name)) {
+        crypto::set_crypto_backend(*b);
+      } else if (name != "auto") {
+        std::fprintf(stderr, "unknown crypto backend: %s (expected ref|ttable|hw|auto)\n",
+                     name.c_str());
+        return false;
+      }
     } else if (arg == "--crash") {
       opt->crash = true;
     } else if (arg == "--audit") {
@@ -132,6 +146,12 @@ int main(int argc, char** argv) {
   if (opt.help) {
     usage();
     return 0;
+  }
+  // Cheap (<1 ms) and catches a miscompiled or misdetected crypto backend
+  // before it can silently skew a whole run.
+  if (std::string detail; !crypto::crypto_self_check(&detail)) {
+    std::fprintf(stderr, "crypto self-check failed: %s\n", detail.c_str());
+    return 1;
   }
   if (opt.list) {
     std::printf("built-in workloads:\n");
