@@ -5,6 +5,8 @@
 // ADR-resident record/bitmap line caches of Steins and STAR.
 #pragma once
 
+#include <algorithm>
+#include <bit>
 #include <cstdint>
 #include <optional>
 #include <vector>
@@ -51,7 +53,13 @@ class SetAssocCache {
       : ways_(ways),
         block_bytes_(block_bytes),
         sets_(cache_num_sets(size_bytes, ways, block_bytes)),
-        lines_(sets_ * ways) {}
+        lines_(sets_ * ways),
+        probe_(sets_ * ways, kInvalidTag) {
+    STEINS_CHECK(std::has_single_bit(block_bytes), "block size must be a power of two");
+    block_shift_ = static_cast<unsigned>(std::countr_zero(block_bytes));
+    set_mask_ = sets_ - 1;
+    align_mask_ = ~(static_cast<Addr>(block_bytes) - 1);
+  }
 
   std::size_t num_sets() const { return sets_; }
   unsigned ways() const { return ways_; }
@@ -62,9 +70,11 @@ class SetAssocCache {
   Line* lookup(Addr addr, bool mark_dirty = false) {
     const Addr tag = align(addr);
     const std::size_t base = set_index(tag) * ways_;
+    // Probe the compact tag array first: one cache line covers a whole set
+    // even when Payload is a fat tree node.
     for (unsigned w = 0; w < ways_; ++w) {
-      Line& line = lines_[base + w];
-      if (line.valid && line.tag == tag) {
+      if (probe_[base + w] == tag) {
+        Line& line = lines_[base + w];
         line.lru = ++clock_;
         if (mark_dirty) line.dirty = true;
         ++stats_.hits;
@@ -74,6 +84,10 @@ class SetAssocCache {
     ++stats_.misses;
     return nullptr;
   }
+
+  /// Pull the set's probe tags toward the host cache ahead of a lookup.
+  /// Purely a host-side hint; no simulated effect.
+  void prefetch(Addr addr) const { __builtin_prefetch(&probe_[set_index(align(addr)) * ways_]); }
 
   /// Mutable peek without touching LRU or stats.
   Line* peek_mut(Addr addr) {
@@ -85,8 +99,7 @@ class SetAssocCache {
     const Addr tag = align(addr);
     const std::size_t base = set_index(tag) * ways_;
     for (unsigned w = 0; w < ways_; ++w) {
-      const Line& line = lines_[base + w];
-      if (line.valid && line.tag == tag) return &line;
+      if (probe_[base + w] == tag) return &lines_[base + w];
     }
     return nullptr;
   }
@@ -121,6 +134,7 @@ class SetAssocCache {
     victim->dirty = dirty;
     victim->lru = ++clock_;
     victim->payload = std::move(payload);
+    probe_[static_cast<std::size_t>(victim - lines_.data())] = tag;
     if (out_line != nullptr) *out_line = victim;
     return evicted;
   }
@@ -130,9 +144,10 @@ class SetAssocCache {
     const Addr tag = align(addr);
     const std::size_t base = set_index(tag) * ways_;
     for (unsigned w = 0; w < ways_; ++w) {
-      Line& line = lines_[base + w];
-      if (line.valid && line.tag == tag) {
+      if (probe_[base + w] == tag) {
+        Line& line = lines_[base + w];
         line.valid = false;
+        probe_[base + w] = kInvalidTag;
         return Evicted{line.tag, line.dirty, std::move(line.payload)};
       }
     }
@@ -146,8 +161,7 @@ class SetAssocCache {
     const Addr tag = align(addr);
     const std::size_t base = set_index(tag) * ways_;
     for (unsigned w = 0; w < ways_; ++w) {
-      const Line& line = lines_[base + w];
-      if (line.valid && line.tag == tag) return static_cast<std::int64_t>(base + w);
+      if (probe_[base + w] == tag) return static_cast<std::int64_t>(base + w);
     }
     return -1;
   }
@@ -178,20 +192,29 @@ class SetAssocCache {
 
   void clear() {
     for (auto& line : lines_) line = Line{};
+    std::fill(probe_.begin(), probe_.end(), kInvalidTag);
   }
 
   const CacheStats& stats() const { return stats_; }
   void reset_stats() { stats_.reset(); }
 
-  std::size_t set_index(Addr addr) const { return (addr / block_bytes_) % sets_; }
+  std::size_t set_index(Addr addr) const { return (addr >> block_shift_) & set_mask_; }
 
  private:
-  Addr align(Addr a) const { return a - (a % block_bytes_); }
+  // Not block-aligned, so it can never collide with a stored tag.
+  static constexpr Addr kInvalidTag = ~static_cast<Addr>(0);
+
+  Addr align(Addr a) const { return a & align_mask_; }
 
   unsigned ways_;
   std::size_t block_bytes_;
   std::size_t sets_;
   std::vector<Line> lines_;
+  /// Tag-or-kInvalidTag per line, contiguous per set, probed before lines_.
+  std::vector<Addr> probe_;
+  unsigned block_shift_ = 0;
+  std::size_t set_mask_ = 0;
+  Addr align_mask_ = 0;
   std::uint64_t clock_ = 0;
   CacheStats stats_;
 };

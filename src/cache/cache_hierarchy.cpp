@@ -56,8 +56,8 @@ bool CacheHierarchy::l2_victim_to_l3(Addr addr, MemoryOps& ops) {
   return true;
 }
 
-std::vector<Addr> CacheHierarchy::flush_block(Addr addr) {
-  std::vector<Addr> writebacks;
+Writebacks CacheHierarchy::flush_block(Addr addr) {
+  Writebacks writebacks;
   bool dirty = false;
   if (auto l1v = l1_.invalidate(addr); l1v && l1v->dirty) dirty = true;
   if (auto l2v = l2_.invalidate(addr); l2v && l2v->dirty) dirty = true;

@@ -6,21 +6,45 @@
 // are memory-bound on data). The model is non-inclusive.
 #pragma once
 
+#include <array>
 #include <cstdint>
-#include <vector>
 
 #include "cache/cache.hpp"
 #include "common/config.hpp"
+#include "common/status.hpp"
 #include "common/types.hpp"
 
 namespace steins {
+
+/// Fixed-capacity address list for eviction fan-out. One access spills at
+/// most three dirty lines (L3 demand victim + two L2→L3 cascades), so the
+/// hot path never heap-allocates.
+template <std::size_t N>
+class WritebackList {
+ public:
+  void push_back(Addr a) {
+    STEINS_CHECK(n_ < N, "writeback fan-out exceeds capacity");
+    v_[n_++] = a;
+  }
+  const Addr* begin() const { return v_.data(); }
+  const Addr* end() const { return v_.data() + n_; }
+  std::size_t size() const { return n_; }
+  bool empty() const { return n_ == 0; }
+  Addr operator[](std::size_t i) const { return v_[i]; }
+
+ private:
+  std::array<Addr, N> v_{};
+  std::size_t n_ = 0;
+};
+
+using Writebacks = WritebackList<4>;
 
 /// What one CPU access produced at the memory boundary.
 struct MemoryOps {
   int hit_level = 0;               // 1..3 = cache level, 4 = memory
   bool miss_fill = false;          // a demand read of `fill_addr` from memory
   Addr fill_addr = 0;
-  std::vector<Addr> writebacks;    // dirty blocks evicted to memory (LLC)
+  Writebacks writebacks;           // dirty blocks evicted to memory (LLC)
 };
 
 class CacheHierarchy {
@@ -30,9 +54,14 @@ class CacheHierarchy {
   /// Perform a load/store of the block containing `addr`.
   MemoryOps access(Addr addr, bool is_write);
 
+  /// Host-side prefetch hint for an upcoming access: pulls the L3 probe
+  /// tags (the one per-level array big enough to miss in the host cache)
+  /// ahead of the lookup. No simulated effect.
+  void prefetch(Addr addr) const { l3_.prefetch(addr); }
+
   /// Evict every dirty block below `addr`'s block to memory (models a
   /// clwb+fence for the persistent workloads). Returns writebacks.
-  std::vector<Addr> flush_block(Addr addr);
+  Writebacks flush_block(Addr addr);
 
   /// Drop everything (simulated power loss: volatile caches are lost).
   void clear();

@@ -27,6 +27,18 @@ class SplitMix64 {
   std::uint64_t state_;
 };
 
+/// Derive an independent child seed for stream `stream` of a top-level
+/// `seed`. Two SplitMix64 finalizer hops decorrelate nearby (seed, stream)
+/// pairs, unlike linear arithmetic on the seed (seed*k + i), where
+/// neighbouring shards land on neighbouring SplitMix64 inputs and the
+/// expanded xoshiro states can share long stretches of output. Parallel
+/// shards (KV clients, per-controller workers) must seed through this.
+constexpr std::uint64_t derive_stream_seed(std::uint64_t seed, std::uint64_t stream) {
+  SplitMix64 outer(seed);
+  SplitMix64 inner(outer.next() + stream);
+  return inner.next();
+}
+
 /// xoshiro256**: fast, high-quality, deterministic PRNG.
 class Xoshiro256 {
  public:

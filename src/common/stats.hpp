@@ -82,6 +82,14 @@ struct LatencyAccumulator {
     if (v > max) max = v;
     hist.add(v);
   }
+  /// Fold another accumulator in (per-worker locals merge at a barrier
+  /// instead of sharing one accumulator under a lock).
+  void merge(const LatencyAccumulator& other) {
+    count += other.count;
+    sum += other.sum;
+    if (other.max > max) max = other.max;
+    hist.merge(other.hist);
+  }
   double mean() const { return count ? static_cast<double>(sum) / static_cast<double>(count) : 0.0; }
   double percentile(double p) const { return hist.percentile(p); }
   void reset() { *this = LatencyAccumulator{}; }
@@ -101,6 +109,10 @@ class StatSet {
     return it == counters_.end() ? 0 : it->second;
   }
   const std::map<std::string, std::uint64_t>& all() const { return counters_; }
+  /// Fold another StatSet in (per-worker campaign counters merge here).
+  void merge(const StatSet& other) {
+    for (const auto& [name, v] : other.counters_) counters_[name] += v;
+  }
   void reset() { counters_.clear(); }
 
  private:

@@ -33,8 +33,14 @@ std::uint64_t MacEngine::mac64(std::span<const std::uint8_t> data) const {
 
 std::uint64_t MacEngine::node_mac(std::span<const std::uint8_t> payload, Addr node_addr,
                                   std::uint64_t parent_counter) const {
-  std::uint8_t buf[72];  // up to 56 B payload + addr + parent counter
   const std::size_t n = payload.size();
+  if (profile_ != CryptoProfile::kReal && (n % 8) == 0) {
+    // SipHash can stream the 8-aligned payload and trailing words directly
+    // — same message bytes, same tag, no staging copy.
+    const std::uint64_t words[2] = {node_addr, parent_counter};
+    return sip_->hash_concat(payload, words, 2);
+  }
+  std::uint8_t buf[72];  // up to 56 B payload + addr + parent counter
   STEINS_CHECK(n + 16 <= sizeof(buf), "node_mac payload exceeds the stack buffer");
   std::memcpy(buf, payload.data(), n);
   std::memcpy(buf + n, &node_addr, 8);
@@ -44,6 +50,10 @@ std::uint64_t MacEngine::node_mac(std::span<const std::uint8_t> payload, Addr no
 
 std::uint64_t MacEngine::data_mac(const Block& ciphertext, Addr addr, std::uint64_t counter,
                                   std::uint64_t aux) const {
+  if (profile_ != CryptoProfile::kReal) {
+    const std::uint64_t words[3] = {addr, counter, aux};
+    return sip_->hash_concat({ciphertext.data(), kBlockSize}, words, 3);
+  }
   std::uint8_t buf[kBlockSize + 24];
   std::memcpy(buf, ciphertext.data(), kBlockSize);
   std::memcpy(buf + kBlockSize, &addr, 8);

@@ -1,90 +1,10 @@
 #include "crypto/siphash.hpp"
 
-#include <bit>
-#include <cstring>
-
 namespace steins::crypto {
 
-namespace {
-
-inline std::uint64_t rotl(std::uint64_t x, int b) { return std::rotl(x, b); }
-
-struct SipState {
-  std::uint64_t v0, v1, v2, v3;
-
-  void round() {
-    v0 += v1;
-    v1 = rotl(v1, 13);
-    v1 ^= v0;
-    v0 = rotl(v0, 32);
-    v2 += v3;
-    v3 = rotl(v3, 16);
-    v3 ^= v2;
-    v0 += v3;
-    v3 = rotl(v3, 21);
-    v3 ^= v0;
-    v2 += v1;
-    v1 = rotl(v1, 17);
-    v1 ^= v2;
-    v2 = rotl(v2, 32);
-  }
-
-  void compress(std::uint64_t m) {
-    v3 ^= m;
-    round();
-    round();
-    v0 ^= m;
-  }
-
-  std::uint64_t finalize() {
-    v2 ^= 0xff;
-    round();
-    round();
-    round();
-    round();
-    return v0 ^ v1 ^ v2 ^ v3;
-  }
-};
-
-inline std::uint64_t load_le64(const std::uint8_t* p) {
-  std::uint64_t v;
-  std::memcpy(&v, p, 8);
-  return v;  // little-endian host assumed (x86-64)
-}
-
-}  // namespace
-
 SipHash24::SipHash24(const Key& key) {
-  const std::uint64_t k0 = load_le64(key.data());
-  const std::uint64_t k1 = load_le64(key.data() + 8);
-  k0_ = k0;
-  k1_ = k1;
-}
-
-std::uint64_t SipHash24::hash(std::span<const std::uint8_t> data) const {
-  SipState s{0x736f6d6570736575ULL ^ k0_, 0x646f72616e646f6dULL ^ k1_,
-             0x6c7967656e657261ULL ^ k0_, 0x7465646279746573ULL ^ k1_};
-  const std::size_t n = data.size();
-  std::size_t off = 0;
-  while (off + 8 <= n) {
-    s.compress(load_le64(data.data() + off));
-    off += 8;
-  }
-  std::uint64_t last = static_cast<std::uint64_t>(n & 0xff) << 56;
-  for (std::size_t i = 0; off + i < n; ++i) {
-    last |= static_cast<std::uint64_t>(data[off + i]) << (8 * i);
-  }
-  s.compress(last);
-  return s.finalize();
-}
-
-std::uint64_t SipHash24::hash_words(std::uint64_t a, std::uint64_t b) const {
-  SipState s{0x736f6d6570736575ULL ^ k0_, 0x646f72616e646f6dULL ^ k1_,
-             0x6c7967656e657261ULL ^ k0_, 0x7465646279746573ULL ^ k1_};
-  s.compress(a);
-  s.compress(b);
-  s.compress(std::uint64_t{16} << 56);
-  return s.finalize();
+  k0_ = detail::load_le64(key.data());
+  k1_ = detail::load_le64(key.data() + 8);
 }
 
 }  // namespace steins::crypto

@@ -3,10 +3,12 @@
 #include <algorithm>
 #include <cstring>
 #include <map>
+#include <optional>
 #include <stdexcept>
 #include <vector>
 
 #include "common/rng.hpp"
+#include "common/thread_pool.hpp"
 #include "sim/multi_controller.hpp"
 
 namespace steins::kv {
@@ -42,12 +44,33 @@ double update_fraction(Mix m) {
 }
 
 struct Client {
-  Cycle now = 0;
   Xoshiro256 rng{1};
   LatencyHistogram read_lat;
   LatencyHistogram update_lat;
   std::uint64_t reads = 0;
   std::uint64_t updates = 0;
+};
+
+/// One resolved access of the epoch's schedule, queued at its controller.
+/// Reads carry the values the replay must observe (from the driver-side
+/// shadow); writes carry the full block image. `service` comes back from
+/// the replay worker.
+struct PlannedAccess {
+  enum Kind : std::uint8_t { kCommitRead, kRecordRead, kWrite };
+  Addr addr = 0;
+  std::uint32_t op = 0;       // epoch-local op index
+  Kind kind = kWrite;
+  std::uint32_t offset = 0;   // commit-word byte offset (kCommitRead)
+  std::uint64_t expect_word = 0;     // kCommitRead
+  std::uint64_t expect_key = 0;      // kRecordRead
+  std::uint64_t expect_version = 0;  // kRecordRead
+  Block data{};               // kWrite image
+  Cycle service = 0;
+};
+
+struct OpPlan {
+  std::uint32_t client = 0;
+  bool is_update = false;
 };
 
 std::uint64_t word_at(const Block& b, std::size_t offset) {
@@ -68,6 +91,10 @@ std::string client_value(std::uint64_t key, std::uint64_t version,
   return v;
 }
 
+/// Ops resolved per epoch; bounds the schedule's memory footprint
+/// (~4 accesses x ~100 B each) while keeping replay stretches long.
+constexpr std::uint64_t kEpochOps = 8192;
+
 }  // namespace
 
 YcsbResult run_ycsb(const SystemConfig& cfg, Scheme scheme, const YcsbConfig& ycfg) {
@@ -86,6 +113,7 @@ YcsbResult run_ycsb(const SystemConfig& cfg, Scheme scheme, const YcsbConfig& yc
   }
 
   MultiControllerMemory mem(cfg, scheme, ycfg.controllers, ycfg.interleave_bytes);
+  const unsigned nctrl = mem.controllers();
 
   // Resolve every key's slot up front (linear probing over an in-memory
   // occupancy map): the measured phase then needs no probe reads, like a
@@ -101,6 +129,11 @@ YcsbResult run_ycsb(const SystemConfig& cfg, Scheme scheme, const YcsbConfig& yc
     }
   }
 
+  // Shadow of the committed store: one encoded commit word per slot. The
+  // scheduler reads and advances it in global op order, so every access's
+  // expected value and write image are known before replay.
+  std::vector<std::uint64_t> shadow(layout.slots, 0);
+
   // Preload: write every record (replica 0, version 1) and its commit
   // word, sequentially on one timeline.
   Cycle t = 0;
@@ -114,81 +147,177 @@ YcsbResult run_ycsb(const SystemConfig& cfg, Scheme scheme, const YcsbConfig& yc
     for (std::uint64_t key = 0; key < ycfg.keys; ++key) {
       const std::size_t s = slot_of[key];
       Block& b = commit_blocks[layout.commit_block_addr(s)];  // zero-init
-      put_word(b, layout.commit_word_offset(s), CommitWord{1, 0, true}.encode());
+      const std::uint64_t word = CommitWord{1, 0, true}.encode();
+      put_word(b, layout.commit_word_offset(s), word);
+      shadow[s] = word;
     }
     for (const auto& [addr, block] : commit_blocks) {
       t = mem.write_block(addr, block, t);
     }
   }
-  for (unsigned i = 0; i < mem.controllers(); ++i) mem.controller(i).stats().reset();
+  for (unsigned i = 0; i < nctrl; ++i) mem.controller(i).stats().reset();
 
-  // Measured phase: clients start together at the preload frontier.
+  // Measured phase: controllers start together at the preload frontier.
   const Cycle start = mem.max_frontier();
+  std::vector<Cycle> ctrl_now(nctrl, start);
   std::vector<Client> clients(ycfg.clients);
   for (unsigned i = 0; i < ycfg.clients; ++i) {
-    clients[i].now = start;
-    clients[i].rng = Xoshiro256(ycfg.seed * 0x9e3779b97f4a7c15ULL + i + 1);
+    clients[i].rng = Xoshiro256(derive_stream_seed(ycfg.seed, i));
   }
   const ZipfSampler sampler(static_cast<std::size_t>(ycfg.keys), ycfg.zipf_s);
   const double upd_frac = update_fraction(ycfg.mix);
 
-  YcsbResult res;
-  for (std::uint64_t op = 0; op < ycfg.ops; ++op) {
-    // The client furthest behind issues next (closed loop, no think time).
-    Client& c = *std::min_element(
-        clients.begin(), clients.end(),
-        [](const Client& a, const Client& b) { return a.now < b.now; });
+  // Materialize a commit block's current image from the shadow.
+  const auto shadow_commit_block = [&](std::size_t slot) {
+    const std::size_t first =
+        (slot / KvLayout::kWordsPerCommitBlock) * KvLayout::kWordsPerCommitBlock;
+    const std::size_t n =
+        std::min(KvLayout::kWordsPerCommitBlock, layout.slots - first);
+    Block b{};
+    for (std::size_t w = 0; w < n; ++w) put_word(b, w * 8, shadow[first + w]);
+    return b;
+  };
 
-    // Zipf rank -> key, scattered so the hot set spans controllers.
-    const std::uint64_t rank = sampler.sample(c.rng);
-    const std::uint64_t key = (rank * 0x9e3779b97f4a7c15ULL) % ycfg.keys;
-    const std::size_t slot = slot_of[key];
-    const Addr commit_addr = layout.commit_block_addr(slot);
-    const std::size_t commit_off = layout.commit_word_offset(slot);
-    const bool is_update = upd_frac > 0.0 && c.rng.chance(upd_frac);
-
-    const Cycle t0 = c.now;
-    Block commit_block;
-    Cycle now = mem.read_block(commit_addr, t0, &commit_block);
-    const CommitWord word = CommitWord::decode(word_at(commit_block, commit_off));
-    if (word.empty() || !word.live) {
-      throw std::logic_error("YCSB driver found an unexpected dead slot");
-    }
-
-    if (!is_update) {
-      Block rec_block;
-      now = mem.read_block(layout.record_addr(slot, word.replica), now, &rec_block);
-      KvRecord rec;
-      if (!decode_record(rec_block, &rec) || rec.key != key) {
-        throw std::logic_error("YCSB driver read a corrupt record");
+  // Replay one controller's queue on its own timeline. Queues are disjoint
+  // and controllers share no mutable state, so running these on a pool is
+  // bit-identical to running them inline.
+  std::vector<std::vector<PlannedAccess>> queues(nctrl);
+  const auto replay = [&](std::size_t c) {
+    SecureMemory& ctrl = mem.controller(static_cast<unsigned>(c));
+    Cycle now = ctrl_now[c];
+    for (PlannedAccess& a : queues[c]) {
+      const Addr la = mem.local_addr(a.addr);
+      if (a.kind == PlannedAccess::kWrite) {
+        const Cycle done = ctrl.write_block(la, a.data, now);
+        a.service = done - now;
+        now = done;
+        continue;
       }
-      c.read_lat.add(now - t0);
-      ++c.reads;
-    } else {
-      if (ycfg.mix == Mix::kF) {
-        // Read-modify-write: fetch the current record before rewriting it.
-        Block rec_block;
-        now = mem.read_block(layout.record_addr(slot, word.replica), now, &rec_block);
+      Block b;
+      const Cycle done = ctrl.read_block(la, now, &b);
+      a.service = done - now;
+      now = done;
+      if (a.kind == PlannedAccess::kCommitRead) {
+        if (word_at(b, a.offset) != a.expect_word) {
+          throw std::logic_error("YCSB replay read a commit word diverging from the schedule");
+        }
+      } else {
+        KvRecord rec;
+        if (!decode_record(b, &rec) || rec.key != a.expect_key ||
+            rec.version != a.expect_version) {
+          throw std::logic_error("YCSB replay read a corrupt or stale record");
+        }
       }
-      const int replica = 1 - word.replica;
-      const KvRecord rec{key, word.version + 1,
-                         client_value(key, word.version + 1, ycfg.value_bytes)};
-      now = mem.write_block(layout.record_addr(slot, replica), encode_record(rec), now);
-      put_word(commit_block, commit_off, CommitWord{word.version + 1, replica, true}.encode());
-      now = mem.write_block(commit_addr, commit_block, now);
-      c.update_lat.add(now - t0);
-      ++c.updates;
     }
-    c.now = now;
+    ctrl_now[c] = now;
+    mem.note_frontier(static_cast<unsigned>(c), now);
+  };
+
+  std::optional<ThreadPool> pool;
+  if (ycfg.jobs > 1 && nctrl > 1) {
+    pool.emplace(std::min<unsigned>(ycfg.jobs, nctrl));
   }
 
+  std::vector<OpPlan> plans;
+  std::vector<Cycle> op_lat;
+  for (std::uint64_t done_ops = 0; done_ops < ycfg.ops;) {
+    const std::uint64_t epoch_ops = std::min(kEpochOps, ycfg.ops - done_ops);
+
+    // Phase 1: resolve the epoch's schedule against the shadow.
+    plans.clear();
+    for (auto& q : queues) q.clear();
+    for (std::uint64_t e = 0; e < epoch_ops; ++e) {
+      const std::uint64_t op = done_ops + e;
+      const auto op_idx = static_cast<std::uint32_t>(e);
+      const auto cid = static_cast<std::uint32_t>(op % ycfg.clients);
+      Client& c = clients[cid];
+
+      // Zipf rank -> key, scattered so the hot set spans controllers.
+      const std::uint64_t rank = sampler.sample(c.rng);
+      const std::uint64_t key = (rank * 0x9e3779b97f4a7c15ULL) % ycfg.keys;
+      const std::size_t slot = slot_of[key];
+      const Addr commit_addr = layout.commit_block_addr(slot);
+      const std::size_t commit_off = layout.commit_word_offset(slot);
+      const bool is_update = upd_frac > 0.0 && c.rng.chance(upd_frac);
+      plans.push_back(OpPlan{cid, is_update});
+
+      const CommitWord word = CommitWord::decode(shadow[slot]);
+      if (word.empty() || !word.live) {
+        throw std::logic_error("YCSB driver scheduled an op on a dead slot");
+      }
+      PlannedAccess commit_read;
+      commit_read.addr = commit_addr;
+      commit_read.op = op_idx;
+      commit_read.kind = PlannedAccess::kCommitRead;
+      commit_read.offset = static_cast<std::uint32_t>(commit_off);
+      commit_read.expect_word = shadow[slot];
+      queues[mem.route(commit_addr)].push_back(commit_read);
+
+      if (!is_update || ycfg.mix == Mix::kF) {
+        // Plain read, or the read half of a read-modify-write.
+        PlannedAccess rec_read;
+        rec_read.addr = layout.record_addr(slot, word.replica);
+        rec_read.op = op_idx;
+        rec_read.kind = PlannedAccess::kRecordRead;
+        rec_read.expect_key = key;
+        rec_read.expect_version = word.version;
+        queues[mem.route(rec_read.addr)].push_back(rec_read);
+      }
+      if (is_update) {
+        const int replica = 1 - word.replica;
+        const KvRecord rec{key, word.version + 1,
+                           client_value(key, word.version + 1, ycfg.value_bytes)};
+        PlannedAccess rec_write;
+        rec_write.addr = layout.record_addr(slot, replica);
+        rec_write.op = op_idx;
+        rec_write.kind = PlannedAccess::kWrite;
+        rec_write.data = encode_record(rec);
+        queues[mem.route(rec_write.addr)].push_back(rec_write);
+
+        shadow[slot] = CommitWord{word.version + 1, replica, true}.encode();
+        PlannedAccess commit_write;
+        commit_write.addr = commit_addr;
+        commit_write.op = op_idx;
+        commit_write.kind = PlannedAccess::kWrite;
+        commit_write.data = shadow_commit_block(slot);
+        queues[mem.route(commit_addr)].push_back(commit_write);
+      }
+    }
+
+    // Phase 2: replay each controller's queue.
+    if (pool) {
+      pool->for_each_index(nctrl, replay);
+    } else {
+      for (unsigned c = 0; c < nctrl; ++c) replay(c);
+    }
+
+    // Epoch barrier: fold service times into per-client histograms in
+    // global op order (sum over an op's accesses, queueing included).
+    op_lat.assign(epoch_ops, 0);
+    for (const auto& q : queues) {
+      for (const PlannedAccess& a : q) op_lat[a.op] += a.service;
+    }
+    for (std::uint64_t e = 0; e < epoch_ops; ++e) {
+      Client& c = clients[plans[e].client];
+      if (plans[e].is_update) {
+        c.update_lat.add(op_lat[e]);
+        ++c.updates;
+      } else {
+        c.read_lat.add(op_lat[e]);
+        ++c.reads;
+      }
+    }
+    done_ops += epoch_ops;
+  }
+
+  YcsbResult res;
   for (const Client& c : clients) {
     res.read_lat.merge(c.read_lat);
     res.update_lat.merge(c.update_lat);
     res.reads += c.reads;
     res.updates += c.updates;
-    res.makespan = std::max(res.makespan, c.now - start);
   }
+  for (const Cycle now : ctrl_now) res.makespan = std::max(res.makespan, now - start);
   res.all_lat.merge(res.read_lat);
   res.all_lat.merge(res.update_lat);
   res.ops = ycfg.ops;

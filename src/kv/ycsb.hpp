@@ -1,20 +1,37 @@
-// Closed-loop multi-client YCSB-style driver over MultiControllerMemory.
+// Saturating multi-client YCSB-style driver over MultiControllerMemory.
 //
-// N logical clients, each with its own timeline and RNG, issue KV
-// operations against a shared store image interleaved across memory
-// controllers (paper §IV-F). The driver is a discrete-event simulation:
-// each step executes one whole operation for the client whose clock is
-// furthest behind, so clients on disjoint DIMMs overlap while a shared
-// hot DIMM serializes — exactly the controller model's contention story.
+// N logical clients issue KV operations in fixed round-robin order against
+// a shared store image interleaved across memory controllers (paper
+// §IV-F). The driver runs in epochs, each in two phases:
+//
+//  1. Schedule resolution (sequential, cheap): each op's client, key, type,
+//     and on-media images are derived from the issuing client's private RNG
+//     stream and a driver-side shadow of the committed store state — no
+//     memory execution needed. The op's accesses are appended, in global op
+//     order, to the queue of the controller each address routes to.
+//  2. Replay (parallel): every controller serves its queue back-to-back on
+//     its own timeline (a work-conserving FIFO server — clients keep each
+//     DIMM saturated). Same-address accesses route to the same controller
+//     and keep global op order, so every read's data is exact and is
+//     validated against the shadow.
+//
+// At the epoch barrier the per-access service times are folded, in global
+// op order, into per-client latency histograms (an op's latency is the sum
+// of its accesses' service times, queueing included). Controller queues
+// are disjoint and controllers share no mutable state, so replaying them
+// on `jobs` worker threads is bit-identical to replaying them inline:
+// --jobs N and --jobs 1 produce the same result to the last bit.
+//
+// Hot keys still collide where it matters: a shared hot DIMM's queue
+// serializes while disjoint DIMMs overlap — the controller model's
+// contention story — and the run's makespan is the busiest controller's
+// frontier.
 //
 // Key popularity is Zipfian (YCSB's default theta = 0.99), scattered over
 // the key space by a multiplicative hash so hot keys spread across
 // controllers. Mixes follow the YCSB core workloads:
 //   A 50% read / 50% update      B 95% read / 5% update
 //   C 100% read                  F 50% read / 50% read-modify-write
-//
-// Per-operation latencies land in mergeable log-bucketed histograms
-// (per-client, merged at the end) for p50/p95/p99/p99.9 reporting.
 #pragma once
 
 #include <cstdint>
@@ -45,6 +62,9 @@ struct YcsbConfig {
   std::uint64_t seed = 1;
   Addr base = Addr{1} << 20;
   std::size_t interleave_bytes = 4096;
+  /// Host worker threads for controller replay (capped at `controllers`).
+  /// Any value produces bit-identical results; 1 replays inline.
+  unsigned jobs = 1;
 };
 
 struct YcsbResult {
@@ -54,7 +74,7 @@ struct YcsbResult {
   LatencyHistogram read_lat;     // cycles, merged across clients
   LatencyHistogram update_lat;
   LatencyHistogram all_lat;
-  Cycle makespan = 0;            // busiest client's measured span
+  Cycle makespan = 0;            // busiest controller's measured span
   double seconds = 0.0;
   double kops_per_sec = 0.0;
   std::uint64_t nvm_writes = 0;  // across all controllers, incl. preload

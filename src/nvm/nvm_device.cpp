@@ -23,39 +23,55 @@ void NvmDevice::write_block(Addr addr, const Block& data) {
   check_limit(addr);
   ++stats_.writes;
   stats_.energy_nj += cfg_.write_energy_nj;
-  blocks_[align(addr)] = data;
-  ecc_faults_.erase(align(addr));  // a full-line write lays a fresh codeword
+  const Addr line = align(addr);
+  Line& ln = store_.get_or_create(line);
+  ln.block = data;
+  ln.flags |= Line::kBlock;
+  if (!ecc_faults_.empty()) {
+    ecc_faults_.erase(line);  // a full-line write lays a fresh codeword
+  }
 }
 
 std::uint64_t NvmDevice::read_tag(Addr addr) const {
-  auto it = tags_.find(align(addr));
-  return it == tags_.end() ? 0 : it->second;
+  const Line* ln = store_.find(align(addr));
+  return ln == nullptr ? 0 : ln->tag;
 }
 
 void NvmDevice::write_tag(Addr addr, std::uint64_t tag) {
   check_limit(addr);
-  tags_[align(addr)] = tag;
+  Line& ln = store_.get_or_create(align(addr));
+  ln.tag = tag;
+  ln.flags |= Line::kTag;
 }
 
 std::uint64_t NvmDevice::read_tag2(Addr addr) const {
-  auto it = tags2_.find(align(addr));
-  return it == tags2_.end() ? 0 : it->second;
+  const Line* ln = store_.find(align(addr));
+  return ln == nullptr ? 0 : ln->tag2;
 }
 
 void NvmDevice::write_tag2(Addr addr, std::uint64_t tag) {
   check_limit(addr);
-  tags2_[align(addr)] = tag;
+  Line& ln = store_.get_or_create(align(addr));
+  ln.tag2 = tag;
+  ln.flags |= Line::kTag2;
 }
 
 Block NvmDevice::peek_block(Addr addr) const {
-  auto it = blocks_.find(align(addr));
-  return it == blocks_.end() ? zero_block() : it->second;
+  // A line with no block write yet holds zeroes, so no flag check is needed:
+  // a plain entry read preserves "untouched blocks read as zero".
+  const Line* ln = store_.find(align(addr));
+  return ln == nullptr ? zero_block() : ln->block;
 }
 
 void NvmDevice::poke_block(Addr addr, const Block& data) {
   check_limit(addr);
-  blocks_[align(addr)] = data;
-  ecc_faults_.erase(align(addr));
+  const Addr line = align(addr);
+  Line& ln = store_.get_or_create(line);
+  ln.block = data;
+  ln.flags |= Line::kBlock;
+  if (!ecc_faults_.empty()) {
+    ecc_faults_.erase(line);
+  }
 }
 
 void NvmDevice::inject_ecc_error(Addr addr, unsigned bit, bool correctable,
@@ -76,7 +92,9 @@ void NvmDevice::inject_ecc_error(Addr addr, unsigned bit, bool correctable,
     it->second.retries_needed = 0;
   }
   image[bit / 8] = static_cast<std::uint8_t>(image[bit / 8] ^ (1u << (bit % 8)));
-  blocks_[line] = image;
+  Line& ln = store_.get_or_create(line);
+  ln.block = image;
+  ln.flags |= Line::kBlock;
 }
 
 bool NvmDevice::ecc_uncorrectable(Addr addr) const {
@@ -88,6 +106,10 @@ NvmDevice::EccRead NvmDevice::read_block_ecc(Addr addr, Block* out) {
   ++stats_.reads;
   stats_.energy_nj += cfg_.read_energy_nj;
   const Addr line = align(addr);
+  if (ecc_faults_.empty()) {
+    *out = peek_block(line);
+    return EccRead::kClean;
+  }
   auto it = ecc_faults_.find(line);
   if (it == ecc_faults_.end()) {
     *out = peek_block(line);
@@ -125,27 +147,29 @@ bool NvmDevice::remap_line(Addr addr) {
   --remap_pool_free_;
   const Addr line = align(addr);
   ecc_faults_.erase(line);
-  blocks_.erase(line);
-  tags_.erase(line);
-  tags2_.erase(line);
+  if (Line* ln = store_.find(line)) {
+    // The spare line starts blank: drop the images and presence flags. The
+    // key slot stays occupied (tombstone-free table; remaps are rare).
+    *ln = Line{};
+  }
   ++stats_.lines_remapped;
   return true;
 }
 
 std::vector<Addr> NvmDevice::resident_blocks(Addr lo, Addr hi) const {
   std::vector<Addr> out;
-  for (const auto& kv : blocks_) {
-    if (kv.first >= lo && kv.first < hi) out.push_back(kv.first);
-  }
+  store_.for_each([&](Addr line, const Line& ln) {
+    if ((ln.flags & Line::kBlock) != 0 && line >= lo && line < hi) out.push_back(line);
+  });
   std::sort(out.begin(), out.end());
   return out;
 }
 
 std::vector<Addr> NvmDevice::resident_tags(Addr lo, Addr hi) const {
   std::vector<Addr> out;
-  for (const auto& kv : tags_) {
-    if (kv.first >= lo && kv.first < hi) out.push_back(kv.first);
-  }
+  store_.for_each([&](Addr line, const Line& ln) {
+    if ((ln.flags & Line::kTag) != 0 && line >= lo && line < hi) out.push_back(line);
+  });
   std::sort(out.begin(), out.end());
   return out;
 }

@@ -11,10 +11,14 @@
 #pragma once
 
 #include <cstdint>
+#include <cstdlib>
+#include <type_traits>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "common/config.hpp"
+#include "common/status.hpp"
 #include "common/types.hpp"
 
 namespace steins {
@@ -102,7 +106,14 @@ class NvmDevice {
 
   std::size_t remap_pool_free() const { return remap_pool_free_; }
 
-  bool contains(Addr addr) const { return blocks_.contains(align(addr)); }
+  bool contains(Addr addr) const {
+    const Line* ln = store_.find(align(addr));
+    return ln != nullptr && (ln->flags & Line::kBlock) != 0;
+  }
+
+  /// Pull the backing-store slot for `addr` toward the host cache ahead of
+  /// an access. Purely a host-side hint; no simulated effect.
+  void prefetch(Addr addr) const { store_.prefetch(align(addr)); }
 
   /// Addresses (sorted, block-aligned) of resident blocks / tags in
   /// [lo, hi). Fault injection and audits target regions through these;
@@ -134,13 +145,150 @@ class NvmDevice {
     unsigned retries_needed = 0;
   };
 
+  // --- Line arena ---------------------------------------------------------
+  //
+  // One open-addressed table keyed by block-aligned address holds the block
+  // image plus both ECC-colocated tag sidecars inline, so one probe serves
+  // the whole memory transaction (they travel together on the wire, and now
+  // in the same simulator cache lines). Presence flags preserve the sparse
+  // semantics: untouched blocks read as zero and stay invisible to
+  // resident_blocks()/contains(); a "remapped" line clears its flags but
+  // keeps its key slot (deletions are rare, tombstone-free).
+
+  struct Line {
+    static constexpr std::uint8_t kBlock = 1;
+    static constexpr std::uint8_t kTag = 2;
+    static constexpr std::uint8_t kTag2 = 4;
+
+    Block block{};
+    std::uint64_t tag = 0;
+    std::uint64_t tag2 = 0;
+    std::uint8_t flags = 0;
+  };
+
+  /// Linear-probing hash table, power-of-two capacity, keys are line+1
+  /// (0 = empty). Entries live inline in a parallel array, so a key hit is
+  /// one extra indexed load, not a pointer chase. Entry storage is raw
+  /// (malloc, no value-init): a table that grows to millions of 88-byte
+  /// lines would otherwise spend its time memset-ing slots the key array
+  /// already marks empty. Only claimed slots are ever constructed or read.
+  class LineTable {
+   public:
+    static_assert(std::is_trivially_copyable_v<Line> &&
+                      std::is_trivially_destructible_v<Line>,
+                  "raw entry storage relies on memcpy-able lines");
+
+    LineTable() : keys_(kInitialCap, 0), entries_(alloc(kInitialCap)), mask_(kInitialCap - 1) {}
+    LineTable(const LineTable& o)
+        : keys_(o.keys_), entries_(alloc(o.mask_ + 1)), mask_(o.mask_), size_(o.size_) {
+      for (std::size_t i = 0; i <= mask_; ++i) {
+        if (keys_[i] != 0) entries_[i] = o.entries_[i];
+      }
+    }
+    LineTable& operator=(const LineTable& o) {
+      if (this != &o) {
+        LineTable copy(o);
+        keys_.swap(copy.keys_);
+        std::swap(entries_, copy.entries_);
+        std::swap(mask_, copy.mask_);
+        std::swap(size_, copy.size_);
+      }
+      return *this;
+    }
+    ~LineTable() { std::free(entries_); }
+
+    /// Pull the line's home slot toward the host cache ahead of a lookup.
+    void prefetch(Addr line) const {
+      const std::size_t i = hash(line + 1) & mask_;
+      __builtin_prefetch(&keys_[i]);
+      __builtin_prefetch(&entries_[i]);
+    }
+
+    Line* find(Addr line) const {
+      const std::uint64_t key = line + 1;
+      std::size_t i = hash(key) & mask_;
+      while (true) {
+        const std::uint64_t k = keys_[i];
+        if (k == key) return &entries_[i];
+        if (k == 0) return nullptr;
+        i = (i + 1) & mask_;
+      }
+    }
+
+    Line& get_or_create(Addr line) {
+      const std::uint64_t key = line + 1;
+      std::size_t i = hash(key) & mask_;
+      while (true) {
+        const std::uint64_t k = keys_[i];
+        if (k == key) return entries_[i];
+        if (k == 0) break;
+        i = (i + 1) & mask_;
+      }
+      if ((size_ + 1) * 2 > mask_ + 1) {
+        grow();
+        i = hash(key) & mask_;
+        while (keys_[i] != 0) i = (i + 1) & mask_;
+      }
+      keys_[i] = key;
+      ++size_;
+      entries_[i] = Line{};
+      return entries_[i];
+    }
+
+    /// Visit every occupied slot as (line_addr, entry). Table order; callers
+    /// needing a deterministic order sort the addresses they collect.
+    template <typename Fn>
+    void for_each(Fn&& fn) const {
+      for (std::size_t i = 0; i <= mask_; ++i) {
+        if (keys_[i] != 0) fn(static_cast<Addr>(keys_[i] - 1), entries_[i]);
+      }
+    }
+
+   private:
+    static constexpr std::size_t kInitialCap = 4096;
+
+    static std::size_t hash(std::uint64_t k) {
+      k ^= k >> 33;
+      k *= 0xff51afd7ed558ccdULL;
+      k ^= k >> 33;
+      return static_cast<std::size_t>(k);
+    }
+
+    static Line* alloc(std::size_t cap) {
+      Line* p = static_cast<Line*>(std::malloc(cap * sizeof(Line)));
+      STEINS_CHECK(p != nullptr, "NVM line table allocation failed");
+      return p;
+    }
+
+    void grow() {
+      const std::size_t cap = (mask_ + 1) * 2;
+      std::vector<std::uint64_t> keys(cap, 0);
+      Line* entries = alloc(cap);
+      const std::size_t mask = cap - 1;
+      for (std::size_t i = 0; i <= mask_; ++i) {
+        if (keys_[i] == 0) continue;
+        std::size_t j = hash(keys_[i]) & mask;
+        while (keys[j] != 0) j = (j + 1) & mask;
+        keys[j] = keys_[i];
+        entries[j] = entries_[i];
+      }
+      keys_.swap(keys);
+      std::free(entries_);
+      entries_ = entries;
+      mask_ = mask;
+    }
+
+    std::vector<std::uint64_t> keys_;
+    Line* entries_;
+    std::size_t mask_;
+    std::size_t size_ = 0;
+  };
+
   NvmConfig cfg_;
   Addr limit_;
   NvmStats stats_;
   std::size_t remap_pool_free_;
-  std::unordered_map<Addr, Block> blocks_;
-  std::unordered_map<Addr, std::uint64_t> tags_;
-  std::unordered_map<Addr, std::uint64_t> tags2_;
+  LineTable store_;
   std::unordered_map<Addr, EccLineState> ecc_faults_;
 };
 

@@ -8,13 +8,18 @@
 
 namespace steins {
 
-NvmChannel::NvmChannel(const SystemConfig& cfg, NvmDevice& dev) : cfg_(cfg), dev_(dev) {}
+NvmChannel::NvmChannel(const SystemConfig& cfg, NvmDevice& dev)
+    : cfg_(cfg),
+      dev_(dev),
+      read_cycles_(cfg.nvm_read_cycles()),
+      write_cycles_(cfg.nvm_write_cycles()),
+      wtr_cycles_(cfg.ns_to_cycles(cfg.nvm.t_wtr_ns)) {}
 
 void NvmChannel::issue_front(Cycle start) {
   Pending& w = queue_.front();
   const std::size_t bank = bank_of(w.addr);
   const Cycle begin = std::max(start, free_at_[bank]);
-  const Cycle done = begin + cfg_.nvm_write_cycles();
+  const Cycle done = begin + write_cycles_;
   dev_.write_block(w.addr, w.data);
   if (w.has_tag) dev_.write_tag(w.addr, w.tag);
   stats_.write_latency.add(done - w.enqueued);
@@ -25,6 +30,7 @@ void NvmChannel::issue_front(Cycle start) {
 }
 
 bool NvmChannel::queued(Addr addr) const {
+  if (queue_.empty()) return false;  // common case under an eager watermark
   for (const auto& w : queue_) {
     if (w.addr == addr) return true;
   }
@@ -32,6 +38,7 @@ bool NvmChannel::queued(Addr addr) const {
 }
 
 bool NvmChannel::peek_queued_tag(Addr addr, std::uint64_t* tag) const {
+  if (queue_.empty()) return false;
   for (auto it = queue_.rbegin(); it != queue_.rend(); ++it) {
     if (it->addr == addr && it->has_tag) {
       if (tag != nullptr) *tag = it->tag;
@@ -73,18 +80,20 @@ Cycle NvmChannel::read(Addr addr, Cycle now, Block* out) {
   drain_until(now);
   // Store-forwarding: a read that hits a queued write is served from the
   // write queue (newest entry wins) without touching the array.
-  for (auto it = queue_.rbegin(); it != queue_.rend(); ++it) {
-    if (it->addr == addr) {
-      if (out != nullptr) *out = it->data;
-      const Cycle done = now + kForwardCycles;
-      stats_.read_latency.add(done - now);
-      return done;
+  if (!queue_.empty()) {
+    for (auto it = queue_.rbegin(); it != queue_.rend(); ++it) {
+      if (it->addr == addr) {
+        if (out != nullptr) *out = it->data;
+        const Cycle done = now + kForwardCycles;
+        stats_.read_latency.add(done - now);
+        return done;
+      }
     }
   }
   const std::size_t bank = bank_of(addr);
   Cycle begin = std::max(now, free_at_[bank]);
-  if (last_was_write_[bank]) begin += cfg_.ns_to_cycles(cfg_.nvm.t_wtr_ns);
-  const Cycle done = begin + cfg_.nvm_read_cycles();
+  if (last_was_write_[bank]) begin += wtr_cycles_;
+  const Cycle done = begin + read_cycles_;
   const Block b = dev_.read_block(addr);
   if (out != nullptr) *out = b;
   free_at_[bank] = done;

@@ -31,6 +31,13 @@ struct ChannelStats {
     write_latency.reset();
     write_queue_stalls = 0;
   }
+  /// Fold another channel's stats in (per-controller workers accumulate
+  /// locally and merge at the epoch barrier).
+  void merge(const ChannelStats& other) {
+    read_latency.merge(other.read_latency);
+    write_latency.merge(other.write_latency);
+    write_queue_stalls += other.write_queue_stalls;
+  }
 };
 
 class NvmChannel {
@@ -118,6 +125,11 @@ class NvmChannel {
 
   const SystemConfig& cfg_;
   NvmDevice& dev_;
+  // Device timing constants, converted from ns once at construction: the
+  // float->cycle conversion is too slow to repeat on every transaction.
+  Cycle read_cycles_;
+  Cycle write_cycles_;
+  Cycle wtr_cycles_;
   FaultInjector* crash_hook_ = nullptr;
   std::deque<Pending> queue_;
   std::array<Cycle, kBanks> free_at_{};

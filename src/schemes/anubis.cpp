@@ -1,7 +1,7 @@
 #include "schemes/anubis.hpp"
 
 #include <cstring>
-#include <unordered_map>
+#include "common/flat_map.hpp"
 
 namespace steins {
 
@@ -148,18 +148,23 @@ void AnubisMemory::recover_impl(RecoveryReport& result) {
   // Pass 2: replay shadow entries into the metadata cache. A node can
   // appear in more than one (stale) entry; counters are monotone, so the
   // entry with the largest parent value is the latest.
-  std::unordered_map<std::uint64_t, SitNode> latest;
+  FlatMap<SitNode> latest;
+  std::vector<std::uint64_t> latest_keys;  // replay in first-seen order
   for (std::size_t i = 0; i < lines; ++i) {
     if (!present[i]) continue;
     NodeId id;
     if (!decode_id(dev_.read_tag(shadow_addr(i)), &id)) continue;
     SitNode node = SitNode::from_block(id, false, images[i]);
     const std::uint64_t key = encode_id(id);
-    auto [it, inserted] = latest.try_emplace(key, node);
-    if (!inserted && node.parent_value() > it->second.parent_value()) it->second = node;
+    if (SitNode* existing = latest.find(key)) {
+      if (node.parent_value() > existing->parent_value()) *existing = node;
+    } else {
+      latest.get_or_create(key) = node;
+      latest_keys.push_back(key);
+    }
   }
-  for (auto& [key, node] : latest) {
-    (void)key;
+  for (const std::uint64_t key : latest_keys) {
+    SitNode& node = *latest.find(key);
     MetadataLine* line = nullptr;
     const Addr addr = geo_.node_addr(node.id);
     if (mcache_.peek(addr) != nullptr) continue;

@@ -16,7 +16,7 @@
 
 namespace steins {
 
-class AnubisMemory : public SecureMemoryBase {
+class AnubisMemory final : public SecureMemoryBase {
  public:
   explicit AnubisMemory(const SystemConfig& cfg);
 

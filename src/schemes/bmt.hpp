@@ -31,7 +31,7 @@
 
 namespace steins {
 
-class BmtMemory : public SecureMemory {
+class BmtMemory final : public SecureMemory {
  public:
   explicit BmtMemory(const SystemConfig& cfg, std::uint64_t key_seed = 0xb05a1b05a1ULL);
 

@@ -20,7 +20,7 @@
 
 namespace steins {
 
-class ScueMemory : public SecureMemoryBase {
+class ScueMemory final : public SecureMemoryBase {
  public:
   explicit ScueMemory(const SystemConfig& cfg);
 

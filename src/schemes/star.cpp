@@ -1,5 +1,6 @@
 #include "schemes/star.hpp"
 
+#include <array>
 #include <algorithm>
 #include <cstring>
 
@@ -29,6 +30,7 @@ StarMemory::StarMemory(const SystemConfig& cfg)
                "STAR is evaluated with general counter blocks only (paper §IV)");
   bitmap_base_ = geo_.aux_base();
   bitmap_lines_ = (geo_.total_nodes() + kNodesPerBitmapLine - 1) / kNodesPerBitmapLine;
+  nonzero_lines_.assign((bitmap_lines_ + 63) / 64, 0);
 
   // Cache-tree over set-MACs.
   std::size_t n = mcache_.num_sets();
@@ -83,7 +85,7 @@ void StarMemory::update_bitmap(NodeId id, bool dirty, Cycle& now) {
   const std::uint64_t mask = std::uint64_t{1} << (bit % 64);
   if (dirty) {
     word |= mask;
-    nonzero_lines_.insert(line);
+    nonzero_lines_[line / 64] |= std::uint64_t{1} << (line % 64);
   } else {
     word &= ~mask;
   }
@@ -92,24 +94,31 @@ void StarMemory::update_bitmap(NodeId id, bool dirty, Cycle& now) {
 std::uint64_t StarMemory::compute_set_mac(std::size_t set) const {
   // MAC over the set's dirty nodes, sorted by address (paper §II-D: "STAR
   // needs to sort the dirty nodes in the same set by the addresses").
+  // Runs on every node-modification, so everything stays on the stack: a
+  // set has at most `ways` dirty nodes and insertion sort beats std::sort
+  // at that size.
   struct Entry {
     Addr addr;
     NodePayload payload;
   };
-  std::vector<Entry> entries;
+  constexpr std::size_t kMaxWays = 32;
+  STEINS_CHECK(mcache_.ways() <= kMaxWays, "metadata cache ways exceed set-MAC buffer");
+  std::array<Entry, kMaxWays> entries;
+  std::size_t n = 0;
   mcache_.for_each_in_set(set, [&](const MetadataLine& line) {
-    if (line.dirty) entries.push_back({line.tag, line.payload.payload()});
+    if (line.dirty) entries[n++] = {line.tag, line.payload.payload()};
   });
-  std::sort(entries.begin(), entries.end(),
-            [](const Entry& a, const Entry& b) { return a.addr < b.addr; });
-  std::vector<std::uint8_t> buf;
-  buf.reserve(entries.size() * 64);
-  for (const auto& e : entries) {
-    const auto* p = reinterpret_cast<const std::uint8_t*>(&e.addr);
-    buf.insert(buf.end(), p, p + 8);
-    buf.insert(buf.end(), e.payload.begin(), e.payload.end());
+  for (std::size_t i = 1; i < n; ++i) {
+    Entry e = entries[i];
+    std::size_t j = i;
+    for (; j > 0 && entries[j - 1].addr > e.addr; --j) entries[j] = entries[j - 1];
+    entries[j] = e;
   }
-  return cme_.mac().mac64(buf);
+  // Entry is exactly addr || payload with no padding, so the sorted array
+  // is already the MAC message — no staging copy.
+  static_assert(sizeof(Entry) == 8 + sizeof(NodePayload));
+  return cme_.mac().mac64(
+      {reinterpret_cast<const std::uint8_t*>(entries.data()), n * sizeof(Entry)});
 }
 
 void StarMemory::update_set_mac(std::size_t set, Cycle&) {
@@ -209,7 +218,7 @@ void StarMemory::recover_impl(RecoveryReport& result) {
   recovery_reads_ += (bitmap_lines_ + kNodesPerBitmapLine - 1) / kNodesPerBitmapLine;
   std::vector<NodeId> dirty_nodes;
   std::vector<std::pair<NodeId, bool>> candidates;  // (node, from_fallback)
-  for (const std::uint64_t line : nonzero_lines_) {
+  const auto scan_line = [&](std::uint64_t line) {
     ++recovery_reads_;
     bool dead = false;
     const Block raw = dev_.peek_corrected(bitmap_line_addr(line), &dead);
@@ -222,7 +231,7 @@ void StarMemory::recover_impl(RecoveryReport& result) {
       for (std::uint64_t flat = first; flat < last; ++flat) {
         candidates.emplace_back(geo_.node_at_offset(static_cast<std::uint32_t>(flat)), true);
       }
-      continue;
+      return;
     }
     const auto bits = decode_bitmap(raw);
     for (std::size_t w = 0; w < bits.size(); ++w) {
@@ -235,6 +244,13 @@ void StarMemory::recover_impl(RecoveryReport& result) {
           candidates.emplace_back(geo_.node_at_offset(static_cast<std::uint32_t>(flat)), false);
         }
       }
+    }
+  };
+  for (std::uint64_t nw = 0; nw < nonzero_lines_.size(); ++nw) {
+    std::uint64_t nword = nonzero_lines_[nw];
+    while (nword != 0) {
+      scan_line(nw * 64 + static_cast<unsigned>(__builtin_ctzll(nword)));
+      nword &= nword - 1;
     }
   }
 

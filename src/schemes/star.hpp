@@ -15,7 +15,6 @@
 //    lives in a non-volatile register.
 #pragma once
 
-#include <set>
 #include <vector>
 
 #include "cache/cache.hpp"
@@ -23,7 +22,7 @@
 
 namespace steins {
 
-class StarMemory : public SecureMemoryBase {
+class StarMemory final : public SecureMemoryBase {
  public:
   explicit StarMemory(const SystemConfig& cfg);
 
@@ -72,7 +71,10 @@ class StarMemory : public SecureMemoryBase {
   Addr bitmap_base_;
   std::uint64_t bitmap_lines_;
   SetAssocCache<BitmapLine> bitmap_cache_;
-  std::set<std::uint64_t> nonzero_lines_;  // upper bitmap layer (functional)
+  /// Upper bitmap layer (functional): one bit per bitmap line, set when the
+  /// line has ever gone nonzero. A flat bitset so the hot set-bit path is a
+  /// word OR; recovery scans it in ascending line order.
+  std::vector<std::uint64_t> nonzero_lines_;
 
   // Cache-tree: set_macs_ then internal levels up to the root register.
   std::vector<std::vector<std::uint64_t>> tree_;

@@ -279,12 +279,12 @@ void SteinsMemory::quarantine_subtree_ctx(NodeId id, RecoveryCtx& ctx,
 bool SteinsMemory::recovery_counters(NodeId id, RecoveryCtx& ctx, SitNode* out) {
   if (in_quarantined(ctx, id)) return false;
   const std::uint64_t key = flat_key(geo_, id);
-  if (auto it = ctx.recovered.find(key); it != ctx.recovered.end()) {
-    *out = it->second;
+  if (const SitNode* hit = ctx.recovered.find(key)) {
+    *out = *hit;
     return true;
   }
-  if (auto it = ctx.clean_verified.find(key); it != ctx.clean_verified.end()) {
-    *out = it->second;
+  if (const SitNode* hit = ctx.clean_verified.find(key)) {
+    *out = *hit;
     return true;
   }
   const Addr addr = geo_.node_addr(id);
@@ -321,7 +321,7 @@ bool SteinsMemory::recovery_counters(NodeId id, RecoveryCtx& ctx, SitNode* out) 
     quarantine_subtree_ctx(id, ctx, QuarantineReason::kLost);
     return false;
   }
-  ctx.clean_verified.emplace(key, node);
+  ctx.clean_verified.get_or_create(key) = node;
   *out = node;
   return true;
 }
@@ -523,12 +523,12 @@ void SteinsMemory::recover_impl(RecoveryCtx& ctx, RecoveryReport& result) {
     // against a running per-slot value so multiple entries for one slot
     // contribute exactly their net increase, and entries already absorbed
     // by an inline update (counter <= stale) contribute nothing.
-    std::unordered_map<std::uint64_t, std::uint64_t> applied;  // (node,slot) -> value
+    FlatMap<std::uint64_t> applied;  // (node,slot) -> value
     for (const auto& e : nv_buffer_) {
       if (static_cast<int>(e.parent.level) != k) continue;
       const std::uint64_t slot_key = flat_key(geo_, e.parent) * kTreeArity + e.slot;
-      auto it = applied.find(slot_key);
-      if (it == applied.end()) {
+      std::uint64_t* value = applied.find(slot_key);
+      if (value == nullptr) {
         const Addr paddr = geo_.node_addr(e.parent);
         ++recovery_reads_;
         bool dead = false;
@@ -540,11 +540,12 @@ void SteinsMemory::recover_impl(RecoveryCtx& ctx, RecoveryReport& result) {
           continue;
         }
         const SitNode stale = SitNode::from_block(e.parent, false, pimg);
-        it = applied.emplace(slot_key, stale.gc.counters[e.slot]).first;
+        value = &applied.get_or_create(slot_key);
+        *value = stale.gc.counters[e.slot];
       }
-      if (e.counter <= it->second) continue;  // absorbed by a later inline update
-      const std::uint64_t delta = e.counter - it->second;
-      it->second = e.counter;
+      if (e.counter <= *value) continue;  // absorbed by a later inline update
+      const std::uint64_t delta = e.counter - *value;
+      *value = e.counter;
       lincs_[k] += delta;
       lincs_[k - 1] -= delta;
     }
@@ -595,7 +596,7 @@ void SteinsMemory::recover_impl(RecoveryCtx& ctx, RecoveryReport& result) {
       }
 
       level_sum += rebuilt.parent_value() - stale.parent_value();
-      ctx.recovered[flat_key(geo_, id)] = rebuilt;
+      ctx.recovered.get_or_create(flat_key(geo_, id)) = rebuilt;
       ++result.nodes_recovered;
     }
 
@@ -623,11 +624,11 @@ void SteinsMemory::recover_impl(RecoveryCtx& ctx, RecoveryReport& result) {
   for (int k = static_cast<int>(geo_.top_level()); k >= 0; --k) {
     for (const NodeId id : by_level[static_cast<std::size_t>(k)]) {
       if (in_quarantined(ctx, id)) continue;
-      const auto it = ctx.recovered.find(flat_key(geo_, id));
-      if (it == ctx.recovered.end()) continue;
+      const SitNode* rec = ctx.recovered.find(flat_key(geo_, id));
+      if (rec == nullptr) continue;
       const Addr addr = geo_.node_addr(id);
       if (mcache_.peek(addr) != nullptr) continue;
-      auto victim = mcache_.insert(addr, true, it->second);
+      auto victim = mcache_.insert(addr, true, *rec);
       if (victim && victim->dirty) {
         t = persist_detached(victim->payload, t);
         finish_clean(victim->payload.id, t);

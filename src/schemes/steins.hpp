@@ -27,16 +27,16 @@
 #pragma once
 
 #include <cstdint>
-#include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
 #include "cache/cache.hpp"
+#include "common/flat_map.hpp"
 #include "secure/secure_memory.hpp"
 
 namespace steins {
 
-class SteinsMemory : public SecureMemoryBase {
+class SteinsMemory final : public SecureMemoryBase {
  public:
   explicit SteinsMemory(const SystemConfig& cfg);
 
@@ -101,8 +101,8 @@ class SteinsMemory : public SecureMemoryBase {
   // ---- recovery helpers ----
 
   struct RecoveryCtx {
-    std::unordered_map<std::uint64_t, SitNode> recovered;  // key = flat offset
-    std::unordered_map<std::uint64_t, SitNode> clean_verified;
+    FlatMap<SitNode> recovered;  // key = flat offset
+    FlatMap<SitNode> clean_verified;
     /// Roots of subtrees quarantined during this walk: (level, index).
     std::vector<std::pair<unsigned, std::uint64_t>> quarantined;
     /// Any loss happened: remaining LInc sums are unverifiable and skipped.

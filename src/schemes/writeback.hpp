@@ -7,7 +7,7 @@
 
 namespace steins {
 
-class WriteBackMemory : public SecureMemoryBase {
+class WriteBackMemory final : public SecureMemoryBase {
  public:
   explicit WriteBackMemory(const SystemConfig& cfg) : SecureMemoryBase(cfg) {}
 

@@ -145,6 +145,12 @@ class SecureMemory {
   /// drains the write queue through it instead of draining intact. Faults
   /// apply only at crash; the runtime path is unaffected.
   virtual void set_fault_injector(FaultInjector* injector) { (void)injector; }
+
+  /// Host-side prefetch hint for an access to `addr` a few trace entries
+  /// ahead: pulls the controller tables the access will probe (metadata
+  /// cache set, device-store slot) toward the host cache. No simulated
+  /// effect — results are bit-identical with or without the hint.
+  virtual void prefetch_hint(Addr addr) const { (void)addr; }
 };
 
 class SecureMemoryBase : public SecureMemory {
@@ -169,6 +175,23 @@ class SecureMemoryBase : public SecureMemory {
 
   void set_fault_injector(FaultInjector* injector) override {
     channel_.set_crash_fault_hook(injector);
+  }
+
+  void prefetch_hint(Addr addr) const final {
+    // The access will probe the data line plus the leaf covering addr's
+    // data block in the metadata cache; a leaf miss walks toward the root
+    // and reads node images from the device store. Hint the first few
+    // levels of that walk — deeper ancestors are shared widely enough to
+    // stay host-cached on their own.
+    const std::uint64_t block = addr / kBlockSize;
+    NodeId id{0, block / geo_.leaf_coverage()};
+    for (unsigned level = 0; level < 3 && level < geo_.num_levels(); ++level) {
+      const Addr node_addr = geo_.node_addr(id);
+      mcache_.prefetch(node_addr);
+      dev_.prefetch(node_addr);
+      id = geo_.parent_of(id);
+    }
+    dev_.prefetch(addr);
   }
 
   NvmChannel& channel() { return channel_; }

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 
+#include "common/thread_pool.hpp"
 #include "fault/fault.hpp"
 
 namespace steins {
@@ -41,13 +42,25 @@ Cycle MultiControllerMemory::write_block(Addr addr, const Block& data, Cycle now
   return done;
 }
 
-RecoveryResult MultiControllerMemory::crash_and_recover_all() {
-  RecoveryResult combined;
-  for (std::size_t i = 0; i < mcs_.size(); ++i) {
+RecoveryResult MultiControllerMemory::crash_and_recover_all(unsigned jobs) {
+  // Each controller is a self-contained scheme instance over its own DIMM,
+  // so recoveries are independent; run them on the pool and merge in
+  // controller order afterwards — byte-identical to the sequential path.
+  std::vector<RecoveryResult> results(mcs_.size());
+  const auto recover_one = [&](std::size_t i) {
     auto& mc = mcs_[i];
     mc->crash();
     if (injectors_[i] != nullptr) injectors_[i]->apply_post_crash(*mc);
-    const RecoveryResult r = mc->recover();
+    results[i] = mc->recover();
+  };
+  if (jobs > 1 && mcs_.size() > 1) {
+    ThreadPool pool(std::min<unsigned>(jobs, static_cast<unsigned>(mcs_.size())));
+    pool.for_each_index(mcs_.size(), recover_one);
+  } else {
+    for (std::size_t i = 0; i < mcs_.size(); ++i) recover_one(i);
+  }
+  RecoveryResult combined;
+  for (const RecoveryResult& r : results) {
     if (!r.ok()) return r;
     combined.nodes_recovered += r.nodes_recovered;
     combined.nvm_reads += r.nvm_reads;

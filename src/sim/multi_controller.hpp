@@ -11,6 +11,7 @@
 // so disjoint client streams scale while a shared hot DIMM serializes.
 #pragma once
 
+#include <algorithm>
 #include <memory>
 #include <vector>
 
@@ -30,8 +31,11 @@ class MultiControllerMemory {
   Cycle write_block(Addr addr, const Block& data, Cycle now);
 
   /// Crash and recover every controller; the slowest DIMM's recovery time
-  /// bounds the system (controllers recover in parallel).
-  RecoveryResult crash_and_recover_all();
+  /// bounds the system (controllers recover in parallel). With `jobs` > 1
+  /// the recoveries run on that many host threads; results are merged in
+  /// controller order, so the outcome is identical to `jobs` == 1 (the
+  /// first failing controller in index order wins).
+  RecoveryResult crash_and_recover_all(unsigned jobs = 1);
 
   /// Arm one controller's next crash with an injector (nullptr disarms);
   /// crash_and_recover_all applies its post-crash faults to that DIMM.
@@ -45,7 +49,9 @@ class MultiControllerMemory {
   Cycle max_frontier() const;
   std::uint64_t total_nvm_writes() const;
 
- private:
+  /// Controller a global address routes to. Public so epoch-replay drivers
+  /// can pre-partition an access schedule by controller and then execute
+  /// each controller's stream on its own worker thread.
   unsigned route(Addr addr) const {
     return static_cast<unsigned>((addr / interleave_) % mcs_.size());
   }
@@ -54,7 +60,13 @@ class MultiControllerMemory {
     const Addr chunk = addr / interleave_;
     return (chunk / mcs_.size()) * interleave_ + (addr % interleave_);
   }
+  /// Record a controller's completion frontier reached outside read_block/
+  /// write_block (epoch-replay drivers call controller(i) directly).
+  void note_frontier(unsigned mc, Cycle t) {
+    frontier_[mc] = std::max(frontier_[mc], t);
+  }
 
+ private:
   std::size_t interleave_;
   std::vector<std::unique_ptr<SecureMemory>> mcs_;
   std::vector<Cycle> frontier_;  // per-controller completion frontier

@@ -1,6 +1,8 @@
 #include "sim/system.hpp"
 
+#include <algorithm>
 #include <cstring>
+#include <vector>
 #include <stdexcept>
 
 #include "common/status.hpp"
@@ -12,7 +14,7 @@ System::System(const SystemConfig& cfg, Scheme scheme)
     : cfg_(cfg), mem_(make_scheme(scheme, cfg)), hierarchy_(cfg) {}
 
 void System::mutate_truth(Addr addr) {
-  Block& b = truth_[addr];  // zero-initialized on first touch
+  Block& b = truth_.get_or_create(addr);  // zero-initialized on first touch
   ++store_seq_;
   std::memcpy(b.data(), &store_seq_, 8);
   std::memcpy(b.data() + 8, &addr, 8);
@@ -25,9 +27,8 @@ void System::apply_memory_ops(const MemoryOps& ops, bool is_write) {
   // Dirty LLC writebacks reach the controller first (they were evicted to
   // make room for the fill).
   for (const Addr wb : ops.writebacks) {
-    const auto it = truth_.find(wb);
-    const Block& data = (it != truth_.end()) ? it->second : zero_block();
-    mem_->write_block(wb, data, cpu_.now());
+    const Block* known = truth_.find(wb);
+    mem_->write_block(wb, known != nullptr ? *known : zero_block(), cpu_.now());
   }
   if (ops.miss_fill) {
     Block loaded;
@@ -45,8 +46,8 @@ void System::apply_memory_ops(const MemoryOps& ops, bool is_write) {
       // End-to-end check: what a LOAD gets back through decrypt+verify must
       // be what the program last stored (or zero if never stored). Store
       // misses fill for ownership only — truth is already ahead of memory.
-      const auto it = truth_.find(ops.fill_addr);
-      const Block& expect = (it != truth_.end()) ? it->second : zero_block();
+      const Block* known = truth_.find(ops.fill_addr);
+      const Block& expect = known != nullptr ? *known : zero_block();
       if (loaded != expect) {
         throw std::logic_error("secure memory returned wrong plaintext for block " +
                                std::to_string(ops.fill_addr / kBlockSize));
@@ -92,15 +93,15 @@ Block System::load(Addr addr) {
   addr &= ~static_cast<Addr>(kBlockSize - 1);
   MemAccess a{addr, false, false, 0};
   step(a);
-  const auto it = truth_.find(addr);
-  return it != truth_.end() ? it->second : zero_block();
+  const Block* known = truth_.find(addr);
+  return known != nullptr ? *known : zero_block();
 }
 
 void System::store(Addr addr, const Block& data) {
   addr &= ~static_cast<Addr>(kBlockSize - 1);
   cpu_.advance(0);
   ++accesses_;
-  truth_[addr] = data;
+  truth_.get_or_create(addr) = data;
   ++store_seq_;
   const MemoryOps ops = hierarchy_.access(addr, true);
   apply_memory_ops(ops, true);
@@ -109,20 +110,40 @@ void System::store(Addr addr, const Block& data) {
 void System::persist(Addr addr) {
   addr &= ~static_cast<Addr>(kBlockSize - 1);
   for (const Addr wb : hierarchy_.flush_block(addr)) {
-    const auto it = truth_.find(wb);
-    const Block& data = (it != truth_.end()) ? it->second : zero_block();
-    const Cycle done = mem_->write_block(wb, data, cpu_.now());
+    const Block* known = truth_.find(wb);
+    const Cycle done =
+        mem_->write_block(wb, known != nullptr ? *known : zero_block(), cpu_.now());
     cpu_.stall_until(done);  // fence: wait for controller acceptance
   }
 }
 
 RunStats System::run(TraceSource& trace, std::uint64_t warmup_accesses) {
-  MemAccess a;
+  // Pull accesses in batches so generator dispatch is paid once per batch
+  // instead of once per access. The per-access stream (and the exact index
+  // at which warmup stats reset) is unchanged.
+  constexpr std::size_t kBatch = 256;
+  // The big per-run tables (truth store, device store, metadata cache) are
+  // far larger than the host LLC, so each access's probes stall on host
+  // DRAM. The batch gives us lookahead: hint the tables a few accesses
+  // early so those loads overlap the current access's work. Hints have no
+  // simulated effect — results are bit-identical with or without them.
+  constexpr std::size_t kPrefetchAhead = 8;
+  MemAccess buf[kBatch];
   std::uint64_t count = 0;
-  while (trace.next(&a)) {
-    step(a);
-    ++count;
-    if (warmup_accesses != 0 && count == warmup_accesses) reset_stats();
+  for (;;) {
+    const std::size_t n = trace.next_batch(buf, kBatch);
+    if (n == 0) break;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (i + kPrefetchAhead < n) {
+        const Addr ahead = buf[i + kPrefetchAhead].addr;
+        truth_.prefetch(ahead & ~static_cast<Addr>(kBlockSize - 1));
+        hierarchy_.prefetch(ahead);
+        mem_->prefetch_hint(ahead);
+      }
+      step(buf[i]);
+      ++count;
+      if (warmup_accesses != 0 && count == warmup_accesses) reset_stats();
+    }
   }
   return collect_stats();
 }
@@ -140,25 +161,27 @@ RecoveryResult System::crash_and_recover() {
 }
 
 void System::resync_truth_after_crash() {
-  for (auto it = truth_.begin(); it != truth_.end();) {
-    if (mem_->device().contains(it->first)) {
-      Block actual;
-      try {
-        mem_->read_block(it->first, cpu_.now(), &actual);
-      } catch (const StatusError& e) {
-        if (!is_unavailable(e.code())) throw;
-        // Quarantined after salvage: the block is typed-unavailable, not a
-        // value — drop it so later loads surface the error, not plaintext.
-        it = truth_.erase(it);
-        continue;
-      }
-      it->second = actual;
-      ++it;
-    } else {
-      // Never persisted: the block reads as zero after reboot.
-      it = truth_.erase(it);
+  // Rebuild the truth table from the survivors, visiting blocks in address
+  // order so post-crash read timing is independent of hash-table layout.
+  std::vector<Addr> addrs;
+  addrs.reserve(truth_.size());
+  truth_.for_each([&](Addr a, const Block&) { addrs.push_back(a); });
+  std::sort(addrs.begin(), addrs.end());
+  FlatMap<Block> survivors;
+  for (const Addr a : addrs) {
+    if (!mem_->device().contains(a)) continue;  // never persisted: reads zero
+    Block actual;
+    try {
+      mem_->read_block(a, cpu_.now(), &actual);
+    } catch (const StatusError& e) {
+      if (!is_unavailable(e.code())) throw;
+      // Quarantined after salvage: the block is typed-unavailable, not a
+      // value — drop it so later loads surface the error, not plaintext.
+      continue;
     }
+    survivors.get_or_create(a) = actual;
   }
+  truth_ = std::move(survivors);
 }
 
 void System::reset_stats() {

@@ -7,10 +7,10 @@
 
 #include <memory>
 #include <string>
-#include <unordered_map>
 
 #include "cache/cache_hierarchy.hpp"
 #include "common/config.hpp"
+#include "common/flat_map.hpp"
 #include "secure/secure_memory.hpp"
 #include "sim/cpu_model.hpp"
 #include "trace/trace.hpp"
@@ -93,7 +93,7 @@ class System {
   FaultInjector* fault_injector_ = nullptr;
   CacheHierarchy hierarchy_;
   CpuModel cpu_;
-  std::unordered_map<Addr, Block> truth_;  // plaintext ground truth
+  FlatMap<Block> truth_;  // plaintext ground truth
   std::uint64_t store_seq_ = 0;
   std::uint64_t accesses_ = 0;
   Cycle stats_epoch_cycles_ = 0;

@@ -17,24 +17,32 @@ void GeneralCounterBlock::increment(std::size_t slot) {
 }
 
 NodePayload GeneralCounterBlock::encode() const {
+  // 7 bytes per 56-bit counter, little-endian. Each unaligned 8-byte store
+  // spills a zero into the next counter's first byte (bits 56..63 of a
+  // masked counter), which the next iteration then overwrites; the last
+  // counter gets a 7-byte copy so the store stays inside the payload.
   NodePayload p{};
-  for (std::size_t i = 0; i < counters.size(); ++i) {
-    // 7 bytes per 56-bit counter, little-endian.
-    for (int b = 0; b < 7; ++b) {
-      p[i * 7 + b] = static_cast<std::uint8_t>(counters[i] >> (8 * b));
-    }
+  for (std::size_t i = 0; i + 1 < counters.size(); ++i) {
+    const std::uint64_t v = counters[i] & kCounter56Mask;
+    std::memcpy(p.data() + i * 7, &v, 8);
   }
+  const std::uint64_t last = counters[counters.size() - 1] & kCounter56Mask;
+  std::memcpy(p.data() + (counters.size() - 1) * 7, &last, 7);
   return p;
 }
 
 GeneralCounterBlock GeneralCounterBlock::decode(std::span<const std::uint8_t> payload) {
   assert(payload.size() >= 56);
   GeneralCounterBlock cb;
-  for (std::size_t i = 0; i < cb.counters.size(); ++i) {
-    std::uint64_t v = 0;
-    for (int b = 6; b >= 0; --b) v = (v << 8) | payload[i * 7 + b];
-    cb.counters[i] = v;
+  std::uint64_t v;
+  for (std::size_t i = 0; i + 1 < cb.counters.size(); ++i) {
+    std::memcpy(&v, payload.data() + i * 7, 8);
+    cb.counters[i] = v & kCounter56Mask;
   }
+  // The last 8-byte load would run past a 56-byte payload; load the final
+  // aligned word and shift its low byte (counter 6's top byte) away.
+  std::memcpy(&v, payload.data() + 48, 8);
+  cb.counters[cb.counters.size() - 1] = v >> 8;
   return cb;
 }
 

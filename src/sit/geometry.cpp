@@ -25,23 +25,12 @@ SitGeometry::SitGeometry(const NvmConfig& nvm, CounterMode mode)
   }
 }
 
-Addr SitGeometry::node_addr(NodeId id) const {
-  assert(id.level < num_levels() && id.index < level_counts_[id.level]);
-  return meta_base_ + (level_base_[id.level] + id.index) * kBlockSize;
-}
-
 NodeId SitGeometry::node_at(Addr addr) const {
   assert(is_metadata_addr(addr));
   const std::uint64_t flat = (addr - meta_base_) / kBlockSize;
   unsigned level = 0;
   while (level + 1 < num_levels() && flat >= level_base_[level + 1]) ++level;
   return NodeId{level, flat - level_base_[level]};
-}
-
-std::uint32_t SitGeometry::offset_of(NodeId id) const {
-  const std::uint64_t flat = level_base_[id.level] + id.index;
-  assert(flat <= 0xffffffffULL && "metadata region exceeds 4-byte offsets (256 GB)");
-  return static_cast<std::uint32_t>(flat);
 }
 
 NodeId SitGeometry::node_at_offset(std::uint32_t offset) const {

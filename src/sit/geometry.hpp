@@ -14,6 +14,7 @@
 // 16 GB, 8 for split-counter leaves.
 #pragma once
 
+#include <cassert>
 #include <cstdint>
 #include <vector>
 
@@ -55,14 +56,22 @@ class SitGeometry {
   /// Total SIT nodes across all levels.
   std::uint64_t total_nodes() const { return total_nodes_; }
 
-  /// NVM byte address of a node.
-  Addr node_addr(NodeId id) const;
+  /// NVM byte address of a node. Inline: called several times per
+  /// simulated access (leaf fetch plus every parent hop).
+  Addr node_addr(NodeId id) const {
+    assert(id.level < num_levels() && id.index < level_counts_[id.level]);
+    return meta_base_ + (level_base_[id.level] + id.index) * kBlockSize;
+  }
 
   /// Inverse of node_addr: which node lives at a metadata-region address.
   NodeId node_at(Addr addr) const;
 
   /// 4-byte offset of a node within the metadata region (paper §III-C).
-  std::uint32_t offset_of(NodeId id) const;
+  std::uint32_t offset_of(NodeId id) const {
+    const std::uint64_t flat = level_base_[id.level] + id.index;
+    assert(flat <= 0xffffffffULL && "metadata region exceeds 4-byte offsets (256 GB)");
+    return static_cast<std::uint32_t>(flat);
+  }
   NodeId node_at_offset(std::uint32_t offset) const;
 
   bool is_metadata_addr(Addr addr) const {

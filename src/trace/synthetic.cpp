@@ -23,7 +23,15 @@ void SyntheticTrace::reset() {
   chase_cursor_ = 0;
 }
 
-bool SyntheticTrace::next(MemAccess* out) {
+bool SyntheticTrace::next(MemAccess* out) { return produce(out); }
+
+std::size_t SyntheticTrace::next_batch(MemAccess* out, std::size_t max) {
+  std::size_t n = 0;
+  while (n < max && produce(out + n)) ++n;
+  return n;
+}
+
+bool SyntheticTrace::produce(MemAccess* out) {
   if (produced_ >= cfg_.accesses) return false;
   ++produced_;
 

@@ -33,16 +33,19 @@ struct SyntheticConfig {
   std::uint64_t seed = 1;
 };
 
-class SyntheticTrace : public TraceSource {
+class SyntheticTrace final : public TraceSource {
  public:
   explicit SyntheticTrace(const SyntheticConfig& cfg);
 
   bool next(MemAccess* out) override;
+  std::size_t next_batch(MemAccess* out, std::size_t max) override;
   void reset() override;
 
   const SyntheticConfig& config() const { return cfg_; }
 
  private:
+  bool produce(MemAccess* out);  // non-virtual body shared by next/next_batch
+
   Addr block_to_addr(std::uint64_t block) const { return block * kBlockSize; }
 
   SyntheticConfig cfg_;

@@ -1,6 +1,7 @@
 // Memory-access traces: the unit the CPU model consumes.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 
 #include "common/types.hpp"
@@ -26,6 +27,16 @@ class TraceSource {
 
   /// Produce the next access; false when the trace is exhausted.
   virtual bool next(MemAccess* out) = 0;
+
+  /// Fill up to `max` accesses into `out`; returns how many were produced
+  /// (0 = exhausted). Semantically identical to calling next() in a loop —
+  /// generators override it so the driver pays one virtual call per batch
+  /// instead of per access.
+  virtual std::size_t next_batch(MemAccess* out, std::size_t max) {
+    std::size_t n = 0;
+    while (n < max && next(out + n)) ++n;
+    return n;
+  }
 
   /// Restart from the beginning (same deterministic stream).
   virtual void reset() = 0;

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "common/stats.hpp"
+#include "common/thread_pool.hpp"
 #include "crypto/backend.hpp"
 #include "kv/kv_crash.hpp"
 #include "kv/ycsb.hpp"
@@ -41,6 +42,7 @@ struct Options {
   std::uint64_t capacity_mb = 256;
   std::uint64_t mcache_kb = 256;
   std::uint64_t crash_ops = 64;
+  unsigned jobs = ThreadPool::default_jobs();
   std::string json_path;
   bool crash = false;
   bool help = false;
@@ -61,6 +63,9 @@ void usage() {
       "  --seed <n>           driver + crash-boundary seed (default 1)\n"
       "  --capacity-mb <n>    NVM capacity (default 256)\n"
       "  --mcache-kb <n>      metadata cache size (default 256)\n"
+      "  --jobs <n>           worker threads for controller replay (default\n"
+      "                       STEINS_JOBS or hardware threads; any value is\n"
+      "                       bit-identical to --jobs 1)\n"
       "  --crash              also run crash-recovery validation per scheme\n"
       "  --crash-ops <n>      ops in the crash-validation script (default 64)\n"
       "  --json <file>        write results (same numbers as printed) as JSON\n"
@@ -96,6 +101,9 @@ bool parse(int argc, char** argv, Options* opt) {
       opt->capacity_mb = std::strtoull(value(), nullptr, 10);
     } else if (arg == "--mcache-kb") {
       opt->mcache_kb = std::strtoull(value(), nullptr, 10);
+    } else if (arg == "--jobs") {
+      opt->jobs = static_cast<unsigned>(std::strtoul(value(), nullptr, 10));
+      if (opt->jobs < 1) opt->jobs = 1;
     } else if (arg == "--crash") {
       opt->crash = true;
     } else if (arg == "--crash-ops") {
@@ -239,6 +247,7 @@ int main(int argc, char** argv) {
   ycfg.value_bytes = static_cast<std::size_t>(opt.value_bytes);
   ycfg.zipf_s = opt.zipf_s;
   ycfg.seed = opt.seed;
+  ycfg.jobs = opt.jobs;
 
   KvCrashOptions ccfg;
   ccfg.ops = opt.crash_ops;
