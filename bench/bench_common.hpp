@@ -33,7 +33,8 @@ struct BenchOptions {
 /// `--crypto-backend ref|ttable|hw|auto` (the STEINS_CRYPTO_BACKEND env var
 /// is read by the registry itself; the flag wins). Backends are
 /// bit-identical, so this only affects host wall-clock — it is recorded in
-/// the JSON provenance so trajectory points stay comparable.
+/// the JSON provenance so trajectory points stay comparable. Unknown
+/// --flags, flags missing their value, and extra positionals exit(2).
 inline BenchOptions parse_options(int argc, char** argv) {
   BenchOptions opt;
   opt.jobs = ThreadPool::default_jobs();  // reads STEINS_JOBS
@@ -46,23 +47,42 @@ inline BenchOptions parse_options(int argc, char** argv) {
   if (const char* env = std::getenv("STEINS_JSON")) opt.json_path = env;
   if (std::getenv("STEINS_VERBOSE") != nullptr) opt.verbose = true;
 
+  // Unknown --flags (and flags missing their value) are hard errors: a
+  // typo like `--job 4` must not be silently consumed as a positional
+  // access count.
+  const auto value_of = [&](int* i) -> const char* {
+    if (*i + 1 >= argc) {
+      std::fprintf(stderr, "missing value for %s\n", argv[*i]);
+      std::exit(2);
+    }
+    return argv[++*i];
+  };
   int positional = 0;
   for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
-      const long v = std::strtol(argv[++i], nullptr, 10);
+    if (std::strcmp(argv[i], "--jobs") == 0) {
+      const long v = std::strtol(value_of(&i), nullptr, 10);
       opt.jobs = v < 1 ? 1u : static_cast<unsigned>(v);
-    } else if (std::strcmp(argv[i], "--crypto-backend") == 0 && i + 1 < argc) {
-      if (auto b = crypto::parse_backend(argv[++i])) crypto::set_crypto_backend(*b);
-    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
-      opt.json_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--crypto-backend") == 0) {
+      if (auto b = crypto::parse_backend(value_of(&i))) crypto::set_crypto_backend(*b);
+    } else if (std::strcmp(argv[i], "--json") == 0) {
+      opt.json_path = value_of(&i);
     } else if (std::strcmp(argv[i], "--verbose") == 0) {
       opt.verbose = true;
+    } else if (std::strncmp(argv[i], "--", 2) == 0) {
+      std::fprintf(stderr,
+                   "unknown option: %s (expected [accesses [warmup]] --jobs N "
+                   "--json FILE --crypto-backend ref|ttable|hw|auto --verbose)\n",
+                   argv[i]);
+      std::exit(2);
     } else if (positional == 0) {
       opt.accesses = std::strtoull(argv[i], nullptr, 10);
       ++positional;
     } else if (positional == 1) {
       opt.warmup = std::strtoull(argv[i], nullptr, 10);
       ++positional;
+    } else {
+      std::fprintf(stderr, "unexpected argument: %s\n", argv[i]);
+      std::exit(2);
     }
   }
   return opt;

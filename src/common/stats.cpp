@@ -19,6 +19,22 @@ double LatencyHistogram::bucket_mid(std::size_t idx) {
   return static_cast<double>(lower) + static_cast<double>(width - 1) / 2.0;
 }
 
+std::uint64_t LatencyHistogram::bucket_lower(std::size_t idx) {
+  if (idx >= kBuckets) idx = kBuckets - 1;
+  if (idx < kSub) return idx;  // exact buckets
+  const std::size_t oct = (idx - kSub) / kSub;
+  const std::size_t sub = (idx - kSub) % kSub;
+  const int top = static_cast<int>(oct) + kSubBits;
+  const std::uint64_t width = std::uint64_t{1} << (top - kSubBits);
+  return (std::uint64_t{1} << top) + sub * width;
+}
+
+std::uint64_t LatencyHistogram::bucket_upper(std::size_t idx) {
+  // The last bucket also absorbs everything bucket_of clamps from above.
+  if (idx >= kBuckets - 1) return ~std::uint64_t{0};
+  return bucket_lower(idx + 1) - 1;
+}
+
 double LatencyHistogram::percentile(double p) const {
   if (count_ == 0) return 0.0;
   if (p <= 0.0) return 0.0;
@@ -28,10 +44,21 @@ double LatencyHistogram::percentile(double p) const {
   const std::uint64_t target = exact < 1.0 ? 1 : static_cast<std::uint64_t>(exact);
   std::uint64_t cum = 0;
   for (std::size_t i = 0; i < kBuckets; ++i) {
+    if (counts_[i] == 0) continue;
     cum += counts_[i];
     if (cum >= target) {
-      // Never report beyond the exact observed maximum.
-      return std::min(bucket_mid(i), static_cast<double>(max_));
+      // Interpolate the rank within the bucket's value range. In the top
+      // clamp bucket the range is bounded by the exact observed maximum,
+      // so an outlier tail beyond the 2^kTopBits ceiling is reported
+      // instead of silently saturating at the bucket representative.
+      const double lo = static_cast<double>(bucket_lower(i));
+      const double hi =
+          std::min(static_cast<double>(bucket_upper(i)), static_cast<double>(max_));
+      if (hi <= lo) return std::min(lo, static_cast<double>(max_));
+      const std::uint64_t before = cum - counts_[i];
+      const double frac =
+          static_cast<double>(target - before) / static_cast<double>(counts_[i]);
+      return lo + frac * (hi - lo);
     }
   }
   return static_cast<double>(max_);

@@ -44,7 +44,10 @@ class LatencyHistogram {
     return count_ ? static_cast<double>(sum_) / static_cast<double>(count_) : 0.0;
   }
 
-  /// Value at percentile `p` in [0, 100] (bucket midpoint; exact below 16).
+  /// Value at percentile `p` in [0, 100]: the rank is interpolated within
+  /// its bucket's value range (exact below 16), and the top clamp bucket is
+  /// bounded by the observed maximum, so outlier tails are reported rather
+  /// than saturating at the 2^kTopBits ceiling.
   double percentile(double p) const;
 
   void reset() { *this = LatencyHistogram{}; }
@@ -60,6 +63,16 @@ class LatencyHistogram {
 
   /// Midpoint of bucket `idx`'s value range (the percentile representative).
   static double bucket_mid(std::size_t idx);
+
+  /// Inclusive bounds of bucket `idx`'s value range. Together the buckets
+  /// tile [0, UINT64_MAX]: the last bucket is the >= 2^(kTopBits - 1) + ...
+  /// clamp, so its upper bound is UINT64_MAX even though its nominal octave
+  /// ends below 2^kTopBits.
+  static std::uint64_t bucket_lower(std::size_t idx);
+  static std::uint64_t bucket_upper(std::size_t idx);
+
+  /// Samples recorded in bucket `idx`.
+  std::uint64_t bucket_count(std::size_t idx) const { return counts_[idx]; }
 
  private:
   std::array<std::uint64_t, kBuckets> counts_{};

@@ -1,0 +1,218 @@
+#include "kv/lsm/format.hpp"
+
+#include <cstring>
+
+#include "common/status.hpp"
+
+namespace steins::lsm {
+
+namespace {
+
+constexpr std::uint64_t kLen48Mask = (std::uint64_t{1} << 48) - 1;
+
+std::uint64_t pack_kind_len(WalKind kind, std::uint64_t len) {
+  return (static_cast<std::uint64_t>(kind) << 56) | (len & kLen48Mask);
+}
+
+bool unpack_kind_len(std::uint64_t v, WalKind* kind, std::uint64_t* len) {
+  const std::uint64_t k = v >> 56;
+  if (k != static_cast<std::uint64_t>(WalKind::kPut) &&
+      k != static_cast<std::uint64_t>(WalKind::kErase)) {
+    return false;
+  }
+  *kind = static_cast<WalKind>(k);
+  *len = v & kLen48Mask;
+  if (*len > kMaxLsmValueBytes) return false;
+  if (*kind == WalKind::kErase && *len != 0) return false;
+  return true;
+}
+
+}  // namespace
+
+void put_u64(std::string& out, std::uint64_t v) {
+  char buf[8];
+  for (int i = 0; i < 8; ++i) buf[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+  out.append(buf, 8);
+}
+
+std::uint64_t get_u64(const std::uint8_t* p) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+  return v;
+}
+
+void encode_offset_size(const OffsetSize& os, std::string& out) {
+  put_u64(out, os.offset);
+  put_u64(out, os.length);
+}
+
+OffsetSize decode_offset_size(const std::uint8_t* p) {
+  return OffsetSize{get_u64(p), get_u64(p + 8)};
+}
+
+std::uint64_t span_checksum(const std::uint8_t* p, std::size_t n, std::uint64_t seed) {
+  std::uint64_t h = seed;
+  for (std::size_t i = 0; i < n; ++i) h = (h ^ p[i]) * 0x100000001b3ULL;
+  h ^= h >> 30;
+  h *= 0xbf58476d1ce4e5b9ULL;
+  h ^= h >> 27;
+  return h;
+}
+
+// ---------------------------------------------------------------------------
+// WAL records
+
+void encode_wal_record(const WalRecord& rec, std::string& out) {
+  STEINS_CHECK(rec.value.size() <= kMaxLsmValueBytes, "WAL record value overflows");
+  const std::size_t start = out.size();
+  put_u64(out, rec.epoch);
+  put_u64(out, rec.seq);
+  put_u64(out, rec.key);
+  put_u64(out, pack_kind_len(rec.kind, rec.value.size()));
+  out.append(rec.value);
+  const std::uint64_t crc = span_checksum(
+      reinterpret_cast<const std::uint8_t*>(out.data() + start), out.size() - start);
+  put_u64(out, crc);
+  put_u64(out, crc ^ kWalCommitMagic);
+}
+
+WalDecode decode_wal_record(const std::uint8_t* p, std::size_t avail,
+                            std::uint64_t expect_epoch, WalRecord* out,
+                            std::size_t* encoded) {
+  if (avail < kWalHeaderBytes) return WalDecode::kNeedMore;
+  WalRecord rec;
+  rec.epoch = get_u64(p);
+  rec.seq = get_u64(p + 8);
+  rec.key = get_u64(p + 16);
+  std::uint64_t len = 0;
+  if (rec.epoch != expect_epoch) return WalDecode::kInvalid;
+  if (!unpack_kind_len(get_u64(p + 24), &rec.kind, &len)) return WalDecode::kInvalid;
+  const std::size_t total = wal_record_bytes(len);
+  if (avail < total) return WalDecode::kNeedMore;
+  const std::uint64_t crc = span_checksum(p, kWalHeaderBytes + len);
+  if (get_u64(p + kWalHeaderBytes + len) != crc) return WalDecode::kInvalid;
+  if (get_u64(p + kWalHeaderBytes + len + 8) != (crc ^ kWalCommitMagic)) {
+    return WalDecode::kInvalid;
+  }
+  rec.value.assign(reinterpret_cast<const char*>(p + kWalHeaderBytes), len);
+  if (out != nullptr) *out = std::move(rec);
+  if (encoded != nullptr) *encoded = total;
+  return WalDecode::kOk;
+}
+
+// ---------------------------------------------------------------------------
+// Run entries and footer
+
+void encode_run_entry(std::uint64_t key, WalKind kind, const std::string& value,
+                      std::string& out) {
+  put_u64(out, key);
+  put_u64(out, pack_kind_len(kind, value.size()));
+  out.append(value);
+}
+
+bool decode_run_entry(const std::uint8_t* p, std::size_t avail, RunEntry* out,
+                      std::size_t* encoded) {
+  if (avail < kRunEntryHeaderBytes) return false;
+  RunEntry e;
+  e.key = get_u64(p);
+  std::uint64_t len = 0;
+  if (!unpack_kind_len(get_u64(p + 8), &e.kind, &len)) return false;
+  if (avail < kRunEntryHeaderBytes + len) return false;
+  e.value.assign(reinterpret_cast<const char*>(p + kRunEntryHeaderBytes), len);
+  if (out != nullptr) *out = std::move(e);
+  if (encoded != nullptr) *encoded = kRunEntryHeaderBytes + len;
+  return true;
+}
+
+std::uint64_t run_footer_crc(const RunFooter& f, const std::uint8_t* data_bytes,
+                             const std::uint8_t* index_bytes) {
+  std::uint64_t h = span_checksum(data_bytes, f.data.length);
+  h = span_checksum(index_bytes, f.index.length, h);
+  std::string fields;
+  put_u64(fields, kRunMagic);
+  put_u64(fields, f.run_id);
+  put_u64(fields, f.entries);
+  encode_offset_size(f.data, fields);
+  encode_offset_size(f.index, fields);
+  return span_checksum(fields, h);
+}
+
+Block encode_run_footer(const RunFooter& f) {
+  std::string s;
+  s.reserve(kBlockSize);
+  put_u64(s, kRunMagic);
+  put_u64(s, f.run_id);
+  put_u64(s, f.entries);
+  encode_offset_size(f.data, s);
+  encode_offset_size(f.index, s);
+  put_u64(s, f.crc);
+  Block b{};
+  std::memcpy(b.data(), s.data(), s.size());
+  return b;
+}
+
+bool decode_run_footer(const Block& b, RunFooter* out) {
+  const std::uint8_t* p = b.data();
+  if (get_u64(p) != kRunMagic) return false;
+  RunFooter f;
+  f.run_id = get_u64(p + 8);
+  f.entries = get_u64(p + 16);
+  f.data = decode_offset_size(p + 24);
+  f.index = decode_offset_size(p + 40);
+  f.crc = get_u64(p + 56);
+  if (f.data.offset != 0) return false;
+  if (f.index.length % kIndexEntryBytes != 0) return false;
+  // The index must start at a block boundary at or past the data's end.
+  if (f.index.offset % kBlockSize != 0 || f.index.offset < f.data.length) return false;
+  if (out != nullptr) *out = f;
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Manifest
+
+std::size_t manifest_encoded_bytes(std::size_t run_count) {
+  return 6 * 8 + run_count * 4 * 8 + 8;  // header words, runs, crc
+}
+
+void encode_manifest(const ManifestData& m, std::string& out) {
+  const std::size_t start = out.size();
+  put_u64(out, kManifestMagic);
+  put_u64(out, m.version);
+  put_u64(out, m.wal_epoch);
+  put_u64(out, m.next_seq);
+  put_u64(out, m.next_run_id);
+  put_u64(out, m.runs.size());
+  for (const RunMeta& r : m.runs) {
+    put_u64(out, r.run_id);
+    put_u64(out, r.level);
+    put_u64(out, r.start_block);
+    put_u64(out, r.block_count);
+  }
+  const std::uint64_t crc = span_checksum(
+      reinterpret_cast<const std::uint8_t*>(out.data() + start), out.size() - start);
+  put_u64(out, crc);
+}
+
+bool decode_manifest(const std::uint8_t* p, std::size_t avail, ManifestData* out) {
+  if (avail < manifest_encoded_bytes(0)) return false;
+  if (get_u64(p) != kManifestMagic) return false;
+  ManifestData m;
+  m.version = get_u64(p + 8);
+  m.wal_epoch = get_u64(p + 16);
+  m.next_seq = get_u64(p + 24);
+  m.next_run_id = get_u64(p + 32);
+  const std::uint64_t count = get_u64(p + 40);
+  const std::size_t total = manifest_encoded_bytes(count);
+  if (count > (avail - manifest_encoded_bytes(0)) / 32 || avail < total) return false;
+  m.runs.reserve(count);
+  const std::uint8_t* q = p + 48;
+  for (std::uint64_t i = 0; i < count; ++i, q += 32) {
+    m.runs.push_back(RunMeta{get_u64(q), get_u64(q + 8), get_u64(q + 16), get_u64(q + 24)});
+  }
+  if (get_u64(q) != span_checksum(p, total - 8)) return false;
+  if (out != nullptr) *out = std::move(m);
+  return true;
+}
+
+}  // namespace steins::lsm

@@ -1,0 +1,170 @@
+// On-media byte formats of the log-structured engine (DESIGN.md §15).
+//
+// Everything here is pure byte-level codec — no System access — so every
+// structure round-trips in unit tests without a simulator. All integers
+// are fixed-width 64-bit little-endian (the z_kv offset/size idiom):
+// parsing never depends on varint state, so a torn prefix of a record is
+// detectable by checksum alone and a reader can always tell "need more
+// bytes" from "corrupt bytes".
+//
+//   WAL record   | epoch | seq | key | kind<<56|len | value | crc | commit |
+//   Run entry    | key | kind<<56|len | value |
+//   Run footer   | magic | run_id | entries | data off/size | index off/size | crc |
+//   Manifest     | magic | version | wal_epoch | next_seq | next_run_id |
+//                | run_count | {run_id, level, start_block, block_count}* | crc |
+//
+// The WAL commit word is the record's crc xored with a constant: a record
+// is committed iff its crc matches AND its trailing commit word matches.
+// Replay stops at the first record that fails either check — that is the
+// torn tail, and it is a *legal* end of log, not corruption.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace steins::lsm {
+
+inline constexpr std::uint64_t kWalCommitMagic = 0x57414c2d434f4d54ULL;  // "WAL-COMT"
+inline constexpr std::uint64_t kRunMagic = 0x5354454e2d52554eULL;        // "STEN-RUN"
+inline constexpr std::uint64_t kManifestMagic = 0x5354454e2d4d4e46ULL;   // "STEN-MNF"
+
+/// Hard cap on a value's size; values span blocks, so this bounds WAL
+/// record and run entry sizes, not the block size.
+inline constexpr std::size_t kMaxLsmValueBytes = 4096;
+
+/// Fixed-width little-endian u64 append/read (no varints — see header).
+void put_u64(std::string& out, std::uint64_t v);
+std::uint64_t get_u64(const std::uint8_t* p);
+inline std::uint64_t get_u64(const char* p) {
+  return get_u64(reinterpret_cast<const std::uint8_t*>(p));
+}
+
+/// Block location attribute: where a byte range lives inside a region
+/// (offset and length, both fixed-width 64-bit on media).
+struct OffsetSize {
+  std::uint64_t offset = 0;
+  std::uint64_t length = 0;
+};
+
+void encode_offset_size(const OffsetSize& os, std::string& out);
+OffsetSize decode_offset_size(const std::uint8_t* p);
+
+/// FNV-1a over a byte span, splitmix-finalized. Detects torn/foreign bytes
+/// (protocol-level), not tampering — the secure path's HMACs own that.
+std::uint64_t span_checksum(const std::uint8_t* p, std::size_t n,
+                            std::uint64_t seed = 0xcbf29ce484222325ULL);
+inline std::uint64_t span_checksum(const std::string& s, std::uint64_t seed) {
+  return span_checksum(reinterpret_cast<const std::uint8_t*>(s.data()), s.size(), seed);
+}
+
+// ---------------------------------------------------------------------------
+// WAL records
+
+enum class WalKind : std::uint8_t { kPut = 1, kErase = 2 };
+
+struct WalRecord {
+  std::uint64_t epoch = 0;
+  std::uint64_t seq = 0;
+  std::uint64_t key = 0;
+  WalKind kind = WalKind::kPut;
+  std::string value;  // empty for kErase
+};
+
+inline constexpr std::size_t kWalHeaderBytes = 32;   // epoch, seq, key, kind|len
+inline constexpr std::size_t kWalTrailerBytes = 16;  // crc, commit word
+
+inline std::size_t wal_record_bytes(std::size_t value_bytes) {
+  return kWalHeaderBytes + value_bytes + kWalTrailerBytes;
+}
+
+/// Append the record's full encoding (header, value, crc, commit word).
+void encode_wal_record(const WalRecord& rec, std::string& out);
+
+enum class WalDecode {
+  kOk,        // a committed record was decoded
+  kNeedMore,  // the span ends before the record does — caller may extend it
+  kInvalid,   // bad epoch / bad length / crc or commit mismatch (torn tail)
+};
+
+/// Try to decode one record at `p`. On kOk, `*out` holds the record and
+/// `*encoded` its on-media size. A record whose epoch differs from
+/// `expect_epoch` is kInvalid: it is a stale survivor of a pre-flush log.
+WalDecode decode_wal_record(const std::uint8_t* p, std::size_t avail,
+                            std::uint64_t expect_epoch, WalRecord* out,
+                            std::size_t* encoded);
+
+// ---------------------------------------------------------------------------
+// Sorted-run entries and footer
+
+struct RunEntry {
+  std::uint64_t key = 0;
+  WalKind kind = WalKind::kPut;
+  std::string value;
+};
+
+inline constexpr std::size_t kRunEntryHeaderBytes = 16;  // key, kind|len
+
+/// Append one entry's encoding (key, kind|len, value) to a data stream.
+void encode_run_entry(std::uint64_t key, WalKind kind, const std::string& value,
+                      std::string& out);
+
+/// Decode the entry at `p`; false if the header is malformed or the span
+/// ends early (inside a validated run that is corruption, not a tail).
+bool decode_run_entry(const std::uint8_t* p, std::size_t avail, RunEntry* out,
+                      std::size_t* encoded);
+
+/// Sparse-index entry: the key at `offset` bytes into the data area.
+/// Fixed-width 16 bytes (key, then OffsetSize-style offset).
+struct IndexEntry {
+  std::uint64_t key = 0;
+  std::uint64_t offset = 0;
+};
+inline constexpr std::size_t kIndexEntryBytes = 16;
+
+struct RunFooter {
+  std::uint64_t run_id = 0;
+  std::uint64_t entries = 0;
+  OffsetSize data;   // byte range of the entry stream (offset 0)
+  OffsetSize index;  // byte range of the sparse index (block-aligned offset)
+  std::uint64_t crc = 0;  // over data bytes, index bytes, and the fields above
+};
+
+/// The footer occupies exactly one 64 B block.
+Block encode_run_footer(const RunFooter& f);
+bool decode_run_footer(const Block& b, RunFooter* out);
+
+/// The crc stored in the footer: chained over the data span, the index
+/// span, and the footer's own fields.
+std::uint64_t run_footer_crc(const RunFooter& f, const std::uint8_t* data_bytes,
+                             const std::uint8_t* index_bytes);
+
+// ---------------------------------------------------------------------------
+// Manifest
+
+struct RunMeta {
+  std::uint64_t run_id = 0;
+  std::uint64_t level = 0;        // 0 (fresh flush) or 1 (compacted)
+  std::uint64_t start_block = 0;  // relative to the run arena
+  std::uint64_t block_count = 0;
+};
+
+struct ManifestData {
+  std::uint64_t version = 0;
+  std::uint64_t wal_epoch = 0;
+  std::uint64_t next_seq = 1;
+  std::uint64_t next_run_id = 1;
+  std::vector<RunMeta> runs;
+};
+
+/// Encoded manifest size in bytes (for capacity checks against the
+/// replica region).
+std::size_t manifest_encoded_bytes(std::size_t run_count);
+
+void encode_manifest(const ManifestData& m, std::string& out);
+bool decode_manifest(const std::uint8_t* p, std::size_t avail, ManifestData* out);
+
+}  // namespace steins::lsm

@@ -1,0 +1,46 @@
+// Block-level geometry of the LSM engine's NVM region (DESIGN.md §15).
+//
+//   base ─ manifest replica A ─ manifest replica B ─ manifest commit block
+//        ─ WAL region ─ sorted-run arena
+//
+// Every address the engine touches derives from this struct, so the crash
+// harness and the fault hooks can name regions ("the manifest", "the WAL
+// tail") without private knowledge of the engine.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.hpp"
+
+namespace steins::lsm {
+
+struct LsmLayout {
+  Addr base = Addr{1} << 20;
+  std::size_t manifest_blocks = 16;  // per replica (16 blocks = 30 runs max)
+  std::size_t wal_blocks = 1024;     // 64 KiB write-ahead log
+  std::size_t arena_blocks = 32768;  // 2 MiB sorted-run arena
+
+  Addr manifest_addr(int replica) const {
+    return base + static_cast<Addr>(replica) * manifest_blocks * kBlockSize;
+  }
+  Addr manifest_commit_addr() const { return base + 2 * manifest_blocks * kBlockSize; }
+  Addr wal_base() const { return manifest_commit_addr() + kBlockSize; }
+  Addr arena_base() const { return wal_base() + wal_blocks * kBlockSize; }
+  std::uint64_t wal_bytes() const { return wal_blocks * kBlockSize; }
+  std::uint64_t region_bytes() const {
+    return (2 * manifest_blocks + 1 + wal_blocks + arena_blocks) * kBlockSize;
+  }
+  /// Ceiling on runs the manifest replica can describe.
+  std::size_t max_runs() const {
+    const std::uint64_t bytes = manifest_blocks * kBlockSize;
+    return static_cast<std::size_t>((bytes - 56) / 32);
+  }
+};
+
+/// A contiguous block range inside the run arena.
+struct Extent {
+  std::uint64_t start_block = 0;
+  std::uint64_t block_count = 0;
+};
+
+}  // namespace steins::lsm

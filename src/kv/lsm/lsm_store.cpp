@@ -1,0 +1,481 @@
+#include "kv/lsm/lsm_store.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+#include "common/thread_pool.hpp"
+
+namespace steins::lsm {
+
+namespace {
+
+/// Key-range shards for the deterministic parallel merge. Fixed (not
+/// derived from the job count) so results are bit-identical whatever
+/// merge_jobs is set to.
+constexpr std::size_t kMergeShards = 8;
+
+}  // namespace
+
+LsmStore::LsmStore(System& sys, const LsmLayout& layout, const LsmConfig& cfg)
+    : sys_(sys),
+      layout_(layout),
+      cfg_(cfg),
+      wal_(sys, layout,
+           [this](Addr addr, const char* stage) { persist_barrier(addr, stage); }),
+      manifest_store_(sys, layout,
+                      [this](Addr addr, const char* stage) {
+                        persist_barrier(addr, stage);
+                      }) {}
+
+LsmStore::~LsmStore() = default;
+
+void LsmStore::persist_barrier(Addr addr, const char* stage) {
+  if (hook_) hook_(stage, stats_.persist_barriers);
+  sys_.persist(addr);
+  ++stats_.persist_barriers;
+}
+
+Status LsmStore::open() {
+  open_ = false;
+  read_only_ = false;
+  degraded_ = false;
+  wal_torn_ = false;
+  wal_replayed_ = 0;
+  l0_.clear();
+  l1_.clear();
+  memtable_.clear();
+  memtable_bytes_ = 0;
+  try {
+    bool pristine = false;
+    ManifestData m;
+    Status s = manifest_store_.read_committed(&m, &pristine);
+    if (!s.ok()) return s;
+    if (pristine) {
+      manifest_ = ManifestData{};
+      manifest_.version = 1;
+      manifest_.wal_epoch = 1;
+      manifest_store_.install(manifest_);
+      wal_.reset(manifest_.wal_epoch);
+      open_ = true;
+      return Status::Ok();
+    }
+
+    manifest_ = std::move(m);
+    for (const RunMeta& r : manifest_.runs) {
+      const Extent ext{r.start_block, r.block_count};
+      auto reader = RunReader::open(sys_, layout_, ext, r.run_id,
+                                    cfg_.verify_runs_on_open);
+      if (!reader) return reader.status();
+      (r.level == 0 ? l0_ : l1_).push_back(std::move(reader.value()));
+    }
+    const auto by_run_id = [](const RunReader& a, const RunReader& b) {
+      return a.run_id() < b.run_id();
+    };
+    std::sort(l0_.begin(), l0_.end(), by_run_id);
+    std::sort(l1_.begin(), l1_.end(), by_run_id);
+
+    // Replay the current-epoch WAL tail into the memtable; a torn tail is
+    // a legal end of log (the in-flight op never committed).
+    Wal::ReplayResult rep = wal_.replay(manifest_.wal_epoch);
+    wal_torn_ = rep.torn_tail;
+    wal_replayed_ = rep.records.size();
+    for (const WalRecord& rec : rep.records) {
+      auto it = memtable_.find(rec.key);
+      if (it != memtable_.end()) {
+        memtable_bytes_ -= kRunEntryHeaderBytes + it->second.value.size();
+        memtable_.erase(it);
+      }
+      memtable_bytes_ += kRunEntryHeaderBytes + rec.value.size();
+      memtable_[rec.key] = MemEntry{rec.kind, rec.value};
+      manifest_.next_seq = std::max(manifest_.next_seq, rec.seq + 1);
+    }
+    open_ = true;
+    return Status::Ok();
+  } catch (const StatusError& e) {
+    // Typed unavailability (quarantined/uncorrectable lines under the
+    // region) and integrity failures surface as a Status; anything else
+    // is a bug and propagates.
+    if (is_unavailable(e.code()) || e.code() == ErrorCode::kIntegrity) {
+      return e.status();
+    }
+    throw;
+  }
+}
+
+void LsmStore::append_op(std::uint64_t key, WalKind kind, const std::string& value) {
+  STEINS_CHECK(open_, "LsmStore used before open()");
+  if (read_only_) {
+    throw StatusError(Status(ErrorCode::kReadOnly, "store is read-only"));
+  }
+  if (value.size() > cfg_.max_value_bytes) {
+    throw std::invalid_argument("value exceeds max_value_bytes");
+  }
+
+  // Make room first: flushing bumps the WAL epoch, so the record must be
+  // encoded against the post-flush epoch.
+  const std::size_t encoded = wal_record_bytes(value.size());
+  if (!wal_.fits(encoded)) {
+    flush_locked();
+    if (l0_.size() >= cfg_.l0_compact_trigger) compact_locked();
+    STEINS_CHECK(wal_.fits(encoded), "record larger than the WAL region");
+  }
+
+  WalRecord rec;
+  rec.epoch = wal_.epoch();
+  rec.seq = manifest_.next_seq;
+  rec.key = key;
+  rec.kind = kind;
+  rec.value = value;
+  wal_.append(rec);
+  ++manifest_.next_seq;
+  ++stats_.wal_records;
+  stats_.wal_bytes += encoded;
+  // The append's last barrier has completed: the op is durable — this is
+  // the commit point the crash harness models.
+  if (commit_hook_) commit_hook_(key, kind, value);
+
+  auto it = memtable_.find(key);
+  if (it != memtable_.end()) {
+    memtable_bytes_ -= kRunEntryHeaderBytes + it->second.value.size();
+    it->second = MemEntry{kind, value};
+  } else {
+    memtable_[key] = MemEntry{kind, value};
+  }
+  memtable_bytes_ += kRunEntryHeaderBytes + value.size();
+
+  if (memtable_bytes_ >= cfg_.memtable_limit_bytes) {
+    flush_locked();
+    if (l0_.size() >= cfg_.l0_compact_trigger) compact_locked();
+  }
+}
+
+void LsmStore::put(std::uint64_t key, const std::string& value) {
+  append_op(key, WalKind::kPut, value);
+  ++stats_.puts;
+  stats_.bytes_put += value.size();
+}
+
+bool LsmStore::erase(std::uint64_t key) {
+  STEINS_CHECK(open_, "LsmStore used before open()");
+  if (read_only_) {
+    throw StatusError(Status(ErrorCode::kReadOnly, "store is read-only"));
+  }
+  // Absent keys take no tombstone: the WAL and runs only carry operations
+  // that change the committed state.
+  bool present;
+  auto it = memtable_.find(key);
+  if (it != memtable_.end()) {
+    present = it->second.kind == WalKind::kPut;
+  } else {
+    const auto found = find_in_runs(key);
+    present = found.has_value() && found->kind == WalKind::kPut;
+  }
+  if (!present) return false;
+  append_op(key, WalKind::kErase, std::string());
+  ++stats_.erases;
+  return true;
+}
+
+std::optional<RunReader::Found> LsmStore::find_in_runs(std::uint64_t key) {
+  for (auto it = l0_.rbegin(); it != l0_.rend(); ++it) {
+    if (auto f = it->find(sys_, key)) return f;
+  }
+  for (auto it = l1_.rbegin(); it != l1_.rend(); ++it) {
+    if (auto f = it->find(sys_, key)) return f;
+  }
+  return std::nullopt;
+}
+
+std::optional<std::string> LsmStore::get(std::uint64_t key) {
+  STEINS_CHECK(open_, "LsmStore used before open()");
+  ++stats_.gets;
+  const auto it = memtable_.find(key);
+  if (it != memtable_.end()) {
+    if (it->second.kind == WalKind::kErase) return std::nullopt;
+    return it->second.value;
+  }
+  const auto found = find_in_runs(key);
+  if (!found || found->kind == WalKind::kErase) return std::nullopt;
+  return found->value;
+}
+
+std::map<std::uint64_t, std::string> LsmStore::dump() {
+  STEINS_CHECK(open_, "LsmStore used before open()");
+  // Oldest to newest so later sources overwrite earlier ones; tombstones
+  // are applied as erasures at every layer.
+  std::map<std::uint64_t, std::string> out;
+  const auto apply = [&out](std::uint64_t key, WalKind kind, const std::string& v) {
+    if (kind == WalKind::kErase) {
+      out.erase(key);
+    } else {
+      out[key] = v;
+    }
+  };
+  for (const RunReader& r : l1_) {
+    for (const RunEntry& e : r.load_all(sys_)) apply(e.key, e.kind, e.value);
+  }
+  for (const RunReader& r : l0_) {
+    for (const RunEntry& e : r.load_all(sys_)) apply(e.key, e.kind, e.value);
+  }
+  for (const auto& [key, e] : memtable_) apply(key, e.kind, e.value);
+  return out;
+}
+
+void LsmStore::apply_recovery_report(const RecoveryReport& report) {
+  degraded_ = report.degraded();
+  if (report.attack_detected || !report.status.ok()) read_only_ = true;
+}
+
+Expected<std::optional<std::string>> LsmStore::try_get(std::uint64_t key) {
+  try {
+    return get(key);
+  } catch (const StatusError& e) {
+    if (is_unavailable(e.code())) return e.status();
+    throw;
+  }
+}
+
+Status LsmStore::try_put(std::uint64_t key, const std::string& value) {
+  try {
+    put(key, value);
+    return Status::Ok();
+  } catch (const StatusError& e) {
+    if (is_unavailable(e.code())) return e.status();
+    throw;
+  }
+}
+
+Expected<bool> LsmStore::try_erase(std::uint64_t key) {
+  try {
+    return erase(key);
+  } catch (const StatusError& e) {
+    if (is_unavailable(e.code())) return e.status();
+    throw;
+  }
+}
+
+LsmStore::DegradedDump LsmStore::dump_degraded() {
+  STEINS_CHECK(open_, "LsmStore used before open()");
+  DegradedDump out;
+  const auto apply = [&out](std::uint64_t key, WalKind kind, const std::string& v) {
+    if (kind == WalKind::kErase) {
+      out.live.erase(key);
+    } else {
+      out.live[key] = v;
+    }
+  };
+  const auto apply_run = [&](const RunReader& r) {
+    try {
+      for (const RunEntry& e : r.load_all(sys_)) apply(e.key, e.kind, e.value);
+    } catch (const StatusError& e) {
+      if (!is_unavailable(e.code())) throw;
+      ++out.runs_unavailable;
+    }
+  };
+  for (const RunReader& r : l1_) apply_run(r);
+  for (const RunReader& r : l0_) apply_run(r);
+  for (const auto& [key, e] : memtable_) apply(key, e.kind, e.value);
+  return out;
+}
+
+void LsmStore::flush() {
+  STEINS_CHECK(open_, "LsmStore used before open()");
+  if (read_only_) {
+    throw StatusError(Status(ErrorCode::kReadOnly, "store is read-only"));
+  }
+  flush_locked();
+}
+
+void LsmStore::compact() {
+  STEINS_CHECK(open_, "LsmStore used before open()");
+  if (read_only_) {
+    throw StatusError(Status(ErrorCode::kReadOnly, "store is read-only"));
+  }
+  compact_locked();
+}
+
+void LsmStore::flush_locked() {
+  if (memtable_.empty()) return;
+  // Backstop: if another L0 run would overflow the manifest's run list,
+  // fold the existing runs down first (normally the compaction trigger
+  // fires long before this).
+  if (manifest_.runs.size() + 1 > layout_.max_runs()) compact_locked();
+
+  RunImage img;
+  for (const auto& [key, e] : memtable_) {
+    run_image_append(&img, key, e.kind, e.value, cfg_.index_every);
+  }
+  const std::uint64_t run_id = manifest_.next_run_id;
+  const Extent ext = allocate_extent(img.blocks_needed());
+  write_run(sys_, layout_, ext, run_id, img,
+            [this](Addr addr, const char* stage) { persist_barrier(addr, stage); },
+            "flush");
+
+  // Durable install: the manifest commit makes the run live AND truncates
+  // the WAL (epoch bump) in one atomic step. A crash before the commit
+  // leaves the old manifest: the run is garbage, the WAL still replays.
+  ManifestData next = manifest_;
+  next.version += 1;
+  next.wal_epoch += 1;
+  next.next_run_id += 1;
+  next.runs.push_back(RunMeta{run_id, 0, ext.start_block, ext.block_count});
+  install_manifest(std::move(next));
+
+  wal_.reset(manifest_.wal_epoch);
+  memtable_.clear();
+  memtable_bytes_ = 0;
+  auto reader = RunReader::open(sys_, layout_, ext, run_id, false);
+  STEINS_CHECK(reader.has_value(), "freshly flushed run failed to open");
+  l0_.push_back(std::move(reader.value()));
+  ++stats_.flushes;
+  ++stats_.runs_written;
+  stats_.run_blocks_written += ext.block_count;
+}
+
+std::vector<RunEntry> LsmStore::merge_runs(
+    const std::vector<std::vector<RunEntry>>& inputs) {
+  // inputs[0] has the highest precedence (newest). Shard the key space on
+  // fixed boundaries derived only from the global key range, merge shards
+  // independently, and concatenate — bit-identical for any merge_jobs.
+  std::uint64_t min_key = ~std::uint64_t{0};
+  std::uint64_t max_key = 0;
+  std::size_t total = 0;
+  for (const auto& in : inputs) {
+    if (in.empty()) continue;
+    min_key = std::min(min_key, in.front().key);
+    max_key = std::max(max_key, in.back().key);
+    total += in.size();
+  }
+  if (total == 0) return {};
+
+  const unsigned __int128 span =
+      static_cast<unsigned __int128>(max_key) - min_key + 1;
+  // Shard s covers [bounds[s], bounds[s+1]) — except the last shard, which
+  // is inclusive of max_key (the full-u64 span can't express an exclusive
+  // upper bound in 64 bits).
+  std::vector<std::uint64_t> bounds;
+  bounds.reserve(kMergeShards + 1);
+  for (std::size_t s = 0; s <= kMergeShards; ++s) {
+    bounds.push_back(static_cast<std::uint64_t>(
+        static_cast<unsigned __int128>(min_key) + span * s / kMergeShards));
+  }
+
+  std::vector<std::vector<RunEntry>> shard_out(kMergeShards);
+  const auto merge_shard = [&](std::size_t s) {
+    const std::uint64_t lo = bounds[s];
+    const bool last = s + 1 == kMergeShards;
+    const std::uint64_t hi = bounds[s + 1];  // exclusive unless last shard
+    std::map<std::uint64_t, const RunEntry*> merged;
+    for (const auto& in : inputs) {
+      auto it = std::lower_bound(
+          in.begin(), in.end(), lo,
+          [](const RunEntry& e, std::uint64_t k) { return e.key < k; });
+      for (; it != in.end() && (last ? it->key <= max_key : it->key < hi); ++it) {
+        merged.emplace(it->key, &*it);  // emplace: first (newest) source wins
+      }
+    }
+    auto& out = shard_out[s];
+    out.reserve(merged.size());
+    for (const auto& [key, e] : merged) {
+      if (e->kind == WalKind::kErase) continue;  // bottom level drops tombstones
+      out.push_back(*e);
+    }
+  };
+
+  if (cfg_.merge_jobs > 1) {
+    if (!merge_pool_) merge_pool_ = std::make_unique<ThreadPool>(cfg_.merge_jobs);
+    merge_pool_->for_each_index(kMergeShards, merge_shard);
+  } else {
+    for (std::size_t s = 0; s < kMergeShards; ++s) merge_shard(s);
+  }
+
+  std::vector<RunEntry> out;
+  out.reserve(total);
+  for (auto& shard : shard_out) {
+    out.insert(out.end(), std::make_move_iterator(shard.begin()),
+               std::make_move_iterator(shard.end()));
+  }
+  return out;
+}
+
+void LsmStore::compact_locked() {
+  const std::size_t run_count = l0_.size() + l1_.size();
+  if (run_count == 0) return;
+  if (run_count == 1 && l1_.size() == 1) return;  // already fully compacted
+
+  // Load every input up front (all System I/O on this thread); merge in
+  // memory; write the single bottom-level output run.
+  std::vector<std::vector<RunEntry>> inputs;  // newest first
+  inputs.reserve(run_count);
+  for (auto it = l0_.rbegin(); it != l0_.rend(); ++it) {
+    inputs.push_back(it->load_all(sys_));
+  }
+  for (auto it = l1_.rbegin(); it != l1_.rend(); ++it) {
+    inputs.push_back(it->load_all(sys_));
+  }
+  const std::vector<RunEntry> merged = merge_runs(inputs);
+
+  ManifestData next = manifest_;
+  next.version += 1;
+  next.runs.clear();  // every run participates, so the new list is fresh
+  Extent ext;
+  std::uint64_t run_id = 0;
+  RunImage img;
+  if (!merged.empty()) {
+    for (const RunEntry& e : merged) {
+      run_image_append(&img, e.key, e.kind, e.value, cfg_.index_every);
+    }
+    run_id = next.next_run_id;
+    next.next_run_id += 1;
+    ext = allocate_extent(img.blocks_needed());
+    write_run(sys_, layout_, ext, run_id, img,
+              [this](Addr addr, const char* stage) { persist_barrier(addr, stage); },
+              "compact");
+    next.runs.push_back(RunMeta{run_id, 1, ext.start_block, ext.block_count});
+  }
+  install_manifest(std::move(next));
+
+  l0_.clear();
+  l1_.clear();
+  if (!merged.empty()) {
+    auto reader = RunReader::open(sys_, layout_, ext, run_id, false);
+    STEINS_CHECK(reader.has_value(), "freshly compacted run failed to open");
+    l1_.push_back(std::move(reader.value()));
+    ++stats_.runs_written;
+    stats_.run_blocks_written += ext.block_count;
+  }
+  ++stats_.compactions;
+}
+
+Extent LsmStore::allocate_extent(std::uint64_t blocks) const {
+  // First-fit over the gaps between extents the *committed* manifest
+  // references. During compaction the inputs are still referenced, so the
+  // output can never overwrite them; they become reusable only after the
+  // install barrier that also un-references them.
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> occupied;
+  occupied.reserve(manifest_.runs.size());
+  for (const RunMeta& r : manifest_.runs) {
+    occupied.emplace_back(r.start_block, r.block_count);
+  }
+  std::sort(occupied.begin(), occupied.end());
+  std::uint64_t cursor = 0;
+  for (const auto& [start, count] : occupied) {
+    if (start - cursor >= blocks) return Extent{cursor, blocks};
+    cursor = start + count;
+  }
+  if (layout_.arena_blocks - cursor >= blocks) return Extent{cursor, blocks};
+  throw StatusError(Status(ErrorCode::kInvalidArgument,
+                           "run arena full — raise arena_blocks or compact"));
+}
+
+void LsmStore::install_manifest(ManifestData m) {
+  if (m.runs.size() > layout_.max_runs()) {
+    throw StatusError(Status(ErrorCode::kInvalidArgument,
+                             "manifest run list overflows the replica region"));
+  }
+  manifest_store_.install(m);
+  manifest_ = std::move(m);
+}
+
+}  // namespace steins::lsm

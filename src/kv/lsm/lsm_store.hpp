@@ -1,0 +1,184 @@
+// Log-structured KV engine over the secure NVM path (DESIGN.md §15).
+//
+// The write path is WAL-first: every put/erase appends one WAL record
+// (its last persist barrier is the operation's commit point), then
+// updates the in-memory memtable. When the memtable reaches its byte
+// budget it flushes into an immutable sorted L0 run; when enough L0 runs
+// pile up, compaction merges all L0 + L1 runs into one new L1 run,
+// dropping tombstones (L1 is the bottom level). Every structural change
+// — flush, compaction, format — becomes durable by installing a new
+// manifest version (ManifestStore's atomic commit word); run extents and
+// WAL bytes not reachable from the committed manifest are dead by
+// definition, which is why no step here ever needs an undo.
+//
+// Recovery (open()) is: read the committed manifest, validate each
+// referenced run's footer (full checksum when verify_runs_on_open),
+// replay the current-epoch WAL tail into the memtable, and resume. A
+// torn WAL tail is a legal end of log; a manifest that fails to decode
+// is a detected loss (kIntegrity), not silent corruption.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "common/types.hpp"
+#include "kv/lsm/format.hpp"
+#include "kv/lsm/lsm_layout.hpp"
+#include "kv/lsm/manifest.hpp"
+#include "kv/lsm/sorted_run.hpp"
+#include "kv/lsm/wal.hpp"
+#include "sim/system.hpp"
+
+namespace steins {
+class ThreadPool;
+}
+
+namespace steins::lsm {
+
+struct LsmConfig {
+  std::size_t memtable_limit_bytes = 4096;  // encoded-entry budget before flush
+  std::size_t l0_compact_trigger = 4;       // L0 run count that forces compaction
+  std::size_t index_every = 8;              // sparse-index stride (entries)
+  std::size_t max_value_bytes = kMaxLsmValueBytes;
+  bool verify_runs_on_open = true;  // full run checksums during recovery
+  unsigned merge_jobs = 1;          // compaction merge shards run in parallel
+};
+
+/// Engine-level counters (logical bytes; the scheme's own metadata traffic
+/// is visible through System::collect_stats() instead).
+struct LsmStats {
+  std::uint64_t puts = 0;
+  std::uint64_t erases = 0;
+  std::uint64_t gets = 0;
+  std::uint64_t bytes_put = 0;       // user value bytes accepted
+  std::uint64_t wal_records = 0;
+  std::uint64_t wal_bytes = 0;       // encoded WAL bytes appended
+  std::uint64_t flushes = 0;
+  std::uint64_t compactions = 0;
+  std::uint64_t runs_written = 0;
+  std::uint64_t run_blocks_written = 0;  // data+index+footer blocks
+  std::uint64_t persist_barriers = 0;
+
+  /// Engine-level write amplification: every byte the engine asked the
+  /// media to persist (WAL + runs) per user byte put.
+  double logical_write_amp() const {
+    const double persisted =
+        static_cast<double>(wal_bytes + run_blocks_written * kBlockSize);
+    return bytes_put == 0 ? 0.0 : persisted / static_cast<double>(bytes_put);
+  }
+};
+
+class LsmStore {
+ public:
+  LsmStore(System& sys, const LsmLayout& layout, const LsmConfig& cfg);
+  ~LsmStore();
+
+  /// Recover (or format) the region and make the store serviceable.
+  /// Returns kIntegrity when the committed manifest or a referenced run
+  /// fails validation — a detected loss. Typed unavailability from the
+  /// secure path during recovery also comes back as its Status. An
+  /// IntegrityViolation (HMAC/root mismatch) propagates as an exception:
+  /// that is the secure layer detecting tampering, not this engine.
+  Status open();
+  bool is_open() const { return open_; }
+
+  // Throwing API (mirrors KvStore).
+  void put(std::uint64_t key, const std::string& value);
+  std::optional<std::string> get(std::uint64_t key);
+  bool erase(std::uint64_t key);
+  std::map<std::uint64_t, std::string> dump();
+
+  // Degraded-mode API (mirrors KvStore's try_ surface).
+  void apply_recovery_report(const RecoveryReport& report);
+  bool read_only() const { return read_only_; }
+  void set_read_only(bool ro) { read_only_ = ro; }
+  bool degraded() const { return degraded_; }
+
+  Expected<std::optional<std::string>> try_get(std::uint64_t key);
+  Status try_put(std::uint64_t key, const std::string& value);
+  Expected<bool> try_erase(std::uint64_t key);
+
+  struct DegradedDump {
+    std::map<std::uint64_t, std::string> live;
+    std::uint64_t runs_unavailable = 0;  // runs whose blocks are unreadable
+  };
+  DegradedDump dump_degraded();
+
+  /// Force the memtable into an L0 run now (no-op when empty).
+  void flush();
+  /// Merge all runs into one L1 run now (no-op with fewer than two runs
+  /// and no tombstones to drop).
+  void compact();
+
+  std::size_t l0_runs() const { return l0_.size(); }
+  std::size_t l1_runs() const { return l1_.size(); }
+  std::size_t memtable_entries() const { return memtable_.size(); }
+  std::uint64_t wal_epoch() const { return wal_.epoch(); }
+  /// Outcome of the last open()'s WAL replay.
+  bool wal_replay_torn() const { return wal_torn_; }
+  std::uint64_t wal_replayed_records() const { return wal_replayed_; }
+  const LsmStats& stats() const { return stats_; }
+  const LsmLayout& layout() const { return layout_; }
+
+  /// Number of persist barriers issued so far (all stages).
+  std::uint64_t persists() const { return stats_.persist_barriers; }
+
+  /// Called immediately BEFORE each persist barrier with its stage label:
+  /// "wal", "flush-data", "flush-footer", "compact-data",
+  /// "compact-footer", "manifest-data", "manifest-commit". Crash tests
+  /// throw from here.
+  using PersistHook = std::function<void(const char* stage, std::uint64_t index)>;
+  void set_persist_hook(PersistHook hook) { hook_ = std::move(hook); }
+
+  /// Called right after an operation's WAL record is fully durable (its
+  /// last barrier returned) — the exact commit point. The crash harness
+  /// builds its durable model from this.
+  using CommitHook =
+      std::function<void(std::uint64_t key, WalKind kind, const std::string& value)>;
+  void set_commit_hook(CommitHook hook) { commit_hook_ = std::move(hook); }
+
+ private:
+  struct MemEntry {
+    WalKind kind = WalKind::kPut;
+    std::string value;
+  };
+
+  void persist_barrier(Addr addr, const char* stage);
+  void append_op(std::uint64_t key, WalKind kind, const std::string& value);
+  void flush_locked();
+  void compact_locked();
+  std::vector<RunEntry> merge_runs(const std::vector<std::vector<RunEntry>>& inputs);
+  Extent allocate_extent(std::uint64_t blocks) const;
+  void install_manifest(ManifestData m);
+  std::optional<RunReader::Found> find_in_runs(std::uint64_t key);
+
+  System& sys_;
+  LsmLayout layout_;
+  LsmConfig cfg_;
+  Wal wal_;
+  ManifestStore manifest_store_;
+  ManifestData manifest_;
+
+  std::map<std::uint64_t, MemEntry> memtable_;
+  std::size_t memtable_bytes_ = 0;
+  std::vector<RunReader> l0_;  // ascending run_id; newest = back
+  std::vector<RunReader> l1_;
+
+  PersistHook hook_;
+  CommitHook commit_hook_;
+  LsmStats stats_;
+  std::unique_ptr<ThreadPool> merge_pool_;
+  bool wal_torn_ = false;
+  std::uint64_t wal_replayed_ = 0;
+  bool open_ = false;
+  bool read_only_ = false;
+  bool degraded_ = false;
+};
+
+}  // namespace steins::lsm

@@ -1,0 +1,68 @@
+#include "kv/lsm/manifest.hpp"
+
+#include <cstring>
+#include <utility>
+
+namespace steins::lsm {
+
+ManifestStore::ManifestStore(System& sys, const LsmLayout& layout, PersistFn persist)
+    : sys_(sys), layout_(layout), persist_(std::move(persist)) {}
+
+Status ManifestStore::read_committed(ManifestData* out, bool* pristine) {
+  *pristine = false;
+  const Block cb = sys_.load(layout_.manifest_commit_addr());
+  const std::uint64_t commit = get_u64(cb.data());
+  if (commit == 0) {
+    *pristine = true;
+    return Status::Ok();
+  }
+  const int replica = static_cast<int>(commit & 1);
+  const std::uint64_t version = commit >> 1;
+
+  std::string bytes;
+  bytes.reserve(layout_.manifest_blocks * kBlockSize);
+  for (std::size_t b = 0; b < layout_.manifest_blocks; ++b) {
+    const Block blk = sys_.load(layout_.manifest_addr(replica) + b * kBlockSize);
+    bytes.append(reinterpret_cast<const char*>(blk.data()), kBlockSize);
+  }
+  ManifestData m;
+  if (!decode_manifest(reinterpret_cast<const std::uint8_t*>(bytes.data()),
+                       bytes.size(), &m) ||
+      m.version != version) {
+    return Status(ErrorCode::kIntegrity, "manifest corrupt");
+  }
+  *out = std::move(m);
+  return Status::Ok();
+}
+
+void ManifestStore::install(const ManifestData& m) {
+  std::string bytes;
+  encode_manifest(m, bytes);
+  STEINS_CHECK(m.version >= 1, "manifest versions start at 1");
+  if (bytes.size() > layout_.manifest_blocks * kBlockSize) {
+    throw StatusError(Status(ErrorCode::kInvalidArgument, "manifest overflows replica"));
+  }
+
+  const int replica = static_cast<int>(m.version & 1);
+  const Addr base = layout_.manifest_addr(replica);
+  const std::size_t blocks = (bytes.size() + kBlockSize - 1) / kBlockSize;
+  for (std::size_t b = 0; b < blocks; ++b) {
+    Block img = zero_block();
+    const std::size_t off = b * kBlockSize;
+    std::memcpy(img.data(), bytes.data() + off,
+                std::min(bytes.size() - off, kBlockSize));
+    const Addr addr = base + b * kBlockSize;
+    sys_.store(addr, img);
+    persist_(addr, "manifest-data");
+  }
+
+  // Atomic commit: the single-block persist below is the install point.
+  Block cb = zero_block();
+  std::string word;
+  put_u64(word, (m.version << 1) | static_cast<std::uint64_t>(replica));
+  std::memcpy(cb.data(), word.data(), word.size());
+  sys_.store(layout_.manifest_commit_addr(), cb);
+  persist_(layout_.manifest_commit_addr(), "manifest-commit");
+}
+
+}  // namespace steins::lsm

@@ -1,0 +1,48 @@
+// Replicated manifest with an atomic commit word (KvStore's two-replica
+// protocol, applied to the LSM superblock).
+//
+// Install protocol for version v into replica r = v & 1:
+//   1. store + persist every block of replica r      ("manifest-data")
+//   2. store + persist the commit word (v<<1 | r)    ("manifest-commit")
+//
+// Step 2 is a single-block persist, so the commit is atomic: a crash
+// before it leaves the old commit word (old manifest wins); after it, the
+// new replica is fully durable by ordering. Reads follow the commit word.
+//
+// A commit word of 0 means "never initialised" — the engine formats a
+// fresh region. Version numbers start at 1 so (v<<1|r) can never be 0.
+#pragma once
+
+#include <cstdint>
+
+#include "common/status.hpp"
+#include "kv/lsm/format.hpp"
+#include "kv/lsm/lsm_layout.hpp"
+#include "kv/lsm/wal.hpp"
+#include "sim/system.hpp"
+
+namespace steins::lsm {
+
+class ManifestStore {
+ public:
+  ManifestStore(System& sys, const LsmLayout& layout, PersistFn persist);
+
+  /// Read the committed manifest. Outcomes:
+  ///   - ok, formatted=false: `*out` holds the committed manifest
+  ///   - ok, formatted=true:  the region is pristine (commit word 0)
+  ///   - kIntegrity: the commit word points at a replica that fails to
+  ///     decode — the manifest is lost (e.g. overwritten by a fault)
+  Status read_committed(ManifestData* out, bool* pristine);
+
+  /// Durably install `m` as the next version (m.version must already be
+  /// bumped by the caller). Throws StatusError(kCapacity) when the runs
+  /// list overflows the replica region.
+  void install(const ManifestData& m);
+
+ private:
+  System& sys_;
+  LsmLayout layout_;
+  PersistFn persist_;
+};
+
+}  // namespace steins::lsm

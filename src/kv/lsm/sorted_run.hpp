@@ -1,0 +1,111 @@
+// Immutable sorted runs (SSTable analogue) in the NVM run arena.
+//
+// A run is one contiguous extent:
+//
+//   [ entry stream | sparse index (block-aligned) | footer block ]
+//
+// The entry stream is key-sorted, keys unique, fixed-width encoded
+// (format.hpp). The sparse index holds every `index_every`-th entry's
+// (key, byte offset). The footer names both byte ranges (z_kv
+// offset/size style) and carries a crc chained over data + index +
+// fields, so a validating open re-derives end-to-end integrity of the
+// whole run from one block.
+//
+// Ordered-persist protocol: all data and index blocks are stored and
+// persisted (stage "<stage>-data") strictly before the footer block
+// (stage "<stage>-footer"). A run is LIVE only once the manifest
+// references it — a crash anywhere in between leaves an unreferenced
+// extent that the allocator simply reuses.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "common/types.hpp"
+#include "kv/lsm/format.hpp"
+#include "kv/lsm/lsm_layout.hpp"
+#include "kv/lsm/wal.hpp"
+#include "sim/system.hpp"
+
+namespace steins::lsm {
+
+/// A key-sorted, fixed-width-encoded entry stream plus its sparse index,
+/// built in memory before being laid into an extent.
+struct RunImage {
+  std::string data;                // encoded entry stream
+  std::vector<IndexEntry> index;   // sparse, ascending offsets
+  std::uint64_t entries = 0;
+
+  std::uint64_t data_blocks() const {
+    return (data.size() + kBlockSize - 1) / kBlockSize;
+  }
+  std::uint64_t index_blocks() const {
+    return (index.size() * kIndexEntryBytes + kBlockSize - 1) / kBlockSize;
+  }
+  /// Extent blocks needed: data + index + footer.
+  std::uint64_t blocks_needed() const { return data_blocks() + index_blocks() + 1; }
+};
+
+/// Append `entry` to `image`, indexing every `index_every`-th entry.
+/// Entries must arrive in strictly ascending key order.
+void run_image_append(RunImage* image, std::uint64_t key, WalKind kind,
+                      const std::string& value, std::size_t index_every);
+
+/// Write `image` into `extent` (sized >= blocks_needed()) as run
+/// `run_id`, persisting data+index before the footer. `stage_prefix` is
+/// "flush" or "compact"; barriers are labeled "<prefix>-data" and
+/// "<prefix>-footer".
+void write_run(System& sys, const LsmLayout& layout, const Extent& extent,
+               std::uint64_t run_id, const RunImage& image, const PersistFn& persist,
+               const char* stage_prefix);
+
+/// Read-side handle: validates the footer at open, caches the sparse
+/// index and key bounds in DRAM (rebuilt on every open — the on-media
+/// truth is the extent itself), and serves point lookups with one index
+/// binary search plus a short entry scan.
+class RunReader {
+ public:
+  /// Open a run. With `verify_checksum` the whole data+index span is
+  /// re-read and checked against the footer crc (recovery validation).
+  /// Returns kIntegrity if the footer or checksum does not validate.
+  static Expected<RunReader> open(System& sys, const LsmLayout& layout,
+                                  const Extent& extent, std::uint64_t expect_run_id,
+                                  bool verify_checksum);
+
+  struct Found {
+    WalKind kind = WalKind::kPut;
+    std::string value;
+  };
+  /// Point lookup; nullopt when the key is not in this run. Throws
+  /// KvCorruption-style StatusError(kIntegrity) on malformed entries
+  /// (possible only when checksum validation was skipped or media decayed
+  /// after open).
+  std::optional<Found> find(System& sys, std::uint64_t key) const;
+
+  /// Decode the full entry stream in key order (compaction input).
+  std::vector<RunEntry> load_all(System& sys) const;
+
+  const RunFooter& footer() const { return footer_; }
+  std::uint64_t run_id() const { return footer_.run_id; }
+  std::uint64_t entries() const { return footer_.entries; }
+  std::uint64_t min_key() const { return min_key_; }
+  std::uint64_t max_key() const { return max_key_; }
+  const Extent& extent() const { return extent_; }
+
+ private:
+  RunReader() = default;
+
+  Addr data_addr() const;
+
+  LsmLayout layout_;
+  Extent extent_;
+  RunFooter footer_;
+  std::vector<IndexEntry> index_;
+  std::uint64_t min_key_ = 0;
+  std::uint64_t max_key_ = 0;
+};
+
+}  // namespace steins::lsm

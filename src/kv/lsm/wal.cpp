@@ -1,0 +1,101 @@
+#include "kv/lsm/wal.hpp"
+
+#include <cstring>
+#include <utility>
+
+#include "common/status.hpp"
+
+namespace steins::lsm {
+
+Wal::Wal(System& sys, const LsmLayout& layout, PersistFn persist)
+    : sys_(sys), layout_(layout), persist_(std::move(persist)) {}
+
+void Wal::reset(std::uint64_t epoch) {
+  epoch_ = epoch;
+  offset_ = 0;
+  tail_ = zero_block();
+}
+
+std::size_t Wal::append(const WalRecord& rec) {
+  std::string bytes;
+  encode_wal_record(rec, bytes);
+  STEINS_CHECK(fits(bytes.size()), "WAL append past the end of the region");
+
+  // Fill the byte stream into block images, flushing each full block. The
+  // tail block's prior content is cached in memory, so no load is needed.
+  std::vector<Addr> touched;
+  std::size_t cursor = 0;
+  while (cursor < bytes.size()) {
+    const std::uint64_t block = (offset_ + cursor) / kBlockSize;
+    const std::size_t in_block = (offset_ + cursor) % kBlockSize;
+    const std::size_t n = std::min(bytes.size() - cursor, kBlockSize - in_block);
+    if (in_block == 0) tail_ = zero_block();  // fresh block: no stale bytes
+    std::memcpy(tail_.data() + in_block, bytes.data() + cursor, n);
+    const Addr addr = block_addr(block);
+    sys_.store(addr, tail_);
+    touched.push_back(addr);
+    cursor += n;
+  }
+  offset_ += bytes.size();
+
+  // One barrier per touched block, in write order. The record is committed
+  // only once the LAST barrier completes; a crash between them leaves a
+  // torn tail that replay discards via the crc/commit-word check.
+  for (const Addr addr : touched) persist_(addr, "wal");
+  return touched.size();
+}
+
+Wal::ReplayResult Wal::replay(std::uint64_t epoch) {
+  ReplayResult out;
+  epoch_ = epoch;
+  offset_ = 0;
+  tail_ = zero_block();
+
+  std::string buf;
+  std::uint64_t loaded_blocks = 0;
+  const auto extend = [&]() -> bool {
+    if (loaded_blocks >= layout_.wal_blocks) return false;
+    const Block b = sys_.load(block_addr(loaded_blocks));
+    buf.append(reinterpret_cast<const char*>(b.data()), kBlockSize);
+    ++loaded_blocks;
+    return true;
+  };
+
+  std::size_t cursor = 0;
+  for (;;) {
+    WalRecord rec;
+    std::size_t encoded = 0;
+    const WalDecode d =
+        decode_wal_record(reinterpret_cast<const std::uint8_t*>(buf.data()) + cursor,
+                          buf.size() - cursor, epoch, &rec, &encoded);
+    if (d == WalDecode::kOk) {
+      out.records.push_back(std::move(rec));
+      cursor += encoded;
+      continue;
+    }
+    if (d == WalDecode::kNeedMore) {
+      if (extend()) continue;
+      // Region exhausted mid-record: only possible for a torn append that
+      // ran past a stale-length header; treat as the tail.
+      out.torn_tail = cursor < buf.size();
+      break;
+    }
+    // kInvalid ends the log. For reporting, distinguish a clean end
+    // (pristine zeros or stale pre-flush bytes, whose leading epoch word
+    // differs) from a genuinely torn current-epoch append whose crc or
+    // commit word failed.
+    out.torn_tail =
+        buf.size() - cursor >= 8 && get_u64(buf.data() + cursor) == epoch;
+    break;
+  }
+
+  out.bytes = cursor;
+  offset_ = cursor;
+  if (cursor % kBlockSize != 0) {
+    std::memcpy(tail_.data(), buf.data() + (cursor / kBlockSize) * kBlockSize,
+                kBlockSize);
+  }
+  return out;
+}
+
+}  // namespace steins::lsm

@@ -1,0 +1,75 @@
+// Append-only write-ahead log over the secure persist path.
+//
+// Records are packed back-to-back as a byte stream over 64 B blocks; a
+// record's append stores every block it touches and then issues one
+// persist barrier per touched block ("wal" stage). The record is the
+// operation's commit point: it is durable iff all its blocks reached the
+// controller, and the per-record crc + trailing commit word make any
+// partial persist detectable — replay stops there (the torn tail).
+//
+// The log is logically truncated by bumping the epoch (done by the engine
+// when the memtable flushes): old-epoch bytes stay on media but fail the
+// epoch check at replay, so no physical erase is needed.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/types.hpp"
+#include "kv/lsm/format.hpp"
+#include "kv/lsm/lsm_layout.hpp"
+#include "sim/system.hpp"
+
+namespace steins::lsm {
+
+/// Issued for every persist barrier with its stage label; the engine
+/// routes this to its hook + counters.
+using PersistFn = std::function<void(Addr addr, const char* stage)>;
+
+class Wal {
+ public:
+  Wal(System& sys, const LsmLayout& layout, PersistFn persist);
+
+  /// Start a fresh epoch at byte offset 0 (in-memory only: the manifest
+  /// carries the epoch, stale bytes are ignored by the epoch check).
+  void reset(std::uint64_t epoch);
+
+  std::uint64_t epoch() const { return epoch_; }
+  std::uint64_t offset() const { return offset_; }
+
+  /// Whether a record of `encoded_bytes` fits in the remaining region.
+  bool fits(std::size_t encoded_bytes) const {
+    return offset_ + encoded_bytes <= layout_.wal_bytes();
+  }
+
+  /// Append and persist one record (the caller has checked fits()).
+  /// Returns the number of persist barriers issued.
+  std::size_t append(const WalRecord& rec);
+
+  struct ReplayResult {
+    std::vector<WalRecord> records;
+    bool torn_tail = false;     // the log ended in an invalid/partial record
+    std::uint64_t bytes = 0;    // committed bytes (replay cursor)
+  };
+
+  /// Scan the log from offset 0 for `epoch`, stopping at the first record
+  /// that fails the epoch/crc/commit checks. Leaves the writer positioned
+  /// at the committed tail. Loads go through the secure path, so integrity
+  /// violations and typed unavailability propagate to the caller.
+  ReplayResult replay(std::uint64_t epoch);
+
+ private:
+  Addr block_addr(std::uint64_t block_index) const {
+    return layout_.wal_base() + block_index * kBlockSize;
+  }
+
+  System& sys_;
+  LsmLayout layout_;
+  PersistFn persist_;
+  std::uint64_t epoch_ = 0;
+  std::uint64_t offset_ = 0;  // committed byte offset of the tail
+  Block tail_;                // cached image of the (partial) tail block
+};
+
+}  // namespace steins::lsm

@@ -32,6 +32,49 @@ TEST(LatencyHistogram, ExactBelowSixteenAndBucketBoundaries) {
             LatencyHistogram::kBuckets - 1);
 }
 
+TEST(LatencyHistogram, BucketBoundsPartitionTheValueAxis) {
+  EXPECT_EQ(LatencyHistogram::bucket_lower(0), 0u);
+  for (std::size_t i = 0; i + 1 < LatencyHistogram::kBuckets; ++i) {
+    // Bounds tile contiguously, and each bucket's own bounds map back to it.
+    EXPECT_EQ(LatencyHistogram::bucket_upper(i) + 1, LatencyHistogram::bucket_lower(i + 1))
+        << "bucket " << i;
+    EXPECT_EQ(LatencyHistogram::bucket_of(LatencyHistogram::bucket_lower(i)), i);
+    EXPECT_EQ(LatencyHistogram::bucket_of(LatencyHistogram::bucket_upper(i)), i);
+  }
+  // The clamp bucket owns everything up to UINT64_MAX.
+  const std::size_t last = LatencyHistogram::kBuckets - 1;
+  EXPECT_EQ(LatencyHistogram::bucket_upper(last), ~std::uint64_t{0});
+  EXPECT_EQ(LatencyHistogram::bucket_of(LatencyHistogram::bucket_lower(last)), last);
+  EXPECT_EQ(LatencyHistogram::bucket_of(~std::uint64_t{0}), last);
+}
+
+TEST(LatencyHistogram, TopBucketPercentileTracksOutliersNotTheCeiling) {
+  // Samples far above the 2^32 clamp ceiling must surface through the tail
+  // percentiles rather than saturating at the last bucket representative.
+  LatencyHistogram h;
+  const std::uint64_t huge = std::uint64_t{1} << 40;
+  for (int i = 0; i < 100; ++i) h.add(huge);
+  EXPECT_GT(h.percentile(99), static_cast<double>(std::uint64_t{1} << 33));
+  EXPECT_LE(h.percentile(100), static_cast<double>(h.max()));
+  // Mixed stream: 99 cheap ops + 1 outlier. p99 stays cheap, p100 reaches
+  // the outlier.
+  LatencyHistogram m;
+  for (int i = 0; i < 99; ++i) m.add(100);
+  m.add(huge);
+  EXPECT_LE(m.percentile(99), 200.0);
+  EXPECT_GT(m.percentile(100), static_cast<double>(std::uint64_t{1} << 39));
+}
+
+TEST(LatencyHistogram, BucketCountsAreReadable) {
+  LatencyHistogram h;
+  h.add(3);
+  h.add(3);
+  h.add(1000);
+  EXPECT_EQ(h.bucket_count(3), 2u);
+  EXPECT_EQ(h.bucket_count(LatencyHistogram::bucket_of(1000)), 1u);
+  EXPECT_EQ(h.bucket_count(7), 0u);
+}
+
 TEST(LatencyHistogram, EmptyIsZero) {
   LatencyHistogram h;
   EXPECT_EQ(h.count(), 0u);

@@ -1,15 +1,19 @@
-// steins_kv: the secure-NVM key-value service front end.
+// steins_lsm: the log-structured storage engine front end.
 //
-//   steins_kv --mix a --clients 4 --crash
-//   steins_kv --scheme steins,scue --mix f --ops 200000 --json kv.json
+//   steins_lsm --mix a --ops 20000
+//   steins_lsm --scheme steins,scue --mix f --crash --json lsm.json
 //
-// For each scheme it runs the closed-loop multi-client YCSB driver over
-// MultiControllerMemory (throughput + tail latency), and with --crash also
-// the KV crash-recovery validation: a deterministic op script killed at a
-// seeded-random persist boundary, recovered, reopened, and diffed against
-// the committed model. Steins/ASIT/STAR/SCUE must verify; WB must be
-// detected as unrecoverable. Exit status is nonzero if any scheme fails
-// its criterion.
+// For each scheme it runs the YCSB-over-LSM driver (throughput, tail
+// latency, and both write-amplification views: scheme-level NVM blocks
+// per user byte vs the engine's own WAL+run bytes per user byte), and
+// with --crash also the crash-at-persist-boundary matrix: the scripted
+// workload killed at every stride-th persist barrier, recovered, reopened
+// and diffed against the committed model. Exit status is nonzero if any
+// scheme's matrix reports silent corruption (or WB is not detected as
+// unrecoverable).
+//
+// Flag parsing is strict: unknown --flags and flags missing their value
+// are errors (exit 2), never silently ignored.
 #include <cerrno>
 #include <cstdio>
 #include <cstring>
@@ -20,54 +24,52 @@
 #include "common/stats.hpp"
 #include "common/thread_pool.hpp"
 #include "crypto/backend.hpp"
-#include "kv/kv_crash.hpp"
-#include "kv/ycsb.hpp"
+#include "kv/lsm/lsm_crash.hpp"
+#include "kv/lsm/lsm_ycsb.hpp"
 
 using namespace steins;
-using namespace steins::kv;
+using namespace steins::lsm;
 
 namespace {
 
 struct Options {
   std::string schemes = "wb,asit,star,scue,steins";
   std::string mix = "a";
-  unsigned clients = 4;
-  unsigned controllers = 2;
-  std::uint64_t ops = 100'000;
-  std::uint64_t keys = 10'000;
-  std::uint64_t slots = 1 << 15;
+  std::uint64_t ops = 20'000;
+  std::uint64_t keys = 2'048;
   std::uint64_t value_bytes = 24;
   double zipf_s = 0.99;
   std::uint64_t seed = 1;
-  std::uint64_t capacity_mb = 256;
-  std::uint64_t mcache_kb = 256;
-  std::uint64_t crash_ops = 64;
+  std::uint64_t capacity_mb = 64;
+  std::uint64_t memtable_bytes = 4096;
+  std::uint64_t crash_ops = 96;
+  std::uint64_t crash_stride = 1;
   unsigned jobs = ThreadPool::default_jobs();
   std::string json_path;
   bool crash = false;
+  bool verify = false;
   bool help = false;
 };
 
 void usage() {
   std::printf(
-      "steins_kv - crash-consistent KV service over the secure NVM simulator\n\n"
+      "steins_lsm - log-structured storage engine over the secure NVM simulator\n\n"
       "  --scheme <list>      comma-separated wb|asit|star|scue|steins (default all)\n"
       "  --mix <a|b|c|f>      YCSB mix (default a)\n"
-      "  --clients <n>        closed-loop clients (default 4)\n"
-      "  --controllers <n>    memory controllers / DIMMs (default 2)\n"
-      "  --ops <n>            measured KV operations (default 100000)\n"
-      "  --keys <n>           preloaded keys (default 10000)\n"
-      "  --slots <n>          table slots, power of two (default 32768)\n"
-      "  --value-bytes <n>    value payload size, <= 32 (default 24)\n"
+      "  --ops <n>            measured LSM operations (default 20000)\n"
+      "  --keys <n>           preloaded keys (default 2048)\n"
+      "  --value-bytes <n>    value payload size (default 24)\n"
       "  --zipf <s>           Zipfian skew (default 0.99)\n"
-      "  --seed <n>           driver + crash-boundary seed (default 1)\n"
-      "  --capacity-mb <n>    NVM capacity (default 256)\n"
-      "  --mcache-kb <n>      metadata cache size (default 256)\n"
-      "  --jobs <n>           worker threads for controller replay (default\n"
+      "  --seed <n>           driver + crash-script seed (default 1)\n"
+      "  --capacity-mb <n>    NVM capacity (default 64)\n"
+      "  --memtable-bytes <n> memtable flush threshold (default 4096)\n"
+      "  --verify             diff the final engine dump against a shadow model\n"
+      "  --crash              run the crash-at-persist-boundary matrix per scheme\n"
+      "  --crash-ops <n>      ops in the crash-matrix script (default 96)\n"
+      "  --crash-stride <n>   crash every n-th persist barrier (default 1)\n"
+      "  --jobs <n>           worker threads for the crash matrix (default\n"
       "                       STEINS_JOBS or hardware threads; any value is\n"
       "                       bit-identical to --jobs 1)\n"
-      "  --crash              also run crash-recovery validation per scheme\n"
-      "  --crash-ops <n>      ops in the crash-validation script (default 64)\n"
       "  --json <file>        write results (same numbers as printed) as JSON\n"
       "  --crypto-backend <ref|ttable|hw|auto>  crypto backend (bit-identical;\n"
       "                       host wall-clock only; or STEINS_CRYPTO_BACKEND)\n");
@@ -89,16 +91,10 @@ bool parse(int argc, char** argv, Options* opt) {
       opt->schemes = value();
     } else if (arg == "--mix") {
       opt->mix = value();
-    } else if (arg == "--clients") {
-      opt->clients = static_cast<unsigned>(std::strtoul(value(), nullptr, 10));
-    } else if (arg == "--controllers") {
-      opt->controllers = static_cast<unsigned>(std::strtoul(value(), nullptr, 10));
     } else if (arg == "--ops") {
       opt->ops = std::strtoull(value(), nullptr, 10);
     } else if (arg == "--keys") {
       opt->keys = std::strtoull(value(), nullptr, 10);
-    } else if (arg == "--slots") {
-      opt->slots = std::strtoull(value(), nullptr, 10);
     } else if (arg == "--value-bytes") {
       opt->value_bytes = std::strtoull(value(), nullptr, 10);
     } else if (arg == "--zipf") {
@@ -107,15 +103,20 @@ bool parse(int argc, char** argv, Options* opt) {
       opt->seed = std::strtoull(value(), nullptr, 10);
     } else if (arg == "--capacity-mb") {
       opt->capacity_mb = std::strtoull(value(), nullptr, 10);
-    } else if (arg == "--mcache-kb") {
-      opt->mcache_kb = std::strtoull(value(), nullptr, 10);
-    } else if (arg == "--jobs") {
-      opt->jobs = static_cast<unsigned>(std::strtoul(value(), nullptr, 10));
-      if (opt->jobs < 1) opt->jobs = 1;
+    } else if (arg == "--memtable-bytes") {
+      opt->memtable_bytes = std::strtoull(value(), nullptr, 10);
+    } else if (arg == "--verify") {
+      opt->verify = true;
     } else if (arg == "--crash") {
       opt->crash = true;
     } else if (arg == "--crash-ops") {
       opt->crash_ops = std::strtoull(value(), nullptr, 10);
+    } else if (arg == "--crash-stride") {
+      opt->crash_stride = std::strtoull(value(), nullptr, 10);
+      if (opt->crash_stride < 1) opt->crash_stride = 1;
+    } else if (arg == "--jobs") {
+      opt->jobs = static_cast<unsigned>(std::strtoul(value(), nullptr, 10));
+      if (opt->jobs < 1) opt->jobs = 1;
     } else if (arg == "--json") {
       opt->json_path = value();
     } else if (arg == "--crypto-backend") {
@@ -160,9 +161,9 @@ std::vector<std::string> split_csv(const std::string& csv) {
 
 struct SchemeOutcome {
   std::string label;
-  YcsbResult ycsb;
+  LsmYcsbResult ycsb;
   bool crash_ran = false;
-  KvCrashReport crash;
+  LsmCrashMatrix matrix;
   bool crash_pass = true;
 };
 
@@ -179,11 +180,10 @@ void emit_json(const Options& opt, const SystemConfig& cfg,
     std::exit(1);
   }
   std::ostringstream os;
-  os << "{\"mix\": \"" << json_escape(opt.mix) << "\", \"clients\": " << opt.clients
-     << ", \"controllers\": " << opt.controllers << ", \"ops\": " << opt.ops
+  os << "{\"mix\": \"" << json_escape(opt.mix) << "\", \"ops\": " << opt.ops
      << ", \"keys\": " << opt.keys << ", \"value_bytes\": " << opt.value_bytes
      << ", \"zipf_s\": " << opt.zipf_s << ", \"seed\": " << opt.seed
-     << ",\n \"schemes\": [";
+     << ", \"memtable_bytes\": " << opt.memtable_bytes << ",\n \"schemes\": [";
   char buf[64];
   const auto num = [&](double v) {
     std::snprintf(buf, sizeof(buf), "%.17g", v);
@@ -195,25 +195,27 @@ void emit_json(const Options& opt, const SystemConfig& cfg,
       return "{\"mean_ns\": " + num(cycles_to_ns(cfg, h.mean())) +
              ", \"p50_ns\": " + num(cycles_to_ns(cfg, h.percentile(50))) +
              ", \"p95_ns\": " + num(cycles_to_ns(cfg, h.percentile(95))) +
-             ", \"p99_ns\": " + num(cycles_to_ns(cfg, h.percentile(99))) +
-             ", \"p999_ns\": " + num(cycles_to_ns(cfg, h.percentile(99.9))) + "}";
+             ", \"p99_ns\": " + num(cycles_to_ns(cfg, h.percentile(99))) + "}";
     };
     os << (i ? ",\n  " : "\n  ") << "{\"scheme\": \"" << json_escape(o.label)
        << "\", \"kops_per_sec\": " << num(o.ycsb.kops_per_sec)
        << ", \"reads\": " << o.ycsb.reads << ", \"updates\": " << o.ycsb.updates
        << ", \"nvm_writes\": " << o.ycsb.nvm_writes
+       << ", \"bytes_put\": " << o.ycsb.bytes_put
+       << ", \"write_amp\": " << num(o.ycsb.write_amp)
+       << ", \"logical_write_amp\": " << num(o.ycsb.logical_write_amp)
+       << ", \"flushes\": " << o.ycsb.engine_stats.flushes
+       << ", \"compactions\": " << o.ycsb.engine_stats.compactions
        << ", \"all\": " << lat(o.ycsb.all_lat) << ", \"read\": " << lat(o.ycsb.read_lat)
        << ", \"update\": " << lat(o.ycsb.update_lat);
     if (o.crash_ran) {
-      os << ", \"crash\": {\"supported\": " << (o.crash.recovery_supported ? "true" : "false")
-         << ", \"recovered\": " << (o.crash.recovery_ok ? "true" : "false")
-         << ", \"verified\": " << (o.crash.verified ? "true" : "false")
-         << ", \"pass\": " << (o.crash_pass ? "true" : "false")
-         << ", \"crash_at\": " << o.crash.crash_at
-         << ", \"total_persists\": " << o.crash.total_persists
-         << ", \"committed_keys\": " << o.crash.committed_keys
-         << ", \"recovery_seconds\": " << num(o.crash.recovery_seconds)
-         << ", \"detail\": \"" << json_escape(o.crash.detail) << "\"}";
+      os << ", \"crash_matrix\": {\"trials\": " << o.matrix.trials
+         << ", \"recovered\": " << o.matrix.recovered
+         << ", \"detected\": " << o.matrix.detected
+         << ", \"salvaged\": " << o.matrix.salvaged
+         << ", \"silent\": " << o.matrix.silent
+         << ", \"total_persists\": " << o.matrix.total_persists
+         << ", \"pass\": " << (o.crash_pass ? "true" : "false") << "}";
     }
     os << "}";
   }
@@ -237,7 +239,7 @@ int main(int argc, char** argv) {
     return 0;
   }
 
-  const std::optional<Mix> mix = parse_mix(opt.mix);
+  const std::optional<kv::Mix> mix = kv::parse_mix(opt.mix);
   if (!mix) {
     std::fprintf(stderr, "unknown mix: %s (expected a, b, c, or f)\n", opt.mix.c_str());
     return 2;
@@ -245,60 +247,56 @@ int main(int argc, char** argv) {
 
   SystemConfig cfg = default_config();
   cfg.nvm.capacity_bytes = opt.capacity_mb << 20;
-  cfg.secure.metadata_cache.size_bytes = opt.mcache_kb * 1024;
 
-  YcsbConfig ycfg;
+  LsmYcsbConfig ycfg;
   ycfg.mix = *mix;
-  ycfg.clients = opt.clients;
-  ycfg.controllers = opt.controllers;
   ycfg.ops = opt.ops;
   ycfg.keys = opt.keys;
-  ycfg.slots = static_cast<std::size_t>(opt.slots);
   ycfg.value_bytes = static_cast<std::size_t>(opt.value_bytes);
   ycfg.zipf_s = opt.zipf_s;
   ycfg.seed = opt.seed;
-  ycfg.jobs = opt.jobs;
+  ycfg.engine.memtable_limit_bytes = opt.memtable_bytes;
+  ycfg.verify = opt.verify;
 
-  KvCrashOptions ccfg;
+  LsmCrashOptions ccfg;
   ccfg.ops = opt.crash_ops;
   ccfg.seed = opt.seed;
 
   std::vector<SchemeOutcome> outcomes;
   bool all_pass = true;
   try {
-    std::printf("KV service: mix %s, %u clients, %u controllers, %llu ops over %llu keys\n\n",
-                mix_name(*mix), opt.clients, opt.controllers,
-                static_cast<unsigned long long>(opt.ops),
-                static_cast<unsigned long long>(opt.keys));
-    std::printf("%-11s %10s %9s %9s %9s %9s   %s\n", "scheme", "kops/s", "p50_ns",
-                "p95_ns", "p99_ns", "p99.9_ns", opt.crash ? "crash-recovery" : "");
+    std::printf("LSM engine: mix %s, %llu ops over %llu keys, memtable %llu B\n\n",
+                kv::mix_name(*mix), static_cast<unsigned long long>(opt.ops),
+                static_cast<unsigned long long>(opt.keys),
+                static_cast<unsigned long long>(opt.memtable_bytes));
+    std::printf("%-11s %10s %9s %9s %8s %8s   %s\n", "scheme", "kops/s", "p50_ns",
+                "p99_ns", "WA", "WA(log)", opt.crash ? "crash matrix" : "");
     for (const std::string& name : split_csv(opt.schemes)) {
       const Scheme scheme = parse_scheme(name);
       SchemeOutcome o;
       o.label = scheme_name(scheme, cfg.counter_mode);
-      o.ycsb = run_ycsb(cfg, scheme, ycfg);
+      o.ycsb = run_lsm_ycsb(cfg, scheme, ycfg);
+      if (opt.verify && !o.ycsb.verified) {
+        std::fprintf(stderr, "verification FAILED for %s\n", o.label.c_str());
+        all_pass = false;
+      }
       std::string crash_note;
       if (opt.crash) {
         o.crash_ran = true;
-        o.crash = run_kv_crash_validation(cfg, scheme, ccfg);
-        o.crash_pass = o.crash.pass(scheme);
+        o.matrix = run_lsm_crash_matrix(cfg, scheme, ccfg, opt.crash_stride, opt.jobs);
+        o.crash_pass = o.matrix.silent == 0;
         all_pass = all_pass && o.crash_pass;
-        if (scheme == Scheme::kWriteBack) {
-          crash_note = o.crash_pass ? "unrecoverable (detected, as expected)"
-                                    : "FAIL: WB not detected as unrecoverable";
-        } else if (o.crash_pass) {
-          crash_note = "ok (killed before persist " + std::to_string(o.crash.crash_at) +
-                       "/" + std::to_string(o.crash.total_persists) + ", " +
-                       std::to_string(o.crash.committed_keys) + " keys verified)";
-        } else {
-          crash_note = "FAIL: " + o.crash.detail;
-        }
+        crash_note = std::to_string(o.matrix.trials) + " trials: " +
+                     std::to_string(o.matrix.recovered) + " recovered, " +
+                     std::to_string(o.matrix.detected) + " detected, " +
+                     std::to_string(o.matrix.salvaged) + " salvaged, " +
+                     std::to_string(o.matrix.silent) + " silent";
+        if (!o.crash_pass) crash_note += "  FAIL";
       }
-      std::printf("%-11s %10.1f %9.0f %9.0f %9.0f %9.0f   %s\n", o.label.c_str(),
+      std::printf("%-11s %10.1f %9.0f %9.0f %8.2f %8.2f   %s\n", o.label.c_str(),
                   o.ycsb.kops_per_sec, cycles_to_ns(cfg, o.ycsb.all_lat.percentile(50)),
-                  cycles_to_ns(cfg, o.ycsb.all_lat.percentile(95)),
-                  cycles_to_ns(cfg, o.ycsb.all_lat.percentile(99)),
-                  cycles_to_ns(cfg, o.ycsb.all_lat.percentile(99.9)), crash_note.c_str());
+                  cycles_to_ns(cfg, o.ycsb.all_lat.percentile(99)), o.ycsb.write_amp,
+                  o.ycsb.logical_write_amp, crash_note.c_str());
       outcomes.push_back(std::move(o));
     }
   } catch (const std::exception& e) {
@@ -307,8 +305,8 @@ int main(int argc, char** argv) {
   }
 
   if (!opt.json_path.empty()) emit_json(opt, cfg, outcomes);
-  if (opt.crash && !all_pass) {
-    std::fprintf(stderr, "\ncrash-recovery validation FAILED for at least one scheme\n");
+  if (!all_pass) {
+    std::fprintf(stderr, "\nLSM validation FAILED for at least one scheme\n");
     return 1;
   }
   return 0;
