@@ -55,6 +55,19 @@ struct NvmConfig {
   // line keeps accepting fresh writes; once the pool is exhausted further
   // dead lines fail fast and stay quarantined.
   std::size_t remap_pool_lines = 32;
+  // --- Per-cell wear / endurance model (0 mean = disabled) ----------------
+  // Every demand-path 64 B write increments the line's wear count. Each
+  // line draws a Gaussian endurance limit (Irwin-Hall approximation, so the
+  // draw is bit-deterministic across platforms) seeded by (wear_seed, line
+  // address). Crossing wear_level_fraction of the limit triggers a
+  // proactive wear-leveling migration to a spare from the remap pool (data
+  // preserved, wear reset); once the pool is dry the line runs to failure
+  // and further writes leave it with stuck cells — an uncorrectable ECC
+  // fault that the quarantine/retirement machinery then handles.
+  std::uint64_t endurance_mean_writes = 0;
+  std::uint64_t endurance_sigma_writes = 0;
+  std::uint64_t wear_seed = 1;
+  double wear_level_fraction = 0.9;
 };
 
 /// Runtime fault-tolerance knobs (ECC read-retry, patrol scrub,

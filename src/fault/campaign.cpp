@@ -30,19 +30,21 @@ std::uint64_t pattern_version(const Block& b) {
   return v;
 }
 
-TrialOutcome detected(TrialOutcome out, std::string detail) {
-  out.verdict = FaultVerdict::kDetected;
-  out.detail = std::move(detail);
-  return out;
-}
-
-TrialOutcome silent(TrialOutcome out, std::string detail) {
-  out.verdict = FaultVerdict::kSilentCorruption;
-  out.detail = std::move(detail);
-  return out;
-}
-
 }  // namespace
+
+std::string classify_detect_layer(const std::string& detail) {
+  const auto has = [&](const char* needle) {
+    return detail.find(needle) != std::string::npos;
+  };
+  if (has("LInc") || has("cache-tree") || has("root mismatch") || has("replay")) {
+    return "recovery-linc";
+  }
+  if (has("HMAC") || has("hmac") || has("tamper") || has("parent verification") ||
+      has("matched no counter")) {
+    return "recovery-hmac";
+  }
+  return "recovery";
+}
 
 const char* fault_verdict_name(FaultVerdict v) {
   switch (v) {
@@ -73,6 +75,13 @@ std::vector<SchemeSpec> campaign_schemes(CounterMode mode) {
 TrialOutcome run_fault_trial(const SchemeSpec& spec, FaultClass cls,
                              std::uint64_t campaign_seed, std::uint64_t trial,
                              const FaultTrialOptions& workload) {
+  return run_fault_trial_hooked(spec, cls, campaign_seed, trial, workload, nullptr);
+}
+
+TrialOutcome run_fault_trial_hooked(const SchemeSpec& spec, FaultClass cls,
+                                    std::uint64_t campaign_seed, std::uint64_t trial,
+                                    const FaultTrialOptions& workload,
+                                    const TrialHooks* hooks) {
   TrialOutcome out;
   out.trial = trial;
   out.cls = cls;
@@ -84,7 +93,14 @@ TrialOutcome run_fault_trial(const SchemeSpec& spec, FaultClass cls,
   cfg.counter_mode = spec.mode;
   cfg.crypto = CryptoProfile::kFast;
   cfg.secure.ft = workload.ft;
+  cfg.nvm.endurance_mean_writes = workload.endurance_mean_writes;
+  cfg.nvm.endurance_sigma_writes = workload.endurance_sigma_writes;
+  cfg.nvm.wear_seed = campaign_seed ^ (trial * 0x9e3779b97f4a7c15ULL) ^ 0x77ea7ULL;
+  if (workload.remap_pool_lines.has_value()) {
+    cfg.nvm.remap_pool_lines = *workload.remap_pool_lines;
+  }
   std::unique_ptr<SecureMemory> mem = make_scheme(spec.scheme, cfg);
+  auto* base = dynamic_cast<SecureMemoryBase*>(mem.get());
 
   // The workload stream is seeded independently of the fault plan so the
   // same trial index replays the same trace under every fault class.
@@ -94,168 +110,286 @@ TrialOutcome run_fault_trial(const SchemeSpec& spec, FaultClass cls,
   std::map<Addr, std::uint64_t> versions;  // latest committed-or-posted version
   Cycle now = 0;
 
+  // Detection-latency clock: demand accesses since the injection point.
+  std::uint64_t accesses = 0;
+  std::optional<std::uint64_t> injected_at;
+  const auto latency = [&]() -> std::uint64_t {
+    return injected_at.has_value() ? accesses - *injected_at : 0;
+  };
+  const auto detected = [&](std::string detail, std::string layer) {
+    out.verdict = FaultVerdict::kDetected;
+    out.detail = std::move(detail);
+    out.detect_layer = std::move(layer);
+    out.detect_latency = latency();
+  };
+  const auto silent = [&](std::string detail) {
+    out.verdict = FaultVerdict::kSilentCorruption;
+    out.detail = std::move(detail);
+  };
+  // Blast radius after the trial settled (whatever the verdict): retired
+  // lines, quarantined subtree ranges, and resident data blocks a read
+  // would now refuse.
+  const auto fill_blast = [&]() {
+    const QuarantineMap& qm = base->quarantine();
+    out.blast_lines = qm.line_count();
+    out.blast_subtrees = qm.range_count();
+    if (!qm.empty()) {
+      for (const Addr a : base->device().resident_blocks(0, cfg.nvm.capacity_bytes)) {
+        if (qm.read_blocked(a)) ++out.blast_blocks;
+      }
+    }
+  };
+
   const auto pick_addr = [&]() -> Addr {
     return rng.below(workload.footprint_blocks) * kBlockSize;
   };
   const auto do_write = [&](Addr addr) {
-    const std::uint64_t v = ++versions[addr];
+    const std::uint64_t v = versions[addr] + 1;
     now = mem->write_block(addr, trial_pattern_block(addr, v), now);
+    versions[addr] = v;  // committed only once the write was accepted
+    ++accesses;
   };
-  // Pre-crash reads must always verify: no fault has been injected yet, so
-  // a mismatch here is a harness or scheme bug, not a fault outcome.
+  // Pre-crash reads must always verify: until something is injected, a
+  // mismatch here is a harness or scheme bug, not a fault outcome.
   const auto do_read_check = [&](Addr addr) -> bool {
     const auto it = versions.find(addr);
     Block got;
     now = mem->read_block(addr, now, &got);
+    ++accesses;
     const Block want =
         it == versions.end() ? zero_block() : trial_pattern_block(addr, it->second);
     return got == want;
   };
 
-  // Phase 1: mixed traffic, then a full metadata flush — the checkpoint.
-  // Everything written before it is durably committed; recovery may not
-  // roll any block back past its checkpoint version.
-  for (std::uint64_t i = 0; i < workload.ops; ++i) {
-    const Addr addr = pick_addr();
-    if (rng.chance(0.75)) {
-      do_write(addr);
-    } else if (!do_read_check(addr)) {
-      return silent(std::move(out), "pre-checkpoint read mismatch");
-    }
-  }
-  auto* base = dynamic_cast<SecureMemoryBase*>(mem.get());
-  base->flush_all_metadata();
-  const std::map<Addr, std::uint64_t> checkpoint = versions;
-
-  // Phase 2: a dirty burst that the crash will interrupt — cached metadata,
-  // queued persists, and ADR-resident tracking state all in flight.
-  for (std::uint64_t i = 0; i < workload.ops / 2; ++i) {
-    const Addr addr = pick_addr();
-    if (rng.chance(0.9)) {
-      do_write(addr);
-    } else if (!do_read_check(addr)) {
-      return silent(std::move(out), "pre-crash read mismatch");
-    }
-  }
-
-  // Crash with the fault plan armed; post-crash media faults follow.
-  const FaultPlan plan = FaultPlan::derive(cls, campaign_seed, trial);
-  FaultInjector injector(plan);
-  mem->set_fault_injector(&injector);
-  mem->crash();
-  injector.apply_post_crash(*mem);
-  mem->set_fault_injector(nullptr);
-  out.faults_injected = injector.events().size();
-  out.events = injector.event_summary();
-
-  RecoveryResult r;
-  try {
-    r = mem->recover();
-  } catch (const IntegrityViolation& e) {
-    return detected(std::move(out), std::string("recovery raised: ") + e.what());
-  } catch (const std::exception& e) {
-    return silent(std::move(out), std::string("recovery crashed: ") + e.what());
-  }
-  if (!r.status.ok()) {
-    // The salvage contract: recovery never aborts — an error Status smuggled
-    // out of it is an internal failure, scored as the bug it is.
-    return silent(std::move(out), "recovery internal error: " + r.status.to_string());
-  }
-  if (!r.supported) {
-    return detected(std::move(out), "scheme reports recovery unsupported");
-  }
-  if (r.attack_detected) {
-    return detected(std::move(out), "recovery flagged: " + r.attack_detail);
-  }
-  bool degraded = r.degraded();
-  std::uint64_t unavailable_reads = 0;
-
-  // Full audit: every block the workload ever wrote must read back as an
-  // authentic committed version in [checkpoint, latest]. Acceptance of an
-  // in-window version is what makes dropped-but-undetected persists legal:
-  // a posted write the crash destroyed was never acknowledged as durable.
-  // A *typed* unavailable error (quarantined/uncorrectable) is the legal
-  // degraded outcome for a block recovery wrote off — refusing service is
-  // the opposite of serving wrong plaintext.
-  now = 0;
-  for (const auto& [addr, latest] : versions) {
-    Block got;
+  // Runtime phases tolerate *typed* unavailable errors (wear retirements,
+  // scrub quarantines): degraded service during the run is a legal outcome,
+  // not a harness crash. Integrity violations before anything was injected
+  // stay fatal (scored silent below); after injection they are detection.
+  bool runtime_degraded = false;
+  std::uint64_t scrub_detected_base = 0;
+  enum class OpResult { kOk, kMismatch, kDetected, kUnavailable };
+  const auto run_op = [&](Addr addr, bool write) -> OpResult {
     try {
-      now = mem->read_block(addr, now, &got);
+      if (write) {
+        do_write(addr);
+        return OpResult::kOk;
+      }
+      return do_read_check(addr) ? OpResult::kOk : OpResult::kMismatch;
     } catch (const IntegrityViolation& e) {
-      return detected(std::move(out), std::string("post-recovery read raised: ") + e.what());
+      if (injected_at.has_value()) {
+        detected(std::string("runtime read raised: ") + e.what(), "read");
+        return OpResult::kDetected;
+      }
+      throw;  // no fault armed yet: a genuine bug, let the caller see it
     } catch (const StatusError& e) {
-      if (is_unavailable(e.code())) {
-        degraded = true;
-        ++unavailable_reads;
-        continue;
-      }
-      return silent(std::move(out), std::string("post-recovery read crashed: ") + e.what());
-    } catch (const std::exception& e) {
-      return silent(std::move(out), std::string("post-recovery read crashed: ") + e.what());
+      if (!is_unavailable(e.code())) throw;
+      runtime_degraded = true;
+      return OpResult::kUnavailable;
     }
-    const auto cp_it = checkpoint.find(addr);
-    const std::uint64_t cp = cp_it == checkpoint.end() ? 0 : cp_it->second;
-    if (got == zero_block()) {
-      if (cp != 0) {
-        return silent(std::move(out), "block " + std::to_string(addr / kBlockSize) +
-                                          " rolled back to zero past checkpoint v" +
-                                          std::to_string(cp));
-      }
-      continue;
-    }
-    const std::uint64_t v = pattern_version(got);
-    if (v < std::max<std::uint64_t>(cp, 1) || v > latest ||
-        got != trial_pattern_block(addr, v)) {
-      return silent(std::move(out), "block " + std::to_string(addr / kBlockSize) +
-                                        " read unauthentic state (decoded v" +
-                                        std::to_string(v) + ", window [" +
-                                        std::to_string(cp) + ", " + std::to_string(latest) +
-                                        "])");
-    }
-  }
+  };
+  // After each armed access: did the patrol scrub flag the mutation?
+  const auto scrub_fired = [&]() -> bool {
+    return injected_at.has_value() &&
+           base->ft_stats().scrub_detected > scrub_detected_base;
+  };
 
-  // Functional epilogue: the recovered tree must accept and verify fresh
-  // writes (a recovery that leaves the SIT wedged is not a recovery).
-  // Quarantined targets may refuse with a typed error; that is degraded
-  // service, not a wedge.
-  std::uint64_t probes = 0;
-  for (const auto& [addr, latest] : versions) {
-    (void)latest;
-    if (++probes > 4) break;
+  const bool done = [&]() -> bool {  // true = verdict already set
+    // Phase 1: mixed traffic, then a full metadata flush — the checkpoint.
+    // Everything written before it is durably committed; recovery may not
+    // roll any block back past its checkpoint version.
+    for (std::uint64_t i = 0; i < workload.ops; ++i) {
+      if (i == workload.ops / 2 && hooks != nullptr && hooks->mid_workload) {
+        base->flush_all_metadata();  // the adversary's recording point
+        hooks->mid_workload(*base);
+      }
+      const Addr addr = pick_addr();
+      const OpResult res = run_op(addr, rng.chance(0.75));
+      if (res == OpResult::kMismatch) {
+        silent("pre-checkpoint read mismatch");
+        return true;
+      }
+      if (res == OpResult::kDetected) return true;
+    }
+    base->flush_all_metadata();
+    const std::map<Addr, std::uint64_t> checkpoint_flush = versions;
+    if (hooks != nullptr && hooks->after_checkpoint) hooks->after_checkpoint(*base);
+
+    // Phase 2: a dirty burst that the crash will interrupt — cached
+    // metadata, queued persists, and ADR-resident tracking state all in
+    // flight. Runtime adversary mutations (mid_burst) land here; a patrol
+    // scrub epoch or a demand read may catch them before the crash does.
+    for (std::uint64_t i = 0; i < workload.ops / 2; ++i) {
+      if (hooks != nullptr && hooks->mid_burst && !injected_at.has_value()) {
+        scrub_detected_base = base->ft_stats().scrub_detected;
+        if (hooks->mid_burst(*base, i)) {
+          injected_at = accesses;
+          out.faults_injected = 1;
+        }
+      }
+      const Addr addr = pick_addr();
+      const OpResult res = run_op(addr, rng.chance(0.9));
+      if (res == OpResult::kMismatch) {
+        silent("pre-crash read mismatch");
+        return true;
+      }
+      if (res == OpResult::kDetected) return true;
+      if (scrub_fired()) {
+        detected("patrol scrub flagged the mutated line", "scrub");
+        return true;
+      }
+    }
+
+    // Crash with the fault plan armed; post-crash media faults follow, then
+    // any adversarial post-crash mutation (replay / forgery / tearing).
+    const FaultPlan plan = FaultPlan::derive(cls, campaign_seed, trial);
+    FaultInjector injector(plan);
+    mem->set_fault_injector(&injector);
+    mem->crash();
+    injector.apply_post_crash(*mem);
+    mem->set_fault_injector(nullptr);
+    out.faults_injected += injector.events().size();
+    out.events = injector.event_summary();
+    if (hooks != nullptr && hooks->post_crash) {
+      std::string events;
+      if (hooks->post_crash(*base, &events)) {
+        if (!injected_at.has_value()) injected_at = accesses;
+        ++out.faults_injected;
+        if (!events.empty()) {
+          out.events += out.events.empty() ? events : "; " + events;
+        }
+      }
+    }
+
+    // The audit window: [checkpoint, latest] for fault campaigns (a posted
+    // write the crash destroyed was never acknowledged as durable), exactly
+    // latest under hooks->strict_window (the adversary trials drain the
+    // queue intact, so a rollback to any older version must be caught).
+    const std::map<Addr, std::uint64_t>& checkpoint =
+        (hooks != nullptr && hooks->strict_window) ? versions : checkpoint_flush;
+
+    RecoveryResult r;
     try {
-      do_write(addr);
+      r = mem->recover();
+    } catch (const IntegrityViolation& e) {
+      detected(std::string("recovery raised: ") + e.what(), "recovery");
+      return true;
+    } catch (const std::exception& e) {
+      silent(std::string("recovery crashed: ") + e.what());
+      return true;
+    }
+    if (!r.status.ok()) {
+      // The salvage contract: recovery never aborts — an error Status
+      // smuggled out of it is an internal failure, scored as the bug it is.
+      silent("recovery internal error: " + r.status.to_string());
+      return true;
+    }
+    if (!r.supported) {
+      detected("scheme reports recovery unsupported", "unsupported");
+      return true;
+    }
+    if (r.attack_detected) {
+      detected("recovery flagged: " + r.attack_detail,
+               classify_detect_layer(r.attack_detail));
+      return true;
+    }
+    bool degraded = r.degraded() || runtime_degraded;
+    std::uint64_t unavailable_reads = 0;
+
+    // Full audit: every block the workload ever wrote must read back as an
+    // authentic committed version in [checkpoint, latest]. A *typed*
+    // unavailable error (quarantined/uncorrectable) is the legal degraded
+    // outcome for a block recovery wrote off — refusing service is the
+    // opposite of serving wrong plaintext.
+    now = 0;
+    for (const auto& [addr, latest] : versions) {
       Block got;
-      now = mem->read_block(addr, now, &got);
-      if (got != trial_pattern_block(addr, versions[addr])) {
-        return silent(std::move(out), "post-recovery write/read mismatch at block " +
-                                          std::to_string(addr / kBlockSize));
+      try {
+        now = mem->read_block(addr, now, &got);
+        ++accesses;
+      } catch (const IntegrityViolation& e) {
+        detected(std::string("post-recovery read raised: ") + e.what(), "read");
+        return true;
+      } catch (const StatusError& e) {
+        if (is_unavailable(e.code())) {
+          degraded = true;
+          ++unavailable_reads;
+          continue;
+        }
+        silent(std::string("post-recovery read crashed: ") + e.what());
+        return true;
+      } catch (const std::exception& e) {
+        silent(std::string("post-recovery read crashed: ") + e.what());
+        return true;
       }
-    } catch (const IntegrityViolation& e) {
-      return detected(std::move(out),
-                      std::string("post-recovery write path raised: ") + e.what());
-    } catch (const StatusError& e) {
-      if (is_unavailable(e.code())) {
-        degraded = true;
+      const auto cp_it = checkpoint.find(addr);
+      const std::uint64_t cp = cp_it == checkpoint.end() ? 0 : cp_it->second;
+      if (got == zero_block()) {
+        if (cp != 0) {
+          silent("block " + std::to_string(addr / kBlockSize) +
+                 " rolled back to zero past checkpoint v" + std::to_string(cp));
+          return true;
+        }
         continue;
       }
-      return silent(std::move(out),
-                    std::string("post-recovery write path crashed: ") + e.what());
-    } catch (const std::exception& e) {
-      return silent(std::move(out),
-                    std::string("post-recovery write path crashed: ") + e.what());
+      const std::uint64_t v = pattern_version(got);
+      if (v < std::max<std::uint64_t>(cp, 1) || v > latest ||
+          got != trial_pattern_block(addr, v)) {
+        silent("block " + std::to_string(addr / kBlockSize) +
+               " read unauthentic state (decoded v" + std::to_string(v) + ", window [" +
+               std::to_string(cp) + ", " + std::to_string(latest) + "])");
+        return true;
+      }
     }
-  }
 
-  if (degraded) {
-    out.verdict = FaultVerdict::kSalvaged;
-    out.detail = r.summary();
-    if (unavailable_reads > 0) {
-      out.detail += "; " + std::to_string(unavailable_reads) + " audit reads unavailable (typed)";
+    // Functional epilogue: the recovered tree must accept and verify fresh
+    // writes (a recovery that leaves the SIT wedged is not a recovery).
+    // Quarantined targets may refuse with a typed error; that is degraded
+    // service, not a wedge.
+    std::uint64_t probes = 0;
+    for (const auto& [addr, latest] : versions) {
+      (void)latest;
+      if (++probes > 4) break;
+      try {
+        do_write(addr);
+        Block got;
+        now = mem->read_block(addr, now, &got);
+        ++accesses;
+        if (got != trial_pattern_block(addr, versions[addr])) {
+          silent("post-recovery write/read mismatch at block " +
+                 std::to_string(addr / kBlockSize));
+          return true;
+        }
+      } catch (const IntegrityViolation& e) {
+        detected(std::string("post-recovery write path raised: ") + e.what(), "read");
+        return true;
+      } catch (const StatusError& e) {
+        if (is_unavailable(e.code())) {
+          degraded = true;
+          continue;
+        }
+        silent(std::string("post-recovery write path crashed: ") + e.what());
+        return true;
+      } catch (const std::exception& e) {
+        silent(std::string("post-recovery write path crashed: ") + e.what());
+        return true;
+      }
     }
-    return out;
-  }
-  out.verdict = FaultVerdict::kRecovered;
+
+    if (degraded) {
+      out.verdict = FaultVerdict::kSalvaged;
+      out.detail = r.summary();
+      if (unavailable_reads > 0) {
+        out.detail +=
+            "; " + std::to_string(unavailable_reads) + " audit reads unavailable (typed)";
+      }
+      return true;
+    }
+    out.verdict = FaultVerdict::kRecovered;
+    return true;
+  }();
+  (void)done;
+
+  fill_blast();
   return out;
 }
 

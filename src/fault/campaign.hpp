@@ -23,6 +23,7 @@
 
 #include <cstdint>
 #include <cstdio>
+#include <functional>
 #include <optional>
 #include <string>
 #include <vector>
@@ -53,6 +54,13 @@ struct FaultTrialOptions {
                           .scrub_interval_accesses = 64,
                           .scrub_lines_per_epoch = 8,
                           .scrub_verify_macs = true};
+  /// Per-cell endurance model for the trial device (0 = disabled, the
+  /// fault-campaign default). The wear-out scenario sets a mean of a few
+  /// dozen writes so lines die inside one trial.
+  std::uint64_t endurance_mean_writes = 0;
+  std::uint64_t endurance_sigma_writes = 0;
+  /// Override the device spare-line pool (nullopt keeps NvmConfig's 32).
+  std::optional<std::size_t> remap_pool_lines;
 };
 
 struct TrialOutcome {
@@ -63,6 +71,24 @@ struct TrialOutcome {
   std::string detail;  // which check fired / what went silently wrong
   std::string events;  // injected fault log (capped)
   std::uint64_t faults_injected = 0;
+
+  // --- Detection telemetry (DESIGN.md §16) --------------------------------
+  // Latency counts demand accesses between the injection point (the crash
+  // for fault classes; the adversary's mutation for runtime scenarios) and
+  // the check that fired; 0 means recovery itself caught it. Meaningful
+  // only when verdict == kDetected and something was actually injected.
+  std::uint64_t detect_latency = 0;
+  // Which layer fired: "recovery-hmac" (tamper checks: node/data HMACs,
+  // parent verification), "recovery-linc" (replay checks: LInc sums,
+  // cache-tree roots), "recovery" (other recovery-time detection),
+  // "read" (demand-read integrity violation), "scrub" (patrol scrub),
+  // "unsupported" (WB declaring itself unrecoverable). Empty if undetected.
+  std::string detect_layer;
+
+  // --- Blast radius (any verdict) -----------------------------------------
+  std::uint64_t blast_lines = 0;     // single 64 B lines retired/quarantined
+  std::uint64_t blast_subtrees = 0;  // quarantined subtree data ranges
+  std::uint64_t blast_blocks = 0;    // resident data blocks left read-blocked
 };
 
 struct CampaignOptions {
@@ -104,11 +130,52 @@ struct CampaignResult {
 /// compares (GC: ASIT/STAR/SCUE/Steins-GC; SC: Steins-SC).
 std::vector<SchemeSpec> campaign_schemes(CounterMode mode);
 
+/// Classify a recovery-time attack_detail into a detect_layer value:
+/// "recovery-linc" for replay checks (LInc sums / cache-tree roots),
+/// "recovery-hmac" for tamper checks (HMACs, parent verification), plain
+/// "recovery" otherwise (DESIGN.md §III-H taxonomy).
+std::string classify_detect_layer(const std::string& detail);
+
+/// Hooks the adversary engine (fault/adversary.hpp) threads through a
+/// trial. The campaign owns the workload/audit logic; the hooks own the
+/// scenario logic. All callbacks may be empty.
+struct TrialHooks {
+  /// Midway through phase 1, immediately after an extra metadata flush
+  /// (only flushed when this hook is set): the adversary's recording
+  /// point. Everything the later checkpoint flush persists lands on the
+  /// bus AFTER this snapshot, so rollback scenarios have genuinely stale
+  /// persisted images to replay.
+  std::function<void(SecureMemoryBase&)> mid_workload;
+  /// After the checkpoint flush: snapshot persisted device state.
+  std::function<void(SecureMemoryBase&)> after_checkpoint;
+  /// During the phase-2 dirty burst, before access k. Return true once a
+  /// runtime mutation has been applied (starts the detection-latency
+  /// clock); further calls are suppressed after the first true.
+  std::function<bool(SecureMemoryBase&, std::uint64_t access)> mid_burst;
+  /// After the crash drain (and any injector media faults). Return true
+  /// when a mutation was applied. The returned string, if nonempty, is
+  /// logged as the trial's injected-event summary.
+  std::function<bool(SecureMemoryBase&, std::string* events)> post_crash;
+  /// Strict audit window: the trial's crash drains the queue intact, so
+  /// every posted write is durable and the audit demands the exact latest
+  /// version — a replay to an older committed version must be caught (or
+  /// quarantined), never accepted. Leave false for fault campaigns, where
+  /// dropped-but-unacknowledged persists are legal.
+  bool strict_window = false;
+};
+
 /// Run one (scheme, trial) cell: seeded workload, checkpoint flush, dirty
 /// burst, faulted crash, recovery, full audit of every written block.
 TrialOutcome run_fault_trial(const SchemeSpec& spec, FaultClass cls,
                              std::uint64_t campaign_seed, std::uint64_t trial,
                              const FaultTrialOptions& workload);
+
+/// Same trial anatomy with adversary hooks threaded through (the fault
+/// campaign is the hooks == nullptr special case).
+TrialOutcome run_fault_trial_hooked(const SchemeSpec& spec, FaultClass cls,
+                                    std::uint64_t campaign_seed, std::uint64_t trial,
+                                    const FaultTrialOptions& workload,
+                                    const TrialHooks* hooks);
 
 /// Run the whole matrix. Trial t draws fault class classes[t % size], so
 /// every class gets an equal share of trials; `jobs` > 1 fans cells across

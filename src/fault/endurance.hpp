@@ -1,0 +1,95 @@
+// Endurance / wear-out projection campaign.
+//
+// PCM cells endure ~1e8 writes; a simulation cannot run years of traffic,
+// so the campaign runs an ACCELERATED device — per-line Gaussian endurance
+// limits of a few dozen writes (NvmConfig::endurance_*) — under a skewed
+// write stream, observes the wear-leveling migrations, run-to-failure
+// retirements, and spare-pool exhaustion the quarantine machinery handles,
+// and projects the observed milestones back to real-device endurance and a
+// real traffic rate:
+//
+//   projected_seconds(milestone) =
+//       writes_at_milestone * (real_endurance / accel_endurance_mean)
+//                           * (real_capacity_lines / footprint_blocks)
+//       / writes_per_second
+//
+// The first factor is sound because the write DISTRIBUTION (hot fraction,
+// footprint) is held fixed: per-line wear grows proportionally to total
+// device writes, so the ratio of limits is the ratio of horizons. The
+// second factor scales the footprint up to the real device: leveling
+// spreads the same relative distribution across real_capacity_lines
+// instead of footprint_blocks lines, so every per-line wear rate — and
+// with it each milestone horizon — stretches by the line-count ratio. The
+// integrity contract rides along: every readable block must verify
+// (mismatches == 0); worn lines may only fail with *typed* unavailability.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.hpp"
+#include "secure/secure_memory.hpp"
+
+namespace steins {
+
+struct EnduranceOptions {
+  Scheme scheme = Scheme::kSteins;
+  std::uint64_t seed = 1;
+
+  // --- Accelerated device -------------------------------------------------
+  std::uint64_t accel_endurance_mean = 96;  // per-line limit (writes)
+  std::uint64_t accel_endurance_sigma = 12;
+  std::size_t remap_pool_lines = 16;        // spares for leveling + retiring
+  std::uint64_t footprint_blocks = 64;      // addresses the stream draws from
+  double hot_fraction = 0.125;              // head of the footprint...
+  double hot_weight = 0.8;                  // ...takes this share of writes
+  std::uint64_t max_writes = 200'000;       // hard cap on the run
+  std::uint64_t audit_every = 4096;         // periodic read-back audit stride
+
+  // --- Projection target (real device + service rate) ---------------------
+  double real_endurance_writes = 1e8;       // PCM cell endurance
+  double writes_per_second = 1e6;           // device demand-write rate (the
+                                            // aggregate of a service's users
+                                            // hitting this DIMM)
+  double real_capacity_lines = 4.0 * 1024 * 1024;  // 256 MiB of 64 B lines:
+                                            // the real device wear-leveling
+                                            // spreads the stream across
+};
+
+struct EnduranceReport {
+  EnduranceOptions options;
+
+  std::uint64_t writes_issued = 0;
+  std::uint64_t writes_rejected = 0;  // typed unavailability during the run
+  // Device-write counts at each milestone; 0 = never reached.
+  std::uint64_t writes_to_first_leveling = 0;
+  std::uint64_t writes_to_first_wearout = 0;
+  std::uint64_t writes_to_pool_exhaustion = 0;
+
+  std::uint64_t lines_wear_leveled = 0;
+  std::uint64_t lines_worn_out = 0;
+  std::uint64_t lines_remapped = 0;
+  std::uint64_t lines_quarantined = 0;
+  std::uint64_t scrub_detected = 0;
+  std::uint64_t hottest_wear = 0;  // max per-line wear count at run end
+  Addr hottest_line = 0;
+
+  // Integrity audit (during the run + after a final crash/recover cycle).
+  std::uint64_t audit_unavailable = 0;  // typed errors — legal degradation
+  std::uint64_t audit_mismatches = 0;   // wrong plaintext — always a bug
+  bool recovery_clean = false;          // final recovery ran without attack
+
+  // Projected horizons at real endurance and traffic (years; 0 = the
+  // milestone was never reached in the accelerated run).
+  double accel_factor = 0.0;
+  double projected_years_first_wearout = 0.0;
+  double projected_years_pool_exhaustion = 0.0;
+
+  std::string to_string() const;
+  std::string to_json() const;
+};
+
+/// Run the accelerated wear campaign and project the milestones.
+EnduranceReport run_endurance_campaign(const EnduranceOptions& opts);
+
+}  // namespace steins

@@ -127,10 +127,33 @@ KvCrashReport run_kv_crash_validation(const SystemConfig& base_cfg, Scheme schem
     report.crash_at = std::min(opt.crash_at, report.total_persists);
   }
 
-  // Pass 2: replay with the crash injected before barrier `crash_at`.
+  // Pass 2: replay with the crash injected before barrier `crash_at`. An
+  // armed adversary records the persisted image (after a metadata flush,
+  // so there is acknowledged-durable state to replay around) at the
+  // midpoint barrier.
   System sys(base_cfg, scheme);
   KvStore kv(sys, layout);
+  AdversarySnapshot snap;
   kv.set_persist_hook([&](const char*, std::uint64_t index) {
+    if (opt.adversary.has_value()) {
+      const std::uint64_t record_at = report.crash_at / 2;
+      const std::uint64_t durable_at = (record_at + report.crash_at + 1) / 2;
+      if (index == record_at) {
+        if (auto* base = dynamic_cast<SecureMemoryBase*>(&sys.memory())) {
+          base->flush_all_metadata();
+          snap = snapshot_device(*base);
+        }
+      } else if (index == durable_at) {
+        // A later durability point: the metadata persisted here is
+        // acknowledged-durable state the adversary replays around. Without
+        // it the cached-metadata window would leave rollbacks nothing
+        // persisted to revert (the same vacuity the trial harness avoids
+        // with its checkpoint flush).
+        if (auto* base = dynamic_cast<SecureMemoryBase*>(&sys.memory())) {
+          base->flush_all_metadata();
+        }
+      }
+    }
     if (index == report.crash_at) throw CrashNow{};
   });
   std::map<std::uint64_t, std::string> model;
@@ -147,14 +170,23 @@ KvCrashReport run_kv_crash_validation(const SystemConfig& base_cfg, Scheme schem
 
   // Fold the requested hardware fault into the crash. The injector hooks
   // the write queue's crash drain and flips bits after the scheme's ADR
-  // flush, exactly as in the fault campaigns.
-  report.faulted = opt.fault_class != FaultClass::kNone;
+  // flush, exactly as in the fault campaigns. The adversary's mutation
+  // lands after the drain, before recovery.
+  const bool hw_faulted = opt.fault_class != FaultClass::kNone;
+  report.faulted = hw_faulted || opt.adversary.has_value();
   FaultInjector injector(FaultPlan::derive(opt.fault_class, opt.fault_seed, report.crash_at));
-  if (report.faulted) sys.set_fault_injector(&injector);
+  if (hw_faulted) sys.set_fault_injector(&injector);
 
   RecoveryResult r;
   try {
-    r = sys.crash_and_recover();
+    r = sys.crash_and_recover([&](SecureMemory& m) {
+      if (!opt.adversary.has_value()) return;
+      auto* base = dynamic_cast<SecureMemoryBase*>(&m);
+      if (base == nullptr) return;
+      const AdversaryPlan plan{*opt.adversary, opt.adversary_seed};
+      report.adversary_injected = apply_adversary_post_crash(
+          *base, scheme, plan, snap, &report.adversary_events);
+    });
   } catch (const IntegrityViolation& e) {
     sys.set_fault_injector(nullptr);
     report.fault_detected = true;

@@ -15,6 +15,7 @@
 #include <string>
 
 #include "common/config.hpp"
+#include "fault/adversary.hpp"
 #include "fault/fault.hpp"
 #include "secure/secure_memory.hpp"
 
@@ -35,6 +36,14 @@ struct KvCrashOptions {
   // from its own fields alone.
   FaultClass fault_class = FaultClass::kNone;
   std::uint64_t fault_seed = 0;
+
+  // Optional adversarial mutation folded into the crash: the adversary
+  // snapshots the persisted image (after a metadata flush) at the midpoint
+  // persist barrier and applies the scenario's rollback/forgery/tear
+  // between the crash drain and recovery. Runtime-only scenarios
+  // (data-replay, wear-out) are no-ops here.
+  std::optional<AdversaryScenario> adversary;
+  std::uint64_t adversary_seed = 0;
 };
 
 struct KvCrashReport {
@@ -48,8 +57,10 @@ struct KvCrashReport {
   std::uint64_t crash_at = 0;       // barrier the run was killed before
   std::uint64_t committed_keys = 0; // model size at the crash point
   double recovery_seconds = 0.0;    // modeled recovery time
-  bool faulted = false;             // a fault was injected at the crash
+  bool faulted = false;             // a fault/adversary was armed at the crash
   bool fault_detected = false;      // an integrity check caught the fault
+  bool adversary_injected = false;  // the scenario's mutation actually landed
+  std::string adversary_events;     // what the adversary mutated
   std::string detail;               // first mismatch / failure description
 
   /// WB passes by being detected as unrecoverable; everything else passes

@@ -194,25 +194,43 @@ Expected<std::optional<std::string>> KvStore::try_get(std::uint64_t key) {
   }
 }
 
+void KvStore::maybe_freeze(const StatusError& e) {
+  if (e.code() != ErrorCode::kQuarantined && e.code() != ErrorCode::kUncorrectable)
+    return;
+  // A mutation hit a quarantined (or just-retired uncorrectable) line. With
+  // spares left the line will be remapped and a fresh write repairs the
+  // slot, so the store stays writable. With the pool exhausted it is
+  // permanently dead: the
+  // ordered-persist protocol can never complete against it, so the store
+  // freezes read-only instead of limping into a state where some slots
+  // half-accept updates.
+  auto* base = dynamic_cast<SecureMemoryBase*>(&sys_.memory());
+  if (base == nullptr || base->device().remap_pool_free() == 0) {
+    read_only_ = true;
+  }
+}
+
 Status KvStore::try_put(std::uint64_t key, const std::string& value) {
   if (read_only_) {
-    return Status(ErrorCode::kReadOnly, "KV store is read-only after degraded recovery");
+    return Status(ErrorCode::kReadOnly, "KV store is read-only");
   }
   try {
     put(key, value);
     return Status::Ok();
   } catch (const StatusError& e) {
+    maybe_freeze(e);
     return e.status();
   }
 }
 
 Expected<bool> KvStore::try_erase(std::uint64_t key) {
   if (read_only_) {
-    return Status(ErrorCode::kReadOnly, "KV store is read-only after degraded recovery");
+    return Status(ErrorCode::kReadOnly, "KV store is read-only");
   }
   try {
     return erase(key);
   } catch (const StatusError& e) {
+    maybe_freeze(e);
     return e.status();
   }
 }

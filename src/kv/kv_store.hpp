@@ -132,6 +132,11 @@ class KvStore {
   /// answer with typed errors until their lines are remapped and rewritten.
   void apply_recovery_report(const RecoveryReport& report);
 
+  /// True once the store froze: after a detected attack / failed recovery
+  /// (apply_recovery_report), or once a mutation hit a quarantined line
+  /// with the device's remap spare pool exhausted — the slot can never be
+  /// repaired, so mutations stop with typed kReadOnly while reads keep
+  /// serving whatever verifies.
   bool read_only() const { return read_only_; }
   void set_read_only(bool ro) { read_only_ = ro; }
   /// True when the last applied recovery report salvaged (lost) anything.
@@ -179,6 +184,9 @@ class KvStore {
   CommitWord read_commit(std::size_t slot);
   void write_commit(std::size_t slot, const CommitWord& word);
   void persist_barrier(Addr addr, const char* stage);
+  /// Freeze read-only when a failed mutation can never be repaired
+  /// (quarantined line, spare pool dry).
+  void maybe_freeze(const StatusError& e);
 
   System& sys_;
   KvLayout layout_;

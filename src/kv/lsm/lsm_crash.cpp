@@ -147,9 +147,26 @@ LsmCrashReport run_one(const SystemConfig& base_cfg, Scheme scheme,
 
   System sys(base_cfg, scheme);
   std::map<std::uint64_t, std::string> model;
+  AdversarySnapshot snap;
   {
     LsmStore store(sys, opt.layout, opt.engine);
-    store.set_persist_hook([crash_at](const char*, std::uint64_t index) {
+    store.set_persist_hook([&](const char*, std::uint64_t index) {
+      if (opt.adversary.has_value()) {
+        const std::uint64_t record_at = crash_at / 2;
+        const std::uint64_t durable_at = (record_at + crash_at + 1) / 2;
+        if (index == record_at) {
+          if (auto* base = dynamic_cast<SecureMemoryBase*>(&sys.memory())) {
+            base->flush_all_metadata();
+            snap = snapshot_device(*base);
+          }
+        } else if (index == durable_at) {
+          // Later durability point: persists acknowledged-durable metadata
+          // for the adversary to replay around (see kv_crash.cpp).
+          if (auto* base = dynamic_cast<SecureMemoryBase*>(&sys.memory())) {
+            base->flush_all_metadata();
+          }
+        }
+      }
       if (index == crash_at) throw CrashNow{};
     });
     bool crashed = false;
@@ -177,14 +194,22 @@ LsmCrashReport run_one(const SystemConfig& base_cfg, Scheme scheme,
 
   // Fold the requested hardware fault into the crash, exactly as the KV
   // harness and the fault campaigns do.
-  report.faulted = opt.fault_class != FaultClass::kNone || opt.manifest_loss;
+  report.faulted = opt.fault_class != FaultClass::kNone || opt.manifest_loss ||
+                   opt.adversary.has_value();
   FaultInjector injector(
       FaultPlan::derive(opt.fault_class, opt.fault_seed, crash_at));
   if (opt.fault_class != FaultClass::kNone) sys.set_fault_injector(&injector);
 
   RecoveryResult r;
   try {
-    r = sys.crash_and_recover();
+    r = sys.crash_and_recover([&](SecureMemory& m) {
+      if (!opt.adversary.has_value()) return;
+      auto* base = dynamic_cast<SecureMemoryBase*>(&m);
+      if (base == nullptr) return;
+      const AdversaryPlan plan{*opt.adversary, opt.adversary_seed};
+      report.adversary_injected = apply_adversary_post_crash(
+          *base, scheme, plan, snap, &report.adversary_events);
+    });
   } catch (const IntegrityViolation& e) {
     sys.set_fault_injector(nullptr);
     report.fault_detected = true;

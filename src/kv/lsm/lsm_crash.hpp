@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "common/config.hpp"
+#include "fault/adversary.hpp"
 #include "fault/fault.hpp"
 #include "kv/lsm/lsm_store.hpp"
 #include "secure/secure_memory.hpp"
@@ -48,6 +49,14 @@ struct LsmCrashOptions {
   /// returning kIntegrity), never serve from it.
   bool manifest_loss = false;
 
+  // Optional adversarial mutation folded into the crash, as in the KV
+  // harness: snapshot the persisted image (after a metadata flush) at the
+  // midpoint persist barrier, apply the scenario's rollback/forgery/tear
+  // between the crash drain and recovery. Runtime-only scenarios
+  // (data-replay, wear-out) are no-ops here.
+  std::optional<AdversaryScenario> adversary;
+  std::uint64_t adversary_seed = 0;
+
   /// Small geometry + aggressive flush/compact thresholds so a short
   /// script exercises every persist stage.
   LsmLayout layout{Addr{1} << 20, /*manifest_blocks=*/4, /*wal_blocks=*/64,
@@ -71,6 +80,8 @@ struct LsmCrashReport {
   double recovery_seconds = 0.0;
   bool faulted = false;
   bool fault_detected = false;
+  bool adversary_injected = false;  // the scenario's mutation actually landed
+  std::string adversary_events;     // what the adversary mutated
   bool wal_torn = false;            // reopen found a torn WAL tail
   std::uint64_t flushes = 0;        // engine flushes before the crash
   std::uint64_t compactions = 0;

@@ -4,6 +4,8 @@
 #include <stdexcept>
 #include <string>
 
+#include "common/rng.hpp"
+
 namespace steins {
 
 void NvmDevice::check_limit(Addr addr) const {
@@ -27,9 +29,10 @@ void NvmDevice::write_block(Addr addr, const Block& data) {
   Line& ln = store_.get_or_create(line);
   ln.block = data;
   ln.flags |= Line::kBlock;
-  if (!ecc_faults_.empty()) {
+  if (!ecc_faults_.empty() && (ln.flags & Line::kWorn) == 0) {
     ecc_faults_.erase(line);  // a full-line write lays a fresh codeword
   }
+  if (wear_enabled()) apply_wear(line, ln);
 }
 
 std::uint64_t NvmDevice::read_tag(Addr addr) const {
@@ -69,9 +72,12 @@ void NvmDevice::poke_block(Addr addr, const Block& data) {
   Line& ln = store_.get_or_create(line);
   ln.block = data;
   ln.flags |= Line::kBlock;
-  if (!ecc_faults_.empty()) {
+  if (!ecc_faults_.empty() && (ln.flags & Line::kWorn) == 0) {
     ecc_faults_.erase(line);
   }
+  // Pokes model bookkeeping/attacker traffic: they do not age the cells,
+  // but neither can they heal a worn-out line.
+  if ((ln.flags & Line::kWorn) != 0) refault_worn(line, ln);
 }
 
 void NvmDevice::inject_ecc_error(Addr addr, unsigned bit, bool correctable,
@@ -140,6 +146,76 @@ Block NvmDevice::peek_corrected(Addr addr, bool* uncorrectable) const {
   }
   if (uncorrectable != nullptr) *uncorrectable = it->second.uncorrectable;
   return it->second.uncorrectable ? peek_block(line) : it->second.golden;
+}
+
+std::uint64_t NvmDevice::wear_limit(Addr addr) const {
+  SplitMix64 sm(cfg_.wear_seed ^ (align(addr) * 0x9e3779b97f4a7c15ULL));
+  // Irwin-Hall: the sum of four uniforms has mean 2 and variance 1/3; only
+  // +/*// on integer-derived doubles, so the draw needs no libm and is
+  // bit-identical everywhere.
+  double s = 0.0;
+  for (int i = 0; i < 4; ++i) {
+    s += static_cast<double>(sm.next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+  const double z = (s - 2.0) * 1.7320508075688772;  // sqrt(3): unit variance
+  const double lim = static_cast<double>(cfg_.endurance_mean_writes) +
+                     static_cast<double>(cfg_.endurance_sigma_writes) * z;
+  return lim < 4.0 ? 4 : static_cast<std::uint64_t>(lim);
+}
+
+std::uint32_t NvmDevice::wear_of(Addr addr) const {
+  const Line* ln = store_.find(align(addr));
+  return ln == nullptr ? 0 : ln->wear;
+}
+
+bool NvmDevice::worn_out(Addr addr) const {
+  const Line* ln = store_.find(align(addr));
+  return ln != nullptr && (ln->flags & Line::kWorn) != 0;
+}
+
+std::vector<std::pair<Addr, std::uint32_t>> NvmDevice::wear_profile(Addr lo, Addr hi) const {
+  std::vector<std::pair<Addr, std::uint32_t>> out;
+  store_.for_each([&](Addr line, const Line& ln) {
+    if (ln.wear > 0 && line >= lo && line < hi) out.emplace_back(line, ln.wear);
+  });
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+void NvmDevice::apply_wear(Addr line, Line& ln) {
+  if ((ln.flags & Line::kWorn) != 0) {
+    refault_worn(line, ln);  // writing to stuck cells re-corrupts the word
+    return;
+  }
+  ++ln.wear;
+  const std::uint64_t limit = wear_limit(line);
+  if (ln.wear >= limit) {
+    ln.flags |= Line::kWorn;
+    ++stats_.lines_worn_out;
+    refault_worn(line, ln);
+    return;
+  }
+  const auto level_at = static_cast<std::uint64_t>(
+      static_cast<double>(limit) * cfg_.wear_level_fraction);
+  if (level_at > 0 && ln.wear >= level_at && remap_pool_free_ > 0) {
+    // Proactive wear-leveling: migrate the content to a spare from the
+    // remap pool; the logical line keeps serving from fresh cells.
+    --remap_pool_free_;
+    ln.wear = 0;
+    ++stats_.lines_wear_leveled;
+  }
+}
+
+void NvmDevice::refault_worn(Addr line, Line& ln) {
+  EccLineState& st = ecc_faults_[line];
+  st.uncorrectable = true;
+  st.retries_needed = 0;
+  // One stuck cell at a position derived from the line address: the fresh
+  // codeword is corrupt the moment it lands, and SECDED cannot fix a cell
+  // that no longer programs.
+  SplitMix64 sm(cfg_.wear_seed ^ line ^ 0x77ea12fc5b23a917ULL);
+  const unsigned bit = static_cast<unsigned>(sm.next() % (kBlockSize * 8));
+  ln.block[bit / 8] = static_cast<std::uint8_t>(ln.block[bit / 8] ^ (1u << (bit % 8)));
 }
 
 bool NvmDevice::remap_line(Addr addr) {

@@ -32,6 +32,9 @@ struct NvmStats {
   std::uint64_t ecc_retry_reads = 0;
   std::uint64_t ecc_uncorrectable_reads = 0;
   std::uint64_t lines_remapped = 0;
+  // Wear/endurance model counters.
+  std::uint64_t lines_wear_leveled = 0;  // proactive migrations to spares
+  std::uint64_t lines_worn_out = 0;      // lines that crossed their limit
 
   void reset() { *this = NvmStats{}; }
 };
@@ -106,6 +109,32 @@ class NvmDevice {
 
   std::size_t remap_pool_free() const { return remap_pool_free_; }
 
+  // --- Per-cell wear / endurance model ------------------------------------
+  //
+  // Enabled when cfg.endurance_mean_writes > 0. Demand-path writes
+  // (write_block) age the target line; peeks/pokes model bookkeeping or
+  // attacker traffic and do not. A line approaching its endurance limit is
+  // proactively migrated to a spare (wear-leveling, data preserved); past
+  // the limit its cells stick and every write re-faults the line as
+  // uncorrectable, feeding the ECC retirement/quarantine path.
+
+  bool wear_enabled() const { return cfg_.endurance_mean_writes > 0; }
+
+  /// Deterministic per-line Gaussian endurance limit (writes until the
+  /// cells stick). Irwin-Hall sum of four uniforms: no libm, so the draw
+  /// is bit-identical across platforms. Clamped to >= 4.
+  std::uint64_t wear_limit(Addr addr) const;
+
+  /// Demand writes absorbed by this line since birth (or last migration).
+  std::uint32_t wear_of(Addr addr) const;
+
+  /// True once the line crossed its limit (stuck cells; writes re-fault).
+  bool worn_out(Addr addr) const;
+
+  /// Resident lines in [lo, hi) with nonzero wear, sorted by address —
+  /// the endurance campaign's projection input.
+  std::vector<std::pair<Addr, std::uint32_t>> wear_profile(Addr lo, Addr hi) const;
+
   bool contains(Addr addr) const {
     const Line* ln = store_.find(align(addr));
     return ln != nullptr && (ln->flags & Line::kBlock) != 0;
@@ -159,12 +188,22 @@ class NvmDevice {
     static constexpr std::uint8_t kBlock = 1;
     static constexpr std::uint8_t kTag = 2;
     static constexpr std::uint8_t kTag2 = 4;
+    static constexpr std::uint8_t kWorn = 8;  // crossed its endurance limit
 
     Block block{};
     std::uint64_t tag = 0;
     std::uint64_t tag2 = 0;
+    std::uint32_t wear = 0;  // demand writes since birth / last migration
     std::uint8_t flags = 0;
   };
+
+  /// Age `ln` by one demand write: wear-level toward a spare near the
+  /// limit, re-fault the line as uncorrectable past it.
+  void apply_wear(Addr line, Line& ln);
+
+  /// Re-inject the stuck-cell fault of a worn-out line after a write laid
+  /// a "fresh" codeword over it (worn cells do not heal).
+  void refault_worn(Addr line, Line& ln);
 
   /// Linear-probing hash table, power-of-two capacity, keys are line+1
   /// (0 = empty). Entries live inline in a parallel array, so a key hit is

@@ -154,9 +154,15 @@ void System::set_fault_injector(FaultInjector* injector) {
 }
 
 RecoveryResult System::crash_and_recover() {
+  return crash_and_recover({});
+}
+
+RecoveryResult System::crash_and_recover(
+    const std::function<void(SecureMemory&)>& pre_recovery) {
   hierarchy_.clear();
   mem_->crash();
   if (fault_injector_ != nullptr) fault_injector_->apply_post_crash(*mem_);
+  if (pre_recovery) pre_recovery(*mem_);
   return mem_->recover();
 }
 

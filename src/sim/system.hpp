@@ -5,6 +5,7 @@
 // simultaneously a correctness check of the whole encrypt/verify path.
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <string>
 
@@ -62,6 +63,12 @@ class System {
   /// Crash-and-recover convenience used by examples/tests: drops CPU
   /// caches, crashes the controller, runs recovery.
   RecoveryResult crash_and_recover();
+
+  /// As above, but runs `pre_recovery` between the crash drain (and any
+  /// injector media faults) and recovery — the window where an adversary
+  /// with media access mutates the durable image.
+  RecoveryResult crash_and_recover(
+      const std::function<void(SecureMemory&)>& pre_recovery);
 
   /// Arm the next crash with an injector (nullptr disarms): the write
   /// queue drains through it at crash() and its post-crash media faults

@@ -1,0 +1,227 @@
+// steins_attack: adversarial scenario campaigns + endurance projection.
+//
+//   steins_attack --trials 1000 --seed 42 --jobs 8
+//   steins_attack --scenarios subtree-rollback,torn-record --schemes steins
+//   steins_attack --trials 1000 --trial 137 --verbose
+//   steins_attack --endurance --schemes steins --json endurance.json
+//
+// Runs N seeded trials per (scheme, scenario): a workload phase, a
+// checkpoint flush at which the adversary snapshots every persisted line,
+// a dirty burst, then a CLEAN crash with the scenario's mutation applied
+// to the durable image (rollback/replay/forgery/tear), recovery, and a
+// strict-window audit — every acknowledged write must read back at its
+// latest version or a check must have fired. Verdicts carry detection
+// latency (accesses from injection to detection) and blast radius
+// (lines/subtrees/blocks quarantined). Every trial is a pure function of
+// (--seed, trial index): bit-identical for any --jobs, and --trial K
+// reruns exactly one trial.
+//
+// --endurance instead runs the accelerated wear campaign per scheme and
+// projects wear-leveling / wear-out / spare-pool-exhaustion milestones to
+// real device endurance and traffic.
+//
+// Exit status: 1 if any silent corruption (or endurance audit mismatch)
+// was observed, 2 for usage errors.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "cli_common.hpp"
+#include "fault/adversary.hpp"
+#include "fault/endurance.hpp"
+
+using namespace steins;
+
+namespace {
+
+struct Options {
+  AttackCampaignOptions campaign;
+  std::string schemes;    // csv; empty = attack_schemes()
+  std::string scenarios;  // csv; empty = all
+  std::string json_path;
+  bool endurance = false;
+  EnduranceOptions wear;
+  bool verbose = false;
+  bool help = false;
+};
+
+void usage() {
+  std::printf(
+      "steins_attack - adversarial campaigns over the secure NVM schemes\n\n"
+      "  --trials <n>        seeded trials per (scheme, scenario) column\n"
+      "                      (default 100; >= 1 unless --trial is given)\n"
+      "  --seed <n>          campaign seed (default 42)\n"
+      "  --jobs <n>          worker threads; results are bit-identical for\n"
+      "                      any value (default 1)\n"
+      "  --schemes <list>    comma-separated wb|asit|star|scue|steins\n"
+      "                      (default: wb,asit,star,scue,steins)\n"
+      "  --scenarios <list>  comma-separated (default: all):\n"
+      "                      node-rollback subtree-rollback nv-bypass-replay\n"
+      "                      record-forgery torn-record data-replay wear-out\n"
+      "  --trial <k>         run only trial k (seed-exact reproduction)\n"
+      "  --ops <n>           phase-1 accesses per trial (default 384)\n"
+      "  --footprint <n>     workload footprint in blocks (default 2048)\n"
+      "  --capacity-mb <n>   per-trial NVM capacity (default 16)\n"
+      "  --mcache-kb <n>     metadata cache size (default 16)\n"
+      "  --json <file>       write the verdict matrix (or endurance report)\n"
+      "  --crypto-backend <ref|ttable|hw|auto>  crypto backend (bit-identical;\n"
+      "                      host wall-clock only; or STEINS_CRYPTO_BACKEND)\n"
+      "  --verbose           per-trial verdicts + adversary event logs\n"
+      "\nendurance mode:\n"
+      "  --endurance         run the accelerated wear campaign instead\n"
+      "  --endurance-mean <n>   per-line accelerated limit (default 96)\n"
+      "  --endurance-sigma <n>  limit spread (default 12)\n"
+      "  --pool <n>             remap spare-pool lines (default 16)\n"
+      "  --max-writes <n>       write-stream cap (default 200000)\n"
+      "  --real-endurance <x>   real cell endurance (default 1e8)\n"
+      "  --writes-per-sec <x>   projected service rate (default 1e6)\n");
+}
+
+bool parse(int argc, char** argv, Options* opt) {
+  cli::ArgParser p(argc, argv);
+  while (p.next()) {
+    if (p.is("--trials")) {
+      opt->campaign.trials = p.u64();
+    } else if (p.is("--seed")) {
+      opt->campaign.seed = p.u64();
+      opt->wear.seed = opt->campaign.seed;
+    } else if (p.is("--jobs")) {
+      opt->campaign.jobs = p.jobs();
+    } else if (p.is("--schemes", "--scheme")) {
+      opt->schemes = p.str();
+    } else if (p.is("--scenarios", "--scenario")) {
+      opt->scenarios = p.str();
+    } else if (p.is("--trial")) {
+      opt->campaign.only_trial = p.u64();
+    } else if (p.is("--ops")) {
+      opt->campaign.workload.ops = p.u64();
+    } else if (p.is("--footprint")) {
+      opt->campaign.workload.footprint_blocks = p.u64();
+    } else if (p.is("--capacity-mb")) {
+      opt->campaign.workload.capacity_mb = p.u64();
+    } else if (p.is("--mcache-kb")) {
+      opt->campaign.workload.mcache_kb = p.u64();
+    } else if (p.is("--json")) {
+      opt->json_path = p.str();
+    } else if (p.is("--crypto-backend")) {
+      const std::string name = p.str();
+      if (!p.failed() && !cli::apply_crypto_backend(name)) return false;
+    } else if (p.is("--endurance")) {
+      opt->endurance = true;
+    } else if (p.is("--endurance-mean")) {
+      opt->wear.accel_endurance_mean = p.u64();
+    } else if (p.is("--endurance-sigma")) {
+      opt->wear.accel_endurance_sigma = p.u64();
+    } else if (p.is("--pool")) {
+      opt->wear.remap_pool_lines = static_cast<std::size_t>(p.u64());
+    } else if (p.is("--max-writes")) {
+      opt->wear.max_writes = p.u64();
+    } else if (p.is("--real-endurance")) {
+      opt->wear.real_endurance_writes = p.f64();
+    } else if (p.is("--writes-per-sec")) {
+      opt->wear.writes_per_second = p.f64();
+    } else if (p.is("--verbose")) {
+      opt->verbose = true;
+    } else if (p.is("--help", "-h")) {
+      opt->help = true;
+    } else {
+      p.unknown();
+    }
+  }
+  return !p.failed();
+}
+
+int run_endurance(const Options& opt, const std::vector<SchemeSpec>& schemes) {
+  std::string json = "[\n";
+  std::uint64_t mismatches = 0;
+  bool first = true;
+  for (const SchemeSpec& spec : schemes) {
+    EnduranceOptions eo = opt.wear;
+    eo.scheme = spec.scheme;
+    const EnduranceReport rep = run_endurance_campaign(eo);
+    std::printf("%s %s\n\n", spec.label.c_str(), rep.to_string().c_str());
+    mismatches += rep.audit_mismatches + (rep.recovery_clean ? 0 : 1);
+    if (!first) json += ",\n";
+    first = false;
+    json += rep.to_json();
+  }
+  json += "]\n";
+  if (!opt.json_path.empty()) {
+    if (!cli::write_json_file(opt.json_path, json)) return 1;
+    std::printf("wrote JSON results to %s\n", opt.json_path.c_str());
+  }
+  if (mismatches > 0) {
+    std::fprintf(stderr, "\nFAIL: %llu endurance audit failure(s)\n",
+                 static_cast<unsigned long long>(mismatches));
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  if (!parse(argc, argv, &opt)) return 2;
+  if (opt.help) {
+    usage();
+    return 0;
+  }
+  if (opt.campaign.trials == 0 && !opt.campaign.only_trial.has_value()) {
+    std::fprintf(stderr,
+                 "error: --trials 0 runs no trials and would report vacuous "
+                 "success; pass --trials >= 1 or reproduce one with --trial\n");
+    return 2;
+  }
+
+  if (!opt.schemes.empty()) {
+    for (const std::string& name : cli::split_csv(opt.schemes)) {
+      const auto s = cli::parse_scheme(name);
+      if (!s.has_value()) {
+        std::fprintf(stderr, "unknown scheme: %s (try --help)\n", name.c_str());
+        return 2;
+      }
+      opt.campaign.schemes.push_back(
+          {*s, CounterMode::kGeneral, scheme_name(*s, CounterMode::kGeneral)});
+    }
+  }
+  for (const std::string& name : cli::split_csv(opt.scenarios)) {
+    const auto s = parse_adversary_scenario(name);
+    if (!s.has_value()) {
+      std::fprintf(stderr, "unknown scenario: %s (try --help)\n", name.c_str());
+      return 2;
+    }
+    opt.campaign.scenarios.push_back(*s);
+  }
+
+  try {
+    if (opt.endurance) {
+      const std::vector<SchemeSpec> schemes =
+          opt.campaign.schemes.empty() ? attack_schemes() : opt.campaign.schemes;
+      return run_endurance(opt, schemes);
+    }
+
+    std::printf("attack campaign: %llu trials, seed %llu, %u job%s\n\n",
+                static_cast<unsigned long long>(
+                    opt.campaign.only_trial.has_value() ? 1 : opt.campaign.trials),
+                static_cast<unsigned long long>(opt.campaign.seed),
+                opt.campaign.jobs, opt.campaign.jobs == 1 ? "" : "s");
+    const AttackCampaignResult result = run_attack_campaign(opt.campaign);
+    result.print(opt.verbose);
+
+    if (!opt.json_path.empty()) {
+      if (!cli::write_json_file(opt.json_path, result.to_json())) return 1;
+      std::printf("wrote JSON results to %s\n", opt.json_path.c_str());
+    }
+
+    if (result.silent_total() > 0) {
+      std::fprintf(stderr, "\nFAIL: %llu silent-corruption verdict(s)\n",
+                   static_cast<unsigned long long>(result.silent_total()));
+      return 1;
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}

@@ -13,14 +13,11 @@
 // any --jobs value, and --trial K reruns exactly one trial for debugging.
 // Exit status is nonzero if any silent corruption was observed; 2 for
 // usage errors (including --trials 0, which would report vacuous success).
-#include <cerrno>
 #include <cstdio>
-#include <cstring>
-#include <sstream>
 #include <string>
 #include <vector>
 
-#include "crypto/backend.hpp"
+#include "cli_common.hpp"
 #include "fault/campaign.hpp"
 
 using namespace steins;
@@ -65,72 +62,44 @@ void usage() {
 }
 
 bool parse(int argc, char** argv, Options* opt) {
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    auto value = [&]() -> const char* { return (i + 1 < argc) ? argv[++i] : ""; };
-    if (arg == "--trials") {
-      opt->campaign.trials = std::strtoull(value(), nullptr, 10);
-    } else if (arg == "--seed") {
-      opt->campaign.seed = std::strtoull(value(), nullptr, 10);
-    } else if (arg == "--jobs") {
-      const long v = std::strtol(value(), nullptr, 10);
-      opt->campaign.jobs = v < 1 ? 1u : static_cast<unsigned>(v);
-    } else if (arg == "--schemes" || arg == "--scheme") {
-      opt->schemes = value();
-    } else if (arg == "--mode") {
-      opt->mode = value();
-    } else if (arg == "--classes" || arg == "--class") {
-      opt->classes = value();
-    } else if (arg == "--trial") {
-      opt->campaign.only_trial = std::strtoull(value(), nullptr, 10);
-    } else if (arg == "--ops") {
-      opt->campaign.workload.ops = std::strtoull(value(), nullptr, 10);
-    } else if (arg == "--footprint") {
-      opt->campaign.workload.footprint_blocks = std::strtoull(value(), nullptr, 10);
-    } else if (arg == "--capacity-mb") {
-      opt->campaign.workload.capacity_mb = std::strtoull(value(), nullptr, 10);
-    } else if (arg == "--mcache-kb") {
-      opt->campaign.workload.mcache_kb = std::strtoull(value(), nullptr, 10);
-    } else if (arg == "--json") {
-      opt->json_path = value();
-    } else if (arg == "--crypto-backend") {
-      const std::string name = value();
-      if (auto b = crypto::parse_backend(name)) {
-        crypto::set_crypto_backend(*b);
-      } else if (name != "auto") {
-        std::fprintf(stderr, "unknown crypto backend: %s (expected ref|ttable|hw|auto)\n",
-                     name.c_str());
-        return false;
-      }
-    } else if (arg == "--verbose") {
+  cli::ArgParser p(argc, argv);
+  while (p.next()) {
+    if (p.is("--trials")) {
+      opt->campaign.trials = p.u64();
+    } else if (p.is("--seed")) {
+      opt->campaign.seed = p.u64();
+    } else if (p.is("--jobs")) {
+      opt->campaign.jobs = p.jobs();
+    } else if (p.is("--schemes", "--scheme")) {
+      opt->schemes = p.str();
+    } else if (p.is("--mode")) {
+      opt->mode = p.str();
+    } else if (p.is("--classes", "--class")) {
+      opt->classes = p.str();
+    } else if (p.is("--trial")) {
+      opt->campaign.only_trial = p.u64();
+    } else if (p.is("--ops")) {
+      opt->campaign.workload.ops = p.u64();
+    } else if (p.is("--footprint")) {
+      opt->campaign.workload.footprint_blocks = p.u64();
+    } else if (p.is("--capacity-mb")) {
+      opt->campaign.workload.capacity_mb = p.u64();
+    } else if (p.is("--mcache-kb")) {
+      opt->campaign.workload.mcache_kb = p.u64();
+    } else if (p.is("--json")) {
+      opt->json_path = p.str();
+    } else if (p.is("--crypto-backend")) {
+      const std::string name = p.str();
+      if (!p.failed() && !cli::apply_crypto_backend(name)) return false;
+    } else if (p.is("--verbose")) {
       opt->verbose = true;
-    } else if (arg == "--help" || arg == "-h") {
+    } else if (p.is("--help", "-h")) {
       opt->help = true;
     } else {
-      std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
-      return false;
+      p.unknown();
     }
   }
-  return true;
-}
-
-Scheme parse_scheme(const std::string& name) {
-  if (name == "wb") return Scheme::kWriteBack;
-  if (name == "asit") return Scheme::kAnubis;
-  if (name == "star") return Scheme::kStar;
-  if (name == "steins") return Scheme::kSteins;
-  if (name == "scue") return Scheme::kScue;
-  throw std::invalid_argument("unknown scheme: " + name);
-}
-
-std::vector<std::string> split_csv(const std::string& csv) {
-  std::vector<std::string> out;
-  std::stringstream ss(csv);
-  std::string item;
-  while (std::getline(ss, item, ',')) {
-    if (!item.empty()) out.push_back(item);
-  }
-  return out;
+  return !p.failed();
 }
 
 }  // namespace
@@ -159,24 +128,28 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  try {
-    if (opt.schemes.empty()) {
-      opt.campaign.schemes = campaign_schemes(mode);
-    } else {
-      for (const std::string& name : split_csv(opt.schemes)) {
-        const Scheme s = parse_scheme(name);
-        opt.campaign.schemes.push_back({s, mode, scheme_name(s, mode)});
-      }
-    }
-    for (const std::string& name : split_csv(opt.classes)) {
-      const auto cls = parse_fault_class(name);
-      if (!cls.has_value()) {
-        std::fprintf(stderr, "unknown fault class: %s\n", name.c_str());
+  if (opt.schemes.empty()) {
+    opt.campaign.schemes = campaign_schemes(mode);
+  } else {
+    for (const std::string& name : cli::split_csv(opt.schemes)) {
+      const auto s = cli::parse_scheme(name);
+      if (!s.has_value()) {
+        std::fprintf(stderr, "unknown scheme: %s (try --help)\n", name.c_str());
         return 2;
       }
-      opt.campaign.classes.push_back(*cls);
+      opt.campaign.schemes.push_back({*s, mode, scheme_name(*s, mode)});
     }
+  }
+  for (const std::string& name : cli::split_csv(opt.classes)) {
+    const auto cls = parse_fault_class(name);
+    if (!cls.has_value()) {
+      std::fprintf(stderr, "unknown fault class: %s (try --help)\n", name.c_str());
+      return 2;
+    }
+    opt.campaign.classes.push_back(*cls);
+  }
 
+  try {
     std::printf("fault campaign: %llu trials, seed %llu, %u job%s, mode %s\n\n",
                 static_cast<unsigned long long>(
                     opt.campaign.only_trial.has_value() ? 1 : opt.campaign.trials),
@@ -186,19 +159,7 @@ int main(int argc, char** argv) {
     result.print(opt.verbose);
 
     if (!opt.json_path.empty()) {
-      std::FILE* f = std::fopen(opt.json_path.c_str(), "w");
-      if (f == nullptr) {
-        std::fprintf(stderr, "cannot open %s: %s\n", opt.json_path.c_str(),
-                     std::strerror(errno));
-        return 1;
-      }
-      const std::string json = result.to_json();
-      const bool wrote = std::fwrite(json.data(), 1, json.size(), f) == json.size();
-      if (std::fclose(f) != 0 || !wrote) {
-        std::fprintf(stderr, "error writing %s: %s\n", opt.json_path.c_str(),
-                     std::strerror(errno));
-        return 1;
-      }
+      if (!cli::write_json_file(opt.json_path, result.to_json())) return 1;
       std::printf("wrote JSON results to %s\n", opt.json_path.c_str());
     }
 

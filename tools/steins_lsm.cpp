@@ -21,9 +21,9 @@
 #include <string>
 #include <vector>
 
+#include "cli_common.hpp"
 #include "common/stats.hpp"
 #include "common/thread_pool.hpp"
-#include "crypto/backend.hpp"
 #include "kv/lsm/lsm_crash.hpp"
 #include "kv/lsm/lsm_ycsb.hpp"
 
@@ -76,87 +76,49 @@ void usage() {
 }
 
 bool parse(int argc, char** argv, Options* opt) {
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    bool missing = false;
-    auto value = [&]() -> const char* {
-      if (i + 1 >= argc) {
-        std::fprintf(stderr, "missing value for %s (try --help)\n", arg.c_str());
-        missing = true;
-        return "";
-      }
-      return argv[++i];
-    };
-    if (arg == "--scheme") {
-      opt->schemes = value();
-    } else if (arg == "--mix") {
-      opt->mix = value();
-    } else if (arg == "--ops") {
-      opt->ops = std::strtoull(value(), nullptr, 10);
-    } else if (arg == "--keys") {
-      opt->keys = std::strtoull(value(), nullptr, 10);
-    } else if (arg == "--value-bytes") {
-      opt->value_bytes = std::strtoull(value(), nullptr, 10);
-    } else if (arg == "--zipf") {
-      opt->zipf_s = std::strtod(value(), nullptr);
-    } else if (arg == "--seed") {
-      opt->seed = std::strtoull(value(), nullptr, 10);
-    } else if (arg == "--capacity-mb") {
-      opt->capacity_mb = std::strtoull(value(), nullptr, 10);
-    } else if (arg == "--memtable-bytes") {
-      opt->memtable_bytes = std::strtoull(value(), nullptr, 10);
-    } else if (arg == "--verify") {
+  cli::ArgParser p(argc, argv);
+  while (p.next()) {
+    if (p.is("--scheme")) {
+      opt->schemes = p.str();
+    } else if (p.is("--mix")) {
+      opt->mix = p.str();
+    } else if (p.is("--ops")) {
+      opt->ops = p.u64();
+    } else if (p.is("--keys")) {
+      opt->keys = p.u64();
+    } else if (p.is("--value-bytes")) {
+      opt->value_bytes = p.u64();
+    } else if (p.is("--zipf")) {
+      opt->zipf_s = p.f64();
+    } else if (p.is("--seed")) {
+      opt->seed = p.u64();
+    } else if (p.is("--capacity-mb")) {
+      opt->capacity_mb = p.u64();
+    } else if (p.is("--memtable-bytes")) {
+      opt->memtable_bytes = p.u64();
+    } else if (p.is("--verify")) {
       opt->verify = true;
-    } else if (arg == "--crash") {
+    } else if (p.is("--crash")) {
       opt->crash = true;
-    } else if (arg == "--crash-ops") {
-      opt->crash_ops = std::strtoull(value(), nullptr, 10);
-    } else if (arg == "--crash-stride") {
-      opt->crash_stride = std::strtoull(value(), nullptr, 10);
+    } else if (p.is("--crash-ops")) {
+      opt->crash_ops = p.u64();
+    } else if (p.is("--crash-stride")) {
+      opt->crash_stride = p.u64();
       if (opt->crash_stride < 1) opt->crash_stride = 1;
-    } else if (arg == "--jobs") {
-      opt->jobs = static_cast<unsigned>(std::strtoul(value(), nullptr, 10));
-      if (opt->jobs < 1) opt->jobs = 1;
-    } else if (arg == "--json") {
-      opt->json_path = value();
-    } else if (arg == "--crypto-backend") {
-      const std::string name = value();
-      if (missing) return false;
-      if (auto b = crypto::parse_backend(name)) {
-        crypto::set_crypto_backend(*b);
-      } else if (name != "auto") {
-        std::fprintf(stderr, "unknown crypto backend: %s (expected ref|ttable|hw|auto)\n",
-                     name.c_str());
-        return false;
-      }
-    } else if (arg == "--help" || arg == "-h") {
+    } else if (p.is("--jobs")) {
+      opt->jobs = p.jobs();
+    } else if (p.is("--json")) {
+      opt->json_path = p.str();
+    } else if (p.is("--crypto-backend")) {
+      const std::string name = p.str();
+      if (!p.failed() && !cli::apply_crypto_backend(name)) return false;
+    } else if (p.is("--help", "-h")) {
       opt->help = true;
     } else {
-      std::fprintf(stderr, "unknown option: %s (try --help)\n", arg.c_str());
-      return false;
+      p.unknown();
     }
-    if (missing) return false;
   }
-  return true;
-}
-
-Scheme parse_scheme(const std::string& name) {
-  if (name == "wb") return Scheme::kWriteBack;
-  if (name == "asit") return Scheme::kAnubis;
-  if (name == "star") return Scheme::kStar;
-  if (name == "steins") return Scheme::kSteins;
-  if (name == "scue") return Scheme::kScue;
-  throw std::invalid_argument("unknown scheme: " + name);
-}
-
-std::vector<std::string> split_csv(const std::string& csv) {
-  std::vector<std::string> out;
-  std::stringstream ss(csv);
-  std::string item;
-  while (std::getline(ss, item, ',')) {
-    if (!item.empty()) out.push_back(item);
-  }
-  return out;
+  return !p.failed();
 }
 
 struct SchemeOutcome {
@@ -271,8 +233,13 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(opt.memtable_bytes));
     std::printf("%-11s %10s %9s %9s %8s %8s   %s\n", "scheme", "kops/s", "p50_ns",
                 "p99_ns", "WA", "WA(log)", opt.crash ? "crash matrix" : "");
-    for (const std::string& name : split_csv(opt.schemes)) {
-      const Scheme scheme = parse_scheme(name);
+    for (const std::string& name : cli::split_csv(opt.schemes)) {
+      const auto parsed = cli::parse_scheme(name);
+      if (!parsed.has_value()) {
+        std::fprintf(stderr, "unknown scheme: %s (try --help)\n", name.c_str());
+        return 2;
+      }
+      const Scheme scheme = *parsed;
       SchemeOutcome o;
       o.label = scheme_name(scheme, cfg.counter_mode);
       o.ycsb = run_lsm_ycsb(cfg, scheme, ycfg);

@@ -12,16 +12,14 @@
 // data, be corrected transparently, or fail with a typed unavailable
 // error — wrong plaintext exits nonzero. Finally it rewrites the
 // quarantined lines to demonstrate the remap/rewrite lifecycle.
-#include <cerrno>
 #include <cstdio>
 #include <cstring>
 #include <string>
 #include <vector>
 
+#include "cli_common.hpp"
 #include "common/rng.hpp"
 #include "common/status.hpp"
-#include "crypto/backend.hpp"
-#include "secure/secure_memory.hpp"
 
 using namespace steins;
 
@@ -61,57 +59,40 @@ void usage() {
 }
 
 bool parse(int argc, char** argv, Options* opt) {
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    auto value = [&]() -> const char* { return (i + 1 < argc) ? argv[++i] : ""; };
-    if (arg == "--scheme") {
-      opt->scheme = value();
-    } else if (arg == "--mode") {
-      opt->mode = value();
-    } else if (arg == "--capacity-mb") {
-      opt->capacity_mb = std::strtoull(value(), nullptr, 10);
-    } else if (arg == "--blocks") {
-      opt->blocks = std::strtoull(value(), nullptr, 10);
-    } else if (arg == "--correctable") {
-      opt->correctable = std::strtoull(value(), nullptr, 10);
-    } else if (arg == "--uncorrectable") {
-      opt->uncorrectable = std::strtoull(value(), nullptr, 10);
-    } else if (arg == "--epochs") {
-      opt->epochs = std::strtoull(value(), nullptr, 10);
-    } else if (arg == "--lines-per-epoch") {
-      opt->lines_per_epoch = static_cast<unsigned>(std::strtoul(value(), nullptr, 10));
-    } else if (arg == "--seed") {
-      opt->seed = std::strtoull(value(), nullptr, 10);
-    } else if (arg == "--no-mac-verify") {
+  cli::ArgParser p(argc, argv);
+  while (p.next()) {
+    if (p.is("--scheme")) {
+      opt->scheme = p.str();
+    } else if (p.is("--mode")) {
+      opt->mode = p.str();
+    } else if (p.is("--capacity-mb")) {
+      opt->capacity_mb = p.u64();
+    } else if (p.is("--blocks")) {
+      opt->blocks = p.u64();
+    } else if (p.is("--correctable")) {
+      opt->correctable = p.u64();
+    } else if (p.is("--uncorrectable")) {
+      opt->uncorrectable = p.u64();
+    } else if (p.is("--epochs")) {
+      opt->epochs = p.u64();
+    } else if (p.is("--lines-per-epoch")) {
+      opt->lines_per_epoch = static_cast<unsigned>(p.u64());
+    } else if (p.is("--seed")) {
+      opt->seed = p.u64();
+    } else if (p.is("--no-mac-verify")) {
       opt->no_mac_verify = true;
-    } else if (arg == "--json") {
-      opt->json_path = value();
-    } else if (arg == "--crypto-backend") {
-      const std::string name = value();
-      if (auto b = crypto::parse_backend(name)) {
-        crypto::set_crypto_backend(*b);
-      } else if (name != "auto") {
-        std::fprintf(stderr, "unknown crypto backend: %s (expected ref|ttable|hw|auto)\n",
-                     name.c_str());
-        return false;
-      }
-    } else if (arg == "--help" || arg == "-h") {
+    } else if (p.is("--json")) {
+      opt->json_path = p.str();
+    } else if (p.is("--crypto-backend")) {
+      const std::string name = p.str();
+      if (!p.failed() && !cli::apply_crypto_backend(name)) return false;
+    } else if (p.is("--help", "-h")) {
       opt->help = true;
     } else {
-      std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
-      return false;
+      p.unknown();
     }
   }
-  return true;
-}
-
-Scheme parse_scheme(const std::string& name) {
-  if (name == "wb") return Scheme::kWriteBack;
-  if (name == "asit") return Scheme::kAnubis;
-  if (name == "star") return Scheme::kStar;
-  if (name == "steins") return Scheme::kSteins;
-  if (name == "scue") return Scheme::kScue;
-  throw std::invalid_argument("unknown scheme: " + name);
+  return !p.failed();
 }
 
 Block pattern_block(std::uint64_t seed, Addr addr) {
@@ -163,6 +144,12 @@ int main(int argc, char** argv) {
     return 0;
   }
 
+  const auto scheme = cli::parse_scheme(opt.scheme);
+  if (!scheme.has_value()) {
+    std::fprintf(stderr, "unknown scheme: %s (try --help)\n", opt.scheme.c_str());
+    return 2;
+  }
+
   try {
     SystemConfig cfg = default_config();
     cfg.nvm.capacity_bytes = opt.capacity_mb * 1024 * 1024;
@@ -172,8 +159,7 @@ int main(int argc, char** argv) {
     cfg.secure.ft.scrub_lines_per_epoch = opt.lines_per_epoch;
     cfg.secure.ft.scrub_verify_macs = !opt.no_mac_verify;
 
-    const std::unique_ptr<SecureMemory> mem_owner =
-        make_scheme(parse_scheme(opt.scheme), cfg);
+    const std::unique_ptr<SecureMemory> mem_owner = make_scheme(*scheme, cfg);
     auto* mem = dynamic_cast<SecureMemoryBase*>(mem_owner.get());
     if (mem == nullptr) {
       std::fprintf(stderr, "scheme does not expose the scrub interface\n");
