@@ -545,6 +545,14 @@ AttackCell AttackCampaignResult::cell(const std::string& scheme,
       case FaultVerdict::kSilentCorruption:
         ++c.silent;
         break;
+      case FaultVerdict::kRecoveredAfterRetry:
+        // Attack trials don't arm nested recovery crashes; fold a retried
+        // convergence into recovered, and a give-up into the failure bucket.
+        ++c.recovered;
+        break;
+      case FaultVerdict::kRecoveryCrashUnrecoverable:
+        ++c.silent;
+        break;
     }
     if (o.trial.faults_injected > 0) ++c.injected;
     c.blast_lines.push_back(o.trial.blast_lines + o.trial.blast_subtrees);

@@ -56,6 +56,10 @@ const char* fault_verdict_name(FaultVerdict v) {
       return "salvaged";
     case FaultVerdict::kSilentCorruption:
       return "silent-corruption";
+    case FaultVerdict::kRecoveredAfterRetry:
+      return "recovered-after-retry";
+    case FaultVerdict::kRecoveryCrashUnrecoverable:
+      return "recovery-crash-unrecoverable";
   }
   return "?";
 }
@@ -246,7 +250,8 @@ TrialOutcome run_fault_trial_hooked(const SchemeSpec& spec, FaultClass cls,
     mem->set_fault_injector(&injector);
     mem->crash();
     injector.apply_post_crash(*mem);
-    mem->set_fault_injector(nullptr);
+    // The injector stays installed through recovery: a nested recovery
+    // crash, when armed, fires at the chosen persist boundary inside it.
     out.faults_injected += injector.events().size();
     out.events = injector.event_summary();
     if (hooks != nullptr && hooks->post_crash) {
@@ -267,14 +272,31 @@ TrialOutcome run_fault_trial_hooked(const SchemeSpec& spec, FaultClass cls,
     const std::map<Addr, std::uint64_t>& checkpoint =
         (hooks != nullptr && hooks->strict_window) ? versions : checkpoint_flush;
 
+    if (workload.recovery_crash_boundary != 0) {
+      injector.arm_recovery_crash(workload.recovery_crash_boundary,
+                                  workload.recovery_crash_rearm);
+    }
     RecoveryResult r;
     try {
-      r = mem->recover();
+      r = recover_with_retry(*mem, &injector, workload.retry_policy);
     } catch (const IntegrityViolation& e) {
+      mem->set_fault_injector(nullptr);
       detected(std::string("recovery raised: ") + e.what(), "recovery");
       return true;
     } catch (const std::exception& e) {
+      mem->set_fault_injector(nullptr);
       silent(std::string("recovery crashed: ") + e.what());
+      return true;
+    }
+    mem->set_fault_injector(nullptr);
+    out.recovery_attempts = r.attempt_count();
+    out.recovery_seconds = r.seconds;
+    out.resume_cursor = r.resume_cursor;
+    if (r.recovery_gave_up) {
+      // The bounded retry budget ran out with the machine still down: an
+      // availability failure, reported as its own verdict.
+      out.verdict = FaultVerdict::kRecoveryCrashUnrecoverable;
+      out.detail = r.status.message();
       return true;
     }
     if (!r.status.ok()) {
@@ -384,12 +406,183 @@ TrialOutcome run_fault_trial_hooked(const SchemeSpec& spec, FaultClass cls,
       }
       return true;
     }
+    if (out.recovery_attempts > 1) {
+      out.verdict = FaultVerdict::kRecoveredAfterRetry;
+      out.detail = "converged after " + std::to_string(out.recovery_attempts) +
+                   " recovery attempts";
+      return true;
+    }
     out.verdict = FaultVerdict::kRecovered;
     return true;
   }();
   (void)done;
 
   fill_blast();
+  return out;
+}
+
+MulticycleOutcome run_multicycle_trial(const SchemeSpec& spec, FaultClass cls,
+                                       std::uint64_t campaign_seed, std::uint64_t trial,
+                                       std::uint64_t cycles,
+                                       const FaultTrialOptions& workload,
+                                       const MulticycleHooks* hooks) {
+  MulticycleOutcome out;
+  out.trial = trial;
+  out.scheme = spec.label;
+
+  SystemConfig cfg = default_config();
+  cfg.nvm.capacity_bytes = workload.capacity_mb << 20;
+  cfg.secure.metadata_cache.size_bytes = workload.mcache_kb * 1024;
+  cfg.counter_mode = spec.mode;
+  cfg.crypto = CryptoProfile::kFast;
+  cfg.secure.ft = workload.ft;
+  std::unique_ptr<SecureMemory> mem = make_scheme(spec.scheme, cfg);
+  auto* base = dynamic_cast<SecureMemoryBase*>(mem.get());
+
+  SplitMix64 sm(campaign_seed ^ (trial * 0x2545f4914f6cdd1dULL) ^ 0xC1C1E5ULL);
+  Xoshiro256 rng(sm.next());
+  std::map<Addr, std::uint64_t> versions;
+  Cycle now = 0;
+  std::string events;
+
+  const auto pick_addr = [&]() -> Addr {
+    return rng.below(workload.footprint_blocks) * kBlockSize;
+  };
+  const auto do_write = [&](Addr addr) {
+    const std::uint64_t v = versions[addr] + 1;
+    now = mem->write_block(addr, trial_pattern_block(addr, v), now);
+    versions[addr] = v;
+  };
+  // Degraded service (typed unavailability from earlier cycles' quarantine)
+  // is a legal steady state across cycles, never a trial abort.
+  bool degraded = false;
+  bool retried = false;
+  const auto run_op = [&](Addr addr, bool write) -> bool {
+    try {
+      if (write) {
+        do_write(addr);
+      } else {
+        Block got;
+        now = mem->read_block(addr, now, &got);
+      }
+      return true;
+    } catch (const StatusError& e) {
+      if (!is_unavailable(e.code())) throw;
+      degraded = true;
+      return true;
+    }
+  };
+
+  for (std::uint64_t c = 0; c < cycles; ++c) {
+    out.cycles_run = c + 1;
+    // Workload: mixed phase, checkpoint flush, dirty burst — same anatomy
+    // as a single-cycle trial, continuing the same version history.
+    try {
+      for (std::uint64_t i = 0; i < workload.ops; ++i) run_op(pick_addr(), rng.chance(0.75));
+      base->flush_all_metadata();
+    } catch (const IntegrityViolation& e) {
+      out.verdict = FaultVerdict::kSilentCorruption;
+      out.detail = "cycle " + std::to_string(c) + " workload raised: " + e.what();
+      return out;
+    }
+    const std::map<Addr, std::uint64_t> checkpoint = versions;
+    try {
+      for (std::uint64_t i = 0; i < workload.ops / 2; ++i) run_op(pick_addr(), rng.chance(0.9));
+    } catch (const IntegrityViolation& e) {
+      out.verdict = FaultVerdict::kSilentCorruption;
+      out.detail = "cycle " + std::to_string(c) + " burst raised: " + e.what();
+      return out;
+    }
+
+    // Crash under this cycle's fault plan; adversarial mutation follows.
+    const FaultPlan plan = FaultPlan::derive(cls, campaign_seed, trial * 31 + c);
+    FaultInjector injector(plan);
+    mem->set_fault_injector(&injector);
+    mem->crash();
+    injector.apply_post_crash(*mem);
+    out.faults_injected += injector.events().size();
+    if (hooks != nullptr && hooks->post_crash) {
+      std::string ev;
+      if (hooks->post_crash(*base, c, &ev)) {
+        ++out.faults_injected;
+        if (!ev.empty()) events += (events.empty() ? "" : "; ") + ev;
+      }
+    }
+    if (workload.recovery_crash_boundary != 0) {
+      injector.arm_recovery_crash(workload.recovery_crash_boundary,
+                                  workload.recovery_crash_rearm);
+    }
+    const RecoveryResult r = recover_with_retry(*mem, &injector, workload.retry_policy);
+    mem->set_fault_injector(nullptr);
+    out.attempts_per_cycle.push_back(r.attempt_count());
+    out.recovery_seconds_per_cycle.push_back(r.seconds);
+    if (r.attempt_count() > 1) retried = true;
+    if (r.recovery_gave_up) {
+      out.verdict = FaultVerdict::kRecoveryCrashUnrecoverable;
+      out.detail = "cycle " + std::to_string(c) + ": " + r.status.message();
+      return out;
+    }
+    if (r.attack_detected) {
+      out.verdict = FaultVerdict::kDetected;
+      out.detail = "cycle " + std::to_string(c) + " recovery flagged: " + r.attack_detail;
+      if (!events.empty()) out.detail += " [" + events + "]";
+      return out;
+    }
+    if (!r.status.ok()) {
+      out.verdict = FaultVerdict::kSilentCorruption;
+      out.detail = "cycle " + std::to_string(c) + " recovery internal error: " +
+                   r.status.to_string();
+      return out;
+    }
+    degraded = degraded || r.degraded();
+
+    // Audit: every written block serves an authentic version from
+    // [checkpoint, latest] (or refuses with a typed error when degraded).
+    for (const auto& [addr, latest] : versions) {
+      Block got;
+      try {
+        now = mem->read_block(addr, now, &got);
+      } catch (const IntegrityViolation& e) {
+        out.verdict = FaultVerdict::kDetected;
+        out.detail = "cycle " + std::to_string(c) + " audit read raised: " + e.what();
+        return out;
+      } catch (const StatusError& e) {
+        if (is_unavailable(e.code())) {
+          degraded = true;
+          continue;
+        }
+        out.verdict = FaultVerdict::kSilentCorruption;
+        out.detail = "cycle " + std::to_string(c) + " audit read crashed: " + e.what();
+        return out;
+      }
+      const auto cp_it = checkpoint.find(addr);
+      const std::uint64_t cp = cp_it == checkpoint.end() ? 0 : cp_it->second;
+      const std::uint64_t v = got == zero_block() ? 0 : pattern_version(got);
+      const bool ok = (v == 0 && cp == 0) ||
+                      (v >= std::max<std::uint64_t>(cp, 1) && v <= latest &&
+                       got == trial_pattern_block(addr, v));
+      if (!ok) {
+        out.verdict = FaultVerdict::kSilentCorruption;
+        out.detail = "cycle " + std::to_string(c) + " block " +
+                     std::to_string(addr / kBlockSize) + " read unauthentic state (v" +
+                     std::to_string(v) + ", window [" + std::to_string(cp) + ", " +
+                     std::to_string(latest) + "])";
+        return out;
+      }
+      // Pin the audited version: later cycles may not roll behind it.
+      versions[addr] = std::max<std::uint64_t>(v, cp);
+    }
+  }
+
+  out.verdict = degraded  ? FaultVerdict::kSalvaged
+                : retried ? FaultVerdict::kRecoveredAfterRetry
+                          : FaultVerdict::kRecovered;
+  if (out.verdict == FaultVerdict::kRecoveredAfterRetry) {
+    std::uint64_t total_attempts = 0;
+    for (const std::uint64_t a : out.attempts_per_cycle) total_attempts += a;
+    out.detail = std::to_string(out.cycles_run) + " cycles, " +
+                 std::to_string(total_attempts) + " recovery attempts total";
+  }
   return out;
 }
 
@@ -453,6 +646,12 @@ CampaignCell CampaignResult::cell(const std::string& scheme, FaultClass cls) con
       case FaultVerdict::kSilentCorruption:
         ++c.silent;
         break;
+      case FaultVerdict::kRecoveredAfterRetry:
+        ++c.recovered_retry;
+        break;
+      case FaultVerdict::kRecoveryCrashUnrecoverable:
+        ++c.unrecoverable;
+        break;
     }
   }
   return c;
@@ -470,6 +669,22 @@ std::uint64_t CampaignResult::salvaged_total() const {
   std::uint64_t n = 0;
   for (const TrialOutcome& o : outcomes) {
     if (o.verdict == FaultVerdict::kSalvaged) ++n;
+  }
+  return n;
+}
+
+std::uint64_t CampaignResult::retried_total() const {
+  std::uint64_t n = 0;
+  for (const TrialOutcome& o : outcomes) {
+    if (o.verdict == FaultVerdict::kRecoveredAfterRetry) ++n;
+  }
+  return n;
+}
+
+std::uint64_t CampaignResult::unrecoverable_total() const {
+  std::uint64_t n = 0;
+  for (const TrialOutcome& o : outcomes) {
+    if (o.verdict == FaultVerdict::kRecoveryCrashUnrecoverable) ++n;
   }
   return n;
 }
@@ -499,22 +714,39 @@ void CampaignResult::print(bool verbose, std::FILE* out) const {
     for (const FaultClass cls : options.classes) {
       const CampaignCell c = cell(s.label, cls);
       char buf[48];
+      // Retried-but-converged counts as recovered in the matrix; the
+      // summary line below breaks the re-entry outcomes out separately.
       std::snprintf(buf, sizeof buf, "%llu/%llu/%llu/%llu",
                     static_cast<unsigned long long>(c.detected),
-                    static_cast<unsigned long long>(c.recovered),
+                    static_cast<unsigned long long>(c.recovered + c.recovered_retry),
                     static_cast<unsigned long long>(c.salvaged),
-                    static_cast<unsigned long long>(c.silent));
+                    static_cast<unsigned long long>(c.silent + c.unrecoverable));
       std::fprintf(out, " %17s", buf);
     }
     std::fprintf(out, "\n");
   }
   const std::uint64_t silent = silent_total();
+  const std::uint64_t unrecoverable = unrecoverable_total();
   std::fprintf(out,
                "\ntrials: %llu x %zu schemes  salvaged: %llu  silent-corruption: %llu\n",
                static_cast<unsigned long long>(
                    options.only_trial.has_value() ? 1 : options.trials),
                options.schemes.size(), static_cast<unsigned long long>(salvaged_total()),
                static_cast<unsigned long long>(silent));
+  if (retried_total() > 0 || unrecoverable > 0) {
+    std::fprintf(out, "re-entrant recovery: recovered-after-retry: %llu  unrecoverable: %llu\n",
+                 static_cast<unsigned long long>(retried_total()),
+                 static_cast<unsigned long long>(unrecoverable));
+  }
+  if (unrecoverable > 0) {
+    for (const TrialOutcome& o : outcomes) {
+      if (o.verdict != FaultVerdict::kRecoveryCrashUnrecoverable) continue;
+      std::fprintf(out, "UNRECOVERABLE trial %llu scheme %s class %s: %s (%llu attempts)\n",
+                   static_cast<unsigned long long>(o.trial), o.scheme.c_str(),
+                   fault_class_name(o.cls), o.detail.c_str(),
+                   static_cast<unsigned long long>(o.recovery_attempts));
+    }
+  }
   if (silent > 0 || verbose) {
     for (const TrialOutcome* o : silent_outcomes()) {
       std::fprintf(out, "SILENT trial %llu scheme %s class %s: %s\n  faults: %s\n",
@@ -556,11 +788,15 @@ std::string CampaignResult::to_json() const {
       os << (first ? "" : ",") << "\n  {\"scheme\": \"" << json_escape(s.label)
          << "\", \"class\": \"" << fault_class_name(cls) << "\", \"detected\": " << c.detected
          << ", \"recovered\": " << c.recovered << ", \"salvaged\": " << c.salvaged
-         << ", \"silent_corruption\": " << c.silent << "}";
+         << ", \"silent_corruption\": " << c.silent
+         << ", \"recovered_after_retry\": " << c.recovered_retry
+         << ", \"unrecoverable\": " << c.unrecoverable << "}";
       first = false;
     }
   }
   os << "\n ],\n \"salvaged_total\": " << salvaged_total()
+     << ",\n \"retried_total\": " << retried_total()
+     << ",\n \"unrecoverable_total\": " << unrecoverable_total()
      << ",\n \"silent_total\": " << silent_total() << ",\n \"silent_trials\": [";
   const auto silents = silent_outcomes();
   for (std::size_t i = 0; i < silents.size(); ++i) {

@@ -16,6 +16,16 @@
 //                      rollback past the checkpoint, or an unexpected crash
 //                      of the recovery code. Always a real bug.
 //
+// With a nested recovery crash armed (DESIGN.md §17) two more verdicts
+// appear:
+//
+//   recovered-after-retry        recovery itself crashed at an armed persist
+//                                boundary, was re-entered, and converged to
+//                                a clean audit (>= 2 attempts);
+//   recovery-crash-unrecoverable the bounded retry budget ran out with the
+//                                machine still down — an availability
+//                                failure, never acceptable in a sweep.
+//
 // Trials are pure functions of (campaign seed, trial index): the workload,
 // the crash point, and every injected fault derive from them, so a verdict
 // reproduces bit-for-bit — alone, under --jobs N, or re-run via --trial.
@@ -33,7 +43,14 @@
 
 namespace steins {
 
-enum class FaultVerdict { kDetected, kRecovered, kSalvaged, kSilentCorruption };
+enum class FaultVerdict {
+  kDetected,
+  kRecovered,
+  kSalvaged,
+  kSilentCorruption,
+  kRecoveredAfterRetry,
+  kRecoveryCrashUnrecoverable,
+};
 
 const char* fault_verdict_name(FaultVerdict v);
 
@@ -61,6 +78,14 @@ struct FaultTrialOptions {
   std::uint64_t endurance_sigma_writes = 0;
   /// Override the device spare-line pool (nullopt keeps NvmConfig's 32).
   std::optional<std::size_t> remap_pool_lines;
+  /// Nested recovery crash (DESIGN.md §17): arm the injector to crash the
+  /// recovery itself at this 1-based persist boundary (0 = off), optionally
+  /// re-arming at the same depth on every retry so only the exponential
+  /// persist-budget backoff makes progress.
+  std::uint64_t recovery_crash_boundary = 0;
+  bool recovery_crash_rearm = false;
+  /// Bounded re-entry budget for crashed recoveries.
+  RecoveryRetryPolicy retry_policy;
 };
 
 struct TrialOutcome {
@@ -89,6 +114,11 @@ struct TrialOutcome {
   std::uint64_t blast_lines = 0;     // single 64 B lines retired/quarantined
   std::uint64_t blast_subtrees = 0;  // quarantined subtree data ranges
   std::uint64_t blast_blocks = 0;    // resident data blocks left read-blocked
+
+  // --- Re-entrant recovery telemetry (DESIGN.md §17) ----------------------
+  std::uint64_t recovery_attempts = 1;  // attempts the recovery took
+  double recovery_seconds = 0.0;        // modeled seconds across all attempts
+  std::uint64_t resume_cursor = 0;      // persisted resume-cursor entries
 };
 
 struct CampaignOptions {
@@ -107,7 +137,11 @@ struct CampaignCell {
   std::uint64_t recovered = 0;
   std::uint64_t salvaged = 0;
   std::uint64_t silent = 0;
-  std::uint64_t total() const { return detected + recovered + salvaged + silent; }
+  std::uint64_t recovered_retry = 0;  // converged only after re-entry
+  std::uint64_t unrecoverable = 0;    // retry budget exhausted, machine down
+  std::uint64_t total() const {
+    return detected + recovered + salvaged + silent + recovered_retry + unrecoverable;
+  }
 };
 
 struct CampaignResult {
@@ -117,6 +151,8 @@ struct CampaignResult {
   CampaignCell cell(const std::string& scheme, FaultClass cls) const;
   std::uint64_t silent_total() const;
   std::uint64_t salvaged_total() const;
+  std::uint64_t retried_total() const;        // recovered-after-retry trials
+  std::uint64_t unrecoverable_total() const;  // retry budget exhausted
   std::vector<const TrialOutcome*> silent_outcomes() const;
 
   /// Verdict matrix (+ silent trial details when verbose).
@@ -176,6 +212,42 @@ TrialOutcome run_fault_trial_hooked(const SchemeSpec& spec, FaultClass cls,
                                     std::uint64_t campaign_seed, std::uint64_t trial,
                                     const FaultTrialOptions& workload,
                                     const TrialHooks* hooks);
+
+/// Outcome of one K-cycle crash/recover trial (run_multicycle_trial): the
+/// same instance crashes and recovers `cycles_run` times, with fresh
+/// workload between cycles and optional adversarial mutation after each
+/// crash. The verdict is the worst across cycles; the trial stops early on
+/// a terminal verdict (detected / silent / unrecoverable).
+struct MulticycleOutcome {
+  std::uint64_t trial = 0;
+  std::string scheme;
+  FaultVerdict verdict = FaultVerdict::kRecovered;
+  std::string detail;
+  std::uint64_t cycles_run = 0;
+  std::uint64_t faults_injected = 0;
+  std::vector<std::uint64_t> attempts_per_cycle;  // recovery attempts, per cycle
+  std::vector<double> recovery_seconds_per_cycle;  // modeled recovery time, per cycle
+};
+
+/// Per-cycle hooks for multi-cycle trials. All callbacks may be empty.
+struct MulticycleHooks {
+  /// After cycle c's crash drain (and the fault plan's media faults),
+  /// before recovery. Return true when a mutation was applied; the string,
+  /// if nonempty, is appended to the trial's injected-event log.
+  std::function<bool(SecureMemoryBase&, std::uint64_t cycle, std::string*)> post_crash;
+};
+
+/// Run one K-cycle trial: each cycle drives the seeded workload (mixed
+/// phase, checkpoint flush, dirty burst), crashes under fault plan
+/// FaultPlan::derive(cls, seed, trial*31+cycle), recovers through the
+/// bounded retry loop (honoring workload.recovery_crash_boundary /
+/// retry_policy), and audits every written block against the
+/// [checkpoint, latest] window before the next cycle begins.
+MulticycleOutcome run_multicycle_trial(const SchemeSpec& spec, FaultClass cls,
+                                       std::uint64_t campaign_seed, std::uint64_t trial,
+                                       std::uint64_t cycles,
+                                       const FaultTrialOptions& workload,
+                                       const MulticycleHooks* hooks = nullptr);
 
 /// Run the whole matrix. Trial t draws fault class classes[t % size], so
 /// every class gets an equal share of trials; `jobs` > 1 fans cells across

@@ -1,0 +1,62 @@
+// Differential convergence harness for re-entrant recovery.
+//
+// Claim under test (DESIGN.md §17): a recovery attempt that crashes at ANY
+// persist boundary and is re-entered converges to the same post-recovery
+// image an uncrashed recovery produces. The harness runs the identical
+// seeded workload in two scheme instances, crashes both at the same point,
+// recovers one cleanly and one with a nested crash armed at a chosen
+// boundary (retried by recover_with_retry), then compares:
+//
+//   * the durable data region bit-for-bit (blocks + ECC-colocated MAC tags);
+//   * the quarantine map entry-for-entry;
+//   * for schemes with content-pure metadata (generated counters: Steins,
+//     SCUE) the SIT metadata region bit-for-bit after a full flush;
+//   * the plaintext every written block serves — same bytes, or the same
+//     *typed* unavailability;
+//   * the recovery reports' verdict fields (attack flag, degraded mode).
+//
+// Any divergence is a re-entrancy bug: durable state from the aborted
+// attempt leaked into the converged image.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "fault/fault.hpp"
+#include "sim/experiment.hpp"
+
+namespace steins {
+
+struct DifferentialOptions {
+  std::uint64_t seed = 1;              // workload stream seed
+  std::uint64_t ops = 192;             // phase-1 accesses (75% writes)
+  std::uint64_t footprint_blocks = 512;
+  std::uint64_t capacity_mb = 16;
+  std::uint64_t mcache_kb = 16;
+  /// 1-based recovery persist boundary to crash the trial run at
+  /// (0 = no nested crash: both runs recover cleanly, a self-check).
+  std::uint64_t boundary = 0;
+  /// Re-arm the crash on every retry (exercises the backoff path).
+  bool rearm = false;
+  RecoveryRetryPolicy policy;
+};
+
+struct DifferentialResult {
+  bool converged = false;
+  std::string divergence;            // empty when converged
+  std::uint64_t total_boundaries = 0;  // persists the clean recovery crossed
+  RecoveryReport crashed;            // report of the nested-crash run
+  RecoveryReport clean;              // report of the uncrashed run
+};
+
+/// Run one differential trial for a make_scheme()-constructible spec.
+DifferentialResult run_differential_trial(const SchemeSpec& spec,
+                                          const DifferentialOptions& opt);
+
+/// Boundary census: run the workload once, recover cleanly with a disarmed
+/// injector attached, and return how many persist boundaries the recovery
+/// crossed — the sweep range for stride tests.
+std::uint64_t count_recovery_boundaries(const SchemeSpec& spec,
+                                        const DifferentialOptions& opt);
+
+}  // namespace steins

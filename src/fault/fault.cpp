@@ -96,6 +96,9 @@ std::string to_string(const FaultEvent& e) {
     case FaultEvent::Kind::kCorrectable:
       kind = "correctable";
       break;
+    case FaultEvent::Kind::kRecoveryCrash:
+      kind = "recovery-crash";
+      break;
   }
   return std::string(kind) + "@0x" +
          [](std::uint64_t v) {
@@ -267,6 +270,38 @@ void FaultInjector::flip_correctable(NvmDevice& dev, Addr addr) {
   const unsigned retries = static_cast<unsigned>(rng_.below(3));
   dev.inject_ecc_error(addr, static_cast<unsigned>(bit), /*correctable=*/true, retries);
   events_.push_back({FaultEvent::Kind::kCorrectable, addr, bit});
+}
+
+RecoveryReport recover_with_retry(SecureMemory& mem, FaultInjector* injector,
+                                  const RecoveryRetryPolicy& policy) {
+  const unsigned max_attempts = std::max(1u, policy.max_recovery_attempts);
+  for (unsigned attempt = 1;; ++attempt) {
+    if (injector != nullptr) injector->begin_recovery_attempt();
+    try {
+      return mem.recover();
+    } catch (const RecoveryCrash& rc) {
+      mem.note_recovery_crash(rc.boundary, rc.stage);
+      if (attempt >= max_attempts) {
+        RecoveryReport r;
+        r.status = Status(ErrorCode::kUnavailable,
+                          "recovery crashed at persist boundary " +
+                              std::to_string(rc.boundary) + " (" + rc.stage +
+                              ") on attempt " + std::to_string(attempt) + "/" +
+                              std::to_string(max_attempts));
+        r.recovery_gave_up = true;
+        r.attempts = mem.drain_attempt_log();
+        return r;
+      }
+      // Power failed again mid-recovery: volatile state is lost and the ADR
+      // domain drains once more before the attempt is re-entered. Media
+      // faults (apply_post_crash) are NOT re-applied — they model the one
+      // original failure, not a fault per retry.
+      mem.crash();
+      if (injector != nullptr && policy.exponential_backoff) {
+        injector->backoff_recovery_budget();
+      }
+    }
+  }
 }
 
 void FaultInjector::apply_post_crash(SecureMemory& mem) {

@@ -79,13 +79,32 @@ struct FaultPlan {
 
 /// One concrete injected fault, for logs and reproduction reports.
 struct FaultEvent {
-  enum class Kind { kDrop, kTear, kReorder, kFlipBlock, kFlipTag, kCorrectable };
+  enum class Kind {
+    kDrop,
+    kTear,
+    kReorder,
+    kFlipBlock,
+    kFlipTag,
+    kCorrectable,
+    kRecoveryCrash,  // nested crash delivered at a recovery persist boundary
+  };
   Kind kind;
   Addr addr = 0;
   std::uint64_t detail = 0;  // torn-word mask / flipped bit index / position
 };
 
 std::string to_string(const FaultEvent& e);
+
+/// Thrown by FaultInjector::on_recovery_persist when a nested crash is
+/// armed at the boundary being crossed. Deliberately NOT derived from
+/// std::exception: scheme recover() implementations catch
+/// IntegrityViolation / StatusError / std::exception and convert them to
+/// reports, but a nested power failure must unwind the whole recovery and
+/// reach the retry loop (recover_with_retry) untouched.
+struct RecoveryCrash {
+  std::uint64_t boundary = 0;  // 1-based persist-boundary index hit
+  const char* stage = "";      // coarse label: "meta", "qmap", "rebuild", ...
+};
 
 class FaultInjector {
  public:
@@ -114,6 +133,58 @@ class FaultInjector {
   /// Joined human-readable event log (capped), for verdict details.
   std::string event_summary(std::size_t max_events = 8) const;
 
+  // --- Nested crashes: recovery as a crash domain --------------------------
+  //
+  // Recovery itself writes durable state (rebuilt nodes, quarantine-map
+  // updates, record flushes, resume cursors). Each such write crosses a
+  // *recovery persist boundary*: the memory calls on_recovery_persist()
+  // BEFORE making the write durable (throw-before-poke), so an armed crash
+  // aborts the attempt with zero durable trace of the aborted boundary.
+
+  /// Arm a crash at the `boundary`-th (1-based) persist boundary of the
+  /// next recovery attempt. With `rearm`, the crash re-arms after firing so
+  /// every retry crashes too (until backoff_recovery_budget() moves the
+  /// boundary out of reach or the attempt budget runs out).
+  void arm_recovery_crash(std::uint64_t boundary, bool rearm = false) {
+    recovery_crash_at_ = boundary;
+    recovery_rearm_ = rearm;
+  }
+  void disarm_recovery_crash() { recovery_crash_at_ = 0; recovery_rearm_ = false; }
+  bool recovery_crash_armed() const { return recovery_crash_at_ != 0; }
+  std::uint64_t recovery_crash_boundary() const { return recovery_crash_at_; }
+
+  /// Reset the per-attempt boundary counter (retry loop calls this before
+  /// each recover()).
+  void begin_recovery_attempt() { recovery_persists_ = 0; }
+
+  /// Exponential persist-budget backoff: after a crashed attempt, double
+  /// the armed boundary so the re-armed crash strikes ever later — each
+  /// retry is guaranteed to get at least as far as the last one did, and a
+  /// persistent adversary still converges within O(log boundaries) retries.
+  void backoff_recovery_budget() {
+    if (recovery_crash_at_ != 0 && recovery_rearm_) recovery_crash_at_ *= 2;
+  }
+
+  /// A recovery persist boundary is being crossed. Counts it; throws
+  /// RecoveryCrash when the armed boundary is reached (self-disarming
+  /// unless rearm was requested).
+  void on_recovery_persist(const char* stage) {
+    ++recovery_persists_;
+    if (recovery_crash_at_ != 0 && recovery_persists_ == recovery_crash_at_) {
+      const std::uint64_t boundary = recovery_crash_at_;
+      if (!recovery_rearm_) recovery_crash_at_ = 0;
+      ++recovery_crashes_;
+      events_.push_back({FaultEvent::Kind::kRecoveryCrash, 0, boundary});
+      throw RecoveryCrash{boundary, stage};
+    }
+  }
+
+  /// Boundaries seen in the current (or last) attempt — a disarmed dry run
+  /// measures how many boundaries a recovery has, for stride sweeps.
+  std::uint64_t recovery_persists() const { return recovery_persists_; }
+  /// Nested crashes delivered over the injector's lifetime.
+  std::uint64_t recovery_crashes() const { return recovery_crashes_; }
+
  private:
   /// Mix old and new data at 8-byte-word granularity; returns the mask of
   /// words taken from the *new* data (never all-ones, never zero).
@@ -127,6 +198,28 @@ class FaultInjector {
   FaultPlan plan_;
   Xoshiro256 rng_;
   std::vector<FaultEvent> events_;
+  std::uint64_t recovery_crash_at_ = 0;  // 0 = disarmed; else 1-based boundary
+  bool recovery_rearm_ = false;
+  std::uint64_t recovery_persists_ = 0;
+  std::uint64_t recovery_crashes_ = 0;
 };
+
+/// Bounded re-entry policy for crashed recoveries (System::crash_and_recover
+/// and the direct-drive harnesses share it).
+struct RecoveryRetryPolicy {
+  unsigned max_recovery_attempts = 8;
+  /// Double the armed persist budget between re-armed attempts.
+  bool exponential_backoff = true;
+};
+
+/// Run `mem.recover()`, re-entering it after each nested RecoveryCrash:
+/// crash() is replayed (volatile loss + ADR drain), the injector's
+/// per-attempt counter resets, and — under the policy's backoff — a
+/// re-armed crash budget doubles. Gives up after max_recovery_attempts,
+/// returning a report with status kUnavailable ("recovery crash
+/// unrecoverable") so campaigns can classify it. Per-attempt telemetry is
+/// folded into the final report's attempt log.
+RecoveryReport recover_with_retry(SecureMemory& mem, FaultInjector* injector,
+                                  const RecoveryRetryPolicy& policy = {});
 
 }  // namespace steins

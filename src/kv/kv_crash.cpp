@@ -175,7 +175,11 @@ KvCrashReport run_kv_crash_validation(const SystemConfig& base_cfg, Scheme schem
   const bool hw_faulted = opt.fault_class != FaultClass::kNone;
   report.faulted = hw_faulted || opt.adversary.has_value();
   FaultInjector injector(FaultPlan::derive(opt.fault_class, opt.fault_seed, report.crash_at));
-  if (hw_faulted) sys.set_fault_injector(&injector);
+  if (opt.recovery_crash_boundary != 0) {
+    injector.arm_recovery_crash(opt.recovery_crash_boundary, opt.recovery_crash_rearm);
+  }
+  if (hw_faulted || opt.recovery_crash_boundary != 0) sys.set_fault_injector(&injector);
+  sys.set_recovery_policy(opt.retry_policy);
 
   RecoveryResult r;
   try {
@@ -197,6 +201,13 @@ KvCrashReport run_kv_crash_validation(const SystemConfig& base_cfg, Scheme schem
   report.recovery_supported = r.supported;
   report.recovery_ok = r.ok();
   report.recovery_seconds = r.seconds;
+  report.recovery_attempts = r.attempt_count();
+  report.recovery_gave_up = r.recovery_gave_up;
+  if (r.recovery_gave_up) {
+    report.detail = "recovery retry budget exhausted: ";
+    report.detail += r.status.message();
+    return report;
+  }
   if (!r.supported) {
     report.detail = "scheme reports recovery unsupported";
     return report;

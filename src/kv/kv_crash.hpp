@@ -37,6 +37,13 @@ struct KvCrashOptions {
   FaultClass fault_class = FaultClass::kNone;
   std::uint64_t fault_seed = 0;
 
+  /// Nested recovery crash (DESIGN.md §17): crash the scheme's recovery at
+  /// this 1-based persist boundary (0 = off) and re-enter it through the
+  /// System's bounded retry loop; optionally re-arm on every retry.
+  std::uint64_t recovery_crash_boundary = 0;
+  bool recovery_crash_rearm = false;
+  RecoveryRetryPolicy retry_policy;
+
   // Optional adversarial mutation folded into the crash: the adversary
   // snapshots the persisted image (after a metadata flush) at the midpoint
   // persist barrier and applies the scenario's rollback/forgery/tear
@@ -57,6 +64,8 @@ struct KvCrashReport {
   std::uint64_t crash_at = 0;       // barrier the run was killed before
   std::uint64_t committed_keys = 0; // model size at the crash point
   double recovery_seconds = 0.0;    // modeled recovery time
+  std::uint64_t recovery_attempts = 1;  // re-entries the recovery took
+  bool recovery_gave_up = false;        // retry budget exhausted (never OK)
   bool faulted = false;             // a fault/adversary was armed at the crash
   bool fault_detected = false;      // an integrity check caught the fault
   bool adversary_injected = false;  // the scenario's mutation actually landed
@@ -70,6 +79,7 @@ struct KvCrashReport {
   /// every committed key either reads back exactly or fails with a typed
   /// unavailable error — only silent divergence from the model fails.
   bool pass(Scheme scheme) const {
+    if (recovery_gave_up) return false;  // availability failure, always red
     if (scheme == Scheme::kWriteBack) return !recovery_supported;
     if (recovery_ok && verified) return true;
     if (salvaged && degraded_verified) return true;

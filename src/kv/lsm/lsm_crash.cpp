@@ -198,7 +198,13 @@ LsmCrashReport run_one(const SystemConfig& base_cfg, Scheme scheme,
                    opt.adversary.has_value();
   FaultInjector injector(
       FaultPlan::derive(opt.fault_class, opt.fault_seed, crash_at));
-  if (opt.fault_class != FaultClass::kNone) sys.set_fault_injector(&injector);
+  if (opt.recovery_crash_boundary != 0) {
+    injector.arm_recovery_crash(opt.recovery_crash_boundary, opt.recovery_crash_rearm);
+  }
+  if (opt.fault_class != FaultClass::kNone || opt.recovery_crash_boundary != 0) {
+    sys.set_fault_injector(&injector);
+  }
+  sys.set_recovery_policy(opt.retry_policy);
 
   RecoveryResult r;
   try {
@@ -220,6 +226,13 @@ LsmCrashReport run_one(const SystemConfig& base_cfg, Scheme scheme,
   report.recovery_supported = r.supported;
   report.recovery_ok = r.ok();
   report.recovery_seconds = r.seconds;
+  report.recovery_attempts = r.attempt_count();
+  report.recovery_gave_up = r.recovery_gave_up;
+  if (r.recovery_gave_up) {
+    report.detail = "recovery retry budget exhausted: ";
+    report.detail += r.status.message();
+    return report;
+  }
   if (!r.supported) {
     report.detail = "scheme reports recovery unsupported";
     return report;
@@ -353,6 +366,7 @@ LsmCrashReport run_one(const SystemConfig& base_cfg, Scheme scheme,
 }  // namespace
 
 const char* lsm_crash_verdict(const LsmCrashReport& report, Scheme scheme) {
+  if (report.recovery_gave_up) return "unrecoverable";
   if (scheme == Scheme::kWriteBack) {
     return report.recovery_supported ? "silent" : "detected";
   }
@@ -427,6 +441,9 @@ LsmCrashMatrix run_lsm_crash_matrix(const SystemConfig& base_cfg, Scheme scheme,
       ++matrix.detected;
     } else if (verdict == "salvaged") {
       ++matrix.salvaged;
+    } else if (verdict == "unrecoverable") {
+      ++matrix.unrecoverable;
+      matrix.failures.emplace_back(boundaries[i], r.detail);
     } else {
       ++matrix.silent;
       matrix.failures.emplace_back(boundaries[i], r.detail);

@@ -44,6 +44,13 @@ struct LsmCrashOptions {
   FaultClass fault_class = FaultClass::kNone;
   std::uint64_t fault_seed = 0;
 
+  /// Nested recovery crash (DESIGN.md §17): crash the scheme's recovery at
+  /// this 1-based persist boundary (0 = off) and re-enter it through the
+  /// System's bounded retry loop; optionally re-arm on every retry.
+  std::uint64_t recovery_crash_boundary = 0;
+  bool recovery_crash_rearm = false;
+  RecoveryRetryPolicy retry_policy;
+
   /// Overwrite both manifest replicas with garbage after the crash (the
   /// "manifest loss" hook point). Recovery must *detect* this (open()
   /// returning kIntegrity), never serve from it.
@@ -78,6 +85,8 @@ struct LsmCrashReport {
   std::string crash_stage;          // persist stage of the fatal boundary
   std::uint64_t committed_keys = 0;
   double recovery_seconds = 0.0;
+  std::uint64_t recovery_attempts = 1;  // re-entries the recovery took
+  bool recovery_gave_up = false;        // retry budget exhausted (never OK)
   bool faulted = false;
   bool fault_detected = false;
   bool adversary_injected = false;  // the scenario's mutation actually landed
@@ -91,6 +100,7 @@ struct LsmCrashReport {
   /// unrecoverable, secure schemes pass by exact recovery, verified
   /// salvage, or detection of an injected fault.
   bool pass(Scheme scheme) const {
+    if (recovery_gave_up) return false;  // availability failure, always red
     if (scheme == Scheme::kWriteBack) return !recovery_supported;
     if (recovery_ok && verified) return true;
     if (salvaged && degraded_verified) return true;
@@ -98,8 +108,9 @@ struct LsmCrashReport {
   }
 };
 
-/// "recovered", "detected", "salvaged", or "silent" — the fault-campaign
-/// verdict classes. `silent` is the only forbidden outcome.
+/// "recovered", "detected", "salvaged", "silent", or (with a nested
+/// recovery crash armed and the retry budget exhausted) "unrecoverable".
+/// `silent` and `unrecoverable` are the forbidden outcomes.
 const char* lsm_crash_verdict(const LsmCrashReport& report, Scheme scheme);
 
 /// Run the validation once at opt.crash_at (or a seeded-random boundary).
@@ -111,7 +122,8 @@ struct LsmCrashMatrix {
   std::uint64_t recovered = 0;
   std::uint64_t detected = 0;
   std::uint64_t salvaged = 0;
-  std::uint64_t silent = 0;  // must stay 0
+  std::uint64_t silent = 0;         // must stay 0
+  std::uint64_t unrecoverable = 0;  // must stay 0
   std::uint64_t total_persists = 0;
   /// Crash boundaries visited per persist stage ("wal", "flush-data", ...)
   /// — proves the sweep actually covered every protocol step.

@@ -3,6 +3,7 @@
 #include <cassert>
 #include <cstring>
 
+#include "fault/fault.hpp"
 #include "sit/counter_block.hpp"
 #include "sit/node.hpp"
 
@@ -179,30 +180,75 @@ void BmtMemory::crash() {
   wr_free_at_ = 0;  // BMT keeps its own decoupled write engine
 }
 
+void BmtMemory::recovery_persist_boundary(const char* stage) {
+  if (injector_ != nullptr) injector_->on_recovery_persist(stage);
+}
+
+double BmtMemory::recovery_attempt_seconds() const {
+  return static_cast<double>(recovery_reads_) * cfg_.secure.recovery_read_ns * 1e-9 +
+         static_cast<double>(recovery_writes_) * cfg_.nvm.t_wr_ns * 1e-9;
+}
+
+void BmtMemory::note_recovery_crash(std::uint64_t boundary, const char* stage) {
+  RecoveryAttempt attempt;
+  attempt.nvm_reads = recovery_reads_;
+  attempt.nvm_writes = recovery_writes_;
+  attempt.seconds = recovery_attempt_seconds();
+  attempt.crashed = true;
+  attempt.crash_boundary = boundary;
+  attempt.crash_stage = stage;
+  attempt_log_.push_back(std::move(attempt));
+  recovery_resume_ = true;
+}
+
 RecoveryResult BmtMemory::recover() {
+  // The rebuild is a pure function of the durable image (stop-loss-bounded
+  // counters + data HMACs), so a crashed attempt leaves a prefix of pokes
+  // that the re-entry regenerates bit-identically: no resume cursor needed.
+  if (!recovery_resume_) attempt_log_.clear();
+  recovery_resume_ = false;
+  recovery_reads_ = 0;
+  recovery_writes_ = 0;
+  RecoveryResult result;
+  recover_impl(result);  // a nested RecoveryCrash propagates to the retry loop
+  RecoveryAttempt attempt;
+  attempt.nvm_reads = recovery_reads_;
+  attempt.nvm_writes = recovery_writes_;
+  attempt.seconds = recovery_attempt_seconds();
+  attempt_log_.push_back(std::move(attempt));
+  result.attempts = std::move(attempt_log_);
+  attempt_log_.clear();
+  result.nvm_reads = 0;
+  result.nvm_writes = 0;
+  result.seconds = 0.0;
+  for (const RecoveryAttempt& a : result.attempts) {
+    result.nvm_reads += a.nvm_reads;
+    result.nvm_writes += a.nvm_writes;
+    result.seconds += a.seconds;
+  }
+  return result;
+}
+
+void BmtMemory::recover_impl(RecoveryResult& result) {
   // Whole-tree reconstruction (the SCUE/BMT recovery profile the paper
   // argues against): recover EVERY counter block Osiris-style from the data
   // HMACs, rebuild every hash level bottom-up, compare the roots.
-  RecoveryResult result;
-  std::uint64_t reads = 0;
-  std::uint64_t writes = 0;
-
   std::vector<Block> level_images(geo_.level_count(0));
   std::vector<bool> touched(geo_.level_count(0), false);
   for (std::uint64_t leaf = 0; leaf < geo_.level_count(0); ++leaf) {
     const Addr laddr = counter_addr(leaf);
-    ++reads;
+    ++recovery_reads_;
     GeneralCounterBlock cb = GeneralCounterBlock::decode({dev_.peek_block(laddr).data(), 56});
     for (std::size_t j = 0; j < kGeneralArity; ++j) {
       const std::uint64_t block = leaf * kGeneralArity + j;
       if (block >= geo_.data_blocks()) break;
       const Addr daddr = block * kBlockSize;
-      ++reads;
+      ++recovery_reads_;
       if (!dev_.contains(daddr)) {
         if (cb.counters[j] != 0) {
           result.attack_detected = true;
           result.attack_detail = "data block erased during BMT recovery";
-          return result;
+          return;
         }
         continue;
       }
@@ -220,7 +266,7 @@ RecoveryResult BmtMemory::recover() {
         result.attack_detected = true;
         result.attacked_level = 0;
         result.attack_detail = "BMT counter not recoverable within the stop-loss window";
-        return result;
+        return;
       }
     }
     const NodePayload payload = cb.encode();
@@ -231,8 +277,9 @@ RecoveryResult BmtMemory::recover() {
     // the 0 "untouched" sentinel, mirroring the runtime updates.
     touched[leaf] = cb.parent_value() != 0 || img != zero_block();
     if (touched[leaf]) {
+      recovery_persist_boundary("rebuild");
       dev_.poke_block(laddr, img);
-      ++writes;
+      ++recovery_writes_;
       ++result.nodes_recovered;
     }
   }
@@ -255,8 +302,9 @@ RecoveryResult BmtMemory::recover() {
       }
       parents[p] = img;
       if (parent_touched[p]) {
+        recovery_persist_boundary("rebuild");
         dev_.poke_block(geo_.node_addr(pid), img);
-        ++writes;
+        ++recovery_writes_;
         ++result.nodes_recovered;
       }
     }
@@ -272,15 +320,9 @@ RecoveryResult BmtMemory::recover() {
       result.attack_detected = true;
       result.attacked_level = static_cast<int>(level);
       result.attack_detail = "reconstructed BMT root mismatch";
-      return result;
+      return;
     }
   }
-
-  result.nvm_reads = reads;
-  result.nvm_writes = writes;
-  result.seconds = static_cast<double>(reads) * cfg_.secure.recovery_read_ns * 1e-9 +
-                   static_cast<double>(writes) * cfg_.nvm.t_wr_ns * 1e-9;
-  return result;
 }
 
 }  // namespace steins

@@ -40,6 +40,18 @@ class BmtMemory final : public SecureMemory {
   void crash() override;
   RecoveryResult recover() override;
 
+  /// BMT is a standalone SecureMemory (not a SecureMemoryBase), so it
+  /// carries its own nested-crash wiring: the injector sees every rebuild
+  /// poke as a persist boundary and the crash drain runs through it.
+  void set_fault_injector(FaultInjector* injector) override {
+    injector_ = injector;
+    channel_.set_crash_fault_hook(injector);
+  }
+  void note_recovery_crash(std::uint64_t boundary, const char* stage) override;
+  std::vector<RecoveryAttempt> drain_attempt_log() override {
+    return std::move(attempt_log_);
+  }
+
   ExecStats& stats() override { return stats_; }
   const SystemConfig& config() const override { return cfg_; }
   NvmDevice& device() override { return dev_; }
@@ -86,6 +98,12 @@ class BmtMemory final : public SecureMemory {
     ++stats_.hash_ops;
   }
 
+  /// Cross a recovery persist boundary (throw-before-poke).
+  void recovery_persist_boundary(const char* stage);
+  /// The rebuild proper; recover() wraps it to fold attempt telemetry.
+  void recover_impl(RecoveryResult& result);
+  double recovery_attempt_seconds() const;
+
   SystemConfig cfg_;
   SitGeometry geo_;  // GC-mode geometry: leaves = counter blocks
   NvmDevice dev_;
@@ -96,6 +114,13 @@ class BmtMemory final : public SecureMemory {
   ExecStats stats_;
   Cycle mc_free_at_ = 0;  // read-engine serialization
   Cycle wr_free_at_ = 0;  // write-engine serialization
+
+  // Nested-crash state (re-entrant recovery).
+  FaultInjector* injector_ = nullptr;
+  std::vector<RecoveryAttempt> attempt_log_;
+  bool recovery_resume_ = false;
+  std::uint64_t recovery_reads_ = 0;
+  std::uint64_t recovery_writes_ = 0;
 };
 
 }  // namespace steins

@@ -157,6 +157,10 @@ void ScueMemory::recover_impl(RecoveryReport& result) {
       const std::uint64_t generated = node.parent_value();
       const std::uint64_t mac =
           cme_.mac().node_mac(node.payload(), geo_.node_addr(node.id), generated);
+      // Persist boundary before the poke: a nested crash mid-rebuild leaves
+      // a prefix of freshly rebuilt nodes, and the fixed-point rebuild
+      // regenerates the identical image on re-entry.
+      recovery_persist_boundary("rebuild");
       dev_.poke_block(geo_.node_addr(node.id), node.to_block(mac));
       ++recovery_writes_;
       ++result.nodes_recovered;

@@ -38,6 +38,11 @@ SteinsMemory::SteinsMemory(const SystemConfig& cfg)
   record_lines_ =
       (mcache_.num_lines() + kOffsetsPerRecordLine - 1) / kOffsetsPerRecordLine;
   STEINS_CHECK(nv_buffer_capacity_ > 0, "NV parent buffer must hold at least one entry");
+  // Resume-cursor region: one 64 KiB window just below the quarantine map.
+  cursor_base_ = qmap_base_ - (Addr{1} << 16);
+  cursor_capacity_ = ((std::size_t{1} << 16) / kBlockSize - 1) * kOffsetsPerRecordLine;
+  STEINS_CHECK(record_base_ + record_lines_ * kBlockSize <= cursor_base_,
+               "offset-record region must end below the recovery resume cursor");
 }
 
 // ---------------------------------------------------------------------------
@@ -46,6 +51,9 @@ SteinsMemory::SteinsMemory(const SystemConfig& cfg)
 
 void SteinsMemory::flush_record_line(Addr laddr, const RecordLine& line, Cycle& now) {
   if (line.modified == 0) return;
+  // Record flushes triggered inside recovery (step-5 install evictions)
+  // are durable writes of the recovery attempt: a persist boundary.
+  if (recovering_) recovery_persist_boundary("record");
   // Merge only the modified 4-byte slots into the region: partial writes on
   // byte-addressable PCM; the unmodified slots are never read.
   Block cur = dev_.peek_block(laddr);
@@ -245,6 +253,9 @@ SecureMemoryBase::CounterBump SteinsMemory::bump_leaf_counter(MetadataLine& leaf
 // ---------------------------------------------------------------------------
 
 void SteinsMemory::crash() {
+  // A nested recovery crash can unwind mid-drain; the guard must not stay
+  // latched or post-recovery drains would silently no-op.
+  draining_ = false;
   // Drain the write queue first: a queued (older) record-line write must
   // not overwrite the newer ADR-resident copy flushed below.
   SecureMemoryBase::crash();
@@ -257,6 +268,101 @@ void SteinsMemory::crash() {
     }
   });
   record_cache_.clear();
+}
+
+// ---------------------------------------------------------------------------
+// Re-entrant recovery: resume cursor
+// ---------------------------------------------------------------------------
+
+void SteinsMemory::persist_recovery_cursor(const std::vector<std::vector<NodeId>>& by_level,
+                                           bool degraded) {
+  // Throw-before-poke: an armed crash at this boundary leaves the region
+  // exactly as the previous attempt left it (or absent).
+  recovery_persist_boundary("cursor");
+  std::vector<std::uint32_t> offs;
+  for (const auto& lvl : by_level) {
+    for (const NodeId id : lvl) offs.push_back(geo_.offset_of(id) + 1);
+  }
+  std::uint32_t flags = degraded ? kCursorFlagDegraded : 0u;
+  if (offs.size() > cursor_capacity_) {
+    // Too many candidates for the window: persist only the overflow flag;
+    // a re-entry falls back to the resident scan, which is a superset.
+    flags |= kCursorFlagOverflow;
+    offs.clear();
+  }
+  Block hdr = zero_block();
+  const std::uint64_t magic = kCursorMagic;
+  const std::uint32_t count = static_cast<std::uint32_t>(offs.size());
+  std::memcpy(hdr.data(), &magic, 8);
+  std::memcpy(hdr.data() + 8, &count, 4);
+  std::memcpy(hdr.data() + 12, &flags, 4);
+  dev_.poke_block(cursor_base_, hdr);
+  ++recovery_writes_;
+  for (std::size_t line = 0; line * kOffsetsPerRecordLine < offs.size(); ++line) {
+    Block b = zero_block();
+    const std::size_t lo = line * kOffsetsPerRecordLine;
+    const std::size_t n = std::min(kOffsetsPerRecordLine, offs.size() - lo);
+    std::memcpy(b.data(), offs.data() + lo, n * 4);
+    dev_.poke_block(cursor_line_addr(line + 1), b);
+    ++recovery_writes_;
+  }
+  recovery_cursor_pos_ = offs.size();
+}
+
+bool SteinsMemory::load_recovery_cursor(std::vector<std::uint32_t>* offsets, bool* degraded) {
+  if (!dev_.contains(cursor_base_)) return false;
+  ++recovery_reads_;
+  bool dead = false;
+  const Block hdr = dev_.peek_corrected(cursor_base_, &dead);
+  std::uint64_t magic = 0;
+  std::uint32_t count = 0;
+  std::uint32_t flags = 0;
+  if (!dead) {
+    std::memcpy(&magic, hdr.data(), 8);
+    std::memcpy(&count, hdr.data() + 8, 4);
+    std::memcpy(&flags, hdr.data() + 12, 4);
+  }
+  if (dead || (magic != 0 && magic != kCursorMagic)) {
+    // The cursor is self-written plain NVM: an unreadable or malformed
+    // header means media loss or tampering. Degrade to the resident scan
+    // (a superset of any candidate set the cursor could have held).
+    *degraded = true;
+    return true;
+  }
+  if (magic == 0) return false;  // cleared cursor: no prior attempt pending
+  if ((flags & kCursorFlagOverflow) != 0) {
+    *degraded = true;
+    return true;
+  }
+  if ((flags & kCursorFlagDegraded) != 0) *degraded = true;
+  for (std::size_t line = 0; line * kOffsetsPerRecordLine < count; ++line) {
+    ++recovery_reads_;
+    bool edead = false;
+    const Block b = dev_.peek_corrected(cursor_line_addr(line + 1), &edead);
+    if (edead) {
+      *degraded = true;
+      continue;
+    }
+    const std::size_t lo = line * kOffsetsPerRecordLine;
+    const std::size_t n = std::min(kOffsetsPerRecordLine, std::size_t{count} - lo);
+    for (std::size_t s = 0; s < n; ++s) {
+      std::uint32_t o = 0;
+      std::memcpy(&o, b.data() + s * 4, 4);
+      if (o == 0 || o - 1 >= geo_.total_nodes()) {
+        *degraded = true;  // corrupt entry: fall back rather than mis-index
+        continue;
+      }
+      offsets->push_back(o);
+    }
+  }
+  return true;
+}
+
+void SteinsMemory::clear_recovery_cursor() {
+  if (!dev_.contains(cursor_base_)) return;
+  recovery_persist_boundary("cursor");
+  dev_.poke_block(cursor_base_, zero_block());
+  ++recovery_writes_;
 }
 
 bool SteinsMemory::in_quarantined(const RecoveryCtx& ctx, NodeId id) {
@@ -458,6 +564,10 @@ RecoveryReport SteinsMemory::recover() {
     // Losses before/outside the level walk: no level's sum was checkable.
     for (unsigned k = 0; k < geo_.num_levels(); ++k) result.linc_unverified.push_back(k);
   }
+  // The attempt is complete (even an attack verdict is a completed attempt):
+  // retire the resume cursor. May itself cross an armed boundary, in which
+  // case the retry re-runs the whole — idempotent — recovery.
+  clear_recovery_cursor();
   return finish_recovery(std::move(result));
 }
 
@@ -493,6 +603,16 @@ void SteinsMemory::recover_impl(RecoveryCtx& ctx, RecoveryReport& result) {
       if (seen.insert(flat_key(geo_, id)).second) by_level[id.level].push_back(id);
     }
   }
+  // Step 1b (re-entrant recovery): union the previous attempt's persisted
+  // cursor. A crashed attempt may already have retired the NV parent buffer
+  // and overwritten record slots (step-5 installs re-record their nodes),
+  // so the cursor is the only complete candidate source on re-entry.
+  std::vector<std::uint32_t> cursor_offs;
+  bool cursor_degraded = false;
+  if (load_recovery_cursor(&cursor_offs, &cursor_degraded) && cursor_degraded) {
+    ctx.record_fallback = true;
+  }
+
   if (ctx.record_fallback) {
     // Dirty-set tracking is degraded: take every resident SIT node as a
     // candidate. Clean candidates rebuild to themselves (delta 0) and only
@@ -507,25 +627,36 @@ void SteinsMemory::recover_impl(RecoveryCtx& ctx, RecoveryReport& result) {
     }
     ctx.linc_skip = true;
   }
+  for (const std::uint32_t o : cursor_offs) {
+    const NodeId id = geo_.node_at_offset(o - 1);
+    if (seen.insert(flat_key(geo_, id)).second) by_level[id.level].push_back(id);
+  }
   // Nodes targeted by parked parent counters are dirty too.
   for (const auto& e : nv_buffer_) {
     if (seen.insert(flat_key(geo_, e.parent)).second) by_level[e.parent.level].push_back(e.parent);
   }
 
-  // Steps 2-4 (Fig. 8): recover level by level, from the root downward.
-  // Failures no longer abort the walk: the failing subtree is quarantined
-  // (its data range is blocked and, for MAC-type failures, the attack is
-  // flagged) and the walk salvages every sibling it can still verify.
-  for (int k = static_cast<int>(geo_.top_level()); k >= 0; --k) {
-    // Apply NV-buffer adjustments for parents at this level (Fig. 8 step 5):
-    // the buffered counter is already reflected in the persistent child, so
-    // only the LIncs need re-balancing. Entries are applied in FIFO order
-    // against a running per-slot value so multiple entries for one slot
-    // contribute exactly their net increase, and entries already absorbed
-    // by an inline update (counter <= stale) contribute nothing.
+  // Persist the resume cursor — the full candidate set — before any durable
+  // recovery mutation. Crossing this boundary is the first persist of a
+  // Steins recovery attempt.
+  persist_recovery_cursor(by_level, ctx.record_fallback);
+
+  // Fig. 8 step-5 LInc re-balancing, hoisted ahead of the walk and applied
+  // for every level at once; the buffer is retired immediately after. The
+  // buffered counter is already reflected in the persistent child, so only
+  // the LIncs need re-balancing. Entries are applied in FIFO order against
+  // a running per-slot value so multiple entries for one slot contribute
+  // exactly their net increase, and entries already absorbed by an inline
+  // update (counter <= stale) contribute nothing. Hoisting is what makes
+  // re-entry sound: the adjustments are NV-register mutations with no
+  // persist boundary among them, so a nested crash observes either the
+  // buffer intact with the LIncs untouched (crash at the cursor boundary
+  // or earlier) or the buffer empty with the LIncs fully adjusted — never
+  // a double apply.
+  {
     FlatMap<std::uint64_t> applied;  // (node,slot) -> value
     for (const auto& e : nv_buffer_) {
-      if (static_cast<int>(e.parent.level) != k) continue;
+      const unsigned k = e.parent.level;
       const std::uint64_t slot_key = flat_key(geo_, e.parent) * kTreeArity + e.slot;
       std::uint64_t* value = applied.find(slot_key);
       if (value == nullptr) {
@@ -549,7 +680,14 @@ void SteinsMemory::recover_impl(RecoveryCtx& ctx, RecoveryReport& result) {
       lincs_[k] += delta;
       lincs_[k - 1] -= delta;
     }
+    nv_buffer_.clear();
+  }
 
+  // Steps 2-4 (Fig. 8): recover level by level, from the root downward.
+  // Failures no longer abort the walk: the failing subtree is quarantined
+  // (its data range is blocked and, for MAC-type failures, the attack is
+  // flagged) and the walk salvages every sibling it can still verify.
+  for (int k = static_cast<int>(geo_.top_level()); k >= 0; --k) {
     std::uint64_t level_sum = 0;
     for (const NodeId id : by_level[static_cast<std::size_t>(k)]) {
       if (in_quarantined(ctx, id)) continue;  // ancestor already written off
@@ -619,7 +757,6 @@ void SteinsMemory::recover_impl(RecoveryCtx& ctx, RecoveryReport& result) {
   // rebuild the offset records for them. After a detected attack the tree
   // is not re-armed: the report carries the verdict and the caller decides.
   if (result.attack_detected) return;
-  nv_buffer_.clear();
   Cycle t = 0;
   for (int k = static_cast<int>(geo_.top_level()); k >= 0; --k) {
     for (const NodeId id : by_level[static_cast<std::size_t>(k)]) {

@@ -48,9 +48,21 @@ class SteinsMemory final : public SecureMemoryBase {
   /// trial search (paper §V: Osiris-style leaf recovery).
   static constexpr std::uint64_t kStopLoss = 64;
 
+  /// Recovery resume cursor (re-entrant recovery): the full candidate set
+  /// is persisted to plain NVM before any recovery mutation, so an attempt
+  /// that crashes mid-walk re-enters with every original candidate even
+  /// after step-5 installs have clobbered record slots and the NV parent
+  /// buffer has been retired. One 64 B header + packed 4-byte offsets.
+  static constexpr std::uint64_t kCursorMagic = 0x53544e4355525331ULL;  // "STNCURS1"
+  static constexpr std::uint32_t kCursorFlagDegraded = 1u << 0;
+  static constexpr std::uint32_t kCursorFlagOverflow = 1u << 1;
+
   /// Per-level trust bases (testing/introspection).
   const std::vector<std::uint64_t>& lincs() const { return lincs_; }
   std::size_t nv_buffer_entries() const { return nv_buffer_.size(); }
+
+  /// Base of the persisted recovery resume-cursor window (testing).
+  Addr recovery_cursor_base() const { return cursor_base_; }
 
   /// Drain the NV parent buffer now (normally triggered before reads).
   void drain_nv_buffer(Cycle& now);
@@ -144,7 +156,26 @@ class SteinsMemory final : public SecureMemoryBase {
   /// yields a RecoveryReport.
   void recover_impl(RecoveryCtx& ctx, RecoveryReport& result);
 
+  // ---- re-entrant recovery: resume cursor ----
+
+  /// Persist the candidate set (crosses one "cursor" persist boundary
+  /// before any poke, so an armed crash leaves no durable trace).
+  void persist_recovery_cursor(const std::vector<std::vector<NodeId>>& by_level,
+                               bool degraded);
+  /// Read a prior attempt's cursor. Returns false when none is present;
+  /// sets *degraded when the prior attempt ran (or this one must run) the
+  /// resident-scan fallback. Reads only.
+  bool load_recovery_cursor(std::vector<std::uint32_t>* offsets, bool* degraded);
+  /// Retire the cursor at the end of a completed attempt (one boundary).
+  void clear_recovery_cursor();
+
+  Addr cursor_line_addr(std::size_t line) const {
+    return cursor_base_ + line * kBlockSize;
+  }
+
   Addr record_base_;
+  Addr cursor_base_;
+  std::size_t cursor_capacity_;              // max offsets the region holds
   std::size_t record_lines_;                 // record region size in lines
   SetAssocCache<RecordLine> record_cache_;   // ADR-resident record lines
   std::vector<std::uint64_t> lincs_;         // NV register: one per level

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <sstream>
 
+#include "fault/fault.hpp"
 #include "schemes/anubis.hpp"
 #include "schemes/scue.hpp"
 #include "schemes/star.hpp"
@@ -81,12 +82,20 @@ Cycle SecureMemoryBase::timed_write(Addr addr, const Block& data, Cycle now,
                                     LatencyAccumulator* acc, Cycle birth,
                                     const std::uint64_t* tag) {
   if (recovering_) {
+    // Persist boundary: an armed nested crash fires BEFORE the poke, so an
+    // aborted boundary leaves zero durable trace (block and tag are one
+    // transaction — neither lands).
+    recovery_persist_boundary("write");
     ++recovery_writes_;
     dev_.poke_block(addr, data);
     if (tag != nullptr) dev_.write_tag(addr, *tag);
     return now;
   }
   return channel_.write(addr, data, now, acc, birth, tag);
+}
+
+void SecureMemoryBase::recovery_persist_boundary(const char* stage) {
+  if (injector_ != nullptr) injector_->on_recovery_persist(stage);
 }
 
 void SecureMemoryBase::on_node_modified(NodeId, Cycle&) {}
@@ -424,6 +433,9 @@ void SecureMemoryBase::crash() {
   channel_.crash_drain_all(mc_free_at_);
   mcache_.clear();
   mc_free_at_ = 0;
+  // A nested crash can unwind mid-persist_detached, leaving a dangling
+  // in-flight registration; the node it pointed at is volatile and gone.
+  inflight_persists_.clear();
 }
 
 void SecureMemoryBase::flush_all_metadata() {
@@ -631,7 +643,26 @@ void SecureMemoryBase::scrub_one(Addr addr, Cycle& now) {
   }
 }
 
+void SecureMemoryBase::note_recovery_crash(std::uint64_t boundary, const char* stage) {
+  RecoveryAttempt a;
+  a.nvm_reads = recovery_reads_;
+  a.nvm_writes = recovery_writes_;
+  a.seconds = recovery_attempt_seconds();
+  a.crashed = true;
+  a.crash_boundary = boundary;
+  a.crash_stage = stage;
+  a.resume_cursor = recovery_cursor_pos_;
+  attempt_log_.push_back(std::move(a));
+  recovering_ = false;
+  recovery_resume_ = true;  // the next prologue keeps the attempt log
+}
+
 void SecureMemoryBase::recovery_prologue() {
+  if (!recovery_resume_) {
+    attempt_log_.clear();
+    recovery_cursor_pos_ = 0;
+  }
+  recovery_resume_ = false;
   recovering_ = true;
   recovery_reads_ = 0;
   recovery_writes_ = 0;
@@ -642,10 +673,25 @@ void SecureMemoryBase::recovery_prologue() {
 
 RecoveryReport SecureMemoryBase::finish_recovery(RecoveryReport r) {
   recovering_ = false;
-  r.nvm_reads = recovery_reads_;
-  r.nvm_writes = recovery_writes_;
-  r.seconds = static_cast<double>(recovery_reads_) * cfg_.secure.recovery_read_ns * 1e-9 +
-              static_cast<double>(recovery_writes_) * cfg_.nvm.t_wr_ns * 1e-9;
+  RecoveryAttempt final_attempt;
+  final_attempt.nvm_reads = recovery_reads_;
+  final_attempt.nvm_writes = recovery_writes_;
+  final_attempt.seconds = recovery_attempt_seconds();
+  final_attempt.resume_cursor = recovery_cursor_pos_;
+  attempt_log_.push_back(std::move(final_attempt));
+  r.attempts = std::move(attempt_log_);
+  attempt_log_.clear();
+  r.resume_cursor = recovery_cursor_pos_;
+  // Totals span every attempt: an aborted attempt's reads/writes are real
+  // recovery work (the fast-recovery-under-repeated-crashes axis).
+  r.nvm_reads = 0;
+  r.nvm_writes = 0;
+  r.seconds = 0.0;
+  for (const RecoveryAttempt& a : r.attempts) {
+    r.nvm_reads += a.nvm_reads;
+    r.nvm_writes += a.nvm_writes;
+    r.seconds += a.seconds;
+  }
   if (!qmap_.empty()) {
     std::uint64_t blocked = 0;
     const std::vector<Addr> resident = dev_.resident_blocks(0, cfg_.nvm.capacity_bytes);

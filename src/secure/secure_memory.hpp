@@ -41,6 +41,19 @@ class IntegrityViolation : public std::runtime_error {
   explicit IntegrityViolation(const std::string& what) : std::runtime_error(what) {}
 };
 
+/// Telemetry for one recovery attempt. Under nested-crash injection a
+/// recovery can be entered several times: aborted attempts (crashed=true)
+/// record where they died; the final converging attempt closes the log.
+struct RecoveryAttempt {
+  std::uint64_t nvm_reads = 0;
+  std::uint64_t nvm_writes = 0;
+  double seconds = 0.0;             // modeled time of this attempt alone
+  bool crashed = false;             // ended in a nested crash
+  std::uint64_t crash_boundary = 0; // 1-based persist boundary it died at
+  std::string crash_stage;          // boundary label ("write", "qmap", ...)
+  std::uint64_t resume_cursor = 0;  // persisted resume-cursor position
+};
+
 /// Outcome of SecureMemory::recover().
 ///
 /// Recovery never throws: every path — clean rebuild, detected attack, lost
@@ -62,9 +75,21 @@ struct RecoveryReport {
   bool tracking_degraded = false;  // dirty-set tracking partially lost
   std::vector<unsigned> linc_unverified;  // Steins levels left unchecked
   std::vector<std::pair<Addr, Addr>> quarantined_ranges;  // data byte ranges
-  std::uint64_t nvm_reads = 0;    // metadata/data blocks fetched
+  std::uint64_t nvm_reads = 0;    // metadata/data blocks fetched (all attempts)
   std::uint64_t nvm_writes = 0;   // blocks written back during recovery
-  double seconds = 0.0;           // modeled recovery time
+  double seconds = 0.0;           // modeled recovery time (all attempts)
+
+  /// Per-attempt log under nested-crash injection: aborted attempts first,
+  /// the converging one last. Single-attempt recoveries log one entry.
+  std::vector<RecoveryAttempt> attempts;
+  /// Nested crashes exhausted the retry budget; status carries the detail.
+  bool recovery_gave_up = false;
+  /// Final persisted resume-cursor position (0 = no cursor / not used).
+  std::uint64_t resume_cursor = 0;
+
+  std::uint64_t attempt_count() const {
+    return attempts.empty() ? 1 : attempts.size();
+  }
 
   bool degraded() const {
     return blocks_quarantined > 0 || subtrees_quarantined > 0 ||
@@ -142,9 +167,24 @@ class SecureMemory {
   virtual const CacheStats& metadata_cache_stats() const = 0;
 
   /// Install (or clear, with nullptr) a fault injector: the next crash()
-  /// drains the write queue through it instead of draining intact. Faults
-  /// apply only at crash; the runtime path is unaffected.
+  /// drains the write queue through it instead of draining intact, and
+  /// recovery persist boundaries report to it (nested-crash injection).
+  /// Runtime faults apply only at crash; the demand path is unaffected.
   virtual void set_fault_injector(FaultInjector* injector) { (void)injector; }
+
+  /// A nested crash (RecoveryCrash) aborted the in-progress recovery
+  /// attempt at `boundary`. Implementations log the aborted attempt's
+  /// telemetry and leave the object ready for crash() + recover()
+  /// re-entry. Default: no-op (schemes without recovery state).
+  virtual void note_recovery_crash(std::uint64_t boundary, const char* stage) {
+    (void)boundary;
+    (void)stage;
+  }
+
+  /// Attempt log accumulated across note_recovery_crash calls; the retry
+  /// loop drains it when recovery is abandoned (a converging recover()
+  /// folds the log into its report instead).
+  virtual std::vector<RecoveryAttempt> drain_attempt_log() { return {}; }
 
   /// Host-side prefetch hint for an access to `addr` a few trace entries
   /// ahead: pulls the controller tables the access will probe (metadata
@@ -174,7 +214,13 @@ class SecureMemoryBase : public SecureMemory {
   const CacheStats& metadata_cache_stats() const override { return mcache_.stats(); }
 
   void set_fault_injector(FaultInjector* injector) override {
+    injector_ = injector;
     channel_.set_crash_fault_hook(injector);
+  }
+
+  void note_recovery_crash(std::uint64_t boundary, const char* stage) override;
+  std::vector<RecoveryAttempt> drain_attempt_log() override {
+    return std::move(attempt_log_);
   }
 
   void prefetch_hint(Addr addr) const final {
@@ -344,7 +390,16 @@ class SecureMemoryBase : public SecureMemory {
   /// Data byte range [lo, hi) covered by a node's subtree.
   std::pair<Addr, Addr> node_data_span(NodeId id) const;
 
-  void persist_qmap() { qmap_.persist(dev_, qmap_base_); }
+  void persist_qmap() {
+    if (recovering_) recovery_persist_boundary("qmap");
+    qmap_.persist(dev_, qmap_base_);
+  }
+
+  /// A durable write inside recovery is about to happen. MUST be called
+  /// before the poke/write becomes durable (throw-before-poke): an armed
+  /// nested crash then aborts the attempt with no durable trace of the
+  /// aborted boundary, which is what keeps re-entry convergent.
+  void recovery_persist_boundary(const char* stage);
 
   /// Patrol scrub driver: every ft_.scrub_interval_accesses demand accesses,
   /// patrol up to ft_.scrub_lines_per_epoch resident data lines.
@@ -362,6 +417,17 @@ class SecureMemoryBase : public SecureMemory {
   bool recovering_ = false;
   std::uint64_t recovery_reads_ = 0;
   std::uint64_t recovery_writes_ = 0;
+  /// Aborted-attempt telemetry accumulated across nested crashes; a fresh
+  /// (non-resuming) prologue clears it.
+  std::vector<RecoveryAttempt> attempt_log_;
+  bool recovery_resume_ = false;           // next recover() re-enters
+  std::uint64_t recovery_cursor_pos_ = 0;  // scheme-reported cursor position
+
+  /// Modeled time of the current attempt so far.
+  double recovery_attempt_seconds() const {
+    return static_cast<double>(recovery_reads_) * cfg_.secure.recovery_read_ns * 1e-9 +
+           static_cast<double>(recovery_writes_) * cfg_.nvm.t_wr_ns * 1e-9;
+  }
 
   /// Channel read that respects recovery accounting.
   Cycle timed_read(Addr addr, Cycle now, Block* out);
@@ -386,6 +452,7 @@ class SecureMemoryBase : public SecureMemory {
   Cycle tracking_penalty_ = 0; // per-op tracking work (write-latency side)
 
   // Fault-tolerance state (declared after dev_: qmap_base_ derives from it).
+  FaultInjector* injector_ = nullptr;  // armed nested crashes + crash drains
   FaultToleranceConfig ft_;
   QuarantineMap qmap_;
   FtStats ft_stats_;

@@ -163,7 +163,7 @@ RecoveryResult System::crash_and_recover(
   mem_->crash();
   if (fault_injector_ != nullptr) fault_injector_->apply_post_crash(*mem_);
   if (pre_recovery) pre_recovery(*mem_);
-  return mem_->recover();
+  return recover_with_retry(*mem_, fault_injector_, recovery_policy_);
 }
 
 void System::resync_truth_after_crash() {

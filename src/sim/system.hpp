@@ -12,13 +12,12 @@
 #include "cache/cache_hierarchy.hpp"
 #include "common/config.hpp"
 #include "common/flat_map.hpp"
+#include "fault/fault.hpp"
 #include "secure/secure_memory.hpp"
 #include "sim/cpu_model.hpp"
 #include "trace/trace.hpp"
 
 namespace steins {
-
-class FaultInjector;
 
 struct RunStats {
   Cycle cycles = 0;
@@ -61,7 +60,11 @@ class System {
   const SystemConfig& config() const { return cfg_; }
 
   /// Crash-and-recover convenience used by examples/tests: drops CPU
-  /// caches, crashes the controller, runs recovery.
+  /// caches, crashes the controller, runs recovery. Recovery is itself a
+  /// crash domain: when the armed injector fires a nested crash at a
+  /// recovery persist boundary, the attempt is re-entered (bounded by the
+  /// retry policy's max_recovery_attempts, with exponential persist-budget
+  /// backoff for re-armed crashes).
   RecoveryResult crash_and_recover();
 
   /// As above, but runs `pre_recovery` between the crash drain (and any
@@ -74,6 +77,12 @@ class System {
   /// queue drains through it at crash() and its post-crash media faults
   /// apply between crash and recovery.
   void set_fault_injector(FaultInjector* injector);
+
+  /// Bounded re-entry policy for crashed recoveries.
+  void set_recovery_policy(const RecoveryRetryPolicy& policy) {
+    recovery_policy_ = policy;
+  }
+  const RecoveryRetryPolicy& recovery_policy() const { return recovery_policy_; }
 
   /// After a successful crash_and_recover(): reconcile the plaintext ground
   /// truth with what actually survived in NVM. Stores that never reached the
@@ -98,6 +107,7 @@ class System {
   SystemConfig cfg_;
   std::unique_ptr<SecureMemory> mem_;
   FaultInjector* fault_injector_ = nullptr;
+  RecoveryRetryPolicy recovery_policy_;
   CacheHierarchy hierarchy_;
   CpuModel cpu_;
   FlatMap<Block> truth_;  // plaintext ground truth

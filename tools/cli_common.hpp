@@ -141,6 +141,33 @@ inline std::vector<std::string> split_csv(const std::string& csv) {
   return out;
 }
 
+/// Handle --nested-crash <boundary[,rearm]>: a 1-based recovery persist
+/// boundary with an optional ',rearm' suffix (re-arm the nested crash on
+/// every retry). Reports the error through the parser on bad input.
+inline bool parse_nested_crash(ArgParser& p, std::uint64_t* boundary, bool* rearm) {
+  std::string v = p.str();
+  if (p.failed()) return false;
+  const auto comma = v.find(',');
+  if (comma != std::string::npos) {
+    const std::string suffix = v.substr(comma + 1);
+    if (suffix != "rearm") {
+      p.invalid("invalid --nested-crash suffix: '" + suffix + "' (expected 'rearm')");
+      return false;
+    }
+    *rearm = true;
+    v = v.substr(0, comma);
+  }
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long b = std::strtoull(v.c_str(), &end, 10);
+  if (end == v.c_str() || *end != '\0' || errno == ERANGE || b == 0) {
+    p.invalid("invalid --nested-crash boundary: '" + v + "' (expected >= 1)");
+    return false;
+  }
+  *boundary = b;
+  return true;
+}
+
 /// Handle --crypto-backend: "auto" and known names succeed; anything else
 /// reports an error and returns false.
 inline bool apply_crypto_backend(const std::string& name) {

@@ -63,6 +63,10 @@ void usage() {
       "  --footprint <n>     workload footprint in blocks (default 2048)\n"
       "  --capacity-mb <n>   per-trial NVM capacity (default 16)\n"
       "  --mcache-kb <n>     metadata cache size (default 16)\n"
+      "  --nested-crash <b[,rearm]>  crash the recovery itself at persist\n"
+      "                      boundary b (1-based); ',rearm' re-arms every retry\n"
+      "  --max-recovery-attempts <n>  retry budget for crashed recoveries\n"
+      "                      (default 8)\n"
       "  --json <file>       write the verdict matrix (or endurance report)\n"
       "  --crypto-backend <ref|ttable|hw|auto>  crypto backend (bit-identical;\n"
       "                      host wall-clock only; or STEINS_CRYPTO_BACKEND)\n"
@@ -101,6 +105,19 @@ bool parse(int argc, char** argv, Options* opt) {
       opt->campaign.workload.capacity_mb = p.u64();
     } else if (p.is("--mcache-kb")) {
       opt->campaign.workload.mcache_kb = p.u64();
+    } else if (p.is("--nested-crash")) {
+      if (!cli::parse_nested_crash(p, &opt->campaign.workload.recovery_crash_boundary,
+                                   &opt->campaign.workload.recovery_crash_rearm)) {
+        return false;
+      }
+    } else if (p.is("--max-recovery-attempts")) {
+      const std::uint64_t n = p.u64();
+      if (p.failed()) return false;
+      if (n == 0) {
+        p.invalid("invalid --max-recovery-attempts: expected >= 1");
+        return false;
+      }
+      opt->campaign.workload.retry_policy.max_recovery_attempts = n;
     } else if (p.is("--json")) {
       opt->json_path = p.str();
     } else if (p.is("--crypto-backend")) {

@@ -10,13 +10,12 @@
 // the committed model. Steins/ASIT/STAR/SCUE must verify; WB must be
 // detected as unrecoverable. Exit status is nonzero if any scheme fails
 // its criterion.
-#include <cerrno>
 #include <cstdio>
-#include <cstring>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "cli_common.hpp"
 #include "common/stats.hpp"
 #include "common/thread_pool.hpp"
 #include "crypto/backend.hpp"
@@ -42,6 +41,9 @@ struct Options {
   std::uint64_t capacity_mb = 256;
   std::uint64_t mcache_kb = 256;
   std::uint64_t crash_ops = 64;
+  std::uint64_t nested_crash_boundary = 0;  // 0 = off (DESIGN.md §17)
+  bool nested_crash_rearm = false;
+  RecoveryRetryPolicy retry_policy;
   unsigned jobs = ThreadPool::default_jobs();
   std::string json_path;
   bool crash = false;
@@ -68,94 +70,74 @@ void usage() {
       "                       bit-identical to --jobs 1)\n"
       "  --crash              also run crash-recovery validation per scheme\n"
       "  --crash-ops <n>      ops in the crash-validation script (default 64)\n"
+      "  --nested-crash <b[,rearm]>  with --crash: crash the recovery itself at\n"
+      "                       persist boundary b (1-based) and re-enter it;\n"
+      "                       ',rearm' re-arms the crash on every retry\n"
+      "  --max-recovery-attempts <n>  retry budget for crashed recoveries\n"
+      "                       (default 8)\n"
       "  --json <file>        write results (same numbers as printed) as JSON\n"
       "  --crypto-backend <ref|ttable|hw|auto>  crypto backend (bit-identical;\n"
       "                       host wall-clock only; or STEINS_CRYPTO_BACKEND)\n");
 }
 
 bool parse(int argc, char** argv, Options* opt) {
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    bool missing = false;
-    auto value = [&]() -> const char* {
-      if (i + 1 >= argc) {
-        std::fprintf(stderr, "missing value for %s (try --help)\n", arg.c_str());
-        missing = true;
-        return "";
-      }
-      return argv[++i];
-    };
-    if (arg == "--scheme") {
-      opt->schemes = value();
-    } else if (arg == "--mix") {
-      opt->mix = value();
-    } else if (arg == "--clients") {
-      opt->clients = static_cast<unsigned>(std::strtoul(value(), nullptr, 10));
-    } else if (arg == "--controllers") {
-      opt->controllers = static_cast<unsigned>(std::strtoul(value(), nullptr, 10));
-    } else if (arg == "--ops") {
-      opt->ops = std::strtoull(value(), nullptr, 10);
-    } else if (arg == "--keys") {
-      opt->keys = std::strtoull(value(), nullptr, 10);
-    } else if (arg == "--slots") {
-      opt->slots = std::strtoull(value(), nullptr, 10);
-    } else if (arg == "--value-bytes") {
-      opt->value_bytes = std::strtoull(value(), nullptr, 10);
-    } else if (arg == "--zipf") {
-      opt->zipf_s = std::strtod(value(), nullptr);
-    } else if (arg == "--seed") {
-      opt->seed = std::strtoull(value(), nullptr, 10);
-    } else if (arg == "--capacity-mb") {
-      opt->capacity_mb = std::strtoull(value(), nullptr, 10);
-    } else if (arg == "--mcache-kb") {
-      opt->mcache_kb = std::strtoull(value(), nullptr, 10);
-    } else if (arg == "--jobs") {
-      opt->jobs = static_cast<unsigned>(std::strtoul(value(), nullptr, 10));
-      if (opt->jobs < 1) opt->jobs = 1;
-    } else if (arg == "--crash") {
+  cli::ArgParser p(argc, argv);
+  while (p.next()) {
+    if (p.is("--scheme", "--schemes")) {
+      opt->schemes = p.str();
+    } else if (p.is("--mix")) {
+      opt->mix = p.str();
+    } else if (p.is("--clients")) {
+      opt->clients = static_cast<unsigned>(p.u64());
+    } else if (p.is("--controllers")) {
+      opt->controllers = static_cast<unsigned>(p.u64());
+    } else if (p.is("--ops")) {
+      opt->ops = p.u64();
+    } else if (p.is("--keys")) {
+      opt->keys = p.u64();
+    } else if (p.is("--slots")) {
+      opt->slots = p.u64();
+    } else if (p.is("--value-bytes")) {
+      opt->value_bytes = p.u64();
+    } else if (p.is("--zipf")) {
+      opt->zipf_s = p.f64();
+    } else if (p.is("--seed")) {
+      opt->seed = p.u64();
+    } else if (p.is("--capacity-mb")) {
+      opt->capacity_mb = p.u64();
+    } else if (p.is("--mcache-kb")) {
+      opt->mcache_kb = p.u64();
+    } else if (p.is("--jobs")) {
+      opt->jobs = p.jobs();
+    } else if (p.is("--crash")) {
       opt->crash = true;
-    } else if (arg == "--crash-ops") {
-      opt->crash_ops = std::strtoull(value(), nullptr, 10);
-    } else if (arg == "--json") {
-      opt->json_path = value();
-    } else if (arg == "--crypto-backend") {
-      const std::string name = value();
-      if (missing) return false;
-      if (auto b = crypto::parse_backend(name)) {
-        crypto::set_crypto_backend(*b);
-      } else if (name != "auto") {
-        std::fprintf(stderr, "unknown crypto backend: %s (expected ref|ttable|hw|auto)\n",
-                     name.c_str());
+    } else if (p.is("--crash-ops")) {
+      opt->crash_ops = p.u64();
+    } else if (p.is("--nested-crash")) {
+      if (!cli::parse_nested_crash(p, &opt->nested_crash_boundary,
+                                   &opt->nested_crash_rearm)) {
         return false;
       }
-    } else if (arg == "--help" || arg == "-h") {
+    } else if (p.is("--max-recovery-attempts")) {
+      const std::uint64_t n = p.u64();
+      if (p.failed()) return false;
+      if (n == 0) {
+        p.invalid("invalid --max-recovery-attempts: expected >= 1");
+        return false;
+      }
+      opt->retry_policy.max_recovery_attempts = static_cast<unsigned>(n);
+    } else if (p.is("--json")) {
+      opt->json_path = p.str();
+    } else if (p.is("--crypto-backend")) {
+      const std::string name = p.str();
+      if (!p.failed() && !cli::apply_crypto_backend(name)) return false;
+    } else if (p.is("--help", "-h")) {
       opt->help = true;
     } else {
-      std::fprintf(stderr, "unknown option: %s (try --help)\n", arg.c_str());
-      return false;
+      p.unknown();
     }
-    if (missing) return false;
   }
-  return true;
-}
-
-Scheme parse_scheme(const std::string& name) {
-  if (name == "wb") return Scheme::kWriteBack;
-  if (name == "asit") return Scheme::kAnubis;
-  if (name == "star") return Scheme::kStar;
-  if (name == "steins") return Scheme::kSteins;
-  if (name == "scue") return Scheme::kScue;
-  throw std::invalid_argument("unknown scheme: " + name);
-}
-
-std::vector<std::string> split_csv(const std::string& csv) {
-  std::vector<std::string> out;
-  std::stringstream ss(csv);
-  std::string item;
-  while (std::getline(ss, item, ',')) {
-    if (!item.empty()) out.push_back(item);
-  }
-  return out;
+  return !p.failed();
 }
 
 struct SchemeOutcome {
@@ -213,6 +195,8 @@ void emit_json(const Options& opt, const SystemConfig& cfg,
          << ", \"total_persists\": " << o.crash.total_persists
          << ", \"committed_keys\": " << o.crash.committed_keys
          << ", \"recovery_seconds\": " << num(o.crash.recovery_seconds)
+         << ", \"recovery_attempts\": " << o.crash.recovery_attempts
+         << ", \"recovery_gave_up\": " << (o.crash.recovery_gave_up ? "true" : "false")
          << ", \"detail\": \"" << json_escape(o.crash.detail) << "\"}";
     }
     os << "}";
@@ -262,6 +246,9 @@ int main(int argc, char** argv) {
   KvCrashOptions ccfg;
   ccfg.ops = opt.crash_ops;
   ccfg.seed = opt.seed;
+  ccfg.recovery_crash_boundary = opt.nested_crash_boundary;
+  ccfg.recovery_crash_rearm = opt.nested_crash_rearm;
+  ccfg.retry_policy = opt.retry_policy;
 
   std::vector<SchemeOutcome> outcomes;
   bool all_pass = true;
@@ -272,8 +259,13 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(opt.keys));
     std::printf("%-11s %10s %9s %9s %9s %9s   %s\n", "scheme", "kops/s", "p50_ns",
                 "p95_ns", "p99_ns", "p99.9_ns", opt.crash ? "crash-recovery" : "");
-    for (const std::string& name : split_csv(opt.schemes)) {
-      const Scheme scheme = parse_scheme(name);
+    for (const std::string& name : cli::split_csv(opt.schemes)) {
+      const auto scheme_opt = cli::parse_scheme(name);
+      if (!scheme_opt.has_value()) {
+        std::fprintf(stderr, "unknown scheme: %s (try --help)\n", name.c_str());
+        return 2;
+      }
+      const Scheme scheme = *scheme_opt;
       SchemeOutcome o;
       o.label = scheme_name(scheme, cfg.counter_mode);
       o.ycsb = run_ycsb(cfg, scheme, ycfg);
@@ -289,7 +281,12 @@ int main(int argc, char** argv) {
         } else if (o.crash_pass) {
           crash_note = "ok (killed before persist " + std::to_string(o.crash.crash_at) +
                        "/" + std::to_string(o.crash.total_persists) + ", " +
-                       std::to_string(o.crash.committed_keys) + " keys verified)";
+                       std::to_string(o.crash.committed_keys) + " keys verified";
+          if (o.crash.recovery_attempts > 1) {
+            crash_note += ", " + std::to_string(o.crash.recovery_attempts) +
+                          " recovery attempts";
+          }
+          crash_note += ")";
         } else {
           crash_note = "FAIL: " + o.crash.detail;
         }

@@ -20,6 +20,7 @@
 #include "cli_common.hpp"
 #include "common/rng.hpp"
 #include "common/status.hpp"
+#include "fault/fault.hpp"
 
 using namespace steins;
 
@@ -37,6 +38,10 @@ struct Options {
   std::uint64_t seed = 42;
   std::string json_path;
   bool no_mac_verify = false;
+  bool recover = false;                     // crash + recover after the lifecycle
+  std::uint64_t nested_crash_boundary = 0;  // 0 = off (DESIGN.md §17)
+  bool nested_crash_rearm = false;
+  RecoveryRetryPolicy retry_policy;
   bool help = false;
 };
 
@@ -53,6 +58,13 @@ void usage() {
       "  --lines-per-epoch <n>  scrub budget per epoch (default 64)\n"
       "  --seed <n>             workload + fault placement seed (default 42)\n"
       "  --no-mac-verify        patrol without MAC-verifying data lines\n"
+      "  --recover              crash + recover over the scarred image at the\n"
+      "                         end, printing per-attempt recovery telemetry\n"
+      "  --nested-crash <b[,rearm]>  crash that recovery itself at persist\n"
+      "                         boundary b (1-based; implies --recover) and\n"
+      "                         re-enter it; ',rearm' re-arms every retry\n"
+      "  --max-recovery-attempts <n>  retry budget for crashed recoveries\n"
+      "                         (default 8)\n"
       "  --json <file>          write the outcome as JSON\n"
       "  --crypto-backend <ref|ttable|hw|auto>  crypto backend (bit-identical;\n"
       "                         host wall-clock only; or STEINS_CRYPTO_BACKEND)\n");
@@ -81,6 +93,22 @@ bool parse(int argc, char** argv, Options* opt) {
       opt->seed = p.u64();
     } else if (p.is("--no-mac-verify")) {
       opt->no_mac_verify = true;
+    } else if (p.is("--recover")) {
+      opt->recover = true;
+    } else if (p.is("--nested-crash")) {
+      if (!cli::parse_nested_crash(p, &opt->nested_crash_boundary,
+                                   &opt->nested_crash_rearm)) {
+        return false;
+      }
+      opt->recover = true;
+    } else if (p.is("--max-recovery-attempts")) {
+      const std::uint64_t n = p.u64();
+      if (p.failed()) return false;
+      if (n == 0) {
+        p.invalid("invalid --max-recovery-attempts: expected >= 1");
+        return false;
+      }
+      opt->retry_policy.max_recovery_attempts = static_cast<unsigned>(n);
     } else if (p.is("--json")) {
       opt->json_path = p.str();
     } else if (p.is("--crypto-backend")) {
@@ -238,6 +266,84 @@ int main(int argc, char** argv) {
                 mem->quarantine().size(), mem->quarantine().line_count(),
                 mem->quarantine().range_count());
 
+    // Phase 6: optional crash + re-entrant recovery over the scarred image
+    // (DESIGN.md §17), surfacing the per-attempt telemetry the recovery
+    // report carries: modeled time, nested-crash boundary and stage, and
+    // the persisted resume-cursor position of each attempt.
+    RecoveryReport rec;
+    bool rec_ran = false;
+    AuditCounts post_rec;
+    bool post_rec_ran = false;
+    if (opt.recover) {
+      rec_ran = true;
+      FaultInjector injector(FaultPlan::derive(FaultClass::kNone, opt.seed, 0));
+      if (opt.nested_crash_boundary != 0) {
+        injector.arm_recovery_crash(opt.nested_crash_boundary, opt.nested_crash_rearm);
+      }
+      mem_owner->crash();
+      mem_owner->set_fault_injector(&injector);
+      rec = recover_with_retry(*mem_owner, &injector, opt.retry_policy);
+      mem_owner->set_fault_injector(nullptr);
+
+      std::printf("\ncrash + recovery\n");
+      if (!rec.supported) {
+        std::printf("  recovery unsupported by scheme '%s'\n", opt.scheme.c_str());
+      } else if (rec.recovery_gave_up) {
+        std::printf("  UNRECOVERABLE: %s\n", rec.status.message().c_str());
+      } else if (rec.attack_detected) {
+        std::printf("  ATTACK DETECTED: %s\n", rec.attack_detail.c_str());
+      } else {
+        std::printf("  converged in %llu attempt(s), %.4f s modeled "
+                    "(%llu reads, %llu writes)\n",
+                    static_cast<unsigned long long>(rec.attempt_count()), rec.seconds,
+                    static_cast<unsigned long long>(rec.nvm_reads),
+                    static_cast<unsigned long long>(rec.nvm_writes));
+        for (std::size_t i = 0; i < rec.attempts.size(); ++i) {
+          const RecoveryAttempt& a = rec.attempts[i];
+          if (a.crashed) {
+            std::printf("  attempt %zu: crashed at boundary %llu (%s), %.4f s, "
+                        "resume cursor %llu\n",
+                        i + 1, static_cast<unsigned long long>(a.crash_boundary),
+                        a.crash_stage.c_str(), a.seconds,
+                        static_cast<unsigned long long>(a.resume_cursor));
+          } else {
+            std::printf("  attempt %zu: converged, %.4f s\n", i + 1, a.seconds);
+          }
+        }
+        // The recovered image must still serve every block exactly or fail
+        // typed — silent divergence after a (re-entered) recovery is a bug.
+        post_rec = audit(*mem, opt, now);
+        post_rec_ran = true;
+        std::printf("  post-recovery audit: %llu ok, %llu typed-unavailable, "
+                    "%llu wrong\n",
+                    static_cast<unsigned long long>(post_rec.ok),
+                    static_cast<unsigned long long>(post_rec.unavailable),
+                    static_cast<unsigned long long>(post_rec.wrong));
+      }
+    }
+
+    std::string recovery_json = "null";
+    if (rec_ran) {
+      std::string attempts_json = "[";
+      for (std::size_t i = 0; i < rec.attempts.size(); ++i) {
+        const RecoveryAttempt& a = rec.attempts[i];
+        if (i > 0) attempts_json += ", ";
+        attempts_json += "{\"crashed\": " + std::string(a.crashed ? "true" : "false") +
+                         ", \"boundary\": " + std::to_string(a.crash_boundary) +
+                         ", \"stage\": \"" + a.crash_stage +
+                         "\", \"seconds\": " + std::to_string(a.seconds) +
+                         ", \"resume_cursor\": " + std::to_string(a.resume_cursor) + "}";
+      }
+      attempts_json += "]";
+      recovery_json =
+          "{\"supported\": " + std::string(rec.supported ? "true" : "false") +
+          ", \"gave_up\": " + std::string(rec.recovery_gave_up ? "true" : "false") +
+          ", \"attempts\": " + std::to_string(rec.attempt_count()) +
+          ", \"seconds\": " + std::to_string(rec.seconds) +
+          ", \"resume_cursor\": " + std::to_string(rec.resume_cursor) +
+          ", \"attempt_log\": " + attempts_json + "}";
+    }
+
     if (!opt.json_path.empty()) {
       std::FILE* f = std::fopen(opt.json_path.c_str(), "w");
       if (f == nullptr) {
@@ -254,7 +360,7 @@ int main(int argc, char** argv) {
           " \"lines_quarantined\": %llu,\n \"lines_remapped\": %llu,\n"
           " \"audit_ok\": %llu,\n \"audit_unavailable\": %llu,\n"
           " \"audit_wrong\": %llu,\n \"rewritten\": %llu,\n"
-          " \"write_blocked\": %llu\n}\n",
+          " \"write_blocked\": %llu,\n \"recovery\": %s\n}\n",
           opt.scheme.c_str(), static_cast<unsigned long long>(opt.blocks),
           static_cast<unsigned long long>(n_cor), static_cast<unsigned long long>(n_unc),
           static_cast<unsigned long long>(ft.scrub_passes),
@@ -267,7 +373,7 @@ int main(int argc, char** argv) {
           static_cast<unsigned long long>(final_audit.unavailable),
           static_cast<unsigned long long>(final_audit.wrong),
           static_cast<unsigned long long>(rewritten),
-          static_cast<unsigned long long>(write_blocked));
+          static_cast<unsigned long long>(write_blocked), recovery_json.c_str());
       if (std::fclose(f) != 0) {
         std::fprintf(stderr, "error writing %s\n", opt.json_path.c_str());
         return 1;
@@ -275,8 +381,14 @@ int main(int argc, char** argv) {
       std::printf("wrote JSON results to %s\n", opt.json_path.c_str());
     }
 
-    if (after_scrub.wrong > 0 || final_audit.wrong > 0) {
+    if (after_scrub.wrong > 0 || final_audit.wrong > 0 ||
+        (post_rec_ran && post_rec.wrong > 0)) {
       std::fprintf(stderr, "\nFAIL: wrong plaintext served\n");
+      return 1;
+    }
+    if (rec_ran && rec.supported &&
+        (rec.recovery_gave_up || rec.attack_detected || !rec.status.ok())) {
+      std::fprintf(stderr, "\nFAIL: recovery did not converge clean\n");
       return 1;
     }
   } catch (const std::exception& e) {

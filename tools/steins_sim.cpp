@@ -8,14 +8,14 @@
 // Runs one (scheme, workload) configuration through the full system (CPU +
 // caches + controller), optionally crashes and recovers at the end, audits
 // the persisted tree, and prints the statistics the paper's figures use.
-#include <cerrno>
 #include <cstdio>
-#include <cstring>
 #include <memory>
 #include <string>
 
+#include "cli_common.hpp"
 #include "common/thread_pool.hpp"
 #include "crypto/backend.hpp"
+#include "fault/fault.hpp"
 #include "schemes/steins.hpp"
 #include "sim/experiment.hpp"
 #include "sim/system.hpp"
@@ -41,6 +41,9 @@ struct Options {
   std::size_t mcache_kb = 256;
   std::uint64_t capacity_mb = 16 * 1024;
   std::uint64_t seed = 1;
+  std::uint64_t nested_crash_boundary = 0;  // 0 = off (DESIGN.md §17)
+  bool nested_crash_rearm = false;
+  RecoveryRetryPolicy retry_policy;
   bool crash = false;
   bool audit = false;
   bool list = false;
@@ -69,73 +72,74 @@ void usage() {
       "                                   STEINS_CRYPTO_BACKEND). Bit-identical;\n"
       "                                   affects host wall-clock only\n"
       "  --crash                          crash + recover after the run\n"
+      "  --nested-crash <b[,rearm]>       with --crash: crash the recovery\n"
+      "                                   itself at persist boundary b (1-based)\n"
+      "                                   and re-enter it; ',rearm' re-arms the\n"
+      "                                   crash on every retry\n"
+      "  --max-recovery-attempts <n>      retry budget for crashed recoveries\n"
+      "                                   (default 8)\n"
       "  --audit                          verify the whole persisted tree\n"
       "  --list                           list built-in workloads\n");
 }
 
 bool parse(int argc, char** argv, Options* opt) {
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    auto value = [&]() -> const char* { return (i + 1 < argc) ? argv[++i] : ""; };
-    if (arg == "--scheme") {
-      opt->scheme = value();
-    } else if (arg == "--mode") {
-      opt->mode = value();
-    } else if (arg == "--workload") {
-      opt->workload = value();
-    } else if (arg == "--trace") {
-      opt->trace_path = value();
-    } else if (arg == "--dump-trace") {
-      opt->dump_trace = value();
-    } else if (arg == "--accesses") {
-      opt->accesses = std::strtoull(value(), nullptr, 10);
-    } else if (arg == "--warmup") {
-      opt->warmup = std::strtoull(value(), nullptr, 10);
-    } else if (arg == "--mcache-kb") {
-      opt->mcache_kb = std::strtoull(value(), nullptr, 10);
-    } else if (arg == "--capacity-mb") {
-      opt->capacity_mb = std::strtoull(value(), nullptr, 10);
-    } else if (arg == "--seed") {
-      opt->seed = std::strtoull(value(), nullptr, 10);
-    } else if (arg == "--matrix") {
-      opt->matrix = value();
-    } else if (arg == "--jobs") {
-      const long v = std::strtol(value(), nullptr, 10);
-      opt->jobs = v < 1 ? 1u : static_cast<unsigned>(v);
-    } else if (arg == "--json") {
-      opt->json_path = value();
-    } else if (arg == "--crypto-backend") {
-      const std::string name = value();
-      if (auto b = crypto::parse_backend(name)) {
-        crypto::set_crypto_backend(*b);
-      } else if (name != "auto") {
-        std::fprintf(stderr, "unknown crypto backend: %s (expected ref|ttable|hw|auto)\n",
-                     name.c_str());
+  cli::ArgParser p(argc, argv);
+  while (p.next()) {
+    if (p.is("--scheme")) {
+      opt->scheme = p.str();
+    } else if (p.is("--mode")) {
+      opt->mode = p.str();
+    } else if (p.is("--workload")) {
+      opt->workload = p.str();
+    } else if (p.is("--trace")) {
+      opt->trace_path = p.str();
+    } else if (p.is("--dump-trace")) {
+      opt->dump_trace = p.str();
+    } else if (p.is("--accesses")) {
+      opt->accesses = p.u64();
+    } else if (p.is("--warmup")) {
+      opt->warmup = p.u64();
+    } else if (p.is("--mcache-kb")) {
+      opt->mcache_kb = static_cast<std::size_t>(p.u64());
+    } else if (p.is("--capacity-mb")) {
+      opt->capacity_mb = p.u64();
+    } else if (p.is("--seed")) {
+      opt->seed = p.u64();
+    } else if (p.is("--matrix")) {
+      opt->matrix = p.str();
+    } else if (p.is("--jobs")) {
+      opt->jobs = p.jobs();
+    } else if (p.is("--json")) {
+      opt->json_path = p.str();
+    } else if (p.is("--crypto-backend")) {
+      const std::string name = p.str();
+      if (!p.failed() && !cli::apply_crypto_backend(name)) return false;
+    } else if (p.is("--crash")) {
+      opt->crash = true;
+    } else if (p.is("--nested-crash")) {
+      if (!cli::parse_nested_crash(p, &opt->nested_crash_boundary,
+                                   &opt->nested_crash_rearm)) {
         return false;
       }
-    } else if (arg == "--crash") {
-      opt->crash = true;
-    } else if (arg == "--audit") {
+    } else if (p.is("--max-recovery-attempts")) {
+      const std::uint64_t n = p.u64();
+      if (p.failed()) return false;
+      if (n == 0) {
+        p.invalid("invalid --max-recovery-attempts: expected >= 1");
+        return false;
+      }
+      opt->retry_policy.max_recovery_attempts = static_cast<unsigned>(n);
+    } else if (p.is("--audit")) {
       opt->audit = true;
-    } else if (arg == "--list") {
+    } else if (p.is("--list")) {
       opt->list = true;
-    } else if (arg == "--help" || arg == "-h") {
+    } else if (p.is("--help", "-h")) {
       opt->help = true;
     } else {
-      std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
-      return false;
+      p.unknown();
     }
   }
-  return true;
-}
-
-Scheme parse_scheme(const std::string& name) {
-  if (name == "wb") return Scheme::kWriteBack;
-  if (name == "asit") return Scheme::kAnubis;
-  if (name == "star") return Scheme::kStar;
-  if (name == "steins") return Scheme::kSteins;
-  if (name == "scue") return Scheme::kScue;
-  throw std::invalid_argument("unknown scheme: " + name);
+  return !p.failed();
 }
 
 }  // namespace
@@ -185,18 +189,7 @@ int main(int argc, char** argv) {
           [](const RunStats& s) { return static_cast<double>(s.cycles); }, schemes[0].label);
       table.print();
       if (!opt.json_path.empty()) {
-        std::FILE* f = std::fopen(opt.json_path.c_str(), "w");
-        if (f == nullptr) {
-          std::fprintf(stderr, "cannot open %s: %s\n", opt.json_path.c_str(),
-                       std::strerror(errno));
-          return 1;
-        }
-        std::fprintf(f, "%s\n", table.to_json().c_str());
-        if (std::fclose(f) != 0) {
-          std::fprintf(stderr, "error writing %s: %s\n", opt.json_path.c_str(),
-                       std::strerror(errno));
-          return 1;
-        }
+        if (!cli::write_json_file(opt.json_path, table.to_json() + "\n")) return 1;
         std::printf("wrote JSON results to %s\n", opt.json_path.c_str());
       }
       return 0;
@@ -224,7 +217,12 @@ int main(int argc, char** argv) {
     cfg.counter_mode = (opt.mode == "sc") ? CounterMode::kSplit : CounterMode::kGeneral;
     cfg.secure.metadata_cache.size_bytes = opt.mcache_kb * 1024;
     cfg.nvm.capacity_bytes = opt.capacity_mb << 20;
-    const Scheme scheme = parse_scheme(opt.scheme);
+    const auto scheme_opt = cli::parse_scheme(opt.scheme);
+    if (!scheme_opt.has_value()) {
+      std::fprintf(stderr, "unknown scheme: %s (try --help)\n", opt.scheme.c_str());
+      return 2;
+    }
+    const Scheme scheme = *scheme_opt;
 
     System sys(cfg, scheme);
     std::printf("running %s (%s) on '%s'...\n", opt.scheme.c_str(), opt.mode.c_str(),
@@ -252,17 +250,42 @@ int main(int argc, char** argv) {
 
     if (opt.crash) {
       std::printf("\ncrash + recovery\n");
+      FaultInjector injector(FaultPlan::derive(FaultClass::kNone, opt.seed, 0));
+      if (opt.nested_crash_boundary != 0) {
+        injector.arm_recovery_crash(opt.nested_crash_boundary, opt.nested_crash_rearm);
+        sys.set_fault_injector(&injector);
+      }
+      sys.set_recovery_policy(opt.retry_policy);
       const RecoveryResult r = sys.crash_and_recover();
+      sys.set_fault_injector(nullptr);
       if (!r.supported) {
         std::printf("  recovery unsupported by scheme '%s'\n", opt.scheme.c_str());
       } else if (r.attack_detected) {
         std::printf("  ATTACK DETECTED: %s\n", r.attack_detail.c_str());
+        return 1;
+      } else if (r.recovery_gave_up) {
+        std::printf("  UNRECOVERABLE: %s\n", r.status.message().c_str());
         return 1;
       } else {
         std::printf("  recovered %llu nodes in %.4f s (%llu reads, %llu writes)\n",
                     static_cast<unsigned long long>(r.nodes_recovered), r.seconds,
                     static_cast<unsigned long long>(r.nvm_reads),
                     static_cast<unsigned long long>(r.nvm_writes));
+        if (r.attempts.size() > 1) {
+          std::printf("  converged after %zu recovery attempts:\n", r.attempts.size());
+          for (std::size_t i = 0; i < r.attempts.size(); ++i) {
+            const RecoveryAttempt& a = r.attempts[i];
+            if (a.crashed) {
+              std::printf("    attempt %zu: crashed at boundary %llu (%s), "
+                          "%.4f s, cursor %llu\n",
+                          i + 1, static_cast<unsigned long long>(a.crash_boundary),
+                          a.crash_stage.c_str(), a.seconds,
+                          static_cast<unsigned long long>(a.resume_cursor));
+            } else {
+              std::printf("    attempt %zu: converged, %.4f s\n", i + 1, a.seconds);
+            }
+          }
+        }
       }
     }
 
