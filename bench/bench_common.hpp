@@ -57,13 +57,33 @@ inline BenchOptions parse_options(int argc, char** argv) {
     }
     return argv[++*i];
   };
+  // A non-numeric positional (or numeric flag value) is likewise an error:
+  // `kv_throughput 20OO0` must not silently run 20 accesses.
+  const auto parse_u64 = [](const char* what, const char* s) -> std::uint64_t {
+    char* end = nullptr;
+    errno = 0;
+    const unsigned long long v = std::strtoull(s, &end, 10);
+    if (end == s || *end != '\0' || errno == ERANGE) {
+      std::fprintf(stderr, "invalid %s: %s (expected an unsigned integer)\n", what, s);
+      std::exit(2);
+    }
+    return v;
+  };
   int positional = 0;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--jobs") == 0) {
-      const long v = std::strtol(value_of(&i), nullptr, 10);
+      const std::uint64_t v = parse_u64("--jobs", value_of(&i));
       opt.jobs = v < 1 ? 1u : static_cast<unsigned>(v);
     } else if (std::strcmp(argv[i], "--crypto-backend") == 0) {
-      if (auto b = crypto::parse_backend(value_of(&i))) crypto::set_crypto_backend(*b);
+      const char* name = value_of(&i);
+      const auto b = crypto::parse_backend(name);
+      if (!b) {
+        std::fprintf(stderr,
+                     "unknown crypto backend: %s (expected ref|ttable|hw|auto)\n",
+                     name);
+        std::exit(2);
+      }
+      crypto::set_crypto_backend(*b);
     } else if (std::strcmp(argv[i], "--json") == 0) {
       opt.json_path = value_of(&i);
     } else if (std::strcmp(argv[i], "--verbose") == 0) {
@@ -75,10 +95,10 @@ inline BenchOptions parse_options(int argc, char** argv) {
                    argv[i]);
       std::exit(2);
     } else if (positional == 0) {
-      opt.accesses = std::strtoull(argv[i], nullptr, 10);
+      opt.accesses = parse_u64("accesses", argv[i]);
       ++positional;
     } else if (positional == 1) {
-      opt.warmup = std::strtoull(argv[i], nullptr, 10);
+      opt.warmup = parse_u64("warmup", argv[i]);
       ++positional;
     } else {
       std::fprintf(stderr, "unexpected argument: %s\n", argv[i]);

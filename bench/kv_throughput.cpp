@@ -4,10 +4,20 @@
 // MultiControllerMemory, so the matrix fans out across --jobs threads with
 // bit-identical results to the sequential run. Rows are "SCHEME/mix";
 // columns report throughput and the latency distribution in nanoseconds.
+//
+// Below the matrix, the concurrent serving sweep runs the sharded engine
+// (kv/serving.hpp) at 1, 2, and 4 shards on the Steins scheme — same
+// offered load, load-aware routing, group commit on — and reports the
+// simulated-throughput scaling plus, in --json, per-shard occupancy and
+// the group-commit batch-size distribution. The committed BENCH_kv.json
+// records this sweep; CI gates on the 4-shard speedup staying >= 1.5x.
 #include <cstdio>
+#include <sstream>
+#include <string>
 #include <vector>
 
 #include "bench_common.hpp"
+#include "kv/serving.hpp"
 #include "kv/ycsb.hpp"
 
 using namespace steins;
@@ -64,8 +74,80 @@ int main(int argc, char** argv) {
                    h.percentile(95) * ns, h.percentile(99) * ns, h.percentile(99.9) * ns});
   }
   table.print();
+
+  // Concurrent serving sweep: same offered load at 1/2/4 shards. Shard
+  // counts are simulated topology, not host threads, so the scaling rows
+  // are deterministic on any runner; jobs only changes wall-clock.
+  const std::vector<unsigned> shard_counts = {1, 2, 4};
+  std::vector<ServingResult> serving(shard_counts.size());
+  const auto run_serving_cell = [&](std::size_t i) {
+    ServingConfig scfg;
+    scfg.mix = Mix::kA;
+    scfg.clients = 4;
+    scfg.shards = shard_counts[i];
+    scfg.ops = opt.accesses;
+    scfg.keys = std::max<std::uint64_t>(opt.accesses / 4, 1000);
+    // Per-shard tables sized for the worst case (every key on one shard)
+    // so all rows share one layout and stay comparable.
+    std::size_t slots = std::size_t{1} << 14;
+    while (slots < 4 * scfg.keys) slots <<= 1;
+    scfg.slots = slots;
+    scfg.jobs = opt.jobs;
+    serving[i] = run_sharded_serving(cfg, Scheme::kSteins, scfg);
+  };
+  if (opt.jobs > 1) {
+    ThreadPool pool(opt.jobs);
+    pool.for_each_index(serving.size(), run_serving_cell);
+  } else {
+    for (std::size_t i = 0; i < serving.size(); ++i) run_serving_cell(i);
+  }
+
+  ResultTable stable("Concurrent serving scaling (Steins/a, load routing, group commit)",
+                     {"kops_s", "speedup", "p50_ns", "p99_ns", "p999_ns", "mean_batch"});
+  const double base_kops = serving[0].kops_per_sec;
+  for (std::size_t i = 0; i < serving.size(); ++i) {
+    const ServingResult& s = serving[i];
+    stable.add_row("Steins/serve" + std::to_string(shard_counts[i]),
+                   {s.kops_per_sec, base_kops > 0 ? s.kops_per_sec / base_kops : 0.0,
+                    s.all_lat.percentile(50) * ns, s.all_lat.percentile(99) * ns,
+                    s.all_lat.percentile(99.9) * ns, s.batch_sizes.mean()});
+  }
+  std::printf("\n");
+  stable.print();
+
   if (!opt.json_path.empty()) {
-    if (bench::write_table_json(opt.json_path, table, opt)) {
+    char buf[64];
+    const auto num = [&](double v) {
+      std::snprintf(buf, sizeof(buf), "%.17g", v);
+      return std::string(buf);
+    };
+    std::ostringstream ex;
+    ex << ",\n \"serving\": {\"scheme\": \"steins\", \"mix\": \"a\", \"rows\": [";
+    for (std::size_t i = 0; i < serving.size(); ++i) {
+      const ServingResult& s = serving[i];
+      ex << (i ? ",\n  " : "\n  ") << "{\"shards\": " << shard_counts[i]
+         << ", \"kops_per_sec\": " << num(s.kops_per_sec)
+         << ", \"ops\": " << s.ops << ", \"shed_ops\": " << s.shed_ops
+         << ", \"commit_writes\": " << s.commit_writes
+         << ", \"image_digest\": \"" << std::hex << s.image_digest << std::dec
+         << "\", \"batch\": {\"count\": " << s.batch_sizes.count()
+         << ", \"mean\": " << num(s.batch_sizes.mean())
+         << ", \"p50\": " << num(s.batch_sizes.percentile(50))
+         << ", \"p95\": " << num(s.batch_sizes.percentile(95))
+         << ", \"max\": " << s.batch_sizes.max() << "}, \"occupancy\": [";
+      for (std::size_t sh = 0; sh < s.shards.size(); ++sh) {
+        ex << (sh ? ", " : "") << num(s.shards[sh].occupancy);
+      }
+      ex << "], \"shard_ops\": [";
+      for (std::size_t sh = 0; sh < s.shards.size(); ++sh) {
+        ex << (sh ? ", " : "") << s.shards[sh].ops;
+      }
+      ex << "]}";
+    }
+    ex << "\n ], \"speedup_4\": "
+       << num(base_kops > 0 ? serving.back().kops_per_sec / base_kops : 0.0) << "}";
+    ex << ",\n \"serving_table\": " << stable.to_json();
+    if (bench::write_table_json(opt.json_path, table, opt, ex.str())) {
       std::printf("wrote JSON results to %s\n", opt.json_path.c_str());
     }
   }

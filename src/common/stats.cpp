@@ -47,14 +47,16 @@ double LatencyHistogram::percentile(double p) const {
     if (counts_[i] == 0) continue;
     cum += counts_[i];
     if (cum >= target) {
-      // Interpolate the rank within the bucket's value range. In the top
-      // clamp bucket the range is bounded by the exact observed maximum,
-      // so an outlier tail beyond the 2^kTopBits ceiling is reported
-      // instead of silently saturating at the bucket representative.
+      // Interpolate the rank within the bucket's value range, bounded
+      // above by the largest value actually observed in THIS bucket (not
+      // just the global maximum): after merging shard histograms with
+      // different maxima, the global max may live in a later bucket and
+      // would no longer bound a sub-maximal shard's top bucket, letting
+      // the interpolation overshoot to the bucket's nominal ceiling.
       const double lo = static_cast<double>(bucket_lower(i));
-      const double hi =
-          std::min(static_cast<double>(bucket_upper(i)), static_cast<double>(max_));
-      if (hi <= lo) return std::min(lo, static_cast<double>(max_));
+      const double hi = std::min(static_cast<double>(bucket_upper(i)),
+                                 static_cast<double>(bucket_max_[i]));
+      if (hi <= lo) return std::min(lo, static_cast<double>(bucket_max_[i]));
       const std::uint64_t before = cum - counts_[i];
       const double frac =
           static_cast<double>(target - before) / static_cast<double>(counts_[i]);

@@ -27,15 +27,24 @@ class LatencyHistogram {
     ++count_;
     sum_ += v;
     if (v > max_) max_ = v;
-    ++counts_[bucket_of(v)];
+    const std::size_t b = bucket_of(v);
+    ++counts_[b];
+    if (v > bucket_max_[b]) bucket_max_[b] = v;
   }
 
   /// Fold another histogram into this one (parallel clients merge here).
+  /// Per-bucket observed maxima merge elementwise, so percentile
+  /// interpolation stays bounded by values actually observed in the
+  /// landing bucket even when shard histograms with different global
+  /// maxima are combined.
   void merge(const LatencyHistogram& other) {
     count_ += other.count_;
     sum_ += other.sum_;
     if (other.max_ > max_) max_ = other.max_;
-    for (std::size_t i = 0; i < kBuckets; ++i) counts_[i] += other.counts_[i];
+    for (std::size_t i = 0; i < kBuckets; ++i) {
+      counts_[i] += other.counts_[i];
+      if (other.bucket_max_[i] > bucket_max_[i]) bucket_max_[i] = other.bucket_max_[i];
+    }
   }
 
   std::uint64_t count() const { return count_; }
@@ -74,8 +83,13 @@ class LatencyHistogram {
   /// Samples recorded in bucket `idx`.
   std::uint64_t bucket_count(std::size_t idx) const { return counts_[idx]; }
 
+  /// Largest value observed in bucket `idx` (0 when the bucket is empty).
+  /// This is what bounds within-bucket percentile interpolation.
+  std::uint64_t bucket_observed_max(std::size_t idx) const { return bucket_max_[idx]; }
+
  private:
   std::array<std::uint64_t, kBuckets> counts_{};
+  std::array<std::uint64_t, kBuckets> bucket_max_{};
   std::uint64_t count_ = 0;
   std::uint64_t sum_ = 0;
   std::uint64_t max_ = 0;

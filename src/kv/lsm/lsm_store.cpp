@@ -15,6 +15,73 @@ namespace {
 /// merge_jobs is set to.
 constexpr std::size_t kMergeShards = 8;
 
+/// Pure k-way merge: inputs[0] has the highest precedence (newest). Shards
+/// the key space on fixed boundaries derived only from the global key
+/// range, merges shards independently (on `pool` when given), and
+/// concatenates — bit-identical for any parallelism. Free of LsmStore state
+/// so the background-compaction task can run it off-thread safely.
+std::vector<RunEntry> merge_inputs(const std::vector<std::vector<RunEntry>>& inputs,
+                                   ThreadPool* pool) {
+  std::uint64_t min_key = ~std::uint64_t{0};
+  std::uint64_t max_key = 0;
+  std::size_t total = 0;
+  for (const auto& in : inputs) {
+    if (in.empty()) continue;
+    min_key = std::min(min_key, in.front().key);
+    max_key = std::max(max_key, in.back().key);
+    total += in.size();
+  }
+  if (total == 0) return {};
+
+  const unsigned __int128 span =
+      static_cast<unsigned __int128>(max_key) - min_key + 1;
+  // Shard s covers [bounds[s], bounds[s+1]) — except the last shard, which
+  // is inclusive of max_key (the full-u64 span can't express an exclusive
+  // upper bound in 64 bits).
+  std::vector<std::uint64_t> bounds;
+  bounds.reserve(kMergeShards + 1);
+  for (std::size_t s = 0; s <= kMergeShards; ++s) {
+    bounds.push_back(static_cast<std::uint64_t>(
+        static_cast<unsigned __int128>(min_key) + span * s / kMergeShards));
+  }
+
+  std::vector<std::vector<RunEntry>> shard_out(kMergeShards);
+  const auto merge_shard = [&](std::size_t s) {
+    const std::uint64_t lo = bounds[s];
+    const bool last = s + 1 == kMergeShards;
+    const std::uint64_t hi = bounds[s + 1];  // exclusive unless last shard
+    std::map<std::uint64_t, const RunEntry*> merged;
+    for (const auto& in : inputs) {
+      auto it = std::lower_bound(
+          in.begin(), in.end(), lo,
+          [](const RunEntry& e, std::uint64_t k) { return e.key < k; });
+      for (; it != in.end() && (last ? it->key <= max_key : it->key < hi); ++it) {
+        merged.emplace(it->key, &*it);  // emplace: first (newest) source wins
+      }
+    }
+    auto& out = shard_out[s];
+    out.reserve(merged.size());
+    for (const auto& [key, e] : merged) {
+      if (e->kind == WalKind::kErase) continue;  // bottom level drops tombstones
+      out.push_back(*e);
+    }
+  };
+
+  if (pool != nullptr) {
+    pool->for_each_index(kMergeShards, merge_shard);
+  } else {
+    for (std::size_t s = 0; s < kMergeShards; ++s) merge_shard(s);
+  }
+
+  std::vector<RunEntry> out;
+  out.reserve(total);
+  for (auto& shard : shard_out) {
+    out.insert(out.end(), std::make_move_iterator(shard.begin()),
+               std::make_move_iterator(shard.end()));
+  }
+  return out;
+}
+
 }  // namespace
 
 LsmStore::LsmStore(System& sys, const LsmLayout& layout, const LsmConfig& cfg)
@@ -42,6 +109,10 @@ Status LsmStore::open() {
   degraded_ = false;
   wal_torn_ = false;
   wal_replayed_ = 0;
+  // An in-flight merge from a previous open is abandoned, exactly like a
+  // crash before the join: its output was never written, the old manifest
+  // still references every input.
+  pending_.reset();
   l0_.clear();
   l1_.clear();
   memtable_.clear();
@@ -117,7 +188,7 @@ void LsmStore::append_op(std::uint64_t key, WalKind kind, const std::string& val
   const std::size_t encoded = wal_record_bytes(value.size());
   if (!wal_.fits(encoded)) {
     flush_locked();
-    if (l0_.size() >= cfg_.l0_compact_trigger) compact_locked();
+    maybe_compact();
     STEINS_CHECK(wal_.fits(encoded), "record larger than the WAL region");
   }
 
@@ -146,7 +217,7 @@ void LsmStore::append_op(std::uint64_t key, WalKind kind, const std::string& val
 
   if (memtable_bytes_ >= cfg_.memtable_limit_bytes) {
     flush_locked();
-    if (l0_.size() >= cfg_.l0_compact_trigger) compact_locked();
+    maybe_compact();
   }
 }
 
@@ -297,6 +368,9 @@ void LsmStore::compact() {
 
 void LsmStore::flush_locked() {
   if (memtable_.empty()) return;
+  // Every flush is a structural barrier: an in-flight background merge
+  // installs here, so its output is on media before the new run lands.
+  compact_join();
   // Backstop: if another L0 run would overflow the manifest's run list,
   // fold the existing runs down first (normally the compaction trigger
   // fires long before this).
@@ -335,71 +409,16 @@ void LsmStore::flush_locked() {
 
 std::vector<RunEntry> LsmStore::merge_runs(
     const std::vector<std::vector<RunEntry>>& inputs) {
-  // inputs[0] has the highest precedence (newest). Shard the key space on
-  // fixed boundaries derived only from the global key range, merge shards
-  // independently, and concatenate — bit-identical for any merge_jobs.
-  std::uint64_t min_key = ~std::uint64_t{0};
-  std::uint64_t max_key = 0;
-  std::size_t total = 0;
-  for (const auto& in : inputs) {
-    if (in.empty()) continue;
-    min_key = std::min(min_key, in.front().key);
-    max_key = std::max(max_key, in.back().key);
-    total += in.size();
+  if (cfg_.merge_jobs > 1 && !merge_pool_) {
+    merge_pool_ = std::make_unique<ThreadPool>(cfg_.merge_jobs);
   }
-  if (total == 0) return {};
-
-  const unsigned __int128 span =
-      static_cast<unsigned __int128>(max_key) - min_key + 1;
-  // Shard s covers [bounds[s], bounds[s+1]) — except the last shard, which
-  // is inclusive of max_key (the full-u64 span can't express an exclusive
-  // upper bound in 64 bits).
-  std::vector<std::uint64_t> bounds;
-  bounds.reserve(kMergeShards + 1);
-  for (std::size_t s = 0; s <= kMergeShards; ++s) {
-    bounds.push_back(static_cast<std::uint64_t>(
-        static_cast<unsigned __int128>(min_key) + span * s / kMergeShards));
-  }
-
-  std::vector<std::vector<RunEntry>> shard_out(kMergeShards);
-  const auto merge_shard = [&](std::size_t s) {
-    const std::uint64_t lo = bounds[s];
-    const bool last = s + 1 == kMergeShards;
-    const std::uint64_t hi = bounds[s + 1];  // exclusive unless last shard
-    std::map<std::uint64_t, const RunEntry*> merged;
-    for (const auto& in : inputs) {
-      auto it = std::lower_bound(
-          in.begin(), in.end(), lo,
-          [](const RunEntry& e, std::uint64_t k) { return e.key < k; });
-      for (; it != in.end() && (last ? it->key <= max_key : it->key < hi); ++it) {
-        merged.emplace(it->key, &*it);  // emplace: first (newest) source wins
-      }
-    }
-    auto& out = shard_out[s];
-    out.reserve(merged.size());
-    for (const auto& [key, e] : merged) {
-      if (e->kind == WalKind::kErase) continue;  // bottom level drops tombstones
-      out.push_back(*e);
-    }
-  };
-
-  if (cfg_.merge_jobs > 1) {
-    if (!merge_pool_) merge_pool_ = std::make_unique<ThreadPool>(cfg_.merge_jobs);
-    merge_pool_->for_each_index(kMergeShards, merge_shard);
-  } else {
-    for (std::size_t s = 0; s < kMergeShards; ++s) merge_shard(s);
-  }
-
-  std::vector<RunEntry> out;
-  out.reserve(total);
-  for (auto& shard : shard_out) {
-    out.insert(out.end(), std::make_move_iterator(shard.begin()),
-               std::make_move_iterator(shard.end()));
-  }
-  return out;
+  return merge_inputs(inputs, cfg_.merge_jobs > 1 ? merge_pool_.get() : nullptr);
 }
 
 void LsmStore::compact_locked() {
+  // Foreground compaction is a begin+join with no gap. Any merge already
+  // in flight installs first so the two never overlap.
+  compact_join();
   const std::size_t run_count = l0_.size() + l1_.size();
   if (run_count == 0) return;
   if (run_count == 1 && l1_.size() == 1) return;  // already fully compacted
@@ -407,22 +426,87 @@ void LsmStore::compact_locked() {
   // Load every input up front (all System I/O on this thread); merge in
   // memory; write the single bottom-level output run.
   std::vector<std::vector<RunEntry>> inputs;  // newest first
-  inputs.reserve(run_count);
+  std::vector<std::uint64_t> ids;
+  snapshot_inputs(&inputs, &ids);
+  install_compaction(merge_runs(inputs), ids);
+  ++stats_.compactions;
+}
+
+void LsmStore::maybe_compact() {
+  if (l0_.size() < cfg_.l0_compact_trigger) return;
+  if (cfg_.background_compaction) {
+    compact_begin();
+  } else {
+    compact_locked();
+  }
+}
+
+void LsmStore::snapshot_inputs(std::vector<std::vector<RunEntry>>* inputs,
+                               std::vector<std::uint64_t>* ids) {
+  inputs->reserve(l0_.size() + l1_.size());
+  ids->reserve(l0_.size() + l1_.size());
   for (auto it = l0_.rbegin(); it != l0_.rend(); ++it) {
-    inputs.push_back(it->load_all(sys_));
+    inputs->push_back(it->load_all(sys_));
+    ids->push_back(it->run_id());
   }
   for (auto it = l1_.rbegin(); it != l1_.rend(); ++it) {
-    inputs.push_back(it->load_all(sys_));
+    inputs->push_back(it->load_all(sys_));
+    ids->push_back(it->run_id());
   }
-  const std::vector<RunEntry> merged = merge_runs(inputs);
+}
 
+void LsmStore::compact_begin() {
+  if (pending_) return;  // one merge in flight at a time
+  const std::size_t run_count = l0_.size() + l1_.size();
+  if (run_count == 0) return;
+  if (run_count == 1 && l1_.size() == 1) return;
+
+  // Foreground: load every input (System I/O stays on this thread) and
+  // record which runs the merge consumes — they stay referenced by the
+  // committed manifest (and by l0_/l1_ for reads) until the join installs.
+  std::vector<std::vector<RunEntry>> inputs;  // newest first
+  std::vector<std::uint64_t> ids;
+  snapshot_inputs(&inputs, &ids);
+
+  if (!bg_pool_) bg_pool_ = std::make_unique<ThreadPool>(1);
+  // The task is a pure function of the captured inputs — no member state,
+  // no System I/O — so it races foreground WAL commits freely. The merge
+  // runs sequentially inside the task (no nested pool).
+  pending_ = PendingCompaction{
+      bg_pool_->submit(
+          [in = std::move(inputs)]() { return merge_inputs(in, nullptr); }),
+      std::move(ids)};
+}
+
+void LsmStore::compact_join() {
+  if (!pending_) return;
+  std::vector<RunEntry> merged = pending_->merged.get();
+  const std::vector<std::uint64_t> ids = std::move(pending_->input_ids);
+  pending_.reset();
+  install_compaction(std::move(merged), ids);
+  ++stats_.compactions;
+  ++stats_.bg_compactions;
+}
+
+void LsmStore::install_compaction(std::vector<RunEntry> merged,
+                                  const std::vector<std::uint64_t>& input_ids) {
+  const auto consumed = [&input_ids](std::uint64_t id) {
+    return std::find(input_ids.begin(), input_ids.end(), id) != input_ids.end();
+  };
+
+  // The new manifest is the CURRENT one minus the consumed inputs plus the
+  // output — runs flushed after the inputs were snapshotted are newer than
+  // every input, so they stay in L0 above the new bottom run.
   ManifestData next = manifest_;
   next.version += 1;
-  next.runs.clear();  // every run participates, so the new list is fresh
+  next.runs.erase(
+      std::remove_if(next.runs.begin(), next.runs.end(),
+                     [&](const RunMeta& r) { return consumed(r.run_id); }),
+      next.runs.end());
   Extent ext;
   std::uint64_t run_id = 0;
-  RunImage img;
   if (!merged.empty()) {
+    RunImage img;
     for (const RunEntry& e : merged) {
       run_image_append(&img, e.key, e.kind, e.value, cfg_.index_every);
     }
@@ -436,8 +520,14 @@ void LsmStore::compact_locked() {
   }
   install_manifest(std::move(next));
 
-  l0_.clear();
-  l1_.clear();
+  const auto drop = [&](std::vector<RunReader>& level) {
+    level.erase(
+        std::remove_if(level.begin(), level.end(),
+                       [&](const RunReader& r) { return consumed(r.run_id()); }),
+        level.end());
+  };
+  drop(l0_);
+  drop(l1_);
   if (!merged.empty()) {
     auto reader = RunReader::open(sys_, layout_, ext, run_id, false);
     STEINS_CHECK(reader.has_value(), "freshly compacted run failed to open");
@@ -445,7 +535,6 @@ void LsmStore::compact_locked() {
     ++stats_.runs_written;
     stats_.run_blocks_written += ext.block_count;
   }
-  ++stats_.compactions;
 }
 
 Extent LsmStore::allocate_extent(std::uint64_t blocks) const {

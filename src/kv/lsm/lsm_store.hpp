@@ -20,6 +20,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <future>
 #include <map>
 #include <memory>
 #include <optional>
@@ -48,6 +49,18 @@ struct LsmConfig {
   std::size_t max_value_bytes = kMaxLsmValueBytes;
   bool verify_runs_on_open = true;  // full run checksums during recovery
   unsigned merge_jobs = 1;          // compaction merge shards run in parallel
+  /// Run the compaction MERGE on a background pool thread, racing
+  /// foreground WAL commits: when the trigger fires, the inputs are
+  /// loaded in the foreground (all System I/O stays on the serving
+  /// thread), the pure in-memory merge is handed to the pool, and the
+  /// result is installed at the next structural barrier (flush, explicit
+  /// compact(), or compact_join()). Runs flushed while the merge is in
+  /// flight are newer than every input, so they simply stay above the
+  /// output — the final image is identical to foreground compaction, and
+  /// a crash before the join leaves the old manifest + WAL (the output
+  /// was never written). Off by default: false keeps the fully
+  /// synchronous PR 7 behavior.
+  bool background_compaction = false;
 };
 
 /// Engine-level counters (logical bytes; the scheme's own metadata traffic
@@ -61,6 +74,7 @@ struct LsmStats {
   std::uint64_t wal_bytes = 0;       // encoded WAL bytes appended
   std::uint64_t flushes = 0;
   std::uint64_t compactions = 0;
+  std::uint64_t bg_compactions = 0;  // of which: merged on the pool
   std::uint64_t runs_written = 0;
   std::uint64_t run_blocks_written = 0;  // data+index+footer blocks
   std::uint64_t persist_barriers = 0;
@@ -113,8 +127,14 @@ class LsmStore {
   /// Force the memtable into an L0 run now (no-op when empty).
   void flush();
   /// Merge all runs into one L1 run now (no-op with fewer than two runs
-  /// and no tombstones to drop).
+  /// and no tombstones to drop). Joins any in-flight background merge
+  /// first, so after compact() returns the store is fully compacted
+  /// regardless of mode.
   void compact();
+  /// Install the in-flight background compaction now (no-op when none is
+  /// pending). Also happens automatically at every flush and compact().
+  void compact_join();
+  bool compaction_pending() const { return pending_.has_value(); }
 
   std::size_t l0_runs() const { return l0_.size(); }
   std::size_t l1_runs() const { return l1_.size(); }
@@ -153,6 +173,15 @@ class LsmStore {
   void append_op(std::uint64_t key, WalKind kind, const std::string& value);
   void flush_locked();
   void compact_locked();
+  void maybe_compact();
+  void snapshot_inputs(std::vector<std::vector<RunEntry>>* inputs,
+                       std::vector<std::uint64_t>* ids);
+  void compact_begin();
+  /// Write `merged` as the new single L1 run and install a manifest equal
+  /// to the current one minus `input_ids` plus the output — preserving any
+  /// runs flushed after the inputs were snapshotted.
+  void install_compaction(std::vector<RunEntry> merged,
+                          const std::vector<std::uint64_t>& input_ids);
   std::vector<RunEntry> merge_runs(const std::vector<std::vector<RunEntry>>& inputs);
   Extent allocate_extent(std::uint64_t blocks) const;
   void install_manifest(ManifestData m);
@@ -170,10 +199,21 @@ class LsmStore {
   std::vector<RunReader> l0_;  // ascending run_id; newest = back
   std::vector<RunReader> l1_;
 
+  /// In-flight background compaction: the merge future (pure CPU work on
+  /// bg_pool_) plus the run_ids it consumed. All System I/O — loading the
+  /// inputs, writing the output, installing the manifest — stays on the
+  /// foreground thread; only the in-memory k-way merge races WAL commits.
+  struct PendingCompaction {
+    std::future<std::vector<RunEntry>> merged;
+    std::vector<std::uint64_t> input_ids;
+  };
+
   PersistHook hook_;
   CommitHook commit_hook_;
   LsmStats stats_;
   std::unique_ptr<ThreadPool> merge_pool_;
+  std::unique_ptr<ThreadPool> bg_pool_;
+  std::optional<PendingCompaction> pending_;
   bool wal_torn_ = false;
   std::uint64_t wal_replayed_ = 0;
   bool open_ = false;

@@ -121,6 +121,7 @@ LsmYcsbResult run_lsm_ycsb(const SystemConfig& cfg, Scheme scheme,
   res.engine_stats.wal_bytes -= before.wal_bytes;
   res.engine_stats.flushes -= before.flushes;
   res.engine_stats.compactions -= before.compactions;
+  res.engine_stats.bg_compactions -= before.bg_compactions;
   res.engine_stats.runs_written -= before.runs_written;
   res.engine_stats.run_blocks_written -= before.run_blocks_written;
   res.engine_stats.persist_barriers -= before.persist_barriers;

@@ -1,0 +1,733 @@
+#include "kv/serving.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <memory>
+#include <stdexcept>
+
+#include "common/rng.hpp"
+#include "common/status.hpp"
+#include "common/thread_pool.hpp"
+#include "sim/multi_controller.hpp"
+
+namespace steins::kv {
+
+const char* routing_name(Routing r) {
+  switch (r) {
+    case Routing::kHash: return "hash";
+    case Routing::kLoadAware: return "load-aware";
+  }
+  return "?";
+}
+
+std::optional<Routing> parse_routing(const std::string& name) {
+  if (name == "hash") return Routing::kHash;
+  if (name == "load-aware" || name == "loadaware" || name == "load") {
+    return Routing::kLoadAware;
+  }
+  return std::nullopt;
+}
+
+namespace {
+
+double update_fraction(Mix m) {
+  switch (m) {
+    case Mix::kA: return 0.50;
+    case Mix::kB: return 0.05;
+    case Mix::kC: return 0.00;
+    case Mix::kF: return 0.50;  // the update half is a read-modify-write
+  }
+  return 0.0;
+}
+
+std::uint64_t word_at(const Block& b, std::size_t offset) {
+  std::uint64_t w = 0;
+  std::memcpy(&w, b.data() + offset, 8);
+  return w;
+}
+
+void put_word(Block& b, std::size_t offset, std::uint64_t w) {
+  std::memcpy(b.data() + offset, &w, 8);
+}
+
+/// Same value encoding as the YCSB driver, so record images stay
+/// cross-checkable between the two drivers.
+std::string client_value(std::uint64_t key, std::uint64_t version,
+                         std::size_t value_bytes) {
+  std::string v = "c" + std::to_string(key) + "." + std::to_string(version);
+  if (v.size() < value_bytes) v.resize(value_bytes, '~');
+  v.resize(std::min(value_bytes, kMaxValueBytes));
+  return v;
+}
+
+void fnv_fold(std::uint64_t& h, const void* p, std::size_t n) {
+  const auto* b = static_cast<const unsigned char*>(p);
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= b[i];
+    h *= 1099511628211ULL;
+  }
+}
+
+/// Epoch-local op index meaning "shared group-commit flush, attributed to
+/// no single op" (its service shows up in makespan and the flush columns,
+/// not in a client's latency).
+constexpr std::uint32_t kNoOp = 0xffffffffu;
+constexpr std::uint64_t kNoStop = ~std::uint64_t{0};
+constexpr std::uint64_t kNoKey = ~std::uint64_t{0};
+
+/// One resolved access of a shard's schedule. Addresses are LOCAL to the
+/// shard's controller (per-shard layouts bypass the interleave). `seq` is
+/// the global emission order — the crash-boundary granularity.
+struct PlannedAccess {
+  enum Kind : std::uint8_t { kCommitRead, kRecordRead, kWrite };
+  Addr addr = 0;
+  std::uint64_t seq = 0;
+  std::uint32_t op = kNoOp;   // epoch-local op index
+  Kind kind = kWrite;
+  std::uint32_t offset = 0;   // commit-word byte offset (kCommitRead)
+  std::uint64_t expect_word = 0;     // kCommitRead
+  std::uint64_t expect_key = 0;      // kRecordRead
+  std::uint64_t expect_version = 0;  // kRecordRead
+  Block data{};               // kWrite image
+  Cycle service = 0;
+};
+
+struct OpPlan {
+  std::uint32_t client = 0;
+  bool is_update = false;
+  bool shed = false;
+};
+
+struct Client {
+  Xoshiro256 rng{1};
+  LatencyHistogram read_lat;
+  LatencyHistogram update_lat;
+  std::uint64_t reads = 0;
+  std::uint64_t updates = 0;
+};
+
+struct Shard {
+  std::vector<std::uint64_t> keys;       // keys routed here (ascending)
+  std::vector<std::uint64_t> slot_key;   // slot -> key (kNoKey = unused)
+  std::vector<std::uint64_t> media;      // commit words as scheduled on media
+  std::vector<std::uint64_t> logical;    // media + buffered window
+  std::vector<std::uint64_t> durable;    // commit writes below stop_seq only
+  std::vector<char> pending;             // slot has a buffered commit word
+  std::vector<std::size_t> pending_slots;
+  std::uint64_t admitted = 0;            // this epoch
+  std::uint64_t batched = 0;             // commit words coalesced, lifetime
+  ShardServingStats stats;
+  std::vector<PlannedAccess> queue;
+  Cycle now = 0;
+};
+
+/// Everything a crash harness needs to diff recovery against.
+struct EngineRun {
+  ServingResult result;
+  std::uint64_t total_accesses = 0;
+  std::vector<std::vector<std::uint64_t>> durable;   // [shard][slot]
+  std::vector<std::vector<std::uint64_t>> slot_key;  // [shard][slot]
+};
+
+/// Key -> shard routing table. kHash scatters by multiplicative hash (top
+/// bits, decorrelated from home_slot's bits); kLoadAware assigns keys in
+/// descending expected Zipf weight to the least-loaded shard, capacity
+/// guarded at half-full per shard so linear probing stays short.
+std::vector<std::uint32_t> route_keys(const ServingConfig& scfg) {
+  const std::size_t cap = scfg.slots / 2;
+  std::vector<std::uint32_t> shard_of(scfg.keys, 0);
+  std::vector<std::size_t> counts(scfg.shards, 0);
+  if (scfg.routing == Routing::kHash) {
+    for (std::uint64_t key = 0; key < scfg.keys; ++key) {
+      const auto s = static_cast<std::uint32_t>(
+          ((key * 0x9e3779b97f4a7c15ULL) >> 49) % scfg.shards);
+      if (counts[s] >= cap) {
+        throw std::invalid_argument(
+            "hash routing overflowed a shard table; raise slots or use "
+            "load-aware routing");
+      }
+      shard_of[key] = s;
+      ++counts[s];
+    }
+    return shard_of;
+  }
+  // Expected access weight per key: the Zipf pmf over ranks, folded through
+  // the rank -> key scatter (several ranks can share a key when the scatter
+  // is non-injective mod keys).
+  std::vector<double> weight(scfg.keys, 0.0);
+  for (std::uint64_t rank = 0; rank < scfg.keys; ++rank) {
+    const std::uint64_t key = (rank * 0x9e3779b97f4a7c15ULL) % scfg.keys;
+    weight[key] += std::pow(static_cast<double>(rank + 1), -scfg.zipf_s);
+  }
+  std::vector<std::uint64_t> order(scfg.keys);
+  for (std::uint64_t k = 0; k < scfg.keys; ++k) order[k] = k;
+  std::sort(order.begin(), order.end(), [&](std::uint64_t a, std::uint64_t b) {
+    if (weight[a] != weight[b]) return weight[a] > weight[b];
+    return a < b;
+  });
+  std::vector<double> load(scfg.shards, 0.0);
+  for (const std::uint64_t key : order) {
+    std::size_t best = scfg.shards;  // invalid
+    for (std::size_t s = 0; s < scfg.shards; ++s) {
+      if (counts[s] >= cap) continue;
+      if (best == scfg.shards || load[s] < load[best]) best = s;
+    }
+    if (best == scfg.shards) {
+      throw std::invalid_argument(
+          "keys exceed the shards' admission-guarded table capacity");
+    }
+    shard_of[key] = static_cast<std::uint32_t>(best);
+    load[best] += weight[key];
+    ++counts[best];
+  }
+  return shard_of;
+}
+
+/// The whole engine: schedule resolution + (optionally) parallel replay.
+/// `mem` == nullptr plans only (no memory execution, no preload); stop_seq
+/// caps execution at the crash boundary — accesses with seq >= stop_seq
+/// are scheduled for durable-state bookkeeping but never issued.
+/// Reject nonsense configurations before anything divides by or allocates
+/// proportionally to the shard count — every public entry point calls this
+/// ahead of constructing MultiControllerMemory, whose constructor already
+/// partitions capacity by the controller count.
+void validate_serving_config(const SystemConfig& cfg, const ServingConfig& scfg) {
+  if (scfg.clients == 0) throw std::invalid_argument("serving needs >= 1 client");
+  if (scfg.shards == 0) throw std::invalid_argument("serving needs >= 1 shard");
+  if (scfg.slots == 0 || (scfg.slots & (scfg.slots - 1)) != 0) {
+    throw std::invalid_argument("serving slots must be a power of two");
+  }
+  if (scfg.keys == 0) throw std::invalid_argument("serving needs >= 1 key");
+  if (scfg.epoch_ops == 0) throw std::invalid_argument("epoch_ops must be >= 1");
+  KvLayout layout;
+  layout.base = scfg.base;
+  layout.slots = scfg.slots;
+  if (layout.base + layout.region_bytes() > cfg.nvm.capacity_bytes / scfg.shards) {
+    throw std::invalid_argument("per-shard KV region exceeds the controller capacity");
+  }
+}
+
+EngineRun run_engine(const SystemConfig& cfg, const ServingConfig& scfg,
+                     std::uint64_t stop_seq, MultiControllerMemory* mem) {
+  validate_serving_config(cfg, scfg);
+  KvLayout layout;
+  layout.base = scfg.base;
+  layout.slots = scfg.slots;
+
+  const std::vector<std::uint32_t> shard_of = route_keys(scfg);
+  std::vector<Shard> shards(scfg.shards);
+  for (Shard& sh : shards) {
+    sh.slot_key.assign(scfg.slots, kNoKey);
+    sh.media.assign(scfg.slots, 0);
+    sh.logical.assign(scfg.slots, 0);
+    sh.durable.assign(scfg.slots, 0);
+    sh.pending.assign(scfg.slots, 0);
+  }
+  // Slot assignment: per-shard linear probing in ascending key order, so
+  // the table image is independent of the routing policy's assignment
+  // order.
+  std::vector<std::size_t> slot_of(scfg.keys, 0);
+  for (std::uint64_t key = 0; key < scfg.keys; ++key) {
+    Shard& sh = shards[shard_of[key]];
+    std::size_t s = layout.home_slot(key);
+    while (sh.slot_key[s] != kNoKey) s = (s + 1) & (scfg.slots - 1);
+    sh.slot_key[s] = key;
+    slot_of[key] = s;
+    sh.keys.push_back(key);
+    ++sh.stats.keys;
+  }
+
+  // Preload every shard's records + commit blocks on its own timeline.
+  const std::uint64_t preload_word = CommitWord{1, 0, true}.encode();
+  for (std::uint32_t s = 0; s < scfg.shards; ++s) {
+    Shard& sh = shards[s];
+    for (const std::uint64_t key : sh.keys) {
+      const std::size_t slot = slot_of[key];
+      sh.media[slot] = sh.logical[slot] = sh.durable[slot] = preload_word;
+    }
+    if (mem == nullptr) continue;
+    SecureMemory& ctrl = mem->controller(s);
+    Cycle t = 0;
+    for (const std::uint64_t key : sh.keys) {
+      const KvRecord rec{key, 1, client_value(key, 1, scfg.value_bytes)};
+      t = ctrl.write_block(layout.record_addr(slot_of[key], 0), encode_record(rec), t);
+    }
+    const std::size_t nblocks =
+        (scfg.slots + KvLayout::kWordsPerCommitBlock - 1) / KvLayout::kWordsPerCommitBlock;
+    for (std::size_t blk = 0; blk < nblocks; ++blk) {
+      const std::size_t first = blk * KvLayout::kWordsPerCommitBlock;
+      const std::size_t n =
+          std::min(KvLayout::kWordsPerCommitBlock, scfg.slots - first);
+      bool any = false;
+      Block img{};
+      for (std::size_t w = 0; w < n; ++w) {
+        put_word(img, w * 8, sh.media[first + w]);
+        any = any || sh.media[first + w] != 0;
+      }
+      if (any) t = ctrl.write_block(layout.commit_block_addr(first), img, t);
+    }
+    ctrl.stats().reset();
+    mem->note_frontier(s, t);
+    sh.now = t;
+  }
+  const Cycle start = mem != nullptr ? mem->max_frontier() : 0;
+  for (Shard& sh : shards) sh.now = start;
+
+  std::vector<Client> clients(scfg.clients);
+  for (unsigned i = 0; i < scfg.clients; ++i) {
+    clients[i].rng = Xoshiro256(derive_stream_seed(scfg.seed, i));
+  }
+  const ZipfSampler sampler(static_cast<std::size_t>(scfg.keys), scfg.zipf_s);
+  const double upd_frac = update_fraction(scfg.mix);
+
+  std::uint64_t next_seq = 0;
+  LatencyHistogram batch_sizes;
+
+  // Flush a shard's group-commit window: one commit-block write per dirty
+  // block (ascending), image materialized from the logical words. The
+  // window's size is one batch-distribution sample.
+  const auto flush_window = [&](Shard& sh, std::uint32_t attribute_op) {
+    if (sh.pending_slots.empty()) return;
+    std::sort(sh.pending_slots.begin(), sh.pending_slots.end());
+    std::size_t prev_block = ~std::size_t{0};
+    for (const std::size_t slot : sh.pending_slots) {
+      sh.pending[slot] = 0;
+      const std::size_t block = slot / KvLayout::kWordsPerCommitBlock;
+      if (block == prev_block) continue;
+      prev_block = block;
+      const std::size_t first = block * KvLayout::kWordsPerCommitBlock;
+      const std::size_t n =
+          std::min(KvLayout::kWordsPerCommitBlock, scfg.slots - first);
+      PlannedAccess w;
+      w.addr = layout.commit_block_addr(first);
+      w.seq = next_seq++;
+      w.op = attribute_op;
+      w.kind = PlannedAccess::kWrite;
+      for (std::size_t i = 0; i < n; ++i) put_word(w.data, i * 8, sh.logical[first + i]);
+      for (std::size_t i = 0; i < n; ++i) sh.media[first + i] = sh.logical[first + i];
+      if (w.seq < stop_seq) {
+        for (std::size_t i = 0; i < n; ++i) sh.durable[first + i] = sh.logical[first + i];
+      }
+      sh.queue.push_back(std::move(w));
+      ++sh.stats.commit_writes;
+    }
+    batch_sizes.add(sh.pending_slots.size());
+    sh.batched += sh.pending_slots.size();
+    ++sh.stats.commit_flushes;
+    sh.pending_slots.clear();
+  };
+
+  // Replay one shard's queue on its own controller, validating every read
+  // against the schedule. Queues are disjoint; the ShardGang barrier is
+  // the only synchronization.
+  const auto replay = [&](std::size_t s) {
+    if (mem == nullptr) return;
+    Shard& sh = shards[s];
+    MultiControllerMemory::ShardLease lease(*mem, static_cast<unsigned>(s));
+    SecureMemory& ctrl = lease.mem();
+    Cycle now = sh.now;
+    for (PlannedAccess& a : sh.queue) {
+      if (a.seq >= stop_seq) break;
+      if (a.kind == PlannedAccess::kWrite) {
+        const Cycle done = ctrl.write_block(a.addr, a.data, now);
+        a.service = done - now;
+        now = done;
+        continue;
+      }
+      Block b;
+      const Cycle done = ctrl.read_block(a.addr, now, &b);
+      a.service = done - now;
+      now = done;
+      if (a.kind == PlannedAccess::kCommitRead) {
+        if (word_at(b, a.offset) != a.expect_word) {
+          throw std::logic_error(
+              "serving replay read a commit word diverging from the schedule");
+        }
+      } else {
+        KvRecord rec;
+        if (!decode_record(b, &rec) || rec.key != a.expect_key ||
+            rec.version != a.expect_version) {
+          throw std::logic_error("serving replay read a corrupt or stale record");
+        }
+      }
+    }
+    sh.now = now;
+    lease.note_frontier(now);
+  };
+
+  ShardGang gang(scfg.shards, mem != nullptr ? scfg.jobs : 1);
+
+  std::vector<OpPlan> plans;
+  std::vector<Cycle> op_lat;
+  ServingResult res;
+  res.offered_ops = scfg.ops;
+  for (std::uint64_t done_ops = 0; done_ops < scfg.ops;) {
+    const std::uint64_t epoch_ops = std::min(scfg.epoch_ops, scfg.ops - done_ops);
+    plans.clear();
+    for (Shard& sh : shards) {
+      sh.queue.clear();
+      sh.admitted = 0;
+    }
+
+    // Phase 1: resolve the epoch's schedule.
+    for (std::uint64_t e = 0; e < epoch_ops; ++e) {
+      const auto op_idx = static_cast<std::uint32_t>(e);
+      const auto cid = static_cast<std::uint32_t>((done_ops + e) % scfg.clients);
+      Client& c = clients[cid];
+      const std::uint64_t rank = sampler.sample(c.rng);
+      const std::uint64_t key = (rank * 0x9e3779b97f4a7c15ULL) % scfg.keys;
+      const bool is_update = upd_frac > 0.0 && c.rng.chance(upd_frac);
+      Shard& sh = shards[shard_of[key]];
+
+      // Bounded admission: overload sheds the op into a typed degraded
+      // verdict. The client RNG was already advanced identically, so the
+      // rest of the schedule is unchanged by the shed.
+      if (scfg.queue_depth != 0 && sh.admitted >= scfg.queue_depth) {
+        ++sh.stats.shed;
+        sh.stats.degraded = true;
+        plans.push_back(OpPlan{cid, is_update, true});
+        continue;
+      }
+      ++sh.admitted;
+      ++sh.stats.ops;
+      plans.push_back(OpPlan{cid, is_update, false});
+
+      const std::size_t slot = slot_of[key];
+      const CommitWord word = CommitWord::decode(sh.logical[slot]);
+      if (word.empty() || !word.live) {
+        throw std::logic_error("serving scheduled an op on a dead slot");
+      }
+
+      if (is_update && sh.pending[slot]) {
+        // Second update to a buffered slot: its record write would target
+        // the replica the DURABLE commit word still points at. Force the
+        // window out first so the two-replica invariant holds at every
+        // crash boundary.
+        flush_window(sh, kNoOp);
+      }
+
+      if (!sh.pending[slot]) {
+        // Commit read from media; a buffered slot skips this (the word is
+        // served from the shard's volatile commit buffer — the group
+        // commit coalescing win on the read path).
+        PlannedAccess commit_read;
+        commit_read.addr = layout.commit_block_addr(slot);
+        commit_read.seq = next_seq++;
+        commit_read.op = op_idx;
+        commit_read.kind = PlannedAccess::kCommitRead;
+        commit_read.offset = static_cast<std::uint32_t>(layout.commit_word_offset(slot));
+        commit_read.expect_word = sh.media[slot];
+        sh.queue.push_back(std::move(commit_read));
+      }
+
+      // Re-read the word: the forced flush above never changes it, but
+      // keep the single source of truth obvious.
+      const CommitWord cur = CommitWord::decode(sh.logical[slot]);
+      if (!is_update || scfg.mix == Mix::kF) {
+        PlannedAccess rec_read;
+        rec_read.addr = layout.record_addr(slot, cur.replica);
+        rec_read.seq = next_seq++;
+        rec_read.op = op_idx;
+        rec_read.kind = PlannedAccess::kRecordRead;
+        rec_read.expect_key = key;
+        rec_read.expect_version = cur.version;
+        sh.queue.push_back(std::move(rec_read));
+      }
+      if (is_update) {
+        const int replica = 1 - cur.replica;
+        const KvRecord rec{key, cur.version + 1,
+                           client_value(key, cur.version + 1, scfg.value_bytes)};
+        PlannedAccess rec_write;
+        rec_write.addr = layout.record_addr(slot, replica);
+        rec_write.seq = next_seq++;
+        rec_write.op = op_idx;
+        rec_write.kind = PlannedAccess::kWrite;
+        rec_write.data = encode_record(rec);
+        sh.queue.push_back(std::move(rec_write));
+
+        sh.logical[slot] = CommitWord{cur.version + 1, replica, true}.encode();
+        sh.pending[slot] = 1;
+        sh.pending_slots.push_back(slot);
+        if (scfg.group_commit_window == 0) {
+          flush_window(sh, op_idx);  // batch of 1: the op owns its commit write
+        } else if (sh.pending_slots.size() >= scfg.group_commit_window) {
+          flush_window(sh, kNoOp);
+        }
+      }
+    }
+    // Epoch boundary is a durability point: every shard's window goes out.
+    for (Shard& sh : shards) flush_window(sh, kNoOp);
+
+    // Phase 2: replay each shard's queue behind the gang barrier.
+    gang.run_epoch(replay);
+
+    // Epoch barrier: fold service times into per-client histograms in
+    // global op order. Group flushes (kNoOp) contribute to makespan and
+    // the flush columns, not to any single client's latency.
+    op_lat.assign(epoch_ops, 0);
+    for (const Shard& sh : shards) {
+      for (const PlannedAccess& a : sh.queue) {
+        if (a.seq >= stop_seq) break;
+        if (a.op == kNoOp) continue;
+        op_lat[a.op] += a.service;
+      }
+    }
+    if (mem != nullptr && stop_seq == kNoStop) {
+      for (std::uint64_t e = 0; e < epoch_ops; ++e) {
+        if (plans[e].shed) continue;
+        Client& c = clients[plans[e].client];
+        if (plans[e].is_update) {
+          c.update_lat.add(op_lat[e]);
+          ++c.updates;
+        } else {
+          c.read_lat.add(op_lat[e]);
+          ++c.reads;
+        }
+      }
+    }
+    done_ops += epoch_ops;
+    // Past the crash boundary nothing further executes; keep scheduling
+    // only if durable bookkeeping could still change (it cannot).
+    if (stop_seq != kNoStop && next_seq >= stop_seq) break;
+  }
+
+  for (const Client& c : clients) {
+    res.read_lat.merge(c.read_lat);
+    res.update_lat.merge(c.update_lat);
+    res.reads += c.reads;
+    res.updates += c.updates;
+  }
+  res.all_lat.merge(res.read_lat);
+  res.all_lat.merge(res.update_lat);
+  res.batch_sizes = batch_sizes;
+  res.ops = res.reads + res.updates;
+  for (Shard& sh : shards) {
+    res.shed_ops += sh.stats.shed;
+    if (sh.stats.degraded) ++res.degraded_shards;
+    res.commit_writes += sh.stats.commit_writes;
+    sh.stats.busy = sh.now - start;
+    res.makespan = std::max(res.makespan, sh.stats.busy);
+    sh.stats.mean_batch =
+        sh.stats.commit_flushes
+            ? static_cast<double>(sh.batched) / static_cast<double>(sh.stats.commit_flushes)
+            : 0.0;
+  }
+  for (Shard& sh : shards) {
+    sh.stats.occupancy = res.makespan
+                             ? static_cast<double>(sh.stats.busy) /
+                                   static_cast<double>(res.makespan)
+                             : 0.0;
+    res.shards.push_back(sh.stats);
+  }
+  res.seconds = cfg.cycles_to_seconds(res.makespan);
+  res.kops_per_sec =
+      res.seconds > 0.0 ? static_cast<double>(res.ops) / res.seconds / 1e3 : 0.0;
+  if (mem != nullptr) res.nvm_writes = mem->total_nvm_writes();
+
+  // Final durable-image digest: read every commit block and live record
+  // back from media, sequentially in shard order after the last barrier.
+  // Bit-identity across jobs values includes this digest.
+  if (mem != nullptr && stop_seq == kNoStop) {
+    std::uint64_t digest = 1469598103934665603ULL;  // FNV-1a offset basis
+    for (std::uint32_t s = 0; s < scfg.shards; ++s) {
+      Shard& sh = shards[s];
+      SecureMemory& ctrl = mem->controller(s);
+      Cycle now = sh.now;
+      const std::size_t nblocks =
+          (scfg.slots + KvLayout::kWordsPerCommitBlock - 1) /
+          KvLayout::kWordsPerCommitBlock;
+      for (std::size_t blk = 0; blk < nblocks; ++blk) {
+        const std::size_t first = blk * KvLayout::kWordsPerCommitBlock;
+        const std::size_t n =
+            std::min(KvLayout::kWordsPerCommitBlock, scfg.slots - first);
+        bool any = false;
+        for (std::size_t i = 0; i < n; ++i) any = any || sh.media[first + i] != 0;
+        if (!any) continue;
+        Block b;
+        now = std::max(now, ctrl.read_block(layout.commit_block_addr(first), now, &b));
+        for (std::size_t i = 0; i < n; ++i) {
+          const std::uint64_t got = word_at(b, i * 8);
+          if (got != sh.media[first + i]) {
+            throw std::logic_error("final image diverged from the schedule shadow");
+          }
+          fnv_fold(digest, &got, 8);
+          const CommitWord word = CommitWord::decode(got);
+          if (word.empty() || !word.live) continue;
+          Block rec;
+          now = std::max(
+              now, ctrl.read_block(layout.record_addr(first + i, word.replica), now, &rec));
+          fnv_fold(digest, rec.data(), rec.size());
+        }
+      }
+    }
+    res.image_digest = digest;
+  }
+
+  EngineRun run;
+  run.result = std::move(res);
+  run.total_accesses = next_seq;
+  for (Shard& sh : shards) {
+    run.durable.push_back(std::move(sh.durable));
+    run.slot_key.push_back(std::move(sh.slot_key));
+  }
+  return run;
+}
+
+}  // namespace
+
+ServingResult run_sharded_serving(const SystemConfig& cfg, Scheme scheme,
+                                  const ServingConfig& scfg) {
+  validate_serving_config(cfg, scfg);
+  MultiControllerMemory mem(cfg, scheme, scfg.shards);
+  return run_engine(cfg, scfg, kNoStop, &mem).result;
+}
+
+std::uint64_t count_serving_accesses(const SystemConfig& cfg, Scheme scheme,
+                                     const ServingConfig& scfg) {
+  (void)scheme;  // the schedule is scheme-independent
+  return run_engine(cfg, scfg, kNoStop, nullptr).total_accesses;
+}
+
+ServingCrashReport run_serving_crash(const SystemConfig& cfg, Scheme scheme,
+                                     const ServingConfig& scfg,
+                                     const ServingCrashOptions& opt) {
+  ServingCrashReport rep;
+  validate_serving_config(cfg, scfg);
+  rep.total_accesses = count_serving_accesses(cfg, scheme, scfg);
+  if (opt.crash_at == ServingCrashOptions::kRandomBoundary) {
+    Xoshiro256 rng(derive_stream_seed(scfg.seed, 0xC2A54ULL));
+    rep.crash_at = rng.below(rep.total_accesses + 1);
+  } else {
+    rep.crash_at = std::min(opt.crash_at, rep.total_accesses);
+  }
+
+  MultiControllerMemory mem(cfg, scheme, scfg.shards);
+  EngineRun run = run_engine(cfg, scfg, rep.crash_at, &mem);
+
+  // Fold the requested hardware fault into every controller's crash drain;
+  // each DIMM gets its own derived plan so a report reproduces from its
+  // fields alone.
+  rep.faulted = opt.fault_class != FaultClass::kNone;
+  std::vector<std::unique_ptr<FaultInjector>> injectors;
+  if (rep.faulted) {
+    for (std::uint32_t s = 0; s < scfg.shards; ++s) {
+      injectors.push_back(std::make_unique<FaultInjector>(
+          FaultPlan::derive(opt.fault_class, opt.fault_seed + s, rep.crash_at)));
+      mem.set_fault_injector(s, injectors.back().get());
+    }
+  }
+
+  const RecoveryResult r = mem.crash_and_recover_all(scfg.jobs);
+  for (std::uint32_t s = 0; s < scfg.shards; ++s) mem.set_fault_injector(s, nullptr);
+  rep.recovery_supported = r.supported;
+  rep.recovery_ok = r.ok();
+  rep.recovery_seconds = r.seconds;
+  if (!r.supported) {
+    rep.detail = "scheme reports recovery unsupported";
+    return rep;
+  }
+  if (r.recovery_gave_up) {
+    rep.detail = "recovery retry budget exhausted: " + r.status.message();
+    return rep;
+  }
+  if (!r.status.ok()) {
+    rep.detail = "recovery internal error: " + r.status.to_string();
+    return rep;
+  }
+  if (r.attack_detected) {
+    rep.fault_detected = rep.faulted;
+    rep.detail = "recovery flagged: " + r.attack_detail;
+    return rep;
+  }
+  rep.salvaged = r.degraded();
+
+  // Diff the recovered image against the durable commit state: every
+  // durable commit word must read back EXACTLY (a diverging word is a
+  // silent rollback or an uncommitted update made visible) and every
+  // durable live record must decode to its committed version/value, or
+  // fail with a typed unavailable error (degraded service, not silence).
+  KvLayout layout;
+  layout.base = scfg.base;
+  layout.slots = scfg.slots;
+  try {
+    for (std::uint32_t s = 0; s < scfg.shards; ++s) {
+      SecureMemory& ctrl = mem.controller(s);
+      const std::vector<std::uint64_t>& durable = run.durable[s];
+      const std::vector<std::uint64_t>& slot_key = run.slot_key[s];
+      Cycle now = 0;
+      const std::size_t nblocks =
+          (scfg.slots + KvLayout::kWordsPerCommitBlock - 1) /
+          KvLayout::kWordsPerCommitBlock;
+      for (std::size_t blk = 0; blk < nblocks; ++blk) {
+        const std::size_t first = blk * KvLayout::kWordsPerCommitBlock;
+        const std::size_t n =
+            std::min(KvLayout::kWordsPerCommitBlock, scfg.slots - first);
+        std::uint64_t durable_live = 0;
+        bool any = false;
+        for (std::size_t i = 0; i < n; ++i) {
+          if (durable[first + i] == 0) continue;
+          any = true;
+          if (CommitWord::decode(durable[first + i]).live) ++durable_live;
+        }
+        if (!any) continue;
+        Block b;
+        try {
+          now = std::max(now, ctrl.read_block(layout.commit_block_addr(first), now, &b));
+        } catch (const StatusError& e) {
+          if (!is_unavailable(e.code())) throw;
+          rep.slots_unavailable += durable_live;
+          continue;
+        }
+        for (std::size_t i = 0; i < n; ++i) {
+          const std::size_t slot = first + i;
+          const std::uint64_t got = word_at(b, i * 8);
+          if (got != durable[slot]) {
+            rep.detail = "slot " + std::to_string(slot) + " on shard " +
+                         std::to_string(s) + " holds commit word " +
+                         std::to_string(got) + ", committed " +
+                         std::to_string(durable[slot]);
+            return rep;
+          }
+          const CommitWord word = CommitWord::decode(got);
+          if (word.empty() || !word.live) continue;
+          ++rep.committed_slots;
+          Block recb;
+          try {
+            now = std::max(
+                now, ctrl.read_block(layout.record_addr(slot, word.replica), now, &recb));
+          } catch (const StatusError& e) {
+            if (!is_unavailable(e.code())) throw;
+            ++rep.slots_unavailable;
+            continue;
+          }
+          KvRecord rec;
+          const std::uint64_t key = slot_key[slot];
+          if (!decode_record(recb, &rec) || rec.key != key ||
+              rec.version != word.version ||
+              rec.value != client_value(key, word.version, scfg.value_bytes)) {
+            rep.detail = "committed key " + std::to_string(key) +
+                         " has a silently wrong record after recovery";
+            return rep;
+          }
+        }
+      }
+    }
+  } catch (const IntegrityViolation& e) {
+    rep.fault_detected = rep.faulted;
+    rep.detail = std::string("readback raised: ") + e.what();
+    return rep;
+  } catch (const StatusError& e) {
+    rep.detail = std::string("readback failed untyped: ") + e.what();
+    return rep;
+  }
+  if (rep.slots_unavailable > 0) rep.salvaged = true;
+  if (rep.salvaged) {
+    rep.degraded_verified = true;
+  } else {
+    rep.verified = true;
+  }
+  return rep;
+}
+
+}  // namespace steins::kv

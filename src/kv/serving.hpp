@@ -1,0 +1,189 @@
+// Concurrent sharded KV serving engine over MultiControllerMemory.
+//
+// Where the YCSB driver (ycsb.hpp) saturates interleaved controllers from
+// one replaying thread, this engine promotes the KV layer into a real
+// serving topology: one SHARD per controller, one worker thread per shard
+// (common/thread_pool.hpp ShardGang), each shard owning a private KvLayout
+// carved out of its controller's local address space. An operation's
+// accesses never cross shards, so shards run genuinely in parallel — on
+// the simulated timelines always, and on host threads when jobs > 1.
+//
+// The run proceeds in epochs, each in two phases (DESIGN.md §18):
+//
+//  1. Schedule resolution (sequential): per-client RNG streams draw keys
+//     (Zipf), the router maps each key to its home shard, per-shard
+//     bounded admission queues shed overload into typed degraded
+//     verdicts, and group commit coalesces commit-word persists into
+//     per-window commit-block writes. Every planned access carries a
+//     global sequence number in emission order.
+//  2. Replay (parallel): every shard's worker replays its queue on its
+//     own controller behind a ShardGang epoch barrier. Queues are
+//     disjoint and controllers share no mutable state, so jobs = 1 and
+//     jobs = N are bit-identical to the last bit; per-client latency
+//     histograms and the group-commit batch-size distribution merge at
+//     the barrier in global op order.
+//
+// Group commit (paper §IV-B spirit — SecPM-style write coalescing applied
+// at the serving layer): within a window, an update writes its record
+// replica immediately but only BUFFERS its commit word; the shard flushes
+// one commit-block write per dirty block at the window boundary. Reads of
+// a buffered slot are served from the commit buffer (no media commit
+// read). A second update to a slot whose commit word is still buffered
+// forces the window out first — otherwise its record write would land in
+// the replica the durable commit word still points at, breaking the
+// two-replica crash invariant.
+//
+// Routing: kHash scatters keys by multiplicative hash; kLoadAware greedily
+// assigns keys to the least-loaded shard by expected Zipf weight
+// (descending popularity, capacity-guarded), which evens out per-shard
+// occupancy when the hot set would otherwise pile onto one DIMM.
+//
+// Crash validation (run_serving_crash): the global access sequence makes
+// "crash at access boundary K" jobs-independent — each shard executes
+// exactly its queue prefix below K, ADR drains every issued write, and
+// recovery is diffed against the durable commit state derived from commit
+// writes below K. Zero silent corruption is the acceptance bar for every
+// scheme (write-back passes by being detected as unrecoverable).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/config.hpp"
+#include "common/stats.hpp"
+#include "fault/fault.hpp"
+#include "kv/kv_store.hpp"
+#include "kv/ycsb.hpp"
+#include "secure/secure_memory.hpp"
+
+namespace steins::kv {
+
+enum class Routing { kHash, kLoadAware };
+
+const char* routing_name(Routing r);
+std::optional<Routing> parse_routing(const std::string& name);
+
+struct ServingConfig {
+  Mix mix = Mix::kA;
+  unsigned clients = 4;
+  unsigned shards = 2;            // controllers == shards == worker slots
+  std::uint64_t ops = 100'000;    // offered operations across all clients
+  std::uint64_t keys = 10'000;    // preloaded key universe (global)
+  std::size_t slots = std::size_t{1} << 14;  // PER-SHARD table slots (pow 2)
+  std::size_t value_bytes = 24;
+  double zipf_s = 0.99;
+  std::uint64_t seed = 1;
+  Addr base = Addr{1} << 20;      // per-shard local region base
+  /// Worker threads (capped at shards). Any value is bit-identical; 1
+  /// replays every shard inline on the calling thread.
+  unsigned jobs = 1;
+  std::uint64_t epoch_ops = 8192;
+  Routing routing = Routing::kLoadAware;
+  /// Ops a shard admits per epoch before shedding into degraded verdicts
+  /// (0 = unbounded). Shed ops consume client RNG identically, so runs
+  /// with different depths stay schedule-comparable.
+  std::uint64_t queue_depth = 0;
+  /// Commit-word updates a shard buffers before flushing the window
+  /// (0 = group commit off: every update writes its commit block at once).
+  std::uint64_t group_commit_window = 64;
+};
+
+struct ShardServingStats {
+  std::uint64_t keys = 0;          // keys routed to this shard
+  std::uint64_t ops = 0;           // admitted (executed) ops
+  std::uint64_t shed = 0;          // admission-queue overflow verdicts
+  bool degraded = false;           // shed anything => degraded service
+  Cycle busy = 0;                  // measured span on this shard's timeline
+  double occupancy = 0.0;          // busy / makespan (1.0 = the critical shard)
+  std::uint64_t commit_flushes = 0;   // group-commit windows flushed
+  std::uint64_t commit_writes = 0;    // commit-block writes issued
+  double mean_batch = 0.0;            // coalesced commit words per flush
+};
+
+struct ServingResult {
+  std::uint64_t offered_ops = 0;
+  std::uint64_t ops = 0;           // executed (admitted) ops
+  std::uint64_t reads = 0;
+  std::uint64_t updates = 0;
+  std::uint64_t shed_ops = 0;      // typed overload verdicts, never executed
+  std::uint64_t degraded_shards = 0;
+  LatencyHistogram read_lat;       // cycles, merged across clients
+  LatencyHistogram update_lat;
+  LatencyHistogram all_lat;
+  /// Group-commit batch sizes: one sample per flushed window (number of
+  /// commit-word updates it coalesced).
+  LatencyHistogram batch_sizes;
+  Cycle makespan = 0;              // busiest shard's measured span
+  double seconds = 0.0;
+  double kops_per_sec = 0.0;       // executed ops over the makespan
+  std::uint64_t nvm_writes = 0;    // across all shards, measured phase
+  std::uint64_t commit_writes = 0; // commit-block writes (coalescing visible)
+  /// FNV-1a digest of the final durable KV image (every commit word +
+  /// every live record), read back after the last barrier. Bit-identity
+  /// checks compare this across jobs values.
+  std::uint64_t image_digest = 0;
+  std::vector<ShardServingStats> shards;
+};
+
+/// Run one (scheme, mix) serving cell to completion. Throws
+/// std::invalid_argument on nonsense configurations (zero clients/shards,
+/// per-shard region exceeding the controller's capacity, keys overflowing
+/// the admission-guarded tables).
+ServingResult run_sharded_serving(const SystemConfig& cfg, Scheme scheme,
+                                  const ServingConfig& scfg);
+
+struct ServingCrashOptions {
+  static constexpr std::uint64_t kRandomBoundary = ~std::uint64_t{0};
+  /// Global access sequence number to crash at: every access with seq < K
+  /// is issued (and ADR-durable), nothing at or after K is. kRandomBoundary
+  /// draws uniformly over [0, total_accesses].
+  std::uint64_t crash_at = kRandomBoundary;
+  /// Optional hardware fault folded into every controller's crash drain
+  /// (per-controller plans derive from (fault_seed, crash_at, shard)).
+  FaultClass fault_class = FaultClass::kNone;
+  std::uint64_t fault_seed = 0;
+};
+
+struct ServingCrashReport {
+  std::uint64_t total_accesses = 0;
+  std::uint64_t crash_at = 0;
+  std::uint64_t committed_slots = 0;   // durable live slots at the crash
+  bool recovery_supported = false;
+  bool recovery_ok = false;
+  bool verified = false;               // durable diff exact, no salvage
+  bool salvaged = false;               // recovery degraded but attack-free
+  bool degraded_verified = false;      // readable slots all matched
+  std::uint64_t slots_unavailable = 0; // durable slots behind typed errors
+  bool faulted = false;
+  bool fault_detected = false;
+  double recovery_seconds = 0.0;
+  std::string detail;
+
+  /// Same verdict shape as KvCrashReport: WB passes by being detected as
+  /// unrecoverable; others pass on exact verification, verified salvage,
+  /// or (under an injected fault) detection. Silent divergence never
+  /// passes.
+  bool pass(Scheme scheme) const {
+    if (scheme == Scheme::kWriteBack) return !recovery_supported;
+    if (recovery_ok && verified) return true;
+    if (salvaged && degraded_verified) return true;
+    return faulted && fault_detected;
+  }
+};
+
+/// Plan the full run once to learn the access count, then re-run it with
+/// the crash injected at the chosen boundary, recover every controller
+/// (in parallel when scfg.jobs > 1 — bit-identical), and diff the
+/// recovered image against the durable commit state.
+ServingCrashReport run_serving_crash(const SystemConfig& cfg, Scheme scheme,
+                                     const ServingConfig& scfg,
+                                     const ServingCrashOptions& opt);
+
+/// Total planned accesses for a serving configuration (schedule resolution
+/// only, no memory execution) — lets sweeps choose crash strides cheaply.
+std::uint64_t count_serving_accesses(const SystemConfig& cfg, Scheme scheme,
+                                     const ServingConfig& scfg);
+
+}  // namespace steins::kv

@@ -20,6 +20,8 @@ MultiControllerMemory::MultiControllerMemory(const SystemConfig& cfg, Scheme sch
     frontier_.push_back(0);
     injectors_.push_back(nullptr);
   }
+  leased_ = std::make_unique<std::atomic<bool>[]>(controllers);
+  for (unsigned i = 0; i < controllers; ++i) leased_[i].store(false);
 }
 
 void MultiControllerMemory::set_fault_injector(unsigned controller, FaultInjector* injector) {

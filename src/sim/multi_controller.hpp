@@ -12,6 +12,8 @@
 #pragma once
 
 #include <algorithm>
+#include <atomic>
+#include <cassert>
 #include <memory>
 #include <vector>
 
@@ -20,6 +22,18 @@
 
 namespace steins {
 
+/// Concurrent access contract
+/// --------------------------
+/// Each controller is a self-contained SecureMemory over its own DIMM with
+/// no shared mutable state, so DISTINCT controllers may be driven from
+/// distinct threads concurrently — that is the whole point of the model.
+/// A SINGLE controller is not thread-safe: all accesses to controller(i)
+/// (including note_frontier(i, ...)) must come from one thread at a time,
+/// with a happens-before edge (e.g. a ShardGang epoch barrier) between
+/// handoffs. The global-address read_block/write_block entry points route
+/// by address and may touch any controller, so they must not be mixed with
+/// concurrent per-controller serving. Debug builds enforce single ownership
+/// via ShardLease; release builds compile the checks out.
 class MultiControllerMemory {
  public:
   MultiControllerMemory(const SystemConfig& cfg, Scheme scheme, unsigned controllers,
@@ -62,15 +76,47 @@ class MultiControllerMemory {
   }
   /// Record a controller's completion frontier reached outside read_block/
   /// write_block (epoch-replay drivers call controller(i) directly).
+  /// Per-controller slot: safe from the controller's owning thread only.
   void note_frontier(unsigned mc, Cycle t) {
     frontier_[mc] = std::max(frontier_[mc], t);
   }
+  /// One controller's completion frontier (per-shard occupancy reporting).
+  Cycle frontier(unsigned mc) const { return frontier_[mc]; }
+
+  /// Debug handle for the single-owner contract: constructing a lease marks
+  /// the controller owned, destruction releases it, and a second live lease
+  /// on the same controller asserts. NDEBUG builds keep the bookkeeping
+  /// (cheap relaxed atomics at lease scope boundaries, never per access)
+  /// but skip the assert.
+  class ShardLease {
+   public:
+    ShardLease(MultiControllerMemory& mem, unsigned mc)
+        : mem_(mem), mc_(mc) {
+      const bool was_leased = mem_.leased_[mc_].exchange(true, std::memory_order_acquire);
+      assert(!was_leased && "MultiControllerMemory: controller already leased");
+      (void)was_leased;
+    }
+    ~ShardLease() { mem_.leased_[mc_].store(false, std::memory_order_release); }
+    ShardLease(const ShardLease&) = delete;
+    ShardLease& operator=(const ShardLease&) = delete;
+
+    SecureMemory& mem() { return *mem_.mcs_[mc_]; }
+    unsigned mc() const { return mc_; }
+    void note_frontier(Cycle t) { mem_.note_frontier(mc_, t); }
+
+   private:
+    MultiControllerMemory& mem_;
+    unsigned mc_;
+  };
 
  private:
+  friend class ShardLease;
+
   std::size_t interleave_;
   std::vector<std::unique_ptr<SecureMemory>> mcs_;
   std::vector<Cycle> frontier_;  // per-controller completion frontier
   std::vector<FaultInjector*> injectors_;  // per-controller crash faults
+  std::unique_ptr<std::atomic<bool>[]> leased_;  // ShardLease ownership marks
 };
 
 }  // namespace steins

@@ -115,6 +115,59 @@ TEST(LatencyHistogram, MergeMatchesSingleHistogram) {
   }
 }
 
+TEST(LatencyHistogram, PercentileNeverExceedsObservedBucketMax) {
+  // Every sample is the same mid-bucket value: interpolation must stop at
+  // the observed max, not walk to the bucket's upper bound.
+  LatencyHistogram h;
+  for (int i = 0; i < 1000; ++i) h.add(4097);
+  for (const double p : {50.0, 90.0, 99.0, 99.9, 100.0}) {
+    EXPECT_LE(h.percentile(p), 4097.0) << "p" << p;
+  }
+}
+
+TEST(LatencyHistogram, MergedShardsWithDifferentMaximaStayBounded) {
+  // Two shards whose maxima land in the SAME bucket (kSub = 16 puts
+  // [4096, 4351] in one bucket): after merge, within-bucket interpolation
+  // must be bounded by the merged observed max (4200), not the bucket
+  // upper bound (4351), and must match the single-histogram reference.
+  LatencyHistogram fast_shard, slow_shard, whole;
+  for (int i = 0; i < 900; ++i) {
+    fast_shard.add(4096);
+    whole.add(4096);
+  }
+  for (int i = 0; i < 100; ++i) {
+    slow_shard.add(4200);
+    whole.add(4200);
+  }
+  fast_shard.merge(slow_shard);
+  EXPECT_EQ(fast_shard.count(), whole.count());
+  EXPECT_EQ(fast_shard.max(), 4200u);
+  for (const double p : {50.0, 95.0, 99.0, 99.9, 100.0}) {
+    EXPECT_DOUBLE_EQ(fast_shard.percentile(p), whole.percentile(p)) << "p" << p;
+    EXPECT_LE(fast_shard.percentile(p), 4200.0) << "p" << p;
+  }
+}
+
+TEST(LatencyHistogram, MergeOrderDoesNotChangePercentiles) {
+  // Merging A into B and B into A must agree — the per-bucket observed
+  // max merges elementwise, so the fold is commutative.
+  LatencyHistogram ab, ba;
+  Xoshiro256 rng(9);
+  LatencyHistogram a, b;
+  for (int i = 0; i < 5000; ++i) {
+    ((i % 3) ? a : b).add(rng.below(1 << 18) + 1);
+  }
+  ab = a;
+  ab.merge(b);
+  ba = b;
+  ba.merge(a);
+  EXPECT_EQ(ab.count(), ba.count());
+  EXPECT_EQ(ab.max(), ba.max());
+  for (const double p : {10.0, 50.0, 99.0, 100.0}) {
+    EXPECT_DOUBLE_EQ(ab.percentile(p), ba.percentile(p)) << "p" << p;
+  }
+}
+
 TEST(LatencyAccumulator, PercentileDelegatesToHistogram) {
   LatencyAccumulator acc;
   for (std::uint64_t v = 1; v <= 1000; ++v) acc.add(v);

@@ -20,6 +20,7 @@
 #include "common/thread_pool.hpp"
 #include "crypto/backend.hpp"
 #include "kv/kv_crash.hpp"
+#include "kv/serving.hpp"
 #include "kv/ycsb.hpp"
 
 using namespace steins;
@@ -47,6 +48,11 @@ struct Options {
   unsigned jobs = ThreadPool::default_jobs();
   std::string json_path;
   bool crash = false;
+  bool serve = false;
+  unsigned shards = 2;
+  std::string routing = "load";
+  std::uint64_t queue_depth = 0;
+  std::uint64_t group_commit = 64;
   bool help = false;
 };
 
@@ -68,6 +74,15 @@ void usage() {
       "  --jobs <n>           worker threads for controller replay (default\n"
       "                       STEINS_JOBS or hardware threads; any value is\n"
       "                       bit-identical to --jobs 1)\n"
+      "  --serve              run the concurrent sharded serving engine instead\n"
+      "                       of the interleaved YCSB driver (one worker thread\n"
+      "                       per shard; --jobs caps the threads, bit-identical)\n"
+      "  --shards <n>         serving shards == controllers (default 2)\n"
+      "  --routing <hash|load>  key->shard routing policy (default load)\n"
+      "  --queue-depth <n>    per-shard admitted ops per epoch; overflow sheds\n"
+      "                       into typed degraded verdicts (default 0 = unbounded)\n"
+      "  --group-commit <n>   commit words buffered per shard before one\n"
+      "                       coalesced commit-block flush (default 64, 0 = off)\n"
       "  --crash              also run crash-recovery validation per scheme\n"
       "  --crash-ops <n>      ops in the crash-validation script (default 64)\n"
       "  --nested-crash <b[,rearm]>  with --crash: crash the recovery itself at\n"
@@ -109,6 +124,16 @@ bool parse(int argc, char** argv, Options* opt) {
       opt->mcache_kb = p.u64();
     } else if (p.is("--jobs")) {
       opt->jobs = p.jobs();
+    } else if (p.is("--serve")) {
+      opt->serve = true;
+    } else if (p.is("--shards")) {
+      opt->shards = static_cast<unsigned>(p.u64());
+    } else if (p.is("--routing")) {
+      opt->routing = p.str();
+    } else if (p.is("--queue-depth")) {
+      opt->queue_depth = p.u64();
+    } else if (p.is("--group-commit")) {
+      opt->group_commit = p.u64();
     } else if (p.is("--crash")) {
       opt->crash = true;
     } else if (p.is("--crash-ops")) {
@@ -143,8 +168,10 @@ bool parse(int argc, char** argv, Options* opt) {
 struct SchemeOutcome {
   std::string label;
   YcsbResult ycsb;
+  ServingResult serving;  // filled in --serve mode instead of ycsb
   bool crash_ran = false;
   KvCrashReport crash;
+  ServingCrashReport scrash;  // --serve --crash
   bool crash_pass = true;
 };
 
@@ -164,8 +191,13 @@ void emit_json(const Options& opt, const SystemConfig& cfg,
   os << "{\"mix\": \"" << json_escape(opt.mix) << "\", \"clients\": " << opt.clients
      << ", \"controllers\": " << opt.controllers << ", \"ops\": " << opt.ops
      << ", \"keys\": " << opt.keys << ", \"value_bytes\": " << opt.value_bytes
-     << ", \"zipf_s\": " << opt.zipf_s << ", \"seed\": " << opt.seed
-     << ",\n \"schemes\": [";
+     << ", \"zipf_s\": " << opt.zipf_s << ", \"seed\": " << opt.seed;
+  if (opt.serve) {
+    os << ", \"serve\": true, \"shards\": " << opt.shards << ", \"routing\": \""
+       << json_escape(opt.routing) << "\", \"queue_depth\": " << opt.queue_depth
+       << ", \"group_commit\": " << opt.group_commit;
+  }
+  os << ",\n \"schemes\": [";
   char buf[64];
   const auto num = [&](double v) {
     std::snprintf(buf, sizeof(buf), "%.17g", v);
@@ -180,6 +212,42 @@ void emit_json(const Options& opt, const SystemConfig& cfg,
              ", \"p99_ns\": " + num(cycles_to_ns(cfg, h.percentile(99))) +
              ", \"p999_ns\": " + num(cycles_to_ns(cfg, h.percentile(99.9))) + "}";
     };
+    if (opt.serve) {
+      const ServingResult& s = o.serving;
+      os << (i ? ",\n  " : "\n  ") << "{\"scheme\": \"" << json_escape(o.label)
+         << "\", \"kops_per_sec\": " << num(s.kops_per_sec)
+         << ", \"offered_ops\": " << s.offered_ops << ", \"ops\": " << s.ops
+         << ", \"reads\": " << s.reads << ", \"updates\": " << s.updates
+         << ", \"shed_ops\": " << s.shed_ops
+         << ", \"degraded_shards\": " << s.degraded_shards
+         << ", \"nvm_writes\": " << s.nvm_writes
+         << ", \"commit_writes\": " << s.commit_writes
+         << ", \"image_digest\": \"" << std::hex << s.image_digest << std::dec
+         << "\", \"mean_batch\": " << num(s.batch_sizes.mean())
+         << ", \"all\": " << lat(s.all_lat) << ", \"read\": " << lat(s.read_lat)
+         << ", \"update\": " << lat(s.update_lat) << ", \"shards\": [";
+      for (std::size_t sh = 0; sh < s.shards.size(); ++sh) {
+        const ShardServingStats& st = s.shards[sh];
+        os << (sh ? ", " : "") << "{\"keys\": " << st.keys << ", \"ops\": " << st.ops
+           << ", \"shed\": " << st.shed
+           << ", \"occupancy\": " << num(st.occupancy)
+           << ", \"commit_flushes\": " << st.commit_flushes
+           << ", \"mean_batch\": " << num(st.mean_batch) << "}";
+      }
+      os << "]";
+      if (o.crash_ran) {
+        os << ", \"crash\": {\"pass\": " << (o.crash_pass ? "true" : "false")
+           << ", \"crash_at\": " << o.scrash.crash_at
+           << ", \"total_accesses\": " << o.scrash.total_accesses
+           << ", \"committed_slots\": " << o.scrash.committed_slots
+           << ", \"verified\": " << (o.scrash.verified ? "true" : "false")
+           << ", \"salvaged\": " << (o.scrash.salvaged ? "true" : "false")
+           << ", \"recovery_seconds\": " << num(o.scrash.recovery_seconds)
+           << ", \"detail\": \"" << json_escape(o.scrash.detail) << "\"}";
+      }
+      os << "}";
+      continue;
+    }
     os << (i ? ",\n  " : "\n  ") << "{\"scheme\": \"" << json_escape(o.label)
        << "\", \"kops_per_sec\": " << num(o.ycsb.kops_per_sec)
        << ", \"reads\": " << o.ycsb.reads << ", \"updates\": " << o.ycsb.updates
@@ -250,9 +318,88 @@ int main(int argc, char** argv) {
   ccfg.recovery_crash_rearm = opt.nested_crash_rearm;
   ccfg.retry_policy = opt.retry_policy;
 
+  const std::optional<Routing> routing = parse_routing(opt.routing);
+  if (opt.serve && !routing) {
+    std::fprintf(stderr, "unknown routing: %s (expected hash or load)\n",
+                 opt.routing.c_str());
+    return 2;
+  }
+  ServingConfig scfg;
+  scfg.mix = *mix;
+  scfg.clients = opt.clients;
+  scfg.shards = opt.shards;
+  scfg.ops = opt.ops;
+  scfg.keys = opt.keys;
+  scfg.slots = static_cast<std::size_t>(opt.slots);
+  scfg.value_bytes = static_cast<std::size_t>(opt.value_bytes);
+  scfg.zipf_s = opt.zipf_s;
+  scfg.seed = opt.seed;
+  scfg.jobs = opt.jobs;
+  if (routing) scfg.routing = *routing;
+  scfg.queue_depth = opt.queue_depth;
+  scfg.group_commit_window = opt.group_commit;
+
   std::vector<SchemeOutcome> outcomes;
   bool all_pass = true;
   try {
+    if (opt.serve) {
+      std::printf(
+          "KV serving: mix %s, %u clients, %u shards (%s routing), %llu ops over "
+          "%llu keys, group-commit %llu, queue-depth %llu\n\n",
+          mix_name(*mix), opt.clients, opt.shards, opt.routing.c_str(),
+          static_cast<unsigned long long>(opt.ops),
+          static_cast<unsigned long long>(opt.keys),
+          static_cast<unsigned long long>(opt.group_commit),
+          static_cast<unsigned long long>(opt.queue_depth));
+      std::printf("%-11s %10s %9s %9s %9s %8s %7s   %s\n", "scheme", "kops/s",
+                  "p50_ns", "p99_ns", "p99.9_ns", "shed", "batch",
+                  opt.crash ? "crash-recovery" : "");
+      for (const std::string& name : cli::split_csv(opt.schemes)) {
+        const auto scheme_opt = cli::parse_scheme(name);
+        if (!scheme_opt.has_value()) {
+          std::fprintf(stderr, "unknown scheme: %s (try --help)\n", name.c_str());
+          return 2;
+        }
+        const Scheme scheme = *scheme_opt;
+        SchemeOutcome o;
+        o.label = scheme_name(scheme, cfg.counter_mode);
+        o.serving = run_sharded_serving(cfg, scheme, scfg);
+        std::string crash_note;
+        if (opt.crash) {
+          o.crash_ran = true;
+          ServingCrashOptions sopt;  // random boundary from the seed
+          o.scrash = run_serving_crash(cfg, scheme, scfg, sopt);
+          o.crash_pass = o.scrash.pass(scheme);
+          all_pass = all_pass && o.crash_pass;
+          if (scheme == Scheme::kWriteBack) {
+            crash_note = o.crash_pass ? "unrecoverable (detected, as expected)"
+                                      : "FAIL: WB not detected as unrecoverable";
+          } else if (o.crash_pass) {
+            crash_note = "ok (crash at access " + std::to_string(o.scrash.crash_at) +
+                         "/" + std::to_string(o.scrash.total_accesses) + ", " +
+                         std::to_string(o.scrash.committed_slots) +
+                         " slots verified)";
+          } else {
+            crash_note = "FAIL: " + o.scrash.detail;
+          }
+        }
+        std::printf("%-11s %10.1f %9.0f %9.0f %9.0f %8llu %7.1f   %s\n",
+                    o.label.c_str(), o.serving.kops_per_sec,
+                    cycles_to_ns(cfg, o.serving.all_lat.percentile(50)),
+                    cycles_to_ns(cfg, o.serving.all_lat.percentile(99)),
+                    cycles_to_ns(cfg, o.serving.all_lat.percentile(99.9)),
+                    static_cast<unsigned long long>(o.serving.shed_ops),
+                    o.serving.batch_sizes.mean(), crash_note.c_str());
+        outcomes.push_back(std::move(o));
+      }
+      if (!opt.json_path.empty()) emit_json(opt, cfg, outcomes);
+      if (opt.crash && !all_pass) {
+        std::fprintf(stderr,
+                     "\ncrash-recovery validation FAILED for at least one scheme\n");
+        return 1;
+      }
+      return 0;
+    }
     std::printf("KV service: mix %s, %u clients, %u controllers, %llu ops over %llu keys\n\n",
                 mix_name(*mix), opt.clients, opt.controllers,
                 static_cast<unsigned long long>(opt.ops),

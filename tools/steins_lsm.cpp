@@ -48,6 +48,7 @@ struct Options {
   std::string json_path;
   bool crash = false;
   bool verify = false;
+  bool background_compaction = false;
   bool help = false;
 };
 
@@ -63,6 +64,8 @@ void usage() {
       "  --seed <n>           driver + crash-script seed (default 1)\n"
       "  --capacity-mb <n>    NVM capacity (default 64)\n"
       "  --memtable-bytes <n> memtable flush threshold (default 4096)\n"
+      "  --background-compaction  merge compactions on a pool thread, racing\n"
+      "                       WAL commits; installed at the next flush barrier\n"
       "  --verify             diff the final engine dump against a shadow model\n"
       "  --crash              run the crash-at-persist-boundary matrix per scheme\n"
       "  --crash-ops <n>      ops in the crash-matrix script (default 96)\n"
@@ -98,6 +101,8 @@ bool parse(int argc, char** argv, Options* opt) {
       opt->memtable_bytes = p.u64();
     } else if (p.is("--verify")) {
       opt->verify = true;
+    } else if (p.is("--background-compaction")) {
+      opt->background_compaction = true;
     } else if (p.is("--crash")) {
       opt->crash = true;
     } else if (p.is("--crash-ops")) {
@@ -168,6 +173,7 @@ void emit_json(const Options& opt, const SystemConfig& cfg,
        << ", \"logical_write_amp\": " << num(o.ycsb.logical_write_amp)
        << ", \"flushes\": " << o.ycsb.engine_stats.flushes
        << ", \"compactions\": " << o.ycsb.engine_stats.compactions
+       << ", \"bg_compactions\": " << o.ycsb.engine_stats.bg_compactions
        << ", \"all\": " << lat(o.ycsb.all_lat) << ", \"read\": " << lat(o.ycsb.read_lat)
        << ", \"update\": " << lat(o.ycsb.update_lat);
     if (o.crash_ran) {
@@ -218,6 +224,7 @@ int main(int argc, char** argv) {
   ycfg.zipf_s = opt.zipf_s;
   ycfg.seed = opt.seed;
   ycfg.engine.memtable_limit_bytes = opt.memtable_bytes;
+  ycfg.engine.background_compaction = opt.background_compaction;
   ycfg.verify = opt.verify;
 
   LsmCrashOptions ccfg;
